@@ -1,0 +1,91 @@
+// Ablation: Zarr-like store chunk length. Small chunks cost per-file
+// overhead (one file + container header per chunk per column); huge chunks
+// hurt nothing here but bound partial-read granularity. Measures write and
+// read time plus on-disk size across chunk lengths.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "provml/storage/zarr_store.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace provml::storage;
+
+MetricSet bench_metrics(std::size_t samples) {
+  MetricSet set;
+  MetricSeries& loss = set.series("loss", "TRAINING");
+  MetricSeries& power = set.series("gpu_power", "SYSTEM", "W");
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto step = static_cast<std::int64_t>(i);
+    loss.append(step, 1700000000000 + step * 250,
+                2.0 * std::exp(-1e-4 * static_cast<double>(i)));
+    power.append(step, 1700000000000 + step * 250,
+                 250.0 + 10.0 * std::sin(static_cast<double>(i) * 0.01));
+  }
+  return set;
+}
+
+std::string bench_path() {
+  static const std::string dir = [] {
+    const auto d = fs::temp_directory_path() / "provml_bench_chunking";
+    fs::remove_all(d);
+    fs::create_directories(d);
+    return d.string();
+  }();
+  return dir + "/store.zarr";
+}
+
+void BM_ZarrWrite(benchmark::State& state) {
+  const MetricSet metrics = bench_metrics(100'000);
+  ZarrOptions options;
+  options.chunk_length = static_cast<std::size_t>(state.range(0));
+  const ZarrMetricStore store(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.write(metrics, bench_path()).ok());
+  }
+  state.counters["disk_bytes"] =
+      static_cast<double>(store.size_on_disk(bench_path()).value_or(0));
+  state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_ZarrWrite)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ZarrRead(benchmark::State& state) {
+  const MetricSet metrics = bench_metrics(100'000);
+  ZarrOptions options;
+  options.chunk_length = static_cast<std::size_t>(state.range(0));
+  const ZarrMetricStore store(options);
+  if (!store.write(metrics, bench_path()).ok()) {
+    state.SkipWithError("write failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto back = store.read(bench_path());
+    benchmark::DoNotOptimize(back.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_ZarrRead)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+/// Compression on/off at the default chunk length.
+void BM_ZarrWriteCompression(benchmark::State& state, bool compress) {
+  const MetricSet metrics = bench_metrics(100'000);
+  ZarrOptions options;
+  options.compress = compress;
+  const ZarrMetricStore store(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.write(metrics, bench_path()).ok());
+  }
+  state.counters["disk_bytes"] =
+      static_cast<double>(store.size_on_disk(bench_path()).value_or(0));
+}
+BENCHMARK_CAPTURE(BM_ZarrWriteCompression, compressed, true)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ZarrWriteCompression, raw, false)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

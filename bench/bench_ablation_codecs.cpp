@@ -1,0 +1,94 @@
+// Ablation: codec choice for the metric stores. Measures encode/decode
+// throughput and achieved ratio of each built-in codec on metric-shaped
+// payloads (smooth doubles — the dominant content of a provenance run).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "provml/compress/codec.hpp"
+#include "provml/compress/crc32.hpp"
+#include "provml/compress/lzss.hpp"
+#include "provml/compress/rle.hpp"
+#include "provml/compress/varint.hpp"
+
+namespace {
+
+using namespace provml::compress;
+
+/// Smooth metric series bit-cast to bytes (what the Zarr store compresses).
+Bytes metric_payload(std::size_t doubles) {
+  Bytes data(doubles * sizeof(double));
+  for (std::size_t i = 0; i < doubles; ++i) {
+    const double v = 2.0 * std::exp(-1e-4 * static_cast<double>(i)) +
+                     0.01 * std::sin(static_cast<double>(i) * 0.1);
+    std::memcpy(data.data() + i * sizeof(double), &v, sizeof(double));
+  }
+  return data;
+}
+
+void BM_Encode(benchmark::State& state, const char* codec_name) {
+  const auto codec = CodecRegistry::global().create(codec_name);
+  const Bytes payload = metric_payload(64 * 1024);
+  std::size_t encoded_size = 0;
+  for (auto _ : state) {
+    const Bytes encoded = codec->encode(payload);
+    encoded_size = encoded.size();
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * payload.size()));
+  state.counters["ratio"] =
+      static_cast<double>(payload.size()) / static_cast<double>(encoded_size);
+}
+BENCHMARK_CAPTURE(BM_Encode, raw, "raw");
+BENCHMARK_CAPTURE(BM_Encode, rle, "rle");
+BENCHMARK_CAPTURE(BM_Encode, lzss, "lzss");
+BENCHMARK_CAPTURE(BM_Encode, shuffle_lzss, "shuffle+lzss");
+
+void BM_Decode(benchmark::State& state, const char* codec_name) {
+  const auto codec = CodecRegistry::global().create(codec_name);
+  const Bytes payload = metric_payload(64 * 1024);
+  const Bytes encoded = codec->encode(payload);
+  for (auto _ : state) {
+    auto decoded = codec->decode(encoded, payload.size());
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * payload.size()));
+}
+BENCHMARK_CAPTURE(BM_Decode, raw, "raw");
+BENCHMARK_CAPTURE(BM_Decode, rle, "rle");
+BENCHMARK_CAPTURE(BM_Decode, lzss, "lzss");
+BENCHMARK_CAPTURE(BM_Decode, shuffle_lzss, "shuffle+lzss");
+
+/// Integer column pipeline (delta + zigzag + varint) on monotonic steps —
+/// the other half of every stored series.
+void BM_PackI64(benchmark::State& state) {
+  std::vector<std::int64_t> steps(64 * 1024);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    steps[i] = 1735689600000 + static_cast<std::int64_t>(i) * 250;
+  }
+  std::size_t packed_size = 0;
+  for (auto _ : state) {
+    const auto packed = pack_i64(steps);
+    packed_size = packed.size();
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * steps.size() * sizeof(std::int64_t)));
+  state.counters["ratio"] = static_cast<double>(steps.size() * 8) /
+                            static_cast<double>(packed_size);
+}
+BENCHMARK(BM_PackI64);
+
+void BM_Crc32(benchmark::State& state) {
+  const Bytes payload = metric_payload(64 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * payload.size()));
+}
+BENCHMARK(BM_Crc32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Ablation: graph-store scalability. The paper flags scalability as the
+// first gap in existing trackers ("existing tracking systems may struggle
+// to handle the increased volume"); this bench measures PROV-document
+// ingest and lineage traversal latency as document size grows.
+#include <benchmark/benchmark.h>
+
+#include "provml/explorer/lineage.hpp"
+#include "provml/graphstore/graph.hpp"
+#include "provml/graphstore/ingest.hpp"
+#include "provml/graphstore/query.hpp"
+#include "provml/prov/model.hpp"
+
+namespace {
+
+using namespace provml;
+
+/// A training-shaped document with `epochs` epoch activities, each using
+/// the dataset and generating a checkpoint — linear growth in both elements
+/// and relations.
+prov::Document synthetic_run(int epochs) {
+  prov::Document doc;
+  doc.declare_namespace("ex", "urn:bench/");
+  doc.add_agent("ex:user");
+  doc.add_activity("ex:run");
+  doc.add_entity("ex:dataset");
+  doc.was_associated_with("ex:run", "ex:user");
+  doc.used("ex:run", "ex:dataset");
+  std::string previous_ckpt = "ex:dataset";
+  for (int e = 0; e < epochs; ++e) {
+    const std::string epoch_id = "ex:epoch_" + std::to_string(e);
+    const std::string ckpt_id = "ex:ckpt_" + std::to_string(e);
+    doc.add_activity(epoch_id);
+    doc.add_entity(ckpt_id);
+    doc.was_informed_by(epoch_id, "ex:run");
+    doc.used(epoch_id, previous_ckpt);
+    doc.was_generated_by(ckpt_id, epoch_id);
+    previous_ckpt = ckpt_id;
+  }
+  return doc;
+}
+
+void BM_Ingest(benchmark::State& state) {
+  const prov::Document doc = synthetic_run(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    graphstore::PropertyGraph graph;
+    auto stats = graphstore::ingest_document(graph, doc, "bench");
+    benchmark::DoNotOptimize(stats.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Ingest)->Arg(10)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_LineageFullChain(benchmark::State& state) {
+  const int epochs = static_cast<int>(state.range(0));
+  const prov::Document doc = synthetic_run(epochs);
+  const std::string last = "ex:ckpt_" + std::to_string(epochs - 1);
+  for (auto _ : state) {
+    const auto hops = explorer::upstream(doc, last);
+    benchmark::DoNotOptimize(hops.size());
+  }
+  state.SetItemsProcessed(state.iterations() * epochs);
+}
+BENCHMARK(BM_LineageFullChain)->Arg(10)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_IndexedFind(benchmark::State& state) {
+  graphstore::PropertyGraph graph;
+  const auto nodes = state.range(0);
+  for (std::int64_t i = 0; i < nodes; ++i) {
+    graph.add_node({"Run"}, json::make_object({{"run_id", i}}));
+  }
+  std::int64_t probe = 0;
+  for (auto _ : state) {
+    const auto hit = graph.find_one("Run", "run_id", json::Value(probe++ % nodes));
+    benchmark::DoNotOptimize(hit.has_value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedFind)->Arg(100)->Arg(10000);
+
+void BM_ShortestPath(benchmark::State& state) {
+  graphstore::PropertyGraph graph;
+  const auto n = state.range(0);
+  std::vector<graphstore::NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) ids.push_back(graph.add_node({"N"}));
+  for (std::int64_t i = 0; i + 1 < n; ++i) {
+    (void)graph.add_edge(ids[static_cast<std::size_t>(i)],
+                         ids[static_cast<std::size_t>(i + 1)], "r");
+  }
+  for (auto _ : state) {
+    const auto path = graph.shortest_path(ids.front(), ids.back());
+    benchmark::DoNotOptimize(path.size());
+  }
+}
+BENCHMARK(BM_ShortestPath)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+
+void BM_PatternQuery(benchmark::State& state) {
+  graphstore::PropertyGraph graph;
+  const prov::Document doc = synthetic_run(static_cast<int>(state.range(0)));
+  (void)graphstore::ingest_document(graph, doc, "bench");
+  const auto query = graphstore::parse_query(
+      "MATCH (c:Entity)-[:wasGeneratedBy]->(e:Activity)-[:used]->(p:Entity) "
+      "RETURN c, p").take();
+  for (auto _ : state) {
+    auto rows = graphstore::run_query(graph, query);
+    benchmark::DoNotOptimize(rows.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PatternQuery)->Arg(10)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_QueryParse(benchmark::State& state) {
+  const std::string text =
+      R"(MATCH (a:Activity {prov_id: "ex:run"})<-[:wasGeneratedBy]-(e:Entity) RETURN e)";
+  for (auto _ : state) {
+    auto q = graphstore::parse_query(text);
+    benchmark::DoNotOptimize(q.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

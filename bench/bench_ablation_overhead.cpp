@@ -1,0 +1,118 @@
+// Ablation: logging overhead. The paper motivates yProv4ML with "the shear
+// amount of provenance data ... is often performance impeding"; this bench
+// quantifies our per-call cost of log_metric / log_param against a bare
+// vector push_back baseline, and the end-to-end finish() cost per store.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "provml/core/run.hpp"
+#include "provml/storage/series.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace provml;
+
+std::string bench_dir() {
+  static const std::string dir = [] {
+    const auto d = fs::temp_directory_path() / "provml_bench_overhead";
+    fs::remove_all(d);
+    fs::create_directories(d);
+    return d.string();
+  }();
+  return dir;
+}
+
+core::RunOptions bench_options(const std::string& store) {
+  core::RunOptions opts;
+  opts.provenance_dir = bench_dir();
+  opts.metric_store = store;
+  return opts;
+}
+
+/// Baseline: appending a sample to a raw vector (what a logger-less
+/// training loop would do to keep the same data).
+void BM_BaselineVectorAppend(benchmark::State& state) {
+  std::vector<storage::MetricSample> samples;
+  std::int64_t step = 0;
+  for (auto _ : state) {
+    samples.push_back({step, step * 10, 0.5});
+    benchmark::DoNotOptimize(samples.data());
+    ++step;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BaselineVectorAppend);
+
+/// provml log_metric into an existing series (the steady-state hot path:
+/// mutex + series lookup + timestamp + append).
+void BM_LogMetric(benchmark::State& state) {
+  core::Experiment exp("bench");
+  core::Run& run = exp.start_run(bench_options("zarr"));
+  std::int64_t step = 0;
+  for (auto _ : state) {
+    run.log_metric("loss", 0.5, step++);
+  }
+  state.SetItemsProcessed(state.iterations());
+  (void)run.finish();
+}
+BENCHMARK(BM_LogMetric);
+
+/// Worst case: every call logs a *different* metric name (forces the
+/// linear series lookup to walk the whole set).
+void BM_LogMetricManySeries(benchmark::State& state) {
+  core::Experiment exp("bench");
+  core::Run& run = exp.start_run(bench_options("zarr"));
+  const auto series_count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::string> names;
+  names.reserve(series_count);
+  for (std::size_t i = 0; i < series_count; ++i) {
+    names.push_back("metric_" + std::to_string(i));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    run.log_metric(names[i % series_count], 0.5, static_cast<std::int64_t>(i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  (void)run.finish();
+}
+BENCHMARK(BM_LogMetricManySeries)->Arg(1)->Arg(16)->Arg(128)->Iterations(100000);
+
+void BM_LogParam(benchmark::State& state) {
+  core::Experiment exp("bench");
+  core::Run& run = exp.start_run(bench_options("zarr"));
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    run.log_param("p" + std::to_string(i++ % 64), 0.5);
+  }
+  state.SetItemsProcessed(state.iterations());
+  (void)run.finish();
+}
+BENCHMARK(BM_LogParam)->Iterations(50000);
+
+/// End-to-end: run with N samples then finish() (document build + store
+/// write + PROV-JSON serialization), per store back-end.
+void BM_FinishPerStore(benchmark::State& state, const char* store) {
+  const auto samples = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Experiment exp("bench");
+    core::Run& run = exp.start_run(bench_options(store));
+    for (std::int64_t i = 0; i < samples; ++i) {
+      run.log_metric("loss", 0.5, i);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(run.finish().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK_CAPTURE(BM_FinishPerStore, embedded, "embedded")->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FinishPerStore, json, "json")->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FinishPerStore, zarr, "zarr")->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FinishPerStore, netcdf, "netcdf")->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

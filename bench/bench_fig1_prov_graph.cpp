@@ -1,0 +1,66 @@
+// Figure 1 — "Example of provenance file created using the latest version
+// of yProv4ML, it showcases the use of multiple contexts, and the creation
+// of artifacts both as inputs (relationship 'used') and outputs
+// (relationship 'wasGeneratedBy')". This harness records a run with exactly
+// those features and prints the resulting PROV-JSON and DOT graph.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "provml/core/run.hpp"
+#include "provml/prov/dot.hpp"
+#include "provml/prov/prov_json.hpp"
+
+int main() {
+  using namespace provml;
+  namespace fs = std::filesystem;
+
+  const fs::path dir = fs::temp_directory_path() / "provml_fig1";
+  fs::remove_all(dir);
+
+  core::RunOptions options;
+  options.provenance_dir = dir.string();
+  options.metric_store = "zarr";
+  options.user = "researcher";
+
+  core::Experiment experiment("fig1_example");
+  core::Run& run = experiment.start_run(options);
+
+  // Multiple contexts: TRAINING, VALIDATION, and a user-defined one.
+  run.log_param("learning_rate", 1e-4);
+  run.log_artifact("input_dataset", "modis_patches.zarr", core::IoRole::kInput);
+  run.log_source_code("pretrain.py");
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    run.begin_epoch(core::contexts::kTraining, epoch);
+    run.log_metric("loss", 1.0 / (epoch + 1), epoch);
+    run.end_epoch(core::contexts::kTraining, epoch);
+    run.log_metric("loss", 1.1 / (epoch + 1), epoch, core::contexts::kValidation);
+  }
+  run.log_metric("reconstruction_psnr", 31.7, 0, "FINETUNING");  // custom context
+  run.log_artifact("checkpoint_epoch1", "ckpt/1.pt", core::IoRole::kOutput,
+                   core::contexts::kTraining);
+  run.log_artifact("evaluation_report", "report.json", core::IoRole::kOutput,
+                   core::contexts::kValidation);
+
+  if (provml::Status s = run.finish(); !s.ok()) {
+    std::fprintf(stderr, "finish failed: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+
+  const prov::Document& doc = run.document();
+  std::printf("Figure 1: example provenance file (multi-context, used + wasGeneratedBy)\n\n");
+  std::printf("contexts present: TRAINING, VALIDATION, FINETUNING, SYSTEM-less\n");
+  std::printf("used relations:           %zu\n", doc.count(prov::RelationKind::kUsed));
+  std::printf("wasGeneratedBy relations: %zu\n\n",
+              doc.count(prov::RelationKind::kWasGeneratedBy));
+
+  std::printf("---- PROV-JSON ----\n%s\n", prov::to_prov_json_string(doc).c_str());
+  std::printf("\n---- GraphViz DOT (render with `dot -Tpng`) ----\n%s",
+              prov::to_dot(doc).c_str());
+
+  const bool ok = doc.count(prov::RelationKind::kUsed) >= 3 &&
+                  doc.count(prov::RelationKind::kWasGeneratedBy) >= 4 &&
+                  doc.validate().empty();
+  fs::remove_all(dir);
+  return ok ? 0 : 1;
+}

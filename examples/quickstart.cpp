@@ -1,0 +1,57 @@
+// Quickstart: instrument a toy training loop with provml, emit a PROV-JSON
+// provenance file plus a Zarr-like metric store, and inspect the result.
+//
+//   $ ./quickstart [output-dir]
+#include <cmath>
+#include <iostream>
+
+#include "provml/core/run.hpp"
+#include "provml/explorer/stats.hpp"
+#include "provml/prov/prov_n.hpp"
+
+int main(int argc, char** argv) {
+  using namespace provml;
+
+  core::RunOptions options;
+  options.provenance_dir = argc > 1 ? argv[1] : "quickstart_prov";
+  options.metric_store = "zarr";
+  options.write_dot = true;  // GraphViz rendering next to the PROV-JSON
+  options.user = "quickstart-user";
+
+  core::Experiment experiment("quickstart");
+  core::Run& run = experiment.start_run(options);
+
+  // 1. Hyperparameters (inputs) and the dataset the run consumes.
+  run.log_param("learning_rate", 3e-4);
+  run.log_param("batch_size", 64);
+  run.log_artifact("dataset", "data/train.csv", core::IoRole::kInput);
+  run.log_source_code("examples/quickstart.cpp");
+
+  // 2. A fake training loop: three epochs of improving loss.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    run.begin_epoch(core::contexts::kTraining, epoch);
+    for (int step = 0; step < 20; ++step) {
+      const double loss = 2.0 * std::exp(-0.05 * (epoch * 20 + step));
+      run.log_metric("loss", loss, epoch * 20 + step);
+    }
+    run.end_epoch(core::contexts::kTraining, epoch);
+    run.log_metric("val_loss", 2.1 * std::exp(-0.05 * (epoch + 1) * 20), epoch,
+                   core::contexts::kValidation);
+  }
+
+  // 3. Outputs: the checkpoint and a result value.
+  run.log_artifact("checkpoint", "ckpt/final.bin", core::IoRole::kOutput,
+                   core::contexts::kTraining);
+  run.log_param("final_val_loss", 0.1, core::IoRole::kOutput);
+
+  if (provml::Status s = run.finish(); !s.ok()) {
+    std::cerr << "finish failed: " << s.error().to_string() << "\n";
+    return 1;
+  }
+
+  std::cout << "provenance written to " << run.provenance_path() << "\n\n";
+  std::cout << "document statistics:\n"
+            << explorer::to_string(explorer::document_stats(run.document())) << "\n";
+  std::cout << "PROV-N rendering:\n" << prov::to_prov_n(run.document());
+  return 0;
+}

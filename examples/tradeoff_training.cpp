@@ -1,0 +1,114 @@
+// Trade-offs-oriented training (paper Section 3.2): computing centers
+// allocate fixed node-hours, so runs should stop "when a specific threshold
+// of energy, compute, or performance is achieved, removing unnecessary
+// iterations". This example trains the same simulated model three ways —
+// to completion, under an energy budget, and under the convergence advisor
+// — logging each as a provenance run, and compares the outcomes.
+//
+//   $ ./tradeoff_training [output-dir]
+#include <cstdio>
+#include <iostream>
+
+#include "provml/analysis/advisor.hpp"
+#include "provml/core/run.hpp"
+#include "provml/sim/trainer.hpp"
+
+namespace {
+
+using namespace provml;
+
+struct Outcome {
+  const char* label;
+  double loss = 0;
+  double energy_j = 0;
+  double hours = 0;
+  int epochs = 0;
+  std::string stop_reason;
+};
+
+Outcome train_with_policy(core::Experiment& experiment, const std::string& out_dir,
+                          const char* label, analysis::AdvisorConfig advisor_config,
+                          bool use_advisor) {
+  sim::TrainConfig cfg;
+  cfg.model = sim::make_model(sim::Architecture::kSwinV2, 200'000'000);
+  cfg.ddp.devices = 64;
+  cfg.epochs = 40;
+  cfg.walltime_limit_s = 1e9;  // policies, not the scheduler, stop these runs
+
+  core::RunOptions options;
+  options.provenance_dir = out_dir;
+  options.metric_store = "zarr";
+  core::Run& run = experiment.start_run(options, label);
+  run.log_param("policy", label);
+  run.log_param("devices", cfg.ddp.devices);
+
+  analysis::TrainingAdvisor advisor(advisor_config);
+  Outcome outcome;
+  outcome.label = label;
+  outcome.stop_reason = "all-epochs";
+  bool stopped = false;
+
+  (void)sim::DdpTrainer(cfg).run([&](const sim::EpochReport& report) {
+    if (stopped) return;  // policy already decided; ignore the tail
+    run.log_metric("loss", report.train_loss, report.epoch);
+    run.log_metric("energy", report.cumulative_energy_j, report.epoch,
+                   core::contexts::kTraining, "J");
+    outcome.loss = report.train_loss;
+    outcome.energy_j = report.cumulative_energy_j;
+    outcome.hours = report.cumulative_time_s / 3600.0;
+    outcome.epochs = report.epoch + 1;
+    if (use_advisor) {
+      const analysis::Advice advice =
+          advisor.observe(report.epoch, report.train_loss,
+                          report.cumulative_energy_j, report.cumulative_time_s);
+      if (advice.should_stop) {
+        stopped = true;
+        outcome.stop_reason = analysis::stop_reason_name(advice.reason);
+      }
+    }
+  });
+
+  run.log_param("final_loss", outcome.loss, core::IoRole::kOutput);
+  run.log_param("energy_joules", outcome.energy_j, core::IoRole::kOutput);
+  run.log_param("stop_reason", outcome.stop_reason, core::IoRole::kOutput);
+  if (provml::Status s = run.finish(); !s.ok()) {
+    std::cerr << "finish failed: " << s.error().to_string() << "\n";
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "tradeoff_prov";
+  core::Experiment experiment("tradeoff_training");
+
+  // Policy 1: run every epoch (the wasteful baseline).
+  const Outcome full = train_with_policy(experiment, out_dir, "full_run", {}, false);
+
+  // Policy 2: hard energy budget at 60% of the full run's spend.
+  analysis::AdvisorConfig budget;
+  budget.energy_budget_j = full.energy_j * 0.6;
+  const Outcome capped =
+      train_with_policy(experiment, out_dir, "energy_budget", budget, true);
+
+  // Policy 3: convergence advisor (stop when <1% predicted improvement).
+  analysis::AdvisorConfig converge;
+  converge.min_relative_improvement = 0.01;
+  converge.patience = 3;
+  const Outcome advised =
+      train_with_policy(experiment, out_dir, "advisor", converge, true);
+
+  std::printf("%-14s %8s %12s %8s %8s  %s\n", "policy", "epochs", "energy(MJ)",
+              "hours", "loss", "stop reason");
+  for (const Outcome& o : {full, capped, advised}) {
+    std::printf("%-14s %8d %12.1f %8.2f %8.4f  %s\n", o.label, o.epochs,
+                o.energy_j / 1e6, o.hours, o.loss, o.stop_reason.c_str());
+  }
+
+  const double advisor_saving = 1.0 - advised.energy_j / full.energy_j;
+  const double loss_penalty = advised.loss / full.loss - 1.0;
+  std::printf("\nadvisor saved %.0f%% energy for a %.1f%% loss penalty\n",
+              advisor_saving * 100, loss_penalty * 100);
+  return (advisor_saving > 0.15 && loss_penalty < 0.2) ? 0 : 1;
+}

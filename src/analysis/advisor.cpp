@@ -1,0 +1,101 @@
+#include "provml/analysis/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace provml::analysis {
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::kContinue: return "continue";
+    case StopReason::kConverged: return "converged";
+    case StopReason::kTargetReached: return "target-reached";
+    case StopReason::kEnergyBudget: return "energy-budget";
+    case StopReason::kTimeBudget: return "time-budget";
+  }
+  return "?";
+}
+
+double TrainingAdvisor::extrapolate_next() const {
+  // log-log linear regression of (epoch index, loss - floor). The floor is
+  // projected one improvement step below the best observed loss (clamped at
+  // 0) — a fixed fraction of `best` would sit far above the true limit for
+  // fast-decaying curves and make every prediction look converged.
+  const double best = *std::min_element(losses_.begin(), losses_.end());
+  const double prev = losses_.size() >= 2 ? losses_[losses_.size() - 2] : best;
+  const double floor = std::max(0.0, 2.0 * best - std::max(prev, best));
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  double n = 0;
+  for (std::size_t i = 0; i < losses_.size(); ++i) {
+    const double gap = losses_[i] - floor;
+    if (gap <= 0) continue;
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(gap);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return losses_.back();
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return losses_.back();
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;
+  const double next_x = std::log(static_cast<double>(losses_.size() + 1));
+  return floor + std::exp(intercept + slope * next_x);
+}
+
+Advice TrainingAdvisor::observe(int /*epoch*/, double loss, double cumulative_energy_j,
+                                double cumulative_time_s) {
+  losses_.push_back(loss);
+  Advice advice;
+
+  if (config_.target_loss > 0 && loss <= config_.target_loss) {
+    advice.reason = StopReason::kTargetReached;
+    advice.should_stop = true;
+    return advice;
+  }
+  if (config_.energy_budget_j > 0 && cumulative_energy_j >= config_.energy_budget_j) {
+    advice.reason = StopReason::kEnergyBudget;
+    advice.should_stop = true;
+    return advice;
+  }
+  if (config_.time_budget_s > 0 && cumulative_time_s >= config_.time_budget_s) {
+    advice.reason = StopReason::kTimeBudget;
+    advice.should_stop = true;
+    return advice;
+  }
+  if (static_cast<int>(losses_.size()) < config_.warmup_epochs) {
+    return advice;  // not enough history to extrapolate
+  }
+
+  advice.predicted_next_loss = extrapolate_next();
+  const double extrapolated =
+      loss > 0 ? std::max(0.0, (loss - advice.predicted_next_loss) / loss) : 0.0;
+  // The power-law model underestimates curves that decay faster than any
+  // power law (e.g. early exponential phases); never report less than half
+  // of the improvement just observed — a run that just dropped 50% is not
+  // converged, whatever the fit says.
+  double observed = 0.0;
+  if (losses_.size() >= 2 && losses_[losses_.size() - 2] > 0) {
+    observed = std::max(0.0, (losses_[losses_.size() - 2] - loss) /
+                                 losses_[losses_.size() - 2]);
+  }
+  advice.predicted_improvement = std::max(extrapolated, 0.5 * observed);
+  if (advice.predicted_improvement < config_.min_relative_improvement) {
+    ++converged_streak_;
+  } else {
+    converged_streak_ = 0;
+  }
+  if (converged_streak_ >= config_.patience) {
+    advice.reason = StopReason::kConverged;
+    advice.should_stop = true;
+  }
+  return advice;
+}
+
+}  // namespace provml::analysis

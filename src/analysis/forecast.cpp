@@ -1,0 +1,142 @@
+#include "provml/analysis/forecast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace provml::analysis {
+namespace {
+
+bool has_type(const prov::Element& e, std::string_view type) {
+  for (const auto& [key, value] : e.attributes) {
+    if (key == "prov:type" && value.value.is_string() && value.value.as_string() == type) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Expected<RunRecord> harvest_record(const prov::Document& doc) {
+  RunRecord record;
+  bool found_run = false;
+  for (const prov::Element& e : doc.elements()) {
+    if (has_type(e, "provml:RunExecution")) {
+      found_run = true;
+      const prov::AttributeValue* name = prov::find_attribute(e.attributes, "provml:run_name");
+      if (name != nullptr && name->value.is_string()) record.run_name = name->value.as_string();
+      continue;
+    }
+    if (!has_type(e, "provml:Parameter")) continue;
+    const prov::AttributeValue* name = prov::find_attribute(e.attributes, "provml:name");
+    const prov::AttributeValue* value = prov::find_attribute(e.attributes, "provml:value");
+    const prov::AttributeValue* role = prov::find_attribute(e.attributes, "provml:role");
+    if (name == nullptr || value == nullptr || role == nullptr) continue;
+    if (!name->value.is_string() || !role->value.is_string()) continue;
+    double numeric = 0;
+    if (value->value.is_number()) {
+      numeric = value->value.as_double();
+    } else if (value->value.is_bool()) {
+      numeric = value->value.as_bool() ? 1.0 : 0.0;
+    } else {
+      continue;  // non-numeric parameter: not usable as a k-NN feature
+    }
+    if (role->value.as_string() == "input") {
+      record.features[name->value.as_string()] = numeric;
+    } else {
+      record.outputs[name->value.as_string()] = numeric;
+    }
+  }
+  if (!found_run) {
+    return Error{"document contains no provml:RunExecution", "forecast"};
+  }
+  return record;
+}
+
+void RunDatabase::add(RunRecord record) { records_.push_back(std::move(record)); }
+
+Status RunDatabase::add_document(const prov::Document& doc) {
+  Expected<RunRecord> record = harvest_record(doc);
+  if (!record.ok()) return record.error();
+  add(record.take());
+  return Status::ok_status();
+}
+
+Expected<Prediction> RunDatabase::predict(const std::map<std::string, double>& query,
+                                          const std::string& output_name,
+                                          std::size_t k) const {
+  // Candidate set: records that report the requested output.
+  std::vector<const RunRecord*> candidates;
+  for (const RunRecord& r : records_) {
+    if (r.outputs.count(output_name) != 0) candidates.push_back(&r);
+  }
+  if (candidates.empty()) {
+    return Error{"no stored run reports output '" + output_name + "'", "forecast"};
+  }
+  if (k == 0) return Error{"k must be positive", "forecast"};
+
+  // Per-dimension mean/stddev over candidates for z-normalization; only
+  // dimensions present in the query participate in the distance.
+  std::map<std::string, std::pair<double, double>> stats;  // name → (mean, std)
+  for (const auto& [dim, unused] : query) {
+    double sum = 0;
+    double count = 0;
+    for (const RunRecord* r : candidates) {
+      const auto it = r->features.find(dim);
+      if (it != r->features.end()) {
+        sum += it->second;
+        ++count;
+      }
+    }
+    if (count == 0) continue;  // nobody has this dimension: skip it
+    const double mean = sum / count;
+    double var = 0;
+    for (const RunRecord* r : candidates) {
+      const auto it = r->features.find(dim);
+      if (it != r->features.end()) var += (it->second - mean) * (it->second - mean);
+    }
+    const double stddev = std::sqrt(var / count);
+    stats[dim] = {mean, stddev > 1e-12 ? stddev : 1.0};
+  }
+  if (stats.empty()) {
+    return Error{"query shares no numeric feature with the database", "forecast"};
+  }
+
+  struct Scored {
+    double distance;
+    const RunRecord* record;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (const RunRecord* r : candidates) {
+    double d2 = 0;
+    for (const auto& [dim, ms] : stats) {
+      const double q = (query.at(dim) - ms.first) / ms.second;
+      const auto it = r->features.find(dim);
+      // A record missing the dimension sits at the mean (z = 0).
+      const double v = it != r->features.end() ? (it->second - ms.first) / ms.second : 0.0;
+      d2 += (q - v) * (q - v);
+    }
+    scored.push_back({std::sqrt(d2), r});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.distance < b.distance; });
+  const std::size_t use = std::min(k, scored.size());
+
+  double weight_sum = 0;
+  double value_sum = 0;
+  double distance_sum = 0;
+  Prediction prediction;
+  for (std::size_t i = 0; i < use; ++i) {
+    const double w = 1.0 / (scored[i].distance + 1e-9);
+    weight_sum += w;
+    value_sum += w * scored[i].record->outputs.at(output_name);
+    distance_sum += scored[i].distance;
+    prediction.neighbors_used.push_back(scored[i].record->run_name);
+  }
+  prediction.value = value_sum / weight_sum;
+  prediction.confidence = 1.0 / (1.0 + distance_sum / static_cast<double>(use));
+  return prediction;
+}
+
+}  // namespace provml::analysis

@@ -1,0 +1,72 @@
+// Online training advisor (paper Section 3.2: "an online provenance
+// tracking process could give real-time guidelines in how to proceed during
+// the training process, understanding when to stop. This would result in a
+// more optimized use of compute hours, as the process could be stopped when
+// a specific threshold of energy, compute, or performance is achieved").
+//
+// Feed the advisor one observation per epoch; it fits a power-law decay to
+// the recent loss history, extrapolates the marginal improvement of the
+// next epoch, and recommends stopping when that improvement no longer
+// justifies its energy cost — or when hard budgets are hit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace provml::analysis {
+
+struct AdvisorConfig {
+  /// Stop when predicted relative loss improvement of the next epoch falls
+  /// below this fraction (e.g. 0.002 = 0.2%).
+  double min_relative_improvement = 0.002;
+  /// Hard budgets; 0 disables the corresponding check.
+  double energy_budget_j = 0;
+  double time_budget_s = 0;
+  /// Epochs needed before extrapolation is trusted.
+  int warmup_epochs = 3;
+  /// Consecutive below-threshold epochs required before recommending a
+  /// convergence stop (smooths out loss jitter).
+  int patience = 2;
+  /// Loss target: stop as soon as it is reached (0 disables).
+  double target_loss = 0;
+};
+
+enum class StopReason {
+  kContinue,          ///< keep training
+  kConverged,         ///< marginal improvement below threshold
+  kTargetReached,     ///< loss target achieved
+  kEnergyBudget,      ///< energy budget exhausted
+  kTimeBudget,        ///< time budget exhausted
+};
+
+[[nodiscard]] const char* stop_reason_name(StopReason reason);
+
+struct Advice {
+  StopReason reason = StopReason::kContinue;
+  bool should_stop = false;
+  double predicted_next_loss = 0;      ///< extrapolated loss after one more epoch
+  double predicted_improvement = 0;    ///< relative improvement of that epoch
+};
+
+class TrainingAdvisor {
+ public:
+  explicit TrainingAdvisor(AdvisorConfig config = {}) : config_(config) {}
+
+  /// Records one finished epoch and returns the recommendation.
+  Advice observe(int epoch, double loss, double cumulative_energy_j,
+                 double cumulative_time_s);
+
+  [[nodiscard]] const std::vector<double>& losses() const { return losses_; }
+
+ private:
+  /// Fits loss ≈ c · epoch^-p + floor over the observed history (floor
+  /// taken as a fraction of the latest loss; c, p by log-log regression).
+  [[nodiscard]] double extrapolate_next() const;
+
+  AdvisorConfig config_;
+  std::vector<double> losses_;
+  int converged_streak_ = 0;
+};
+
+}  // namespace provml::analysis

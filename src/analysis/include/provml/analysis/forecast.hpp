@@ -1,0 +1,58 @@
+// Provenance-driven performance forecasting (paper Section 3.3, second
+// approach: "A ML-based forecasting approach could give ... a more precise
+// estimate ... with a single inference step, eliminating the trial and
+// error phase"). A RunDatabase harvests feature vectors from finished-run
+// PROV documents; a distance-weighted k-NN regressor predicts any numeric
+// output (final loss, energy, wall time) for an unseen configuration.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+#include "provml/prov/model.hpp"
+
+namespace provml::analysis {
+
+/// One historical run: numeric input features → numeric outputs. Both maps
+/// come from the run's provml:Parameter entities (inputs keep role=input,
+/// outputs role=output).
+struct RunRecord {
+  std::string run_name;
+  std::map<std::string, double> features;
+  std::map<std::string, double> outputs;
+};
+
+/// Extracts a record from a run document written by the core logger.
+/// Non-numeric parameters are skipped (k-NN operates on numbers).
+[[nodiscard]] Expected<RunRecord> harvest_record(const prov::Document& doc);
+
+struct Prediction {
+  double value = 0;
+  double confidence = 0;  ///< 1 / (1 + mean neighbor distance); in (0, 1]
+  std::vector<std::string> neighbors_used;
+};
+
+/// The knowledge base of prior runs.
+class RunDatabase {
+ public:
+  void add(RunRecord record);
+  [[nodiscard]] Status add_document(const prov::Document& doc);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<RunRecord>& records() const { return records_; }
+
+  /// Predicts `output_name` for `query` features using distance-weighted
+  /// k-NN over records that carry that output. Features are z-normalized
+  /// per dimension across the database; dimensions the query lacks are
+  /// ignored. Errors when no record has the requested output.
+  [[nodiscard]] Expected<Prediction> predict(
+      const std::map<std::string, double>& query, const std::string& output_name,
+      std::size_t k = 3) const;
+
+ private:
+  std::vector<RunRecord> records_;
+};
+
+}  // namespace provml::analysis

@@ -1,0 +1,34 @@
+// Pareto-front analysis over run outcomes — the operation behind the
+// paper's Figure 3 reading: among all (loss, energy) outcomes, which
+// configurations are not dominated? A run dominates another when it is no
+// worse on every objective and strictly better on at least one (all
+// objectives minimized).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+
+namespace provml::analysis {
+
+/// One candidate: a label plus its objective values (all minimized).
+struct ParetoPoint {
+  std::string label;
+  std::vector<double> objectives;
+};
+
+/// True when `a` dominates `b` (same objective count assumed).
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// The non-dominated subset, in input order. Errors when points disagree
+/// on objective count or the set is empty.
+[[nodiscard]] Expected<std::vector<ParetoPoint>> pareto_front(
+    const std::vector<ParetoPoint>& points);
+
+/// Scalarized best point: minimizes the product of objectives (the paper's
+/// "loss times the total energy consumption"). Errors on empty input.
+[[nodiscard]] Expected<ParetoPoint> best_by_product(
+    const std::vector<ParetoPoint>& points);
+
+}  // namespace provml::analysis

@@ -1,0 +1,75 @@
+// Analytical scaling-study estimation (paper Section 3.3, first approach:
+// "utilizes an analytical approach to determine an estimate of the
+// performance when scaling one of the three aforementioned factors").
+// Fits the Chinchilla-shaped law
+//     L(N, D) = E + A·N^-alpha + B·D^-beta
+// to observed (parameters, samples, loss) triples harvested from
+// provenance, then predicts loss for unseen configurations.
+//
+// The fit is linear in (E, A, B) once (alpha, beta) are fixed, so the
+// solver grid-searches the exponents and solves a 3×3 least-squares system
+// per candidate — robust, deterministic, no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+
+namespace provml::analysis {
+
+/// One observation harvested from a finished run.
+struct ScalingPoint {
+  double parameters = 0;    ///< model size N
+  double samples_seen = 0;  ///< data budget D
+  double loss = 0;          ///< observed final loss
+};
+
+/// The fitted law.
+struct ScalingLaw {
+  double e = 0;      ///< irreducible loss
+  double a = 0;      ///< parameter-term coefficient
+  double alpha = 0;  ///< parameter-term exponent
+  double b = 0;      ///< data-term coefficient
+  double beta = 0;   ///< data-term exponent
+  double rmse = 0;   ///< root-mean-square residual of the fit
+
+  [[nodiscard]] double predict(double parameters, double samples) const;
+
+  /// Smallest data budget D such that predict(parameters, D) <= target,
+  /// found by bisection; returns infinity when the target is below the
+  /// asymptote E + A·N^-alpha.
+  [[nodiscard]] double samples_to_reach(double parameters, double target_loss) const;
+};
+
+struct FitOptions {
+  double alpha_min = 0.05, alpha_max = 0.8;
+  double beta_min = 0.05, beta_max = 0.8;
+  int grid_steps = 40;        ///< exponent grid resolution per axis
+  int refine_rounds = 3;      ///< zoom-in rounds around the best cell
+};
+
+/// Fits the law to `points` (needs >= 4 points spanning at least two
+/// distinct N and two distinct D values).
+[[nodiscard]] Expected<ScalingLaw> fit_scaling_law(const std::vector<ScalingPoint>& points,
+                                                   const FitOptions& options = {});
+
+/// A compute-optimal allocation: the (N, D) split of a fixed FLOP budget
+/// that minimizes the fitted law (the Chinchilla question applied to the
+/// paper's scaling studies: "which configuration of parameters would be
+/// more adequate").
+struct ComputeOptimal {
+  double parameters = 0;    ///< optimal model size N*
+  double samples = 0;       ///< optimal data budget D*
+  double predicted_loss = 0;
+};
+
+/// Minimizes law.predict(N, C / (k·N)) over N for a training budget of
+/// `flop_budget` FLOPs, where `flops_per_param_sample` (k) converts N·D to
+/// FLOPs (≈ 6 · tokens-per-sample for dense transformers). Golden-section
+/// search over log N in [1e6, 1e13]. Errors on non-positive inputs.
+[[nodiscard]] Expected<ComputeOptimal> compute_optimal(const ScalingLaw& law,
+                                                       double flop_budget,
+                                                       double flops_per_param_sample);
+
+}  // namespace provml::analysis

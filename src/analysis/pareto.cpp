@@ -1,0 +1,58 @@
+#include "provml/analysis/pareto.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace provml::analysis {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  bool strictly_better_somewhere = false;
+  for (std::size_t i = 0; i < a.objectives.size(); ++i) {
+    if (a.objectives[i] > b.objectives[i]) return false;
+    if (a.objectives[i] < b.objectives[i]) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+Expected<std::vector<ParetoPoint>> pareto_front(const std::vector<ParetoPoint>& points) {
+  if (points.empty()) return Error{"no points", "pareto"};
+  const std::size_t dims = points.front().objectives.size();
+  if (dims == 0) return Error{"points need at least one objective", "pareto"};
+  for (const ParetoPoint& p : points) {
+    if (p.objectives.size() != dims) {
+      return Error{"inconsistent objective count at '" + p.label + "'", "pareto"};
+    }
+    for (const double v : p.objectives) {
+      if (!std::isfinite(v)) {
+        return Error{"non-finite objective at '" + p.label + "'", "pareto"};
+      }
+    }
+  }
+  std::vector<ParetoPoint> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i != j && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(points[i]);
+  }
+  return front;
+}
+
+Expected<ParetoPoint> best_by_product(const std::vector<ParetoPoint>& points) {
+  if (points.empty()) return Error{"no points", "pareto"};
+  double best = std::numeric_limits<double>::infinity();
+  const ParetoPoint* winner = nullptr;
+  for (const ParetoPoint& p : points) {
+    double product = 1.0;
+    for (const double v : p.objectives) product *= v;
+    if (std::isfinite(product) && product < best) {
+      best = product;
+      winner = &p;
+    }
+  }
+  if (winner == nullptr) return Error{"all products non-finite", "pareto"};
+  return *winner;
+}
+
+}  // namespace provml::analysis

@@ -1,0 +1,192 @@
+#include "provml/analysis/scaling_fit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace provml::analysis {
+namespace {
+
+/// Solves the 3×3 linear system M·x = v by Gaussian elimination with
+/// partial pivoting. Returns false when (numerically) singular.
+bool solve3(std::array<std::array<double, 3>, 3> m, std::array<double, 3> v,
+            std::array<double, 3>& x) {
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::abs(m[row][col]) > std::abs(m[pivot][col])) pivot = row;
+    }
+    if (std::abs(m[pivot][col]) < 1e-30) return false;
+    std::swap(m[col], m[pivot]);
+    std::swap(v[col], v[pivot]);
+    for (int row = col + 1; row < 3; ++row) {
+      const double factor = m[row][col] / m[col][col];
+      for (int k = col; k < 3; ++k) m[row][k] -= factor * m[col][k];
+      v[row] -= factor * v[col];
+    }
+  }
+  for (int row = 2; row >= 0; --row) {
+    double acc = v[row];
+    for (int k = row + 1; k < 3; ++k) acc -= m[row][k] * x[static_cast<std::size_t>(k)];
+    x[static_cast<std::size_t>(row)] = acc / m[row][row];
+  }
+  return true;
+}
+
+/// For fixed exponents, least-squares over (E, A, B); returns SSE or
+/// infinity when the system is singular or coefficients are negative
+/// (the law is only physically meaningful with E, A, B >= 0).
+double solve_linear(const std::vector<ScalingPoint>& points, double alpha, double beta,
+                    double& e, double& a, double& b) {
+  // Normal equations for features f = (1, N^-alpha, D^-beta).
+  std::array<std::array<double, 3>, 3> m{};
+  std::array<double, 3> v{};
+  for (const ScalingPoint& p : points) {
+    const std::array<double, 3> f{1.0, std::pow(p.parameters, -alpha),
+                                  std::pow(p.samples_seen, -beta)};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        m[i][j] += f[static_cast<std::size_t>(i)] * f[static_cast<std::size_t>(j)];
+      }
+      v[static_cast<std::size_t>(i)] += f[static_cast<std::size_t>(i)] * p.loss;
+    }
+  }
+  std::array<double, 3> x{};
+  if (!solve3(m, v, x)) return std::numeric_limits<double>::infinity();
+  if (x[0] < 0 || x[1] < 0 || x[2] < 0) return std::numeric_limits<double>::infinity();
+  e = x[0];
+  a = x[1];
+  b = x[2];
+  double sse = 0;
+  for (const ScalingPoint& p : points) {
+    const double pred =
+        e + a * std::pow(p.parameters, -alpha) + b * std::pow(p.samples_seen, -beta);
+    sse += (pred - p.loss) * (pred - p.loss);
+  }
+  return sse;
+}
+
+}  // namespace
+
+double ScalingLaw::predict(double parameters, double samples) const {
+  return e + a * std::pow(parameters, -alpha) + b * std::pow(samples, -beta);
+}
+
+double ScalingLaw::samples_to_reach(double parameters, double target_loss) const {
+  const double asymptote = e + a * std::pow(parameters, -alpha);
+  if (target_loss <= asymptote) return std::numeric_limits<double>::infinity();
+  // Closed form: B·D^-beta = target - asymptote  →  D = (B / gap)^(1/beta).
+  const double gap = target_loss - asymptote;
+  if (b <= 0 || beta <= 0) return 1.0;
+  return std::pow(b / gap, 1.0 / beta);
+}
+
+Expected<ScalingLaw> fit_scaling_law(const std::vector<ScalingPoint>& points,
+                                     const FitOptions& options) {
+  if (points.size() < 4) {
+    return Error{"need at least 4 observations to fit the scaling law", "scaling-fit"};
+  }
+  std::set<double> distinct_n;
+  std::set<double> distinct_d;
+  for (const ScalingPoint& p : points) {
+    if (p.parameters <= 0 || p.samples_seen <= 0 || !std::isfinite(p.loss)) {
+      return Error{"observations must have positive N, D and finite loss", "scaling-fit"};
+    }
+    distinct_n.insert(p.parameters);
+    distinct_d.insert(p.samples_seen);
+  }
+  if (distinct_n.size() < 2 || distinct_d.size() < 2) {
+    return Error{"observations must span at least two model sizes and two data budgets",
+                 "scaling-fit"};
+  }
+
+  double lo_alpha = options.alpha_min;
+  double hi_alpha = options.alpha_max;
+  double lo_beta = options.beta_min;
+  double hi_beta = options.beta_max;
+
+  ScalingLaw best;
+  double best_sse = std::numeric_limits<double>::infinity();
+
+  for (int round = 0; round <= options.refine_rounds; ++round) {
+    const double da = (hi_alpha - lo_alpha) / options.grid_steps;
+    const double db = (hi_beta - lo_beta) / options.grid_steps;
+    double round_best_alpha = best.alpha;
+    double round_best_beta = best.beta;
+    for (int i = 0; i <= options.grid_steps; ++i) {
+      const double alpha = lo_alpha + da * i;
+      for (int j = 0; j <= options.grid_steps; ++j) {
+        const double beta = lo_beta + db * j;
+        double e = 0;
+        double a = 0;
+        double b = 0;
+        const double sse = solve_linear(points, alpha, beta, e, a, b);
+        if (sse < best_sse) {
+          best_sse = sse;
+          best = ScalingLaw{e, a, alpha, b, beta, 0};
+          round_best_alpha = alpha;
+          round_best_beta = beta;
+        }
+      }
+    }
+    // Zoom into the winning cell for the next round.
+    const double span_a = (hi_alpha - lo_alpha) / 4;
+    const double span_b = (hi_beta - lo_beta) / 4;
+    lo_alpha = std::max(options.alpha_min, round_best_alpha - span_a);
+    hi_alpha = std::min(options.alpha_max, round_best_alpha + span_a);
+    lo_beta = std::max(options.beta_min, round_best_beta - span_b);
+    hi_beta = std::min(options.beta_max, round_best_beta + span_b);
+  }
+
+  if (!std::isfinite(best_sse)) {
+    return Error{"no admissible fit found (negative coefficients everywhere)",
+                 "scaling-fit"};
+  }
+  best.rmse = std::sqrt(best_sse / static_cast<double>(points.size()));
+  return best;
+}
+
+Expected<ComputeOptimal> compute_optimal(const ScalingLaw& law, double flop_budget,
+                                          double flops_per_param_sample) {
+  if (flop_budget <= 0 || flops_per_param_sample <= 0) {
+    return Error{"budget and FLOP factor must be positive", "compute-optimal"};
+  }
+  const double c = flop_budget / flops_per_param_sample;  // N·D product
+  auto loss_at = [&](double log_n) {
+    const double n = std::exp(log_n);
+    return law.predict(n, c / n);
+  };
+  // Golden-section search: L(N, C/N) is unimodal in log N for this family
+  // (sum of one decreasing and one increasing exponential in log N).
+  double lo = std::log(1e6);
+  double hi = std::log(1e13);
+  constexpr double kPhi = 0.6180339887498949;
+  double x1 = hi - kPhi * (hi - lo);
+  double x2 = lo + kPhi * (hi - lo);
+  double f1 = loss_at(x1);
+  double f2 = loss_at(x2);
+  for (int iter = 0; iter < 200 && hi - lo > 1e-10; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kPhi * (hi - lo);
+      f1 = loss_at(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kPhi * (hi - lo);
+      f2 = loss_at(x2);
+    }
+  }
+  ComputeOptimal result;
+  result.parameters = std::exp((lo + hi) / 2);
+  result.samples = c / result.parameters;
+  result.predicted_loss = law.predict(result.parameters, result.samples);
+  return result;
+}
+
+}  // namespace provml::analysis

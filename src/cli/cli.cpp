@@ -1,0 +1,453 @@
+#include "provml/cli/cli.hpp"
+
+#include <filesystem>
+#include <map>
+
+#include "provml/common/strings.hpp"
+#include "provml/compress/container.hpp"
+#include "provml/analysis/forecast.hpp"
+#include "provml/analysis/scaling_fit.hpp"
+#include "provml/explorer/diff.hpp"
+#include "provml/explorer/lineage.hpp"
+#include "provml/explorer/stats.hpp"
+#include "provml/explorer/subgraph.hpp"
+#include "provml/explorer/timeline.hpp"
+#include "provml/graphstore/query.hpp"
+#include "provml/graphstore/service.hpp"
+#include "provml/prov/constraints.hpp"
+#include "provml/prov/dot.hpp"
+#include "provml/prov/prov_json.hpp"
+#include "provml/prov/prov_n.hpp"
+#include "provml/prov/prov_xml.hpp"
+#include "provml/prov/turtle.hpp"
+#include "provml/rocrate/crate.hpp"
+
+namespace provml::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Splits args into positionals and --key value options.
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+};
+
+ParsedArgs parse_args(const std::vector<std::string>& args, std::size_t start) {
+  ParsedArgs parsed;
+  for (std::size_t i = start; i < args.size(); ++i) {
+    if (args[i].size() > 2 && args[i].substr(0, 2) == "--") {
+      const std::string key = args[i].substr(2);
+      if (i + 1 < args.size()) {
+        parsed.options[key] = args[++i];
+      } else {
+        parsed.options[key] = "";
+      }
+    } else {
+      parsed.positional.push_back(args[i]);
+    }
+  }
+  return parsed;
+}
+
+int fail(std::ostream& err, const std::string& message) {
+  err << "error: " << message << "\n";
+  return 1;
+}
+
+int cmd_validate(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) return fail(err, "validate takes one file");
+  auto doc = prov::read_prov_json_file(args.positional[0]);
+  if (!doc.ok()) return fail(err, doc.error().to_string());
+  const std::vector<std::string> problems = doc.value().validate();
+  if (problems.empty()) {
+    out << "valid: " << args.positional[0] << "\n";
+    return 0;
+  }
+  for (const std::string& p : problems) out << "problem: " << p << "\n";
+  return 2;
+}
+
+int cmd_stats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) return fail(err, "stats takes one file");
+  auto doc = prov::read_prov_json_file(args.positional[0]);
+  if (!doc.ok()) return fail(err, doc.error().to_string());
+  out << explorer::to_string(explorer::document_stats(doc.value()));
+  return 0;
+}
+
+int cmd_convert(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) return fail(err, "convert takes one file");
+  const auto to = args.options.find("to");
+  if (to == args.options.end()) return fail(err, "convert requires --to provn|dot");
+  auto doc = prov::read_prov_json_file(args.positional[0]);
+  if (!doc.ok()) return fail(err, doc.error().to_string());
+  std::string rendered;
+  if (to->second == "provn") {
+    rendered = prov::to_prov_n(doc.value());
+  } else if (to->second == "dot") {
+    rendered = prov::to_dot(doc.value());
+  } else if (to->second == "ttl" || to->second == "turtle") {
+    rendered = prov::to_turtle(doc.value());
+  } else if (to->second == "xml") {
+    rendered = prov::to_prov_xml(doc.value());
+  } else {
+    return fail(err, "unknown target format: " + to->second);
+  }
+  const auto out_path = args.options.find("out");
+  if (out_path != args.options.end()) {
+    Status s = compress::write_file_bytes(
+        out_path->second,
+        {reinterpret_cast<const std::uint8_t*>(rendered.data()), rendered.size()});
+    if (!s.ok()) return fail(err, s.error().to_string());
+    out << "wrote " << out_path->second << "\n";
+  } else {
+    out << rendered;
+  }
+  return 0;
+}
+
+int cmd_diff(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return fail(err, "diff takes two files");
+  auto left = prov::read_prov_json_file(args.positional[0]);
+  if (!left.ok()) return fail(err, left.error().to_string());
+  auto right = prov::read_prov_json_file(args.positional[1]);
+  if (!right.ok()) return fail(err, right.error().to_string());
+  const explorer::RunDiff diff = explorer::diff_runs(left.value(), right.value());
+  out << explorer::to_string(diff);
+  return diff.identical() ? 0 : 3;
+}
+
+int cmd_lineage(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return fail(err, "lineage takes a file and an element id");
+  auto doc = prov::read_prov_json_file(args.positional[0]);
+  if (!doc.ok()) return fail(err, doc.error().to_string());
+  if (doc.value().find_element(args.positional[1]) == nullptr) {
+    return fail(err, "element not found: " + args.positional[1]);
+  }
+  auto direction = explorer::LineageDirection::kUpstream;
+  const auto dir = args.options.find("direction");
+  if (dir != args.options.end()) {
+    if (dir->second == "down") direction = explorer::LineageDirection::kDownstream;
+    else if (dir->second != "up") return fail(err, "direction must be up or down");
+  }
+  std::size_t depth = 0;
+  const auto depth_opt = args.options.find("depth");
+  if (depth_opt != args.options.end()) depth = std::stoul(depth_opt->second);
+  for (const explorer::LineageHop& hop :
+       explorer::lineage(doc.value(), args.positional[1], direction, depth)) {
+    out << std::string(hop.depth * 2, ' ') << hop.id << "  (via " << hop.via << ")\n";
+  }
+  return 0;
+}
+
+int cmd_ingest(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() < 2) {
+    return fail(err, "ingest takes a store dir and name=file pairs");
+  }
+  const std::string& store_dir = args.positional[0];
+  graphstore::YProvService service;
+  if (fs::exists(fs::path(store_dir) / "index.json")) {
+    auto loaded = graphstore::YProvService::load(store_dir);
+    if (!loaded.ok()) return fail(err, loaded.error().to_string());
+    service = std::move(loaded.value());
+  }
+  for (std::size_t i = 1; i < args.positional.size(); ++i) {
+    const std::string& pair = args.positional[i];
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) return fail(err, "expected name=file, got: " + pair);
+    auto doc = prov::read_prov_json_file(pair.substr(eq + 1));
+    if (!doc.ok()) return fail(err, doc.error().to_string());
+    Status s = service.put_document(pair.substr(0, eq), doc.value());
+    if (!s.ok()) return fail(err, s.error().to_string());
+    out << "ingested " << pair.substr(0, eq) << "\n";
+  }
+  Status s = service.save(store_dir);
+  if (!s.ok()) return fail(err, s.error().to_string());
+  return 0;
+}
+
+int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) return fail(err, "list takes a store dir");
+  auto service = graphstore::YProvService::load(args.positional[0]);
+  if (!service.ok()) return fail(err, service.error().to_string());
+  for (const std::string& name : service.value().list_documents()) {
+    out << name << "\n";
+  }
+  return 0;
+}
+
+int cmd_get(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return fail(err, "get takes a store dir and a name");
+  auto service = graphstore::YProvService::load(args.positional[0]);
+  if (!service.ok()) return fail(err, service.error().to_string());
+  const auto element = args.options.find("element");
+  graphstore::Request request;
+  request.method = "GET";
+  request.path = "/api/v0/documents/" + args.positional[1] +
+                 (element != args.options.end() ? "/elements/" + element->second : "");
+  const graphstore::Response response = service.value().handle(request);
+  out << response.body << "\n";
+  return response.status == 200 ? 0 : 4;
+}
+
+int cmd_pack(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return fail(err, "pack takes input and output paths");
+  std::string codec = "lzss";
+  const auto codec_opt = args.options.find("codec");
+  if (codec_opt != args.options.end()) codec = codec_opt->second;
+  Status s = compress::pack_file(args.positional[0], args.positional[1], codec);
+  if (!s.ok()) return fail(err, s.error().to_string());
+  out << "packed " << args.positional[0] << " -> " << args.positional[1] << " (" << codec
+      << ")\n";
+  return 0;
+}
+
+int cmd_unpack(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) return fail(err, "unpack takes input and output paths");
+  auto data = compress::unpack_file(args.positional[0]);
+  if (!data.ok()) return fail(err, data.error().to_string());
+  Status s = compress::write_file_bytes(args.positional[1], data.value());
+  if (!s.ok()) return fail(err, s.error().to_string());
+  out << "unpacked " << args.positional[0] << " -> " << args.positional[1] << "\n";
+  return 0;
+}
+
+
+
+int cmd_timeline(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) return fail(err, "timeline takes one file");
+  auto doc = prov::read_prov_json_file(args.positional[0]);
+  if (!doc.ok()) return fail(err, doc.error().to_string());
+  auto timeline = explorer::build_timeline(doc.value());
+  if (!timeline.ok()) return fail(err, timeline.error().to_string());
+  out << explorer::to_string(timeline.value());
+  return 0;
+}
+
+
+int cmd_subgraph(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    return fail(err, "subgraph takes a file and an element id");
+  }
+  auto doc = prov::read_prov_json_file(args.positional[0]);
+  if (!doc.ok()) return fail(err, doc.error().to_string());
+  explorer::SubgraphOptions options;
+  const auto hops = args.options.find("hops");
+  if (hops != args.options.end()) options.max_hops = std::stoul(hops->second);
+  auto sub = explorer::extract_subgraph(doc.value(), args.positional[1], options);
+  if (!sub.ok()) return fail(err, sub.error().to_string());
+  const auto out_path = args.options.find("out");
+  if (out_path != args.options.end()) {
+    Status s = prov::write_prov_json_file(out_path->second, sub.value());
+    if (!s.ok()) return fail(err, s.error().to_string());
+    out << "wrote " << out_path->second << "\n";
+  } else {
+    out << prov::to_prov_json_string(sub.value()) << "\n";
+  }
+  return 0;
+}
+
+int cmd_constraints(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) return fail(err, "constraints takes one file");
+  auto doc = prov::read_prov_json_file(args.positional[0]);
+  if (!doc.ok()) return fail(err, doc.error().to_string());
+  const auto violations = prov::check_constraints(doc.value());
+  if (violations.empty()) {
+    out << "no constraint violations: " << args.positional[0] << "\n";
+    return 0;
+  }
+  out << prov::to_string(violations);
+  return 2;
+}
+
+int cmd_query(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    return fail(err, "query takes a store dir and a MATCH query");
+  }
+  auto service = graphstore::YProvService::load(args.positional[0]);
+  if (!service.ok()) return fail(err, service.error().to_string());
+  auto rows = graphstore::run_query(service.value().graph(), args.positional[1]);
+  if (!rows.ok()) return fail(err, rows.error().to_string());
+  for (const graphstore::Row& row : rows.value()) {
+    bool first = true;
+    for (const auto& [var, node_id] : row) {
+      const graphstore::Node* n = service.value().graph().node(node_id);
+      const json::Value* prov_id =
+          n != nullptr ? n->properties.find("prov_id") : nullptr;
+      if (!first) out << "  ";
+      first = false;
+      out << var << "=" << (prov_id != nullptr ? prov_id->as_string() : "?");
+    }
+    out << "\n";
+  }
+  out << rows.value().size() << " row(s)\n";
+  return 0;
+}
+
+/// Shared: harvest every document of a store into a RunDatabase.
+Expected<analysis::RunDatabase> load_run_database(const std::string& store_dir) {
+  auto service = graphstore::YProvService::load(store_dir);
+  if (!service.ok()) return service.error();
+  analysis::RunDatabase db;
+  for (const std::string& name : service.value().list_documents()) {
+    const prov::Document* doc = service.value().get_document(name);
+    if (doc == nullptr) continue;
+    // Skip documents that are not run documents rather than failing.
+    (void)db.add_document(*doc);
+  }
+  return db;
+}
+
+int cmd_fit(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) return fail(err, "fit takes a store dir");
+  auto db = load_run_database(args.positional[0]);
+  if (!db.ok()) return fail(err, db.error().to_string());
+  std::vector<analysis::ScalingPoint> points;
+  for (const analysis::RunRecord& record : db.value().records()) {
+    const auto n = record.features.find("parameters");
+    const auto d = record.features.find("samples_seen");
+    const auto loss = record.outputs.find("final_loss");
+    if (n == record.features.end() || d == record.features.end() ||
+        loss == record.outputs.end()) {
+      continue;
+    }
+    points.push_back({n->second, d->second, loss->second});
+  }
+  auto law = analysis::fit_scaling_law(points);
+  if (!law.ok()) return fail(err, law.error().to_string());
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "L(N, D) = %.4f + %.4g * N^-%.3f + %.4g * D^-%.3f   (rmse %.4g, %zu runs)\n",
+                law.value().e, law.value().a, law.value().alpha, law.value().b,
+                law.value().beta, law.value().rmse, points.size());
+  out << buf;
+  return 0;
+}
+
+int cmd_predict(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() < 2) {
+    return fail(err, "predict takes a store dir, an output name, and key=value features");
+  }
+  auto db = load_run_database(args.positional[0]);
+  if (!db.ok()) return fail(err, db.error().to_string());
+  std::map<std::string, double> query;
+  for (std::size_t i = 2; i < args.positional.size(); ++i) {
+    const std::size_t eq = args.positional[i].find('=');
+    if (eq == std::string::npos) {
+      return fail(err, "expected key=value, got: " + args.positional[i]);
+    }
+    const auto value = strings::to_double(args.positional[i].substr(eq + 1));
+    if (!value) return fail(err, "non-numeric feature value in " + args.positional[i]);
+    query[args.positional[i].substr(0, eq)] = *value;
+  }
+  std::size_t k = 3;
+  const auto k_opt = args.options.find("k");
+  if (k_opt != args.options.end()) k = std::stoul(k_opt->second);
+  auto prediction = db.value().predict(query, args.positional[1], k);
+  if (!prediction.ok()) return fail(err, prediction.error().to_string());
+  out << args.positional[1] << " = " << prediction.value().value
+      << "  (confidence " << prediction.value().confidence << ", neighbors:";
+  for (const std::string& n : prediction.value().neighbors_used) out << " " << n;
+  out << ")\n";
+  return 0;
+}
+
+int cmd_report(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) return fail(err, "report takes a store dir");
+  auto db = load_run_database(args.positional[0]);
+  if (!db.ok()) return fail(err, db.error().to_string());
+  if (db.value().records().empty()) {
+    out << "store contains no run documents\n";
+    return 0;
+  }
+  // Column set = union of outputs across runs.
+  std::set<std::string> columns;
+  for (const analysis::RunRecord& record : db.value().records()) {
+    for (const auto& [name, value] : record.outputs) columns.insert(name);
+  }
+  out << "run";
+  for (const std::string& column : columns) out << "\t" << column;
+  out << "\n";
+  for (const analysis::RunRecord& record : db.value().records()) {
+    out << record.run_name;
+    for (const std::string& column : columns) {
+      const auto it = record.outputs.find(column);
+      out << "\t";
+      if (it != record.outputs.end()) out << it->second;
+      else out << "-";
+    }
+    out << "\n";
+  }
+  return 0;
+}
+
+int cmd_crate(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) return fail(err, "crate takes a directory");
+  rocrate::CrateBuilder builder(args.positional[0]);
+  const auto name = args.options.find("name");
+  if (name != args.options.end()) builder.set_name(name->second);
+  Status s = builder.add_all();
+  if (!s.ok()) return fail(err, s.error().to_string());
+  s = builder.write();
+  if (!s.ok()) return fail(err, s.error().to_string());
+  out << "crate written: " << args.positional[0] << "/ro-crate-metadata.json ("
+      << builder.entries().size() << " entries)\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "usage: yprov <command> [args]\n"
+         "commands:\n"
+         "  validate <file>                     check a PROV-JSON document\n"
+         "  stats <file>                        element/relation counts\n"
+         "  convert <file> --to provn|dot|ttl|xml re-serialize a document\n"
+         "  constraints <file>                  PROV-CONSTRAINTS checks\n"
+         "  timeline <file>                     Gantt view of run activities\n"
+         "  subgraph <file> <id> [--hops N] [--out <path>]\n"
+         "  diff <a> <b>                        compare two run documents\n"
+         "  lineage <file> <id> [--direction up|down] [--depth N]\n"
+         "  ingest <store> <name=file>...       add documents to a store\n"
+         "  list <store>                        list stored documents\n"
+         "  get <store> <name> [--element <id>] query the store\n"
+         "  query <store> '<MATCH ...>'         pattern query over the graph\n"
+         "  fit <store>                         fit the scaling law to stored runs\n"
+         "  predict <store> <output> k=v...     k-NN forecast from stored runs\n"
+         "  report <store>                      tabulate run outputs\n"
+         "  crate <dir> [--name <n>]            wrap a directory as an RO-Crate\n"
+         "  pack <in> <out> [--codec lzss]      compress a file\n"
+         "  unpack <in> <out>                   decompress a container\n";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << usage();
+    return args.empty() ? 1 : 0;
+  }
+  const std::string& command = args[0];
+  const ParsedArgs parsed = parse_args(args, 1);
+  if (command == "validate") return cmd_validate(parsed, out, err);
+  if (command == "constraints") return cmd_constraints(parsed, out, err);
+  if (command == "timeline") return cmd_timeline(parsed, out, err);
+  if (command == "subgraph") return cmd_subgraph(parsed, out, err);
+  if (command == "query") return cmd_query(parsed, out, err);
+  if (command == "fit") return cmd_fit(parsed, out, err);
+  if (command == "predict") return cmd_predict(parsed, out, err);
+  if (command == "report") return cmd_report(parsed, out, err);
+  if (command == "crate") return cmd_crate(parsed, out, err);
+  if (command == "stats") return cmd_stats(parsed, out, err);
+  if (command == "convert") return cmd_convert(parsed, out, err);
+  if (command == "diff") return cmd_diff(parsed, out, err);
+  if (command == "lineage") return cmd_lineage(parsed, out, err);
+  if (command == "ingest") return cmd_ingest(parsed, out, err);
+  if (command == "list") return cmd_list(parsed, out, err);
+  if (command == "get") return cmd_get(parsed, out, err);
+  if (command == "pack") return cmd_pack(parsed, out, err);
+  if (command == "unpack") return cmd_unpack(parsed, out, err);
+  err << "unknown command: " << command << "\n" << usage();
+  return 1;
+}
+
+}  // namespace provml::cli

@@ -1,0 +1,75 @@
+// Minimal result type used on parse/IO paths where failure is a normal
+// outcome rather than a programmer error (C++ Core Guidelines E.3).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace provml {
+
+/// Error payload carried by Expected<T>. `where` is a best-effort locator
+/// (file path, byte offset, or "line:col" depending on the producer).
+struct Error {
+  std::string message;
+  std::string where;
+
+  [[nodiscard]] std::string to_string() const {
+    return where.empty() ? message : where + ": " + message;
+  }
+};
+
+/// Lightweight expected/result type: holds either a T or an Error.
+/// `value()` throws std::runtime_error when called on an error result, so
+/// callers that have already checked `ok()` can use it without ceremony.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() {
+    if (!ok()) throw std::runtime_error("Expected: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const {
+    if (!ok()) throw std::runtime_error("Expected: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() {
+    if (!ok()) throw std::runtime_error("Expected: " + error().to_string());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const { return std::get<Error>(data_); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Expected<void> analogue for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const { return error_; }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace provml

@@ -1,0 +1,75 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace provml::strings {
+
+[[nodiscard]] inline bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+[[nodiscard]] inline bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+[[nodiscard]] inline std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\n' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\n' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] inline std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.emplace_back(s.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return parts;
+}
+
+[[nodiscard]] inline std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+[[nodiscard]] inline std::optional<std::int64_t> to_int64(std::string_view s) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+[[nodiscard]] inline std::optional<double> to_double(std::string_view s) {
+  double v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+/// Formats bytes with binary-prefix units, e.g. "39.82 MB" (paper Table 1 style).
+[[nodiscard]] std::string human_bytes(std::uint64_t bytes);
+
+/// Zero-padded fixed-width decimal, e.g. pad(7, 3) == "007".
+[[nodiscard]] std::string pad(std::uint64_t value, int width);
+
+/// Epoch milliseconds → ISO-8601 UTC instant, e.g. "2025-07-05T12:30:00.123Z".
+[[nodiscard]] std::string iso8601_utc(std::int64_t epoch_ms);
+
+}  // namespace provml::strings

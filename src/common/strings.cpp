@@ -1,0 +1,44 @@
+#include "provml/common/strings.hpp"
+
+#include <array>
+#include <cstdio>
+#include <ctime>
+
+namespace provml::strings {
+
+std::string human_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string pad(std::uint64_t value, int width) {
+  std::string digits = std::to_string(value);
+  if (static_cast<int>(digits.size()) >= width) return digits;
+  return std::string(static_cast<std::size_t>(width) - digits.size(), '0') + digits;
+}
+
+std::string iso8601_utc(std::int64_t epoch_ms) {
+  const std::time_t seconds = static_cast<std::time_t>(epoch_ms / 1000);
+  const int millis = static_cast<int>(epoch_ms % 1000 + (epoch_ms % 1000 < 0 ? 1000 : 0));
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday, tm_utc.tm_hour,
+                tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
+}  // namespace provml::strings

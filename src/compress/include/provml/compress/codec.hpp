@@ -1,0 +1,73 @@
+// Byte-stream codec interface and registry. Codecs compress the chunk
+// payloads of the Zarr-like store and whole provenance files (the
+// "Compressed Size" column of the paper's Table 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+
+namespace provml::compress {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// A reversible byte-stream transform. Implementations must satisfy
+/// decode(encode(x)) == x for every input x (verified by property tests).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Stable identifier stored in container headers and Zarr metadata.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual Bytes encode(ByteView input) const = 0;
+
+  /// `decoded_size` is the exact size recorded at encode time; codecs may
+  /// use it to pre-allocate and to validate stream integrity.
+  [[nodiscard]] virtual Expected<Bytes> decode(ByteView input,
+                                               std::size_t decoded_size) const = 0;
+};
+
+/// Pass-through codec ("raw"). Useful as a baseline and for stores
+/// configured without compression.
+class IdentityCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "raw"; }
+  [[nodiscard]] Bytes encode(ByteView input) const override {
+    return Bytes(input.begin(), input.end());
+  }
+  [[nodiscard]] Expected<Bytes> decode(ByteView input, std::size_t decoded_size) const override {
+    if (input.size() != decoded_size) {
+      return Error{"raw codec size mismatch", "identity"};
+    }
+    return Bytes(input.begin(), input.end());
+  }
+};
+
+/// Name → factory registry. The built-in codecs ("raw", "rle", "lzss",
+/// "shuffle+lzss") are pre-registered; plugins may add more.
+class CodecRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Codec>()>;
+
+  /// The process-wide registry with built-ins installed.
+  static CodecRegistry& global();
+
+  void register_codec(const std::string& name, Factory factory);
+  [[nodiscard]] std::unique_ptr<Codec> create(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace provml::compress

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for container integrity checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace provml::compress {
+
+/// One-shot CRC-32 of `data`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental form: pass the previous return value as `state`
+/// (start with 0) to checksum data in pieces.
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state,
+                                         std::span<const std::uint8_t> data);
+
+}  // namespace provml::compress

@@ -1,0 +1,41 @@
+// LZSS dictionary codec: 64 KiB sliding window, hash-chain match finder,
+// greedy parse with one-byte lazy evaluation. Token stream framing:
+//   flag byte (LSB-first, 8 tokens per flag): 0 = literal, 1 = match
+//   literal: 1 raw byte
+//   match:   2-byte little-endian offset (1-based), 1-byte length (len-3)
+// Matches span [3, 258] bytes. This is the general-purpose compressor used
+// for the "Compressed Size" column of Table 1 and the Zarr-like store.
+#pragma once
+
+#include "provml/compress/codec.hpp"
+
+namespace provml::compress {
+
+class LzssCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "lzss"; }
+  [[nodiscard]] Bytes encode(ByteView input) const override;
+  [[nodiscard]] Expected<Bytes> decode(ByteView input, std::size_t decoded_size) const override;
+};
+
+/// Byte-shuffle (Blosc-style) followed by LZSS. Transposes the byte planes
+/// of fixed-width elements so slowly-varying high bytes of doubles become
+/// long runs. `element_size` is fixed at construction (8 for f64 series).
+class ShuffleLzssCodec final : public Codec {
+ public:
+  explicit ShuffleLzssCodec(std::size_t element_size = 8) : element_size_(element_size) {}
+
+  [[nodiscard]] std::string name() const override { return "shuffle+lzss"; }
+  [[nodiscard]] Bytes encode(ByteView input) const override;
+  [[nodiscard]] Expected<Bytes> decode(ByteView input, std::size_t decoded_size) const override;
+
+ private:
+  std::size_t element_size_;
+};
+
+/// Transposes `input` viewed as rows of `element_size` bytes; the tail that
+/// does not fill a whole element is appended unshuffled.
+[[nodiscard]] Bytes shuffle_bytes(ByteView input, std::size_t element_size);
+[[nodiscard]] Bytes unshuffle_bytes(ByteView input, std::size_t element_size);
+
+}  // namespace provml::compress

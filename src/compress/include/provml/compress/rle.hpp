@@ -1,0 +1,18 @@
+// Byte-level run-length codec. Packet-based framing:
+//   [ctrl] with ctrl < 0x80  → literal run of (ctrl + 1) bytes follows
+//   [ctrl] with ctrl >= 0x80 → repeat next byte (ctrl - 0x80 + 2) times
+// Effective on constant or stepwise series (epoch counters, device ids).
+#pragma once
+
+#include "provml/compress/codec.hpp"
+
+namespace provml::compress {
+
+class RleCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "rle"; }
+  [[nodiscard]] Bytes encode(ByteView input) const override;
+  [[nodiscard]] Expected<Bytes> decode(ByteView input, std::size_t decoded_size) const override;
+};
+
+}  // namespace provml::compress

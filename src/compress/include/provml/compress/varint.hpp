@@ -1,0 +1,43 @@
+// Integer wire encodings used by the numeric codecs and binary stores:
+// LEB128-style varints, zigzag mapping for signed values, and delta
+// transforms over int64 sequences.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+
+namespace provml::compress {
+
+/// Maps signed to unsigned so small-magnitude values get short varints.
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Appends `v` as a base-128 varint (7 bits per byte, MSB = continuation).
+void varint_append(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Reads one varint starting at `offset`, advancing it past the value.
+[[nodiscard]] Expected<std::uint64_t> varint_read(std::span<const std::uint8_t> bytes,
+                                                  std::size_t& offset);
+
+/// Delta-encodes a sequence in place: out[i] = in[i] - in[i-1], out[0] = in[0].
+[[nodiscard]] std::vector<std::int64_t> delta_encode(std::span<const std::int64_t> values);
+
+/// Inverse of delta_encode (prefix sum).
+[[nodiscard]] std::vector<std::int64_t> delta_decode(std::span<const std::int64_t> deltas);
+
+/// Full pipeline for integer series: delta → zigzag → varint bytes.
+[[nodiscard]] std::vector<std::uint8_t> pack_i64(std::span<const std::int64_t> values);
+
+/// Inverse of pack_i64; `count` is the number of values expected.
+[[nodiscard]] Expected<std::vector<std::int64_t>> unpack_i64(
+    std::span<const std::uint8_t> bytes, std::size_t count);
+
+}  // namespace provml::compress

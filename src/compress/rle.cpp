@@ -1,0 +1,74 @@
+#include "provml/compress/rle.hpp"
+
+namespace provml::compress {
+
+namespace {
+constexpr std::size_t kMaxLiteralRun = 0x80;        // ctrl 0x00..0x7F → 1..128
+constexpr std::size_t kMaxRepeatRun = 0x7F + 2;     // ctrl 0x80..0xFF → 2..129
+constexpr std::size_t kMinRepeat = 3;               // below this, literals win
+}  // namespace
+
+Bytes RleCodec::encode(ByteView input) const {
+  Bytes out;
+  out.reserve(input.size() / 2 + 8);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    // Measure the run of identical bytes starting at i.
+    std::size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i] && run < kMaxRepeatRun) {
+      ++run;
+    }
+    if (run >= kMinRepeat) {
+      out.push_back(static_cast<std::uint8_t>(0x80 + (run - 2)));
+      out.push_back(input[i]);
+      i += run;
+      continue;
+    }
+    // Collect literals until the next worthwhile repeat run.
+    const std::size_t literal_start = i;
+    std::size_t literal_len = 0;
+    while (i < input.size() && literal_len < kMaxLiteralRun) {
+      std::size_t ahead = 1;
+      while (i + ahead < input.size() && input[i + ahead] == input[i] && ahead < kMinRepeat) {
+        ++ahead;
+      }
+      if (ahead >= kMinRepeat) break;  // a repeat run begins here
+      i += ahead;
+      literal_len += ahead;
+      if (literal_len > kMaxLiteralRun) {
+        // Clamp to the packet limit; the loop re-enters for the rest.
+        i -= literal_len - kMaxLiteralRun;
+        literal_len = kMaxLiteralRun;
+      }
+    }
+    out.push_back(static_cast<std::uint8_t>(literal_len - 1));
+    out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(literal_start),
+               input.begin() + static_cast<std::ptrdiff_t>(literal_start + literal_len));
+  }
+  return out;
+}
+
+Expected<Bytes> RleCodec::decode(ByteView input, std::size_t decoded_size) const {
+  Bytes out;
+  out.reserve(decoded_size);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const std::uint8_t ctrl = input[i++];
+    if (ctrl < 0x80) {
+      const std::size_t len = static_cast<std::size_t>(ctrl) + 1;
+      if (i + len > input.size()) return Error{"truncated literal run", "rle"};
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
+                 input.begin() + static_cast<std::ptrdiff_t>(i + len));
+      i += len;
+    } else {
+      if (i >= input.size()) return Error{"truncated repeat run", "rle"};
+      const std::size_t len = static_cast<std::size_t>(ctrl - 0x80) + 2;
+      out.insert(out.end(), len, input[i++]);
+    }
+    if (out.size() > decoded_size) return Error{"output exceeds declared size", "rle"};
+  }
+  if (out.size() != decoded_size) return Error{"output shorter than declared size", "rle"};
+  return out;
+}
+
+}  // namespace provml::compress

@@ -1,0 +1,78 @@
+#include "provml/compress/varint.hpp"
+
+namespace provml::compress {
+
+void varint_append(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+Expected<std::uint64_t> varint_read(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (offset < bytes.size()) {
+    const std::uint8_t byte = bytes[offset++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7F) > 1)) {
+      return Error{"varint overflows 64 bits", "varint"};
+    }
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+  }
+  return Error{"truncated varint", "varint"};
+}
+
+std::vector<std::int64_t> delta_encode(std::span<const std::int64_t> values) {
+  std::vector<std::int64_t> out;
+  out.reserve(values.size());
+  std::int64_t prev = 0;
+  for (const std::int64_t v : values) {
+    // Unsigned subtraction: wraparound is intentional and reversible.
+    out.push_back(static_cast<std::int64_t>(static_cast<std::uint64_t>(v) -
+                                            static_cast<std::uint64_t>(prev)));
+    prev = v;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> delta_decode(std::span<const std::int64_t> deltas) {
+  std::vector<std::int64_t> out;
+  out.reserve(deltas.size());
+  std::uint64_t acc = 0;
+  for (const std::int64_t d : deltas) {
+    acc += static_cast<std::uint64_t>(d);
+    out.push_back(static_cast<std::int64_t>(acc));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> pack_i64(std::span<const std::int64_t> values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size() * 2);  // deltas of smooth series are short
+  const std::vector<std::int64_t> deltas = delta_encode(values);
+  for (const std::int64_t d : deltas) {
+    varint_append(out, zigzag_encode(d));
+  }
+  return out;
+}
+
+Expected<std::vector<std::int64_t>> unpack_i64(std::span<const std::uint8_t> bytes,
+                                               std::size_t count) {
+  std::vector<std::int64_t> deltas;
+  deltas.reserve(count);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Expected<std::uint64_t> v = varint_read(bytes, offset);
+    if (!v.ok()) return v.error();
+    deltas.push_back(zigzag_decode(v.value()));
+  }
+  if (offset != bytes.size()) {
+    return Error{"trailing bytes after packed integers", "varint"};
+  }
+  return delta_decode(deltas);
+}
+
+}  // namespace provml::compress

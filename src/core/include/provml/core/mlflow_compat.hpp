@@ -1,0 +1,40 @@
+// MLflow-shaped module-level API. The paper positions yProv4ML as exposing
+// "logging utilities similar to MLFlow, allowing for quick integration";
+// this facade gives the familiar start_run / log_param / log_metric /
+// end_run free functions over a process-global current run.
+//
+//   mlflow::set_experiment("modis_fm");
+//   mlflow::start_run();
+//   mlflow::log_param("lr", 1e-4);
+//   mlflow::log_metric("loss", 0.93, 10);
+//   mlflow::end_run();
+#pragma once
+
+#include "provml/core/run.hpp"
+
+namespace provml::core::mlflow {
+
+/// Selects (creating if needed) the active experiment. Affects subsequent
+/// start_run() calls; the default experiment is "default".
+void set_experiment(const std::string& name, RunOptions default_options = {});
+
+/// Starts a new run in the active experiment and makes it current.
+/// Returns the run (owned by the experiment, valid until reset()).
+Run& start_run(const std::string& run_name = "");
+
+/// The current run, or nullptr outside start_run/end_run.
+[[nodiscard]] Run* active_run();
+
+void log_param(const std::string& name, json::Value value, IoRole role = IoRole::kInput);
+void log_metric(const std::string& name, double value, std::int64_t step,
+                const std::string& context = contexts::kTraining);
+void log_artifact(const std::string& name, const std::string& path,
+                  IoRole role = IoRole::kOutput);
+
+/// Finishes the current run. Returns the finish status (ok outside a run).
+Status end_run();
+
+/// Drops all global state (finishing any active run). Used by tests.
+void reset();
+
+}  // namespace provml::core::mlflow

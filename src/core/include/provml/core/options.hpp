@@ -1,0 +1,53 @@
+// Configuration for experiments and runs.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace provml::core {
+
+/// Built-in context names matching the paper's Figure 2 data model; any
+/// other string is a valid user-defined context.
+namespace contexts {
+inline constexpr const char* kTraining = "TRAINING";
+inline constexpr const char* kValidation = "VALIDATION";
+inline constexpr const char* kTesting = "TESTING";
+}  // namespace contexts
+
+/// Whether a logged value/file is an input required by the execution or an
+/// output it produces. The paper's latest version added exactly this
+/// distinction ("it is now possible to define whether the data logged is an
+/// input, otherwise defaulting to an output").
+enum class IoRole { kInput, kOutput };
+
+struct RunOptions {
+  /// Directory that receives the run's provenance file, metric store, and
+  /// artifacts manifest. Created if missing.
+  std::string provenance_dir = "prov";
+
+  /// Metric storage back-end: "embedded" keeps all samples inside the
+  /// PROV-JSON document (Table 1's baseline); "json" / "zarr" / "netcdf"
+  /// write a side file referenced from the document.
+  std::string metric_store = "zarr";
+
+  /// Attach sysmon collectors for the run's duration.
+  bool collect_system_metrics = false;
+  std::vector<std::string> collectors = {"gpu_sim", "process"};
+  std::chrono::milliseconds sampling_period{200};
+
+  /// Also emit PROV-N and GraphViz DOT next to the PROV-JSON.
+  bool write_prov_n = false;
+  bool write_dot = false;
+
+  /// Wrap the run directory in an RO-Crate on finish.
+  bool create_rocrate = false;
+
+  /// Pretty-print the PROV-JSON (the paper's files are human-inspectable).
+  bool pretty_json = true;
+
+  /// The agent recorded as prov:Person for the run.
+  std::string user = "provml-user";
+};
+
+}  // namespace provml::core

@@ -1,0 +1,173 @@
+// The run logger — the library's MLflow-shaped core API. A Run collects
+// parameters, metrics, and artifacts during a training execution, divided
+// into contexts (TRAINING / VALIDATION / TESTING / custom) and epochs, and
+// finishes by emitting a W3C PROV document plus a metric store file.
+//
+//   Experiment exp("modis_fm");
+//   Run& run = exp.start_run(options);
+//   run.log_param("learning_rate", 1e-4);
+//   run.begin_epoch(contexts::kTraining, 0);
+//   run.log_metric("loss", 0.93, /*step=*/10, contexts::kTraining);
+//   run.end_epoch(contexts::kTraining, 0);
+//   run.log_artifact("checkpoint", "ckpt/epoch0.pt", IoRole::kOutput);
+//   Status s = run.finish();
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "provml/common/expected.hpp"
+#include "provml/core/options.hpp"
+#include "provml/prov/model.hpp"
+#include "provml/storage/series.hpp"
+#include "provml/sysmon/sampler.hpp"
+
+namespace provml::core {
+
+/// A logged parameter (one-time value, e.g. a hyperparameter).
+struct Parameter {
+  std::string name;
+  json::Value value;
+  IoRole role = IoRole::kInput;
+};
+
+/// A logged artifact (file produced or consumed by the run).
+struct Artifact {
+  std::string name;
+  std::string path;
+  IoRole role = IoRole::kOutput;
+  std::string context;  ///< optional context association
+};
+
+/// Epoch bookkeeping inside one context.
+struct EpochRecord {
+  int index = 0;
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+};
+
+class Experiment;
+
+class Run {
+ public:
+  ~Run();
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return run_name_; }
+  [[nodiscard]] const std::string& experiment_name() const { return experiment_name_; }
+  [[nodiscard]] const RunOptions& options() const { return options_; }
+
+  // -- logging (thread-safe) ------------------------------------------------
+  /// Records a one-time value. Inputs are hyperparameters the execution
+  /// needs; outputs are results (e.g. final accuracy).
+  void log_param(const std::string& name, json::Value value, IoRole role = IoRole::kInput);
+
+  /// Appends one metric sample. `step` is the caller's training step; the
+  /// timestamp is taken automatically.
+  void log_metric(const std::string& name, double value, std::int64_t step,
+                  const std::string& context = contexts::kTraining,
+                  const std::string& unit = "");
+
+  /// Registers a file the run used (kInput) or produced (kOutput).
+  void log_artifact(const std::string& name, const std::string& path,
+                    IoRole role = IoRole::kOutput, const std::string& context = "");
+
+  /// Convenience: registers the training script itself as an input artifact
+  /// with prov:type provml:SourceCode.
+  void log_source_code(const std::string& path);
+
+  /// Captures the execution environment (hostname, pid, working directory,
+  /// hardware concurrency) as a provml:Environment entity used by the run —
+  /// the "definition of a development environment" the paper's Section 3.1
+  /// wants recorded.
+  void log_environment();
+
+  /// Marks epoch boundaries inside a context (paper Figure 2: training and
+  /// validation stages "are organized into epochs").
+  void begin_epoch(const std::string& context, int epoch);
+  void end_epoch(const std::string& context, int epoch);
+
+  // -- lifecycle --------------------------------------------------------------
+  /// Stops collection, writes the metric store, builds the PROV document,
+  /// and writes "<run_name>.provjson" (plus optional PROV-N / DOT / crate)
+  /// into the provenance directory. Idempotent; returns the first failure.
+  [[nodiscard]] Status finish();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  /// The PROV document (valid after finish()).
+  [[nodiscard]] const prov::Document& document() const { return document_; }
+
+  /// Collected metrics (valid anytime; stable references).
+  [[nodiscard]] const storage::MetricSet& metrics() const { return metrics_; }
+  [[nodiscard]] const std::vector<Parameter>& parameters() const { return parameters_; }
+  [[nodiscard]] const std::vector<Artifact>& artifacts() const { return artifacts_; }
+
+  /// Path of the PROV-JSON file written by finish().
+  [[nodiscard]] std::string provenance_path() const;
+
+ private:
+  friend class Experiment;
+  Run(std::string experiment_name, std::string run_name, RunOptions options);
+
+  void build_document();
+
+  std::string experiment_name_;
+  std::string run_name_;
+  RunOptions options_;
+  std::int64_t started_ms_ = 0;
+  std::int64_t finished_ms_ = 0;
+
+  mutable std::mutex mutex_;
+  std::vector<Parameter> parameters_;
+  std::vector<Artifact> artifacts_;
+  storage::MetricSet metrics_;
+  std::map<std::string, std::vector<EpochRecord>> epochs_;  // context → epochs
+  std::optional<std::string> source_code_;
+  std::vector<std::pair<std::string, json::Value>> environment_;
+
+  std::unique_ptr<sysmon::Sampler> sampler_;
+  prov::Document document_;
+  bool finished_ = false;
+};
+
+/// Groups related runs (Figure 2: "the core entity in this model is an
+/// Experiment, which includes different Run Execution instances").
+class Experiment {
+ public:
+  explicit Experiment(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Starts a run; names are auto-assigned "run_0", "run_1", ... unless
+  /// `run_name` is given. The Experiment owns the Run.
+  Run& start_run(RunOptions options = {}, const std::string& run_name = "");
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Run>>& runs() const { return runs_; }
+
+  /// Finishes every unfinished run; returns the first failure.
+  [[nodiscard]] Status finish_all();
+
+  /// Combined experiment provenance (the paper's future-work feature:
+  /// "tracking all experiment runs in a single provenance file, to enable
+  /// easier comparison with each individual execution"): one document with
+  /// the experiment entity at top level and every finished run's document
+  /// as a named bundle. Unfinished runs are skipped.
+  [[nodiscard]] prov::Document combined_document() const;
+
+  /// Writes combined_document() as PROV-JSON to `path`.
+  [[nodiscard]] Status write_combined_provenance(const std::string& path,
+                                                 bool pretty = true) const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Run>> runs_;
+  int next_run_ = 0;
+};
+
+}  // namespace provml::core

@@ -1,0 +1,84 @@
+#include "provml/core/mlflow_compat.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace provml::core::mlflow {
+namespace {
+
+struct GlobalState {
+  std::mutex mutex;
+  std::unique_ptr<Experiment> experiment;
+  RunOptions default_options;
+  Run* active = nullptr;
+};
+
+GlobalState& state() {
+  static GlobalState s;
+  return s;
+}
+
+Experiment& ensure_experiment(GlobalState& s) {
+  if (!s.experiment) s.experiment = std::make_unique<Experiment>("default");
+  return *s.experiment;
+}
+
+}  // namespace
+
+void set_experiment(const std::string& name, RunOptions default_options) {
+  GlobalState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.active != nullptr) {
+    (void)s.active->finish();
+    s.active = nullptr;
+  }
+  s.experiment = std::make_unique<Experiment>(name);
+  s.default_options = std::move(default_options);
+}
+
+Run& start_run(const std::string& run_name) {
+  GlobalState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.active != nullptr) (void)s.active->finish();
+  s.active = &ensure_experiment(s).start_run(s.default_options, run_name);
+  return *s.active;
+}
+
+Run* active_run() {
+  GlobalState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.active;
+}
+
+void log_param(const std::string& name, json::Value value, IoRole role) {
+  if (Run* run = active_run()) run->log_param(name, std::move(value), role);
+}
+
+void log_metric(const std::string& name, double value, std::int64_t step,
+                const std::string& context) {
+  if (Run* run = active_run()) run->log_metric(name, value, step, context);
+}
+
+void log_artifact(const std::string& name, const std::string& path, IoRole role) {
+  if (Run* run = active_run()) run->log_artifact(name, path, role);
+}
+
+Status end_run() {
+  GlobalState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.active == nullptr) return Status::ok_status();
+  Status result = s.active->finish();
+  s.active = nullptr;
+  return result;
+}
+
+void reset() {
+  GlobalState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.active != nullptr) (void)s.active->finish();
+  s.active = nullptr;
+  s.experiment.reset();
+  s.default_options = RunOptions{};
+}
+
+}  // namespace provml::core::mlflow

@@ -1,0 +1,114 @@
+#include "provml/explorer/diff.hpp"
+
+#include <map>
+
+#include "provml/json/write.hpp"
+
+namespace provml::explorer {
+namespace {
+
+bool has_type(const prov::Element& e, std::string_view type) {
+  for (const auto& [key, value] : e.attributes) {
+    if (key == "prov:type" && value.value.is_string() && value.value.as_string() == type) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string display_name(const prov::Element& e) {
+  const prov::AttributeValue* name = prov::find_attribute(e.attributes, "provml:name");
+  if (name != nullptr && name->value.is_string()) return name->value.as_string();
+  return e.id;
+}
+
+std::map<std::string, json::Value> collect_params(const prov::Document& doc) {
+  std::map<std::string, json::Value> params;
+  for (const prov::Element& e : doc.elements()) {
+    if (!has_type(e, "provml:Parameter")) continue;
+    const prov::AttributeValue* value = prov::find_attribute(e.attributes, "provml:value");
+    params[display_name(e)] = value != nullptr ? value->value : json::Value(nullptr);
+  }
+  return params;
+}
+
+std::map<std::string, bool> collect_named(const prov::Document& doc,
+                                          std::string_view type) {
+  std::map<std::string, bool> out;
+  for (const prov::Element& e : doc.elements()) {
+    if (!has_type(e, type)) continue;
+    std::string key = display_name(e);
+    if (type == "provml:Metric") {
+      const prov::AttributeValue* ctx = prov::find_attribute(e.attributes, "provml:context");
+      if (ctx != nullptr && ctx->value.is_string()) {
+        key = ctx->value.as_string() + "/" + key;
+      }
+    }
+    out[key] = true;
+  }
+  return out;
+}
+
+void diff_keys(const std::map<std::string, bool>& left,
+               const std::map<std::string, bool>& right,
+               std::vector<std::string>& only_left, std::vector<std::string>& only_right) {
+  for (const auto& [key, unused] : left) {
+    if (right.count(key) == 0) only_left.push_back(key);
+  }
+  for (const auto& [key, unused] : right) {
+    if (left.count(key) == 0) only_right.push_back(key);
+  }
+}
+
+}  // namespace
+
+RunDiff diff_runs(const prov::Document& left, const prov::Document& right) {
+  RunDiff diff;
+
+  const auto left_params = collect_params(left);
+  const auto right_params = collect_params(right);
+  for (const auto& [name, value] : left_params) {
+    const auto it = right_params.find(name);
+    if (it == right_params.end()) {
+      diff.params_only_left.push_back(name);
+    } else if (!(value == it->second)) {
+      diff.params_changed.push_back({name, value, it->second});
+    }
+  }
+  for (const auto& [name, value] : right_params) {
+    if (left_params.count(name) == 0) diff.params_only_right.push_back(name);
+  }
+
+  diff_keys(collect_named(left, "provml:Metric"), collect_named(right, "provml:Metric"),
+            diff.metrics_only_left, diff.metrics_only_right);
+  diff_keys(collect_named(left, "provml:Artifact"), collect_named(right, "provml:Artifact"),
+            diff.artifacts_only_left, diff.artifacts_only_right);
+  return diff;
+}
+
+std::string to_string(const RunDiff& diff) {
+  if (diff.identical()) return "runs are structurally identical\n";
+  std::string out;
+  auto list = [&out](const char* title, const std::vector<std::string>& items) {
+    if (items.empty()) return;
+    out += title;
+    out += ":\n";
+    for (const std::string& item : items) out += "  " + item + "\n";
+  };
+  list("parameters only in left", diff.params_only_left);
+  list("parameters only in right", diff.params_only_right);
+  if (!diff.params_changed.empty()) {
+    out += "parameters changed:\n";
+    for (const ParamChange& change : diff.params_changed) {
+      out += "  " + change.name + ": " + json::write(change.left) + " -> " +
+             json::write(change.right) + "\n";
+    }
+  }
+  list("metrics only in left", diff.metrics_only_left);
+  list("metrics only in right", diff.metrics_only_right);
+  list("artifacts only in left", diff.artifacts_only_left);
+  list("artifacts only in right", diff.artifacts_only_right);
+  return out;
+}
+
+}  // namespace provml::explorer

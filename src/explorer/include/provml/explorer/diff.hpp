@@ -1,0 +1,46 @@
+// Run comparison — "it is also possible to compare the results of
+// successive, related runs ... better understanding of the impact of
+// hyperparameters and model configurations" (paper Section 4). Works on any
+// pair of PROV documents produced by the core logger.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "provml/json/value.hpp"
+#include "provml/prov/model.hpp"
+
+namespace provml::explorer {
+
+struct ParamChange {
+  std::string name;
+  json::Value left;   ///< null if absent on the left
+  json::Value right;  ///< null if absent on the right
+};
+
+struct RunDiff {
+  std::vector<std::string> params_only_left;
+  std::vector<std::string> params_only_right;
+  std::vector<ParamChange> params_changed;
+
+  std::vector<std::string> metrics_only_left;   ///< "context/name"
+  std::vector<std::string> metrics_only_right;
+  std::vector<std::string> artifacts_only_left;
+  std::vector<std::string> artifacts_only_right;
+
+  [[nodiscard]] bool identical() const {
+    return params_only_left.empty() && params_only_right.empty() &&
+           params_changed.empty() && metrics_only_left.empty() &&
+           metrics_only_right.empty() && artifacts_only_left.empty() &&
+           artifacts_only_right.empty();
+  }
+};
+
+/// Structural diff of two run documents by their provml:Parameter,
+/// provml:Metric, and provml:Artifact entities.
+[[nodiscard]] RunDiff diff_runs(const prov::Document& left, const prov::Document& right);
+
+/// Human-readable rendering of a diff.
+[[nodiscard]] std::string to_string(const RunDiff& diff);
+
+}  // namespace provml::explorer

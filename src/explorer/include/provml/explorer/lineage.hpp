@@ -1,0 +1,39 @@
+// Lineage queries over PROV documents — the yProv Explorer's core
+// operation: "track the lineage of environmental data, model updates, and
+// system parameters" (paper Section 1). Upstream follows the dependency
+// direction of each relation (an entity depends on the activity that
+// generated it, an activity on the entities it used, ...); downstream is
+// the reverse (impact analysis).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "provml/prov/model.hpp"
+
+namespace provml::explorer {
+
+struct LineageHop {
+  std::string id;            ///< the reached element
+  std::string via;           ///< relation json_key that led here
+  std::size_t depth = 0;     ///< hops from the start element
+};
+
+enum class LineageDirection { kUpstream, kDownstream };
+
+/// BFS over the document's relations from `start_id`. `max_depth` == 0
+/// means unlimited. The start element itself is not included.
+[[nodiscard]] std::vector<LineageHop> lineage(const prov::Document& doc,
+                                              const std::string& start_id,
+                                              LineageDirection direction,
+                                              std::size_t max_depth = 0);
+
+/// Convenience wrappers.
+[[nodiscard]] std::vector<LineageHop> upstream(const prov::Document& doc,
+                                               const std::string& id,
+                                               std::size_t max_depth = 0);
+[[nodiscard]] std::vector<LineageHop> downstream(const prov::Document& doc,
+                                                 const std::string& id,
+                                                 std::size_t max_depth = 0);
+
+}  // namespace provml::explorer

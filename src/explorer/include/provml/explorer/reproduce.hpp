@@ -1,0 +1,54 @@
+// Reproducibility from a PROV-JSON file — the paper's goal that
+// "reproducing an experiment by simply sharing a provJSON file would become
+// trivial". A RunRecipe is the executable summary extracted from a run
+// document: the input parameters, input artifacts, and source reference the
+// execution needs, and the outputs it is expected to regenerate. replay()
+// hands the recipe to a caller-supplied executor and verifies the outputs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "provml/common/expected.hpp"
+#include "provml/json/value.hpp"
+#include "provml/prov/model.hpp"
+
+namespace provml::explorer {
+
+struct RunRecipe {
+  std::string experiment;
+  std::string run_name;
+  std::string user;
+  std::map<std::string, json::Value> input_params;
+  std::map<std::string, std::string> input_artifacts;   ///< name → path
+  std::set<std::string> expected_outputs;               ///< artifact + output-param names
+  std::string source_code;                               ///< path if recorded
+  std::set<std::string> contexts;                        ///< stages the run had
+};
+
+/// Extracts the recipe from a run document written by the core logger.
+[[nodiscard]] Expected<RunRecipe> extract_recipe(const prov::Document& doc);
+
+/// Loads a PROV-JSON file and extracts its recipe.
+[[nodiscard]] Expected<RunRecipe> extract_recipe_file(const std::string& path);
+
+/// What an executor reports back: the named outputs it produced.
+struct ReplayResult {
+  std::set<std::string> produced_outputs;
+};
+
+using Executor = std::function<ReplayResult(const RunRecipe&)>;
+
+struct ReplayReport {
+  bool reproduced = false;                 ///< all expected outputs produced
+  std::set<std::string> missing_outputs;   ///< expected but not produced
+  std::set<std::string> extra_outputs;     ///< produced but not expected
+};
+
+/// Runs `executor` on the recipe and checks its outputs against the
+/// document's expectations.
+[[nodiscard]] ReplayReport replay(const RunRecipe& recipe, const Executor& executor);
+
+}  // namespace provml::explorer

@@ -1,0 +1,32 @@
+// Document statistics for quick inspection (the Explorer's summary pane).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "provml/prov/model.hpp"
+
+namespace provml::explorer {
+
+struct DocumentStats {
+  std::size_t entities = 0;
+  std::size_t activities = 0;
+  std::size_t agents = 0;
+  std::map<std::string, std::size_t> relations;  ///< json_key → count
+  std::size_t bundles = 0;
+  std::size_t attributes = 0;  ///< total attribute pairs across elements
+  std::size_t namespaces = 0;
+
+  [[nodiscard]] std::size_t total_elements() const {
+    return entities + activities + agents;
+  }
+  [[nodiscard]] std::size_t total_relations() const;
+};
+
+/// Gathers stats over `doc` including nested bundles.
+[[nodiscard]] DocumentStats document_stats(const prov::Document& doc);
+
+/// Fixed-width table rendering.
+[[nodiscard]] std::string to_string(const DocumentStats& stats);
+
+}  // namespace provml::explorer

@@ -1,0 +1,25 @@
+// Subgraph extraction: the Explorer's "focus on this element" operation.
+// Cuts the k-hop neighbourhood of an element out of a document into a new,
+// self-contained PROV document (namespaces copied, relations kept only when
+// both endpoints survive).
+#pragma once
+
+#include <string>
+
+#include "provml/common/expected.hpp"
+#include "provml/prov/model.hpp"
+
+namespace provml::explorer {
+
+struct SubgraphOptions {
+  std::size_t max_hops = 2;   ///< neighbourhood radius (0 = just the element)
+  bool include_agents = true; ///< drop agents when false (pure data lineage)
+};
+
+/// Extracts the neighbourhood of `center_id`. Errors when the element does
+/// not exist. The center element is always included.
+[[nodiscard]] Expected<prov::Document> extract_subgraph(
+    const prov::Document& doc, const std::string& center_id,
+    const SubgraphOptions& options = {});
+
+}  // namespace provml::explorer

@@ -1,0 +1,47 @@
+// Run timeline reconstruction: orders the activities of a run document
+// (run → contexts → epochs) by their recorded times and renders a textual
+// Gantt-style view — the Explorer's "what happened when" panel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+#include "provml/prov/model.hpp"
+
+namespace provml::explorer {
+
+struct TimelineEntry {
+  std::string id;
+  std::string type;        ///< provml:RunExecution / Context / Epoch / Task / ...
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0; ///< 0 when the activity never ended
+  int depth = 0;           ///< nesting via wasInformedBy chains
+
+  [[nodiscard]] std::int64_t duration_ms() const {
+    return end_ms > 0 ? end_ms - start_ms : 0;
+  }
+};
+
+struct Timeline {
+  std::vector<TimelineEntry> entries;  ///< sorted by start time, stable
+  std::int64_t origin_ms = 0;          ///< earliest start
+  std::int64_t horizon_ms = 0;         ///< latest end
+};
+
+/// Builds the timeline from every timed activity in `doc`. Depth follows
+/// wasInformedBy edges (an epoch informed-by a context informed-by the run
+/// nests two levels deep). Errors when no activity carries a start time.
+[[nodiscard]] Expected<Timeline> build_timeline(const prov::Document& doc);
+
+/// Renders the timeline as fixed-width text with proportional bars:
+///   ex:run_0              |==============================| 120 ms
+///     ex:run_0/TRAINING   |====----------================|  80 ms
+[[nodiscard]] std::string to_string(const Timeline& timeline, int width = 40);
+
+/// Parses the ISO-8601 UTC instants written by strings::iso8601_utc back
+/// to epoch milliseconds; nullopt on malformed input.
+[[nodiscard]] std::optional<std::int64_t> parse_iso8601_utc(const std::string& text);
+
+}  // namespace provml::explorer

@@ -1,0 +1,66 @@
+#include "provml/explorer/lineage.hpp"
+
+#include <deque>
+#include <set>
+
+namespace provml::explorer {
+namespace {
+
+/// In PROV, every relation's subject depends on its object: used(a, e)
+/// means activity a consumed e; wasGeneratedBy(e, a) means e came from a.
+/// Upstream therefore walks subject → object.
+struct DepEdge {
+  const std::string* from;
+  const std::string* to;
+  const char* via;
+};
+
+std::vector<DepEdge> dependency_edges(const prov::Document& doc,
+                                      LineageDirection direction) {
+  std::vector<DepEdge> edges;
+  edges.reserve(doc.relations().size());
+  for (const prov::Relation& r : doc.relations()) {
+    const char* via = prov::relation_spec(r.kind).json_key;
+    if (direction == LineageDirection::kUpstream) {
+      edges.push_back({&r.subject, &r.object, via});
+    } else {
+      edges.push_back({&r.object, &r.subject, via});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<LineageHop> lineage(const prov::Document& doc, const std::string& start_id,
+                                LineageDirection direction, std::size_t max_depth) {
+  const std::vector<DepEdge> edges = dependency_edges(doc, direction);
+  std::vector<LineageHop> result;
+  std::set<std::string> seen{start_id};
+  std::deque<LineageHop> frontier{{start_id, "", 0}};
+  while (!frontier.empty()) {
+    const LineageHop current = frontier.front();
+    frontier.pop_front();
+    if (max_depth != 0 && current.depth == max_depth) continue;
+    for (const DepEdge& edge : edges) {
+      if (*edge.from != current.id) continue;
+      if (!seen.insert(*edge.to).second) continue;
+      LineageHop hop{*edge.to, edge.via, current.depth + 1};
+      result.push_back(hop);
+      frontier.push_back(std::move(hop));
+    }
+  }
+  return result;
+}
+
+std::vector<LineageHop> upstream(const prov::Document& doc, const std::string& id,
+                                 std::size_t max_depth) {
+  return lineage(doc, id, LineageDirection::kUpstream, max_depth);
+}
+
+std::vector<LineageHop> downstream(const prov::Document& doc, const std::string& id,
+                                   std::size_t max_depth) {
+  return lineage(doc, id, LineageDirection::kDownstream, max_depth);
+}
+
+}  // namespace provml::explorer

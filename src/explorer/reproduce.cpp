@@ -1,0 +1,101 @@
+#include "provml/explorer/reproduce.hpp"
+
+#include "provml/prov/prov_json.hpp"
+
+namespace provml::explorer {
+namespace {
+
+const std::string* string_attr(const prov::Element& e, std::string_view key) {
+  const prov::AttributeValue* attr = prov::find_attribute(e.attributes, key);
+  if (attr == nullptr || !attr->value.is_string()) return nullptr;
+  return &attr->value.as_string();
+}
+
+bool has_type(const prov::Element& e, std::string_view type) {
+  for (const auto& [key, value] : e.attributes) {
+    if (key == "prov:type" && value.value.is_string() && value.value.as_string() == type) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Expected<RunRecipe> extract_recipe(const prov::Document& doc) {
+  RunRecipe recipe;
+  bool found_run = false;
+
+  for (const prov::Element& e : doc.elements()) {
+    if (has_type(e, "provml:Experiment")) {
+      if (const std::string* name = string_attr(e, "provml:name")) recipe.experiment = *name;
+    } else if (has_type(e, "provml:RunExecution")) {
+      found_run = true;
+      if (const std::string* name = string_attr(e, "provml:run_name")) {
+        recipe.run_name = *name;
+      }
+    } else if (has_type(e, "prov:Person")) {
+      if (const std::string* user = string_attr(e, "provml:username")) recipe.user = *user;
+    } else if (has_type(e, "provml:Parameter")) {
+      const std::string* name = string_attr(e, "provml:name");
+      const std::string* role = string_attr(e, "provml:role");
+      const prov::AttributeValue* value = prov::find_attribute(e.attributes, "provml:value");
+      if (name == nullptr || role == nullptr) continue;
+      if (*role == "input") {
+        recipe.input_params[*name] = value != nullptr ? value->value : json::Value(nullptr);
+      } else {
+        recipe.expected_outputs.insert("param:" + *name);
+      }
+    } else if (has_type(e, "provml:Artifact")) {
+      const std::string* role = string_attr(e, "provml:role");
+      const std::string* path = string_attr(e, "provml:path");
+      // Artifact ids are "ex:artifact/<name>"; recover the name.
+      std::string name = e.id;
+      const std::size_t slash = name.rfind('/');
+      if (slash != std::string::npos) name = name.substr(slash + 1);
+      if (role != nullptr && *role == "input") {
+        recipe.input_artifacts[name] = path != nullptr ? *path : "";
+      } else {
+        recipe.expected_outputs.insert("artifact:" + name);
+      }
+    } else if (has_type(e, "provml:SourceCode")) {
+      if (const std::string* path = string_attr(e, "provml:path")) {
+        recipe.source_code = *path;
+      }
+    } else if (has_type(e, "provml:Context")) {
+      if (const std::string* ctx = string_attr(e, "provml:context")) {
+        recipe.contexts.insert(*ctx);
+      }
+    }
+  }
+
+  if (!found_run) {
+    return Error{"document contains no provml:RunExecution activity", "recipe"};
+  }
+  return recipe;
+}
+
+Expected<RunRecipe> extract_recipe_file(const std::string& path) {
+  Expected<prov::Document> doc = prov::read_prov_json_file(path);
+  if (!doc.ok()) return doc.error();
+  return extract_recipe(doc.value());
+}
+
+ReplayReport replay(const RunRecipe& recipe, const Executor& executor) {
+  const ReplayResult result = executor(recipe);
+  ReplayReport report;
+  for (const std::string& expected : recipe.expected_outputs) {
+    if (result.produced_outputs.count(expected) == 0) {
+      report.missing_outputs.insert(expected);
+    }
+  }
+  for (const std::string& produced : result.produced_outputs) {
+    if (recipe.expected_outputs.count(produced) == 0) {
+      report.extra_outputs.insert(produced);
+    }
+  }
+  report.reproduced = report.missing_outputs.empty();
+  return report;
+}
+
+}  // namespace provml::explorer

@@ -1,0 +1,64 @@
+#include "provml/explorer/stats.hpp"
+
+#include <cstdio>
+
+namespace provml::explorer {
+
+std::size_t DocumentStats::total_relations() const {
+  std::size_t total = 0;
+  for (const auto& [key, count] : relations) total += count;
+  return total;
+}
+
+namespace {
+
+void accumulate(const prov::Document& doc, DocumentStats& stats) {
+  for (const prov::Element& e : doc.elements()) {
+    switch (e.kind) {
+      case prov::ElementKind::kEntity: ++stats.entities; break;
+      case prov::ElementKind::kActivity: ++stats.activities; break;
+      case prov::ElementKind::kAgent: ++stats.agents; break;
+    }
+    stats.attributes += e.attributes.size();
+  }
+  for (const prov::Relation& r : doc.relations()) {
+    ++stats.relations[prov::relation_spec(r.kind).json_key];
+  }
+  for (const auto& [id, sub] : doc.bundles()) {
+    ++stats.bundles;
+    accumulate(sub, stats);
+  }
+}
+
+}  // namespace
+
+DocumentStats document_stats(const prov::Document& doc) {
+  DocumentStats stats;
+  stats.namespaces = doc.namespaces().size();
+  accumulate(doc, stats);
+  return stats;
+}
+
+std::string to_string(const DocumentStats& stats) {
+  std::string out;
+  char line[96];
+  std::snprintf(line, sizeof line, "%-20s %8zu\n", "entities", stats.entities);
+  out += line;
+  std::snprintf(line, sizeof line, "%-20s %8zu\n", "activities", stats.activities);
+  out += line;
+  std::snprintf(line, sizeof line, "%-20s %8zu\n", "agents", stats.agents);
+  out += line;
+  for (const auto& [key, count] : stats.relations) {
+    std::snprintf(line, sizeof line, "%-20s %8zu\n", key.c_str(), count);
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "%-20s %8zu\n", "bundles", stats.bundles);
+  out += line;
+  std::snprintf(line, sizeof line, "%-20s %8zu\n", "attributes", stats.attributes);
+  out += line;
+  std::snprintf(line, sizeof line, "%-20s %8zu\n", "namespaces", stats.namespaces);
+  out += line;
+  return out;
+}
+
+}  // namespace provml::explorer

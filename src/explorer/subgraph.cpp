@@ -1,0 +1,63 @@
+#include "provml/explorer/subgraph.hpp"
+
+#include <deque>
+#include <set>
+
+namespace provml::explorer {
+
+Expected<prov::Document> extract_subgraph(const prov::Document& doc,
+                                          const std::string& center_id,
+                                          const SubgraphOptions& options) {
+  if (doc.find_element(center_id) == nullptr) {
+    return Error{"element not found: " + center_id, "subgraph"};
+  }
+
+  // Undirected BFS over all relations up to max_hops.
+  std::set<std::string> keep{center_id};
+  std::deque<std::pair<std::string, std::size_t>> frontier{{center_id, 0}};
+  while (!frontier.empty()) {
+    const auto [current, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth == options.max_hops) continue;
+    for (const prov::Relation& r : doc.relations()) {
+      const std::string* next = nullptr;
+      if (r.subject == current) next = &r.object;
+      else if (r.object == current) next = &r.subject;
+      else continue;
+      if (keep.insert(*next).second) frontier.emplace_back(*next, depth + 1);
+    }
+  }
+
+  prov::Document out;
+  for (const auto& [prefix, iri] : doc.namespaces()) {
+    out.declare_namespace(prefix, iri);
+  }
+  for (const prov::Element& e : doc.elements()) {
+    if (keep.count(e.id) == 0) continue;
+    if (!options.include_agents && e.kind == prov::ElementKind::kAgent &&
+        e.id != center_id) {
+      continue;
+    }
+    switch (e.kind) {
+      case prov::ElementKind::kEntity:
+        out.add_entity(e.id, prov::Attributes(e.attributes));
+        break;
+      case prov::ElementKind::kActivity:
+        out.add_activity(e.id, prov::Attributes(e.attributes), e.start_time, e.end_time);
+        break;
+      case prov::ElementKind::kAgent:
+        out.add_agent(e.id, prov::Attributes(e.attributes));
+        break;
+    }
+  }
+  for (const prov::Relation& r : doc.relations()) {
+    if (out.find_element(r.subject) == nullptr || out.find_element(r.object) == nullptr) {
+      continue;
+    }
+    out.add_relation(r.kind, r.subject, r.object, r.time,
+                     prov::Attributes(r.attributes));
+  }
+  return out;
+}
+
+}  // namespace provml::explorer

@@ -1,0 +1,102 @@
+#include "provml/explorer/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <map>
+
+namespace provml::explorer {
+
+std::optional<std::int64_t> parse_iso8601_utc(const std::string& text) {
+  // Expected shape: YYYY-MM-DDTHH:MM:SS[.mmm][Z]
+  std::tm tm{};
+  int millis = 0;
+  char zone = 0;
+  const int matched =
+      std::sscanf(text.c_str(), "%4d-%2d-%2dT%2d:%2d:%2d.%3d%c", &tm.tm_year, &tm.tm_mon,
+                  &tm.tm_mday, &tm.tm_hour, &tm.tm_min, &tm.tm_sec, &millis, &zone);
+  if (matched < 6) return std::nullopt;
+  tm.tm_year -= 1900;
+  tm.tm_mon -= 1;
+  const std::time_t seconds = timegm(&tm);
+  if (seconds == -1) return std::nullopt;
+  return static_cast<std::int64_t>(seconds) * 1000 + (matched >= 7 ? millis : 0);
+}
+
+Expected<Timeline> build_timeline(const prov::Document& doc) {
+  // Depth via wasInformedBy: informed activity is one level below its
+  // informant.
+  std::map<std::string, std::string> informant_of;
+  for (const prov::Relation& r : doc.relations()) {
+    if (r.kind == prov::RelationKind::kWasInformedBy) {
+      informant_of[r.subject] = r.object;
+    }
+  }
+  auto depth_of = [&](const std::string& id) {
+    int depth = 0;
+    std::string current = id;
+    while (true) {
+      const auto it = informant_of.find(current);
+      if (it == informant_of.end() || depth > 32) break;
+      current = it->second;
+      ++depth;
+    }
+    return depth;
+  };
+
+  Timeline timeline;
+  for (const prov::Element& e : doc.elements()) {
+    if (e.kind != prov::ElementKind::kActivity || e.start_time.empty()) continue;
+    const auto start = parse_iso8601_utc(e.start_time);
+    if (!start) continue;
+    TimelineEntry entry;
+    entry.id = e.id;
+    entry.start_ms = *start;
+    if (!e.end_time.empty()) {
+      entry.end_ms = parse_iso8601_utc(e.end_time).value_or(0);
+    }
+    const prov::AttributeValue* type = prov::find_attribute(e.attributes, "prov:type");
+    if (type != nullptr && type->value.is_string()) entry.type = type->value.as_string();
+    entry.depth = depth_of(e.id);
+    timeline.entries.push_back(std::move(entry));
+  }
+  if (timeline.entries.empty()) {
+    return Error{"document has no timed activities", "timeline"};
+  }
+  std::stable_sort(timeline.entries.begin(), timeline.entries.end(),
+                   [](const TimelineEntry& a, const TimelineEntry& b) {
+                     return a.start_ms != b.start_ms ? a.start_ms < b.start_ms
+                                                     : a.depth < b.depth;
+                   });
+  timeline.origin_ms = timeline.entries.front().start_ms;
+  timeline.horizon_ms = timeline.origin_ms;
+  for (const TimelineEntry& e : timeline.entries) {
+    timeline.horizon_ms = std::max(timeline.horizon_ms, std::max(e.start_ms, e.end_ms));
+  }
+  return timeline;
+}
+
+std::string to_string(const Timeline& timeline, int width) {
+  const double span = std::max<std::int64_t>(1, timeline.horizon_ms - timeline.origin_ms);
+  std::string out;
+  for (const TimelineEntry& entry : timeline.entries) {
+    const double begin_frac = static_cast<double>(entry.start_ms - timeline.origin_ms) / span;
+    const std::int64_t effective_end = entry.end_ms > 0 ? entry.end_ms : timeline.horizon_ms;
+    const double end_frac = static_cast<double>(effective_end - timeline.origin_ms) / span;
+    const int begin_col = static_cast<int>(begin_frac * width);
+    const int end_col = std::max(begin_col + 1, static_cast<int>(end_frac * width));
+
+    std::string bar(static_cast<std::size_t>(width), ' ');
+    for (int i = begin_col; i < std::min(end_col, width); ++i) {
+      bar[static_cast<std::size_t>(i)] = '=';
+    }
+    char line[256];
+    std::snprintf(line, sizeof line, "%*s%-*s |%s| %6lld ms\n", entry.depth * 2, "",
+                  std::max(1, 36 - entry.depth * 2), entry.id.c_str(), bar.c_str(),
+                  static_cast<long long>(entry.duration_ms()));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace provml::explorer

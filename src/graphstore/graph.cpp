@@ -1,0 +1,231 @@
+#include "provml/graphstore/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "provml/json/write.hpp"
+
+namespace provml::graphstore {
+
+std::string PropertyGraph::index_key(const std::string& label, const std::string& key,
+                                     const json::Value& value) {
+  // The serialized value disambiguates types (1 vs "1" vs 1.0).
+  return label + "\x1f" + key + "\x1f" + json::write(value);
+}
+
+void PropertyGraph::index_node(const Node& n) {
+  for (const std::string& label : n.labels) {
+    for (const auto& [key, value] : n.properties) {
+      index_[index_key(label, key, value)].insert(n.id);
+    }
+  }
+}
+
+void PropertyGraph::unindex_node(const Node& n) {
+  for (const std::string& label : n.labels) {
+    for (const auto& [key, value] : n.properties) {
+      const auto it = index_.find(index_key(label, key, value));
+      if (it != index_.end()) {
+        it->second.erase(n.id);
+        if (it->second.empty()) index_.erase(it);
+      }
+    }
+  }
+}
+
+NodeId PropertyGraph::add_node(std::set<std::string> labels, json::Object properties) {
+  const NodeId id = next_node_++;
+  Node n{id, std::move(labels), std::move(properties)};
+  index_node(n);
+  nodes_.emplace(id, std::move(n));
+  return id;
+}
+
+Expected<EdgeId> PropertyGraph::add_edge(NodeId from, NodeId to, std::string type,
+                                         json::Object properties) {
+  if (nodes_.count(from) == 0) return Error{"unknown source node", std::to_string(from)};
+  if (nodes_.count(to) == 0) return Error{"unknown target node", std::to_string(to)};
+  const EdgeId id = next_edge_++;
+  edges_.emplace(id, Edge{id, from, to, std::move(type), std::move(properties)});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+Status PropertyGraph::remove_node(NodeId id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Error{"unknown node", std::to_string(id)};
+  // Collect incident edges first: erasing mutates the adjacency maps.
+  std::vector<EdgeId> incident;
+  for (const Direction dir : {Direction::kOut, Direction::kIn}) {
+    for (const EdgeId e : edges_of(id, dir)) incident.push_back(e);
+  }
+  for (const EdgeId eid : incident) {
+    const auto eit = edges_.find(eid);
+    if (eit == edges_.end()) continue;
+    auto& out_vec = out_[eit->second.from];
+    out_vec.erase(std::remove(out_vec.begin(), out_vec.end(), eid), out_vec.end());
+    auto& in_vec = in_[eit->second.to];
+    in_vec.erase(std::remove(in_vec.begin(), in_vec.end(), eid), in_vec.end());
+    edges_.erase(eit);
+  }
+  unindex_node(it->second);
+  out_.erase(id);
+  in_.erase(id);
+  nodes_.erase(it);
+  return Status::ok_status();
+}
+
+void PropertyGraph::set_property(NodeId id, const std::string& key, json::Value value) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  unindex_node(it->second);
+  it->second.properties.set(key, std::move(value));
+  index_node(it->second);
+}
+
+const Node* PropertyGraph::node(NodeId id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const Edge* PropertyGraph::edge(EdgeId id) const {
+  const auto it = edges_.find(id);
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> PropertyGraph::node_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) out.push_back(id);
+  return out;
+}
+
+std::vector<NodeId> PropertyGraph::nodes_with_label(const std::string& label) const {
+  std::vector<NodeId> out;
+  for (const auto& [id, n] : nodes_) {
+    if (n.labels.count(label) != 0) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> PropertyGraph::find(const std::string& label, const std::string& key,
+                                        const json::Value& value) const {
+  const auto it = index_.find(index_key(label, key, value));
+  if (it == index_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::optional<NodeId> PropertyGraph::find_one(const std::string& label, const std::string& key,
+                                              const json::Value& value) const {
+  const std::vector<NodeId> matches = find(label, key, value);
+  if (matches.empty()) return std::nullopt;
+  return matches.front();
+}
+
+std::vector<EdgeId> PropertyGraph::edges_of(NodeId id, Direction dir) const {
+  std::vector<EdgeId> result;
+  if (dir == Direction::kOut || dir == Direction::kBoth) {
+    const auto it = out_.find(id);
+    if (it != out_.end()) result.insert(result.end(), it->second.begin(), it->second.end());
+  }
+  if (dir == Direction::kIn || dir == Direction::kBoth) {
+    const auto it = in_.find(id);
+    if (it != in_.end()) result.insert(result.end(), it->second.begin(), it->second.end());
+  }
+  return result;
+}
+
+std::vector<NodeId> PropertyGraph::neighbors(NodeId id, Direction dir,
+                                             const std::string& edge_type) const {
+  std::vector<NodeId> result;
+  for (const EdgeId eid : edges_of(id, dir)) {
+    const Edge& e = edges_.at(eid);
+    if (!edge_type.empty() && e.type != edge_type) continue;
+    result.push_back(e.from == id ? e.to : e.from);
+  }
+  return result;
+}
+
+std::vector<NodeId> PropertyGraph::reachable(NodeId start, Direction dir,
+                                             std::size_t max_hops,
+                                             const std::string& edge_type) const {
+  std::vector<NodeId> result;
+  std::set<NodeId> seen{start};
+  std::deque<std::pair<NodeId, std::size_t>> frontier{{start, 0}};
+  while (!frontier.empty()) {
+    const auto [current, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth == max_hops) continue;
+    for (const NodeId next : neighbors(current, dir, edge_type)) {
+      if (!seen.insert(next).second) continue;
+      result.push_back(next);
+      frontier.emplace_back(next, depth + 1);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> PropertyGraph::shortest_path(NodeId start, NodeId goal,
+                                                 Direction dir) const {
+  if (nodes_.count(start) == 0 || nodes_.count(goal) == 0) return {};
+  if (start == goal) return {start};
+  std::map<NodeId, NodeId> parent;
+  std::deque<NodeId> frontier{start};
+  parent[start] = start;
+  while (!frontier.empty()) {
+    const NodeId current = frontier.front();
+    frontier.pop_front();
+    for (const NodeId next : neighbors(current, dir)) {
+      if (parent.count(next) != 0) continue;
+      parent[next] = current;
+      if (next == goal) {
+        std::vector<NodeId> path{goal};
+        for (NodeId at = goal; at != start;) {
+          at = parent[at];
+          path.push_back(at);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return {};
+}
+
+std::string to_dot(const PropertyGraph& graph) {
+  std::string out = "digraph provgraph {\n  node [fontname=\"Helvetica\"];\n";
+  for (const NodeId id : graph.node_ids()) {
+    const Node* n = graph.node(id);
+    const json::Value* prov_id = n->properties.find("prov_id");
+    std::string label = prov_id != nullptr && prov_id->is_string()
+                            ? prov_id->as_string()
+                            : "#" + std::to_string(id);
+    std::string escaped;
+    for (const char c : label) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    out += "  n" + std::to_string(id) + " [label=\"" + escaped + "\"";
+    if (n->labels.count("Entity") != 0) {
+      out += ", shape=ellipse, style=filled, fillcolor=\"#FFFC87\"";
+    } else if (n->labels.count("Activity") != 0) {
+      out += ", shape=box, style=filled, fillcolor=\"#9FB1FC\"";
+    } else if (n->labels.count("Agent") != 0) {
+      out += ", shape=house, style=filled, fillcolor=\"#FED37F\"";
+    }
+    out += "];\n";
+  }
+  for (const NodeId id : graph.node_ids()) {
+    for (const EdgeId eid : graph.edges_of(id, Direction::kOut)) {
+      const Edge* e = graph.edge(eid);
+      out += "  n" + std::to_string(e->from) + " -> n" + std::to_string(e->to) +
+             " [label=\"" + e->type + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace provml::graphstore

@@ -1,0 +1,108 @@
+// In-process labeled property graph — the storage engine behind the yProv
+// service facade, substituting for the Neo4j back-end described in the
+// paper (Fiore et al. 2023). Supports labeled nodes/edges with JSON
+// properties, a (label, key, value) equality index, and BFS traversals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+#include "provml/json/value.hpp"
+
+namespace provml::graphstore {
+
+using NodeId = std::uint64_t;
+using EdgeId = std::uint64_t;
+
+struct Node {
+  NodeId id = 0;
+  std::set<std::string> labels;
+  json::Object properties;
+};
+
+struct Edge {
+  EdgeId id = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string type;
+  json::Object properties;
+};
+
+enum class Direction { kOut, kIn, kBoth };
+
+class PropertyGraph {
+ public:
+  // -- mutation ------------------------------------------------------------
+  NodeId add_node(std::set<std::string> labels, json::Object properties = {});
+  [[nodiscard]] Expected<EdgeId> add_edge(NodeId from, NodeId to, std::string type,
+                                          json::Object properties = {});
+  [[nodiscard]] Status remove_node(NodeId id);  ///< also removes incident edges
+  void set_property(NodeId id, const std::string& key, json::Value value);
+
+  // -- lookup ----------------------------------------------------------------
+  [[nodiscard]] const Node* node(NodeId id) const;
+  [[nodiscard]] const Edge* edge(EdgeId id) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  /// All node ids, ascending.
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+
+  /// All nodes carrying `label`.
+  [[nodiscard]] std::vector<NodeId> nodes_with_label(const std::string& label) const;
+
+  /// Indexed equality match: nodes with `label` whose property `key` equals
+  /// `value`. The index is maintained incrementally on mutation.
+  [[nodiscard]] std::vector<NodeId> find(const std::string& label, const std::string& key,
+                                         const json::Value& value) const;
+
+  /// First match or nullopt.
+  [[nodiscard]] std::optional<NodeId> find_one(const std::string& label,
+                                               const std::string& key,
+                                               const json::Value& value) const;
+
+  // -- traversal -------------------------------------------------------------
+  /// Incident edges in the given direction.
+  [[nodiscard]] std::vector<EdgeId> edges_of(NodeId id, Direction dir) const;
+
+  /// Adjacent node ids (optionally restricted to one edge type).
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId id, Direction dir,
+                                              const std::string& edge_type = "") const;
+
+  /// Every node reachable within `max_hops` BFS steps (excludes start).
+  [[nodiscard]] std::vector<NodeId> reachable(NodeId start, Direction dir,
+                                              std::size_t max_hops,
+                                              const std::string& edge_type = "") const;
+
+  /// Unweighted shortest path (node ids, start..goal inclusive), empty if
+  /// unreachable.
+  [[nodiscard]] std::vector<NodeId> shortest_path(NodeId start, NodeId goal,
+                                                  Direction dir = Direction::kBoth) const;
+
+ private:
+  [[nodiscard]] static std::string index_key(const std::string& label, const std::string& key,
+                                             const json::Value& value);
+  void index_node(const Node& n);
+  void unindex_node(const Node& n);
+
+  std::map<NodeId, Node> nodes_;
+  std::map<EdgeId, Edge> edges_;
+  std::map<NodeId, std::vector<EdgeId>> out_;
+  std::map<NodeId, std::vector<EdgeId>> in_;
+  std::map<std::string, std::set<NodeId>> index_;
+  NodeId next_node_ = 1;
+  EdgeId next_edge_ = 1;
+};
+
+/// GraphViz DOT rendering of the whole graph: node labels prefer the
+/// "prov_id" property (falling back to the numeric id), edge labels show
+/// the edge type, node shape/color follow the PROV convention when the
+/// node carries an Entity/Activity/Agent label.
+[[nodiscard]] std::string to_dot(const PropertyGraph& graph);
+
+}  // namespace provml::graphstore

@@ -1,0 +1,73 @@
+// A Cypher-inspired pattern query language over the property graph — the
+// query surface the yProv service exposes for "complex queries related to
+// the ML lifecycle" (paper's discussion of ProvLake-style querying). One
+// MATCH path plus RETURN:
+//
+//   MATCH (r:Activity {prov_id: "ex:run_0"})<-[:wasGeneratedBy]-(m:Entity)
+//   RETURN m
+//
+//   MATCH (a:Entity)-[:wasDerivedFrom]->(b:Entity) RETURN a, b
+//
+// Grammar (informal):
+//   query   := MATCH path [WHERE cond (AND cond)*] RETURN var (',' var)*
+//   path    := node (edge node)*
+//   node    := '(' [var] [':' label]* ['{' props '}'] ')'
+//   edge    := '-[' [':' type] ']->' | '<-[' [':' type] ']-' | '-[' [':' type] ']-'
+//   props   := key ':' literal (',' key ':' literal)*   (string/int/float/bool)
+//   cond    := var '.' key op literal     with op in  = != < <= > >=
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+#include "provml/graphstore/graph.hpp"
+
+namespace provml::graphstore {
+
+/// One node step of a parsed pattern.
+struct NodePattern {
+  std::string var;                 ///< binding name; empty = anonymous
+  std::vector<std::string> labels;
+  json::Object properties;         ///< equality constraints
+};
+
+/// One edge step of a parsed pattern.
+struct EdgePattern {
+  std::string type;                ///< empty = any type
+  Direction direction = Direction::kOut;  ///< relative to the left node
+};
+
+/// A WHERE condition: <var>.<key> <op> <literal>.
+struct Condition {
+  std::string var;
+  std::string key;
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe } op = Op::kEq;
+  json::Value literal;
+};
+
+struct Query {
+  std::vector<NodePattern> nodes;  ///< n nodes
+  std::vector<EdgePattern> edges;  ///< n-1 edges
+  std::vector<Condition> conditions;
+  std::vector<std::string> returns;
+};
+
+/// Parses the query text. Errors carry a byte offset in `where`.
+[[nodiscard]] Expected<Query> parse_query(const std::string& text);
+
+/// One result row: returned variable → matched node.
+using Row = std::map<std::string, NodeId>;
+
+/// Executes a parsed query against `graph`. Rows are deduplicated and
+/// deterministic (ordered by binding ids).
+[[nodiscard]] Expected<std::vector<Row>> run_query(const PropertyGraph& graph,
+                                                   const Query& query);
+
+/// Convenience: parse + run.
+[[nodiscard]] Expected<std::vector<Row>> run_query(const PropertyGraph& graph,
+                                                   const std::string& text);
+
+}  // namespace provml::graphstore

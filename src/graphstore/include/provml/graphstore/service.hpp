@@ -1,0 +1,58 @@
+// In-process yProv service facade. The real yProv exposes a RESTful API
+// over a Neo4j back-end; this class reproduces the interface shape as an
+// embeddable router so the CLI, tests, and examples exercise the same
+// routes the paper's yProv Explorer consumes:
+//   GET    /api/v0/documents                      → list document names
+//   PUT    /api/v0/documents/<name>               → upload PROV-JSON body
+//   GET    /api/v0/documents/<name>               → the stored PROV-JSON
+//   DELETE /api/v0/documents/<name>               → remove document
+//   GET    /api/v0/documents/<name>/elements/<id> → one element + edges
+//   GET    /api/v0/documents/<name>/stats         → node/edge counts
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "provml/graphstore/graph.hpp"
+#include "provml/prov/model.hpp"
+
+namespace provml::graphstore {
+
+struct Request {
+  std::string method;  ///< "GET", "PUT", "DELETE"
+  std::string path;
+  std::string body;    ///< PROV-JSON for PUT
+};
+
+struct Response {
+  int status = 200;    ///< HTTP-style code: 200, 201, 400, 404, 405
+  std::string body;    ///< JSON payload or error message
+};
+
+class YProvService {
+ public:
+  /// Dispatches a request to the matching route.
+  [[nodiscard]] Response handle(const Request& request);
+
+  // Direct (non-HTTP) API used by the CLI and embedders.
+  [[nodiscard]] Status put_document(const std::string& name, const prov::Document& doc);
+  [[nodiscard]] const prov::Document* get_document(const std::string& name) const;
+  [[nodiscard]] bool delete_document(const std::string& name);
+  [[nodiscard]] std::vector<std::string> list_documents() const;
+
+  [[nodiscard]] const PropertyGraph& graph() const { return graph_; }
+
+  /// Persists every stored document under `dir` (one PROV-JSON file each
+  /// plus an index).
+  [[nodiscard]] Status save(const std::string& dir) const;
+  /// Restores a service previously saved with save().
+  [[nodiscard]] static Expected<YProvService> load(const std::string& dir);
+
+ private:
+  void rebuild_graph();
+
+  std::map<std::string, prov::Document> documents_;
+  PropertyGraph graph_;
+};
+
+}  // namespace provml::graphstore

@@ -1,0 +1,390 @@
+#include "provml/graphstore/query.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace provml::graphstore {
+namespace {
+
+// ----------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Expected<Query> run() {
+    skip_ws();
+    if (!consume_keyword("MATCH")) return fail("expected MATCH");
+    Query query;
+    Expected<NodePattern> first = parse_node();
+    if (!first.ok()) return first.error();
+    query.nodes.push_back(first.take());
+    skip_ws();
+    while (!eof() && (peek() == '-' || peek() == '<')) {
+      Expected<EdgePattern> edge = parse_edge();
+      if (!edge.ok()) return edge.error();
+      Expected<NodePattern> node = parse_node();
+      if (!node.ok()) return node.error();
+      query.edges.push_back(edge.take());
+      query.nodes.push_back(node.take());
+      skip_ws();
+    }
+    if (consume_keyword("WHERE")) {
+      while (true) {
+        Expected<Condition> cond = parse_condition();
+        if (!cond.ok()) return cond.error();
+        query.conditions.push_back(cond.take());
+        if (!consume_keyword("AND")) break;
+      }
+    }
+    if (!consume_keyword("RETURN")) return fail("expected RETURN");
+    while (true) {
+      skip_ws();
+      const std::string var = parse_identifier();
+      if (var.empty()) return fail("expected variable name after RETURN");
+      query.returns.push_back(var);
+      skip_ws();
+      if (!consume(',')) break;
+    }
+    skip_ws();
+    if (!eof()) return fail("trailing characters after RETURN list");
+
+    // Semantic checks: returned and filtered vars must be bound.
+    auto bound = [&](const std::string& var) {
+      return std::any_of(query.nodes.begin(), query.nodes.end(),
+                         [&](const NodePattern& n) { return n.var == var; });
+    };
+    for (const std::string& var : query.returns) {
+      if (!bound(var)) return fail("RETURN references unbound variable '" + var + "'");
+    }
+    for (const Condition& cond : query.conditions) {
+      if (!bound(cond.var)) {
+        return fail("WHERE references unbound variable '" + cond.var + "'");
+      }
+    }
+    return query;
+  }
+
+ private:
+  Expected<Query> fail(const std::string& message) const {
+    return Error{message, "offset " + std::to_string(pos_)};
+  }
+  Error fail_err(const std::string& message) const {
+    return Error{message, "offset " + std::to_string(pos_)};
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek())) != 0) ++pos_;
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_keyword(const char* keyword) {
+    skip_ws();
+    const std::size_t len = std::string(keyword).size();
+    if (text_.compare(pos_, len, keyword) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  std::string parse_identifier() {
+    std::string out;
+    while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+                      peek() == '_')) {
+      out += text_[pos_++];
+    }
+    return out;
+  }
+
+  /// Labels and property keys may be qualified ("prov_id", "provml:name").
+  std::string parse_name() {
+    std::string out = parse_identifier();
+    while (!eof() && (peek() == ':' || peek() == '.') && pos_ + 1 < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_ + 1])) != 0 ||
+            text_[pos_ + 1] == '_')) {
+      // Only continue across ':' when it is part of a qualified name, i.e.
+      // inside a property map key; label positions never include ':'.
+      out += text_[pos_++];
+      out += parse_identifier();
+    }
+    return out;
+  }
+
+  Expected<json::Value> parse_literal() {
+    skip_ws();
+    if (eof()) return Error{fail_err("expected literal")};
+    if (peek() == '"') {
+      ++pos_;
+      std::string out;
+      while (!eof() && peek() != '"') {
+        if (peek() == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out += text_[pos_++];
+      }
+      if (!consume('"')) return fail_err("unterminated string literal");
+      return json::Value(out);
+    }
+    if (consume_keyword("true")) return json::Value(true);
+    if (consume_keyword("false")) return json::Value(false);
+    // Number: [-]digits[.digits]
+    std::string token;
+    if (!eof() && peek() == '-') token += text_[pos_++];
+    bool is_double = false;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+                      peek() == '.')) {
+      if (peek() == '.') is_double = true;
+      token += text_[pos_++];
+    }
+    if (token.empty() || token == "-") return fail_err("expected literal");
+    if (is_double) return json::Value(std::stod(token));
+    return json::Value(static_cast<std::int64_t>(std::stoll(token)));
+  }
+
+  Expected<NodePattern> parse_node() {
+    skip_ws();
+    if (!consume('(')) return fail_err("expected '('");
+    NodePattern node;
+    skip_ws();
+    node.var = parse_identifier();
+    skip_ws();
+    while (consume(':')) {
+      const std::string label = parse_identifier();
+      if (label.empty()) return fail_err("expected label after ':'");
+      node.labels.push_back(label);
+      skip_ws();
+    }
+    if (consume('{')) {
+      while (true) {
+        skip_ws();
+        const std::string key = parse_name();
+        if (key.empty()) return fail_err("expected property key");
+        skip_ws();
+        if (!consume(':')) return fail_err("expected ':' after property key");
+        Expected<json::Value> value = parse_literal();
+        if (!value.ok()) return value.error();
+        node.properties.set(key, value.take());
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) break;
+        return fail_err("expected ',' or '}' in property map");
+      }
+      skip_ws();
+    }
+    if (!consume(')')) return fail_err("expected ')'");
+    return node;
+  }
+
+  Expected<Condition> parse_condition() {
+    skip_ws();
+    Condition cond;
+    cond.var = parse_identifier();
+    if (cond.var.empty()) return fail_err("expected variable in WHERE");
+    if (!consume('.')) return fail_err("expected '.' after WHERE variable");
+    cond.key = parse_name();
+    if (cond.key.empty()) return fail_err("expected property key in WHERE");
+    skip_ws();
+    if (consume('!')) {
+      if (!consume('=')) return fail_err("expected '!='");
+      cond.op = Condition::Op::kNe;
+    } else if (consume('<')) {
+      cond.op = consume('=') ? Condition::Op::kLe : Condition::Op::kLt;
+    } else if (consume('>')) {
+      cond.op = consume('=') ? Condition::Op::kGe : Condition::Op::kGt;
+    } else if (consume('=')) {
+      cond.op = Condition::Op::kEq;
+    } else {
+      return fail_err("expected comparison operator");
+    }
+    Expected<json::Value> literal = parse_literal();
+    if (!literal.ok()) return literal.error();
+    cond.literal = literal.take();
+    return cond;
+  }
+
+  Expected<EdgePattern> parse_edge() {
+    skip_ws();
+    EdgePattern edge;
+    bool left_arrow = false;
+    if (consume('<')) {
+      left_arrow = true;
+      if (!consume('-')) return fail_err("expected '-' after '<'");
+    } else if (!consume('-')) {
+      return fail_err("expected edge");
+    }
+    if (consume('[')) {
+      skip_ws();
+      if (consume(':')) edge.type = parse_identifier();
+      skip_ws();
+      if (!consume(']')) return fail_err("expected ']'");
+    }
+    if (!consume('-')) return fail_err("expected '-' closing the edge");
+    const bool right_arrow = consume('>');
+    if (left_arrow && right_arrow) return fail_err("edge cannot point both ways");
+    if (left_arrow) {
+      edge.direction = Direction::kIn;
+    } else if (right_arrow) {
+      edge.direction = Direction::kOut;
+    } else {
+      edge.direction = Direction::kBoth;
+    }
+    return edge;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- matcher
+
+bool node_matches(const PropertyGraph& graph, NodeId id, const NodePattern& pattern) {
+  const Node* n = graph.node(id);
+  if (n == nullptr) return false;
+  for (const std::string& label : pattern.labels) {
+    if (n->labels.count(label) == 0) return false;
+  }
+  for (const auto& [key, value] : pattern.properties) {
+    const json::Value* actual = n->properties.find(key);
+    if (actual == nullptr || !(*actual == value)) return false;
+  }
+  return true;
+}
+
+/// Candidate nodes for the pattern, using the property index when possible.
+std::vector<NodeId> candidates(const PropertyGraph& graph, const NodePattern& pattern) {
+  if (!pattern.labels.empty() && !pattern.properties.empty()) {
+    const auto& [key, value] = *pattern.properties.begin();
+    std::vector<NodeId> indexed = graph.find(pattern.labels.front(), key, value);
+    indexed.erase(std::remove_if(indexed.begin(), indexed.end(),
+                                 [&](NodeId id) { return !node_matches(graph, id, pattern); }),
+                  indexed.end());
+    return indexed;
+  }
+  std::vector<NodeId> out;
+  const std::vector<NodeId> pool = pattern.labels.empty()
+                                       ? graph.node_ids()
+                                       : graph.nodes_with_label(pattern.labels.front());
+  for (const NodeId id : pool) {
+    if (node_matches(graph, id, pattern)) out.push_back(id);
+  }
+  return out;
+}
+
+void extend(const PropertyGraph& graph, const Query& query, std::size_t depth,
+            std::vector<NodeId>& path, std::set<std::vector<NodeId>>& results) {
+  if (depth == query.nodes.size()) {
+    results.insert(path);
+    return;
+  }
+  const EdgePattern& edge = query.edges[depth - 1];
+  for (const NodeId next : graph.neighbors(path.back(), edge.direction, edge.type)) {
+    if (!node_matches(graph, next, query.nodes[depth])) continue;
+    path.push_back(next);
+    extend(graph, query, depth + 1, path, results);
+    path.pop_back();
+  }
+}
+
+}  // namespace
+
+/// Evaluates one WHERE condition against a node's property value.
+/// Missing properties never match; numbers compare numerically, strings
+/// lexicographically; cross-type comparisons are false.
+bool condition_holds(const PropertyGraph& graph, NodeId id, const Condition& cond) {
+  const Node* n = graph.node(id);
+  if (n == nullptr) return false;
+  const json::Value* actual = n->properties.find(cond.key);
+  if (actual == nullptr) return false;
+
+  int cmp = 0;  // -1 / 0 / +1, valid only when comparable
+  bool comparable = false;
+  if (actual->is_number() && cond.literal.is_number()) {
+    const double a = actual->as_double();
+    const double b = cond.literal.as_double();
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+    comparable = true;
+  } else if (actual->is_string() && cond.literal.is_string()) {
+    cmp = actual->as_string().compare(cond.literal.as_string());
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    comparable = true;
+  } else if (actual->is_bool() && cond.literal.is_bool()) {
+    cmp = static_cast<int>(actual->as_bool()) - static_cast<int>(cond.literal.as_bool());
+    comparable = true;
+  }
+  if (!comparable) {
+    // Only (in)equality is meaningful across exotic types.
+    if (cond.op == Condition::Op::kEq) return *actual == cond.literal;
+    if (cond.op == Condition::Op::kNe) return !(*actual == cond.literal);
+    return false;
+  }
+  switch (cond.op) {
+    case Condition::Op::kEq: return cmp == 0;
+    case Condition::Op::kNe: return cmp != 0;
+    case Condition::Op::kLt: return cmp < 0;
+    case Condition::Op::kLe: return cmp <= 0;
+    case Condition::Op::kGt: return cmp > 0;
+    case Condition::Op::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+Expected<Query> parse_query(const std::string& text) { return Parser(text).run(); }
+
+Expected<std::vector<Row>> run_query(const PropertyGraph& graph, const Query& query) {
+  if (query.nodes.empty()) return Error{"query has no node patterns", "query"};
+  std::set<std::vector<NodeId>> paths;
+  for (const NodeId start : candidates(graph, query.nodes.front())) {
+    std::vector<NodeId> path{start};
+    extend(graph, query, 1, path, paths);
+  }
+
+  // Apply WHERE conditions: map each condition's variable to its pattern
+  // index once, then filter paths.
+  if (!query.conditions.empty()) {
+    std::vector<std::pair<std::size_t, const Condition*>> indexed;
+    for (const Condition& cond : query.conditions) {
+      for (std::size_t i = 0; i < query.nodes.size(); ++i) {
+        if (query.nodes[i].var == cond.var) {
+          indexed.emplace_back(i, &cond);
+          break;
+        }
+      }
+    }
+    for (auto it = paths.begin(); it != paths.end();) {
+      const bool keep = std::all_of(indexed.begin(), indexed.end(), [&](const auto& ic) {
+        return condition_holds(graph, (*it)[ic.first], *ic.second);
+      });
+      it = keep ? std::next(it) : paths.erase(it);
+    }
+  }
+
+  std::vector<Row> rows;
+  std::set<Row> seen;
+  for (const std::vector<NodeId>& path : paths) {
+    Row row;
+    for (std::size_t i = 0; i < query.nodes.size(); ++i) {
+      const std::string& var = query.nodes[i].var;
+      if (var.empty()) continue;
+      if (std::find(query.returns.begin(), query.returns.end(), var) !=
+          query.returns.end()) {
+        row[var] = path[i];
+      }
+    }
+    if (seen.insert(row).second) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Expected<std::vector<Row>> run_query(const PropertyGraph& graph, const std::string& text) {
+  Expected<Query> query = parse_query(text);
+  if (!query.ok()) return query.error();
+  return run_query(graph, query.value());
+}
+
+}  // namespace provml::graphstore

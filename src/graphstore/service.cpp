@@ -1,0 +1,245 @@
+#include "provml/graphstore/service.hpp"
+
+#include <filesystem>
+
+#include "provml/common/strings.hpp"
+#include "provml/graphstore/ingest.hpp"
+#include "provml/graphstore/query.hpp"
+#include "provml/json/parse.hpp"
+#include "provml/json/write.hpp"
+#include "provml/prov/prov_json.hpp"
+
+namespace provml::graphstore {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kDocumentsPrefix = "/api/v0/documents";
+
+Response error_response(int status, const std::string& message) {
+  json::Object body;
+  body.set("error", message);
+  return Response{status, json::write(json::Value(std::move(body)))};
+}
+
+json::Value edge_summary(const PropertyGraph& graph, const Edge& e, bool outgoing) {
+  json::Object obj;
+  obj.set("type", e.type);
+  const Node* other = graph.node(outgoing ? e.to : e.from);
+  const json::Value* other_id =
+      other != nullptr ? other->properties.find("prov_id") : nullptr;
+  obj.set(outgoing ? "to" : "from",
+          other_id != nullptr ? *other_id : json::Value(nullptr));
+  return obj;
+}
+
+}  // namespace
+
+Status YProvService::put_document(const std::string& name, const prov::Document& doc) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return Error{"invalid document name", name};
+  }
+  const bool replacing = documents_.count(name) != 0;
+  documents_[name] = doc;
+  if (replacing) {
+    rebuild_graph();  // replace semantics: drop the old nodes first
+    return Status::ok_status();
+  }
+  Expected<IngestStats> stats = ingest_document(graph_, doc, name);
+  if (!stats.ok()) {
+    documents_.erase(name);
+    return stats.error();
+  }
+  return Status::ok_status();
+}
+
+void YProvService::rebuild_graph() {
+  graph_ = PropertyGraph{};
+  for (const auto& [name, doc] : documents_) {
+    // Stored documents ingested successfully once; a failure here would
+    // indicate internal inconsistency, so drop the offender quietly.
+    (void)ingest_document(graph_, doc, name);
+  }
+}
+
+const prov::Document* YProvService::get_document(const std::string& name) const {
+  const auto it = documents_.find(name);
+  return it == documents_.end() ? nullptr : &it->second;
+}
+
+bool YProvService::delete_document(const std::string& name) {
+  if (documents_.erase(name) == 0) return false;
+  rebuild_graph();
+  return true;
+}
+
+std::vector<std::string> YProvService::list_documents() const {
+  std::vector<std::string> names;
+  names.reserve(documents_.size());
+  for (const auto& [name, doc] : documents_) names.push_back(name);
+  return names;
+}
+
+Response YProvService::handle(const Request& request) {
+  // POST /api/v0/query — body is a MATCH query; the response lists rows of
+  // bound prov ids.
+  if (request.path == "/api/v0/query") {
+    if (request.method != "POST") return error_response(405, "method not allowed");
+    Expected<std::vector<Row>> rows = run_query(graph_, request.body);
+    if (!rows.ok()) return error_response(400, rows.error().to_string());
+    json::Array rows_json;
+    for (const Row& row : rows.value()) {
+      json::Object row_json;
+      for (const auto& [var, node_id] : row) {
+        const Node* n = graph_.node(node_id);
+        const json::Value* prov_id = n != nullptr ? n->properties.find("prov_id") : nullptr;
+        row_json.set(var, prov_id != nullptr ? *prov_id : json::Value(nullptr));
+      }
+      rows_json.push_back(std::move(row_json));
+    }
+    json::Object body;
+    body.set("rows", std::move(rows_json));
+    return Response{200, json::write(json::Value(std::move(body)))};
+  }
+
+  if (!strings::starts_with(request.path, kDocumentsPrefix)) {
+    return error_response(404, "unknown route");
+  }
+  std::string rest = request.path.substr(kDocumentsPrefix.size());
+  if (!rest.empty() && rest.front() == '/') rest.erase(0, 1);
+
+  // GET /api/v0/documents — list.
+  if (rest.empty()) {
+    if (request.method != "GET") return error_response(405, "method not allowed");
+    json::Array names;
+    for (const std::string& name : list_documents()) names.emplace_back(name);
+    json::Object body;
+    body.set("documents", std::move(names));
+    return Response{200, json::write(json::Value(std::move(body)))};
+  }
+
+  const std::vector<std::string> parts = strings::split(rest, '/');
+  const std::string& name = parts[0];
+
+  if (parts.size() == 1) {
+    if (request.method == "PUT") {
+      Expected<json::Value> parsed = json::parse(request.body);
+      if (!parsed.ok()) return error_response(400, parsed.error().to_string());
+      Expected<prov::Document> doc = prov::from_prov_json(parsed.value());
+      if (!doc.ok()) return error_response(400, doc.error().to_string());
+      Status s = put_document(name, doc.value());
+      if (!s.ok()) return error_response(400, s.error().to_string());
+      return Response{201, "{}"};
+    }
+    if (request.method == "GET") {
+      const prov::Document* doc = get_document(name);
+      if (doc == nullptr) return error_response(404, "document not found");
+      return Response{200, prov::to_prov_json_string(*doc, /*pretty=*/false)};
+    }
+    if (request.method == "DELETE") {
+      if (!delete_document(name)) return error_response(404, "document not found");
+      return Response{200, "{}"};
+    }
+    return error_response(405, "method not allowed");
+  }
+
+  if (request.method != "GET") return error_response(405, "method not allowed");
+  if (documents_.count(name) == 0) return error_response(404, "document not found");
+
+  if (parts.size() == 2 && parts[1] == "stats") {
+    std::size_t nodes = 0;
+    for (const NodeId id : graph_.nodes_with_label("Prov")) {
+      const json::Value* doc_prop = graph_.node(id)->properties.find("document");
+      if (doc_prop != nullptr && doc_prop->as_string() == name) ++nodes;
+    }
+    json::Object body;
+    body.set("document", name);
+    body.set("nodes", nodes);
+    return Response{200, json::write(json::Value(std::move(body)))};
+  }
+
+  if (parts.size() >= 3 && parts[1] == "subgraph") {
+    // GET /api/v0/documents/<name>/subgraph/<id> — ids of the 2-hop
+    // neighbourhood (the Explorer's focus view).
+    std::string element_id = parts[2];
+    for (std::size_t i = 3; i < parts.size(); ++i) element_id += "/" + parts[i];
+    const std::optional<NodeId> node_id = find_prov_node(graph_, name, element_id);
+    if (!node_id) return error_response(404, "element not found");
+    json::Array nodes;
+    nodes.push_back(json::Value(element_id));
+    for (const NodeId reached : graph_.reachable(*node_id, Direction::kBoth, 2)) {
+      const json::Value* prov_id = graph_.node(reached)->properties.find("prov_id");
+      if (prov_id != nullptr) nodes.push_back(*prov_id);
+    }
+    json::Object body;
+    body.set("center", element_id);
+    body.set("nodes", std::move(nodes));
+    return Response{200, json::write(json::Value(std::move(body)))};
+  }
+
+  if (parts.size() >= 3 && parts[1] == "elements") {
+    // Element ids may themselves contain '/' (e.g. "ex:param/lr"): re-join.
+    std::string element_id = parts[2];
+    for (std::size_t i = 3; i < parts.size(); ++i) element_id += "/" + parts[i];
+    const std::optional<NodeId> node_id = find_prov_node(graph_, name, element_id);
+    if (!node_id) return error_response(404, "element not found");
+    const Node* n = graph_.node(*node_id);
+    json::Object body;
+    body.set("id", element_id);
+    json::Array labels;
+    for (const std::string& label : n->labels) labels.emplace_back(label);
+    body.set("labels", std::move(labels));
+    body.set("properties", n->properties);
+    json::Array outgoing;
+    for (const EdgeId eid : graph_.edges_of(*node_id, Direction::kOut)) {
+      outgoing.push_back(edge_summary(graph_, *graph_.edge(eid), true));
+    }
+    json::Array incoming;
+    for (const EdgeId eid : graph_.edges_of(*node_id, Direction::kIn)) {
+      incoming.push_back(edge_summary(graph_, *graph_.edge(eid), false));
+    }
+    body.set("outgoing", std::move(outgoing));
+    body.set("incoming", std::move(incoming));
+    return Response{200, json::write(json::Value(std::move(body)))};
+  }
+
+  return error_response(404, "unknown route");
+}
+
+Status YProvService::save(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Error{"cannot create directory: " + ec.message(), dir};
+  json::Array index;
+  for (const auto& [name, doc] : documents_) {
+    const std::string file = name + ".provjson";
+    Status s = prov::write_prov_json_file((fs::path(dir) / file).string(), doc);
+    if (!s.ok()) return s;
+    index.push_back(json::make_object({{"name", name}, {"file", file}}));
+  }
+  json::Object root;
+  root.set("documents", std::move(index));
+  return json::write_file((fs::path(dir) / "index.json").string(),
+                          json::Value(std::move(root)));
+}
+
+Expected<YProvService> YProvService::load(const std::string& dir) {
+  Expected<json::Value> index = json::parse_file((fs::path(dir) / "index.json").string());
+  if (!index.ok()) return index.error();
+  const json::Value* docs = index.value().find("documents");
+  if (docs == nullptr || !docs->is_array()) return Error{"malformed index", dir};
+  YProvService service;
+  for (const json::Value& entry : docs->as_array()) {
+    const json::Value* name = entry.find("name");
+    const json::Value* file = entry.find("file");
+    if (name == nullptr || file == nullptr) return Error{"malformed index entry", dir};
+    Expected<prov::Document> doc =
+        prov::read_prov_json_file((fs::path(dir) / file->as_string()).string());
+    if (!doc.ok()) return doc.error();
+    Status s = service.put_document(name->as_string(), doc.value());
+    if (!s.ok()) return s.error();
+  }
+  return service;
+}
+
+}  // namespace provml::graphstore

@@ -1,0 +1,18 @@
+// Recursive-descent JSON parser (RFC 8259). Strict: no comments, no
+// trailing commas, rejects trailing garbage. Reports line:column on error.
+#pragma once
+
+#include <string_view>
+
+#include "provml/common/expected.hpp"
+#include "provml/json/value.hpp"
+
+namespace provml::json {
+
+/// Parses a complete JSON document from `text`.
+[[nodiscard]] Expected<Value> parse(std::string_view text);
+
+/// Reads and parses the file at `path`.
+[[nodiscard]] Expected<Value> parse_file(const std::string& path);
+
+}  // namespace provml::json

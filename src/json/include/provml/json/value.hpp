@@ -1,0 +1,136 @@
+// JSON value model used throughout provml (PROV-JSON, Zarr metadata,
+// RO-Crate JSON-LD, service payloads). Objects preserve insertion order —
+// PROV-JSON documents conventionally list `prefix` first and readers diff
+// files textually, so stable ordering matters.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace provml::json {
+
+class Value;
+
+/// Ordered JSON object: preserves insertion order, O(n) lookup by key.
+/// PROV documents have small objects at every level (tens of keys), so a
+/// side index would cost more than it saves; bulk data never lives in JSON
+/// objects (that is what the storage module is for).
+class Object {
+ public:
+  using Entry = std::pair<std::string, Value>;
+  using const_iterator = std::vector<Entry>::const_iterator;
+  using iterator = std::vector<Entry>::iterator;
+
+  Object() = default;
+
+  /// Returns the value for `key`, inserting a null value if absent.
+  Value& operator[](std::string_view key);
+
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] Value* find(std::string_view key);
+  [[nodiscard]] bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Inserts or overwrites `key`.
+  void set(std::string key, Value value);
+  /// Removes `key` if present; returns whether it was removed.
+  bool erase(std::string_view key);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+  [[nodiscard]] iterator begin() { return entries_.begin(); }
+  [[nodiscard]] iterator end() { return entries_.end(); }
+
+  friend bool operator==(const Object& a, const Object& b);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+using Array = std::vector<Value>;
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+/// Integers are kept distinct from doubles so that 64-bit counters
+/// round-trip exactly (important for sample counts and byte sizes).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}               // NOLINT
+  Value(bool b) : data_(b) {}                             // NOLINT
+  Value(int v) : data_(static_cast<std::int64_t>(v)) {}   // NOLINT
+  Value(unsigned v) : data_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(std::int64_t v) : data_(v) {}                     // NOLINT
+  Value(std::uint64_t v) : data_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(double v) : data_(v) {}                           // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}         // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}           // NOLINT
+  Value(std::string_view s) : data_(std::string(s)) {}    // NOLINT
+  Value(Array a) : data_(std::move(a)) {}                 // NOLINT
+  Value(Object o) : data_(std::move(o)) {}                // NOLINT
+
+  [[nodiscard]] Type type() const { return static_cast<Type>(data_.index()); }
+  [[nodiscard]] bool is_null() const { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::kBool; }
+  [[nodiscard]] bool is_int() const { return type() == Type::kInt; }
+  [[nodiscard]] bool is_double() const { return type() == Type::kDouble; }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type() == Type::kObject; }
+
+  // Checked accessors: throw std::bad_variant_access on type mismatch.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
+  [[nodiscard]] double as_double() const {
+    return is_int() ? static_cast<double>(std::get<std::int64_t>(data_)) : std::get<double>(data_);
+  }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(data_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(data_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(data_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(data_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(data_); }
+
+  // Soft accessors: return nullopt / nullptr instead of throwing.
+  [[nodiscard]] std::optional<bool> get_bool() const {
+    return is_bool() ? std::optional<bool>(as_bool()) : std::nullopt;
+  }
+  [[nodiscard]] std::optional<std::int64_t> get_int() const {
+    return is_int() ? std::optional<std::int64_t>(as_int()) : std::nullopt;
+  }
+  [[nodiscard]] std::optional<double> get_double() const {
+    return is_number() ? std::optional<double>(as_double()) : std::nullopt;
+  }
+  [[nodiscard]] const std::string* get_string() const {
+    return is_string() ? &as_string() : nullptr;
+  }
+  [[nodiscard]] const Array* get_array() const { return is_array() ? &as_array() : nullptr; }
+  [[nodiscard]] const Object* get_object() const { return is_object() ? &as_object() : nullptr; }
+
+  /// Object member access; returns nullptr when this is not an object or
+  /// the key is absent. Enables safe chained lookups.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    const Object* obj = get_object();
+    return obj ? obj->find(key) : nullptr;
+  }
+
+  friend bool operator==(const Value& a, const Value& b) { return a.data_ == b.data_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> data_;
+};
+
+/// Builds an object from key/value pairs: make_object({{"a", 1}, {"b", "x"}}).
+[[nodiscard]] Object make_object(std::initializer_list<std::pair<std::string, Value>> entries);
+
+}  // namespace provml::json

@@ -1,0 +1,27 @@
+// JSON serialization: compact and pretty-printed forms. Doubles are
+// emitted with shortest round-trip representation; integers exactly.
+#pragma once
+
+#include <string>
+
+#include "provml/common/expected.hpp"
+#include "provml/json/value.hpp"
+
+namespace provml::json {
+
+struct WriteOptions {
+  bool pretty = false;   ///< newline + indentation per nesting level
+  int indent_width = 2;  ///< spaces per level when pretty
+};
+
+/// Serializes `value` to a string.
+[[nodiscard]] std::string write(const Value& value, const WriteOptions& opts = {});
+
+/// Serializes `value` and writes it to `path` (overwriting).
+[[nodiscard]] Status write_file(const std::string& path, const Value& value,
+                                const WriteOptions& opts = {});
+
+/// Escapes a raw string into a JSON string literal, including quotes.
+[[nodiscard]] std::string escape_string(std::string_view raw);
+
+}  // namespace provml::json

@@ -1,0 +1,306 @@
+#include "provml/json/parse.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace provml::json {
+namespace {
+
+// UTF-8 encodes a Unicode code point, appending to `out`.
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<Value> run() {
+    skip_ws();
+    Expected<Value> v = parse_value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  Error make_error(std::string message) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Error{std::move(message), std::to_string(line) + ":" + std::to_string(col)};
+  }
+
+  Expected<Value> fail(std::string message) const { return make_error(std::move(message)); }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char expected) {
+    if (eof() || text_[pos_] != expected) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Expected<Value> parse_value() {
+    if (depth_ > kMaxDepth) return fail("nesting depth exceeds limit");
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        Expected<std::string> s = parse_string();
+        if (!s.ok()) return s.error();
+        return Value(s.take());
+      }
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        return fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        return fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        return fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Expected<Value> parse_object() {
+    assert(peek() == '{');
+    ++pos_;
+    ++depth_;
+    Object obj;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("expected object key");
+      Expected<std::string> key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_ws();
+      Expected<Value> v = parse_value();
+      if (!v.ok()) return v;
+      obj.set(key.take(), v.take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}' in object");
+    }
+    --depth_;
+    return Value(std::move(obj));
+  }
+
+  Expected<Value> parse_array() {
+    assert(peek() == '[');
+    ++pos_;
+    ++depth_;
+    Array arr;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      Expected<Value> v = parse_value();
+      if (!v.ok()) return v;
+      arr.push_back(v.take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']' in array");
+    }
+    --depth_;
+    return Value(std::move(arr));
+  }
+
+  Expected<std::string> parse_string() {
+    assert(peek() == '"');
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (eof()) return Expected<std::string>(make_error("unterminated string"));
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Expected<std::string>(make_error("unescaped control character in string"));
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) return Expected<std::string>(make_error("dangling escape"));
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          auto hex4 = [&]() -> std::int32_t {
+            if (pos_ + 4 > text_.size()) return -1;
+            std::uint32_t v = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<std::uint32_t>(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= static_cast<std::uint32_t>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= static_cast<std::uint32_t>(h - 'A' + 10);
+              else return -1;
+            }
+            pos_ += 4;
+            return static_cast<std::int32_t>(v);
+          };
+          const std::int32_t hi = hex4();
+          if (hi < 0) return Expected<std::string>(make_error("invalid \\u escape"));
+          std::uint32_t cp = static_cast<std::uint32_t>(hi);
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (!consume_literal("\\u")) {
+              return Expected<std::string>(make_error("unpaired high surrogate"));
+            }
+            const std::int32_t lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Expected<std::string>(make_error("invalid low surrogate"));
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (static_cast<std::uint32_t>(lo) - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Expected<std::string>(make_error("unpaired low surrogate"));
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return Expected<std::string>(make_error("invalid escape character"));
+      }
+    }
+  }
+
+  Expected<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // sign consumed
+    }
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("invalid number");
+    }
+    if (peek() == '0') {
+      ++pos_;
+      if (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("leading zeros are not allowed");
+      }
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    bool is_integer = true;
+    if (!eof() && peek() == '.') {
+      is_integer = false;
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected digits after decimal point");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected digits in exponent");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (is_integer) {
+      std::int64_t iv = 0;
+      const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), iv);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) return Value(iv);
+      // Fall through to double on int64 overflow.
+    }
+    double dv = 0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), dv);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) return fail("invalid number");
+    return Value(dv);
+  }
+
+  static constexpr int kMaxDepth = 512;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Expected<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+Expected<Value> parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{"cannot open file", path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Expected<Value> result = parse(buf.str());
+  if (!result.ok()) {
+    return Error{result.error().message, path + ":" + result.error().where};
+  }
+  return result;
+}
+
+}  // namespace provml::json

@@ -1,0 +1,51 @@
+#include "provml/json/value.hpp"
+
+namespace provml::json {
+
+Value& Object::operator[](std::string_view key) {
+  if (Value* existing = find(key)) return *existing;
+  entries_.emplace_back(std::string(key), Value{});
+  return entries_.back().second;
+}
+
+const Value* Object::find(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Object::find(std::string_view key) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Object::set(std::string key, Value value) {
+  if (Value* existing = find(key)) {
+    *existing = std::move(value);
+    return;
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+bool Object::erase(std::string_view key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool operator==(const Object& a, const Object& b) { return a.entries_ == b.entries_; }
+
+Object make_object(std::initializer_list<std::pair<std::string, Value>> entries) {
+  Object obj;
+  for (const auto& [k, v] : entries) obj.set(k, v);
+  return obj;
+}
+
+}  // namespace provml::json

@@ -1,0 +1,151 @@
+#include "provml/json/write.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace provml::json {
+namespace {
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; emit null like most tolerant writers.
+    out += "null";
+    return;
+  }
+  std::array<char, 32> buf{};
+  // shortest round-trip representation
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  out.append(buf.data(), static_cast<std::size_t>(ptr - buf.data()));
+  // Ensure the token re-parses as a double, not an integer.
+  std::string_view token(buf.data(), static_cast<std::size_t>(ptr - buf.data()));
+  if (token.find('.') == std::string_view::npos &&
+      token.find('e') == std::string_view::npos &&
+      token.find('E') == std::string_view::npos) {
+    out += ".0";
+  }
+}
+
+class Writer {
+ public:
+  explicit Writer(const WriteOptions& opts) : opts_(opts) {}
+
+  std::string run(const Value& v) {
+    emit(v, 0);
+    return std::move(out_);
+  }
+
+ private:
+  void newline(int depth) {
+    if (!opts_.pretty) return;
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(depth) * static_cast<std::size_t>(opts_.indent_width),
+                ' ');
+  }
+
+  void emit(const Value& v, int depth) {
+    switch (v.type()) {
+      case Value::Type::kNull:
+        out_ += "null";
+        break;
+      case Value::Type::kBool:
+        out_ += v.as_bool() ? "true" : "false";
+        break;
+      case Value::Type::kInt:
+        out_ += std::to_string(v.as_int());
+        break;
+      case Value::Type::kDouble:
+        append_double(out_, v.as_double());
+        break;
+      case Value::Type::kString:
+        out_ += escape_string(v.as_string());
+        break;
+      case Value::Type::kArray: {
+        const Array& arr = v.as_array();
+        if (arr.empty()) {
+          out_ += "[]";
+          break;
+        }
+        out_ += '[';
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+          if (i != 0) out_ += ',';
+          newline(depth + 1);
+          emit(arr[i], depth + 1);
+        }
+        newline(depth);
+        out_ += ']';
+        break;
+      }
+      case Value::Type::kObject: {
+        const Object& obj = v.as_object();
+        if (obj.empty()) {
+          out_ += "{}";
+          break;
+        }
+        out_ += '{';
+        bool first = true;
+        for (const auto& [key, val] : obj) {
+          if (!first) out_ += ',';
+          first = false;
+          newline(depth + 1);
+          out_ += escape_string(key);
+          out_ += opts_.pretty ? ": " : ":";
+          emit(val, depth + 1);
+        }
+        newline(depth);
+        out_ += '}';
+        break;
+      }
+    }
+  }
+
+  const WriteOptions& opts_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string escape_string(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out += '"';
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through unchanged
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string write(const Value& value, const WriteOptions& opts) {
+  return Writer(opts).run(value);
+}
+
+Status write_file(const std::string& path, const Value& value, const WriteOptions& opts) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error{"cannot open file for writing", path};
+  const std::string text = write(value, opts);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.put('\n');
+  if (!out) return Error{"write failed", path};
+  return Status::ok_status();
+}
+
+}  // namespace provml::json

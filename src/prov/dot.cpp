@@ -1,0 +1,80 @@
+#include "provml/prov/dot.hpp"
+
+#include "provml/json/write.hpp"
+
+namespace provml::prov {
+namespace {
+
+std::string sanitize(const std::string& id) {
+  std::string out = "n_";
+  for (const char c : id) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+std::string escape_label(const std::string& raw) {
+  std::string out;
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string node_label(const Element& e, const DotOptions& opts) {
+  std::string label = e.id;
+  if (opts.show_attributes) {
+    for (const auto& [key, value] : e.attributes) {
+      label += "\\n" + key + " = " +
+               (value.value.is_string() ? value.value.as_string() : json::write(value.value));
+    }
+  }
+  return escape_label(label);
+}
+
+void render(const Document& doc, std::string& out, const DotOptions& opts,
+            const std::string& scope, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2 + 2, ' ');
+  for (const Element& e : doc.elements()) {
+    out += indent + sanitize(scope + e.id) + " [label=\"" + node_label(e, opts) + "\", ";
+    switch (e.kind) {
+      case ElementKind::kEntity:
+        out += "shape=ellipse, style=filled, fillcolor=\"#FFFC87\"";
+        break;
+      case ElementKind::kActivity:
+        out += "shape=box, style=filled, fillcolor=\"#9FB1FC\"";
+        break;
+      case ElementKind::kAgent:
+        out += "shape=house, style=filled, fillcolor=\"#FED37F\"";
+        break;
+    }
+    out += "];\n";
+  }
+  for (const Relation& r : doc.relations()) {
+    const RelationSpec& spec = relation_spec(r.kind);
+    out += indent + sanitize(scope + r.subject) + " -> " + sanitize(scope + r.object) +
+           " [label=\"" + spec.json_key + "\"];\n";
+  }
+  int cluster = 0;
+  for (const auto& [id, sub] : doc.bundles()) {
+    out += indent + "subgraph cluster_" + std::to_string(depth) + "_" +
+           std::to_string(cluster++) + " {\n";
+    out += indent + "  label=\"" + escape_label(id) + "\";\n";
+    render(sub, out, opts, scope + id + "/", depth + 1);
+    out += indent + "}\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Document& doc, const DotOptions& opts) {
+  std::string out = "digraph provenance {\n";
+  if (opts.left_to_right) out += "  rankdir=LR;\n";
+  out += "  node [fontname=\"Helvetica\"];\n  edge [fontname=\"Helvetica\", fontsize=10];\n";
+  render(doc, out, opts, "", 0);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace provml::prov

@@ -1,0 +1,36 @@
+// A practical subset of W3C PROV-CONSTRAINTS (REC-prov-constraints-20130430)
+// checks, beyond the structural validation in Document::validate():
+//
+//   * derivation-cycle:   wasDerivedFrom must be acyclic
+//   * specialization-cycle: specializationOf must be acyclic and irreflexive
+//   * generation-generation: an entity has at most one generating activity
+//   * usage-within-activity: usage/generation times fall inside the
+//     activity's [startTime, endTime] window when all three are present
+//   * activity-times:     startTime <= endTime
+//   * generation-before-usage: an entity is not used before it is generated
+//     (when both events carry times)
+//
+// Times are compared lexicographically, which is correct for ISO-8601 UTC
+// strings of equal precision (the format the core logger emits).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "provml/prov/model.hpp"
+
+namespace provml::prov {
+
+struct ConstraintViolation {
+  std::string rule;     ///< e.g. "derivation-cycle"
+  std::string subject;  ///< offending element/relation id
+  std::string detail;   ///< human-readable explanation
+};
+
+/// Runs all constraint checks over `doc` (bundles included, independently).
+[[nodiscard]] std::vector<ConstraintViolation> check_constraints(const Document& doc);
+
+/// Renders violations one per line.
+[[nodiscard]] std::string to_string(const std::vector<ConstraintViolation>& violations);
+
+}  // namespace provml::prov

@@ -1,0 +1,20 @@
+// GraphViz DOT export following the conventional PROV visual style used by
+// the paper's Figure 1: entities are yellow ellipses, activities blue
+// rectangles, agents orange houses; edges are labeled with relation names.
+#pragma once
+
+#include <string>
+
+#include "provml/prov/model.hpp"
+
+namespace provml::prov {
+
+struct DotOptions {
+  bool show_attributes = false;  ///< render attribute key/values inside nodes
+  bool left_to_right = false;    ///< rankdir=LR instead of top-down
+};
+
+/// Renders `doc` as a DOT digraph (bundles become clusters).
+[[nodiscard]] std::string to_dot(const Document& doc, const DotOptions& opts = {});
+
+}  // namespace provml::prov

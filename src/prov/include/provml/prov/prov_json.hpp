@@ -1,0 +1,38 @@
+// PROV-JSON serialization (W3C member submission, 2013). Document layout:
+//   {
+//     "prefix":   {"prov": "...", "ex": "..."},
+//     "entity":   {"ex:e1": {attrs...}},
+//     "activity": {"ex:a1": {"prov:startTime": "...", attrs...}},
+//     "agent":    {...},
+//     "used":     {"_:r0": {"prov:activity": "ex:a1", "prov:entity": "ex:e1"}},
+//     ...one bucket per relation kind...,
+//     "bundle":   {"ex:b1": { ...nested document... }}
+//   }
+// Typed attribute values serialize as {"$": lexical, "type": "xsd:..."}.
+#pragma once
+
+#include "provml/common/expected.hpp"
+#include "provml/json/value.hpp"
+#include "provml/prov/model.hpp"
+
+namespace provml::prov {
+
+/// Converts a document to its PROV-JSON representation.
+[[nodiscard]] json::Value to_prov_json(const Document& doc);
+
+/// Parses a PROV-JSON value into a document. Unknown top-level buckets are
+/// an error (catches typos); unknown attributes are preserved verbatim.
+[[nodiscard]] Expected<Document> from_prov_json(const json::Value& value);
+
+/// Serializes straight to a string (pretty-printed by default, the paper's
+/// provenance files are meant to be human-inspectable).
+[[nodiscard]] std::string to_prov_json_string(const Document& doc, bool pretty = true);
+
+/// Reads a PROV-JSON document from a file.
+[[nodiscard]] Expected<Document> read_prov_json_file(const std::string& path);
+
+/// Writes a PROV-JSON document to a file.
+[[nodiscard]] Status write_prov_json_file(const std::string& path, const Document& doc,
+                                          bool pretty = true);
+
+}  // namespace provml::prov

@@ -1,0 +1,20 @@
+// PROV-N (the provenance notation, W3C REC-prov-n-20130430) writer.
+// Produces the human-readable form:
+//   document
+//     prefix ex <http://example.org/>
+//     entity(ex:e1, [prov:type="model"])
+//     activity(ex:a1, 2024-01-01T00:00:00, 2024-01-01T01:00:00)
+//     wasGeneratedBy(ex:e1, ex:a1, -)
+//   endDocument
+#pragma once
+
+#include <string>
+
+#include "provml/prov/model.hpp"
+
+namespace provml::prov {
+
+/// Renders `doc` (including bundles) as PROV-N text.
+[[nodiscard]] std::string to_prov_n(const Document& doc);
+
+}  // namespace provml::prov

@@ -1,0 +1,26 @@
+// PROV-XML serialization (W3C NOTE-prov-xml-20130430). Completes the PROV
+// family writers next to PROV-JSON, PROV-N, and PROV-O Turtle:
+//   <prov:document xmlns:prov="..." xmlns:ex="...">
+//     <prov:entity prov:id="ex:e1">
+//       <prov:type>provml:Dataset</prov:type>
+//     </prov:entity>
+//     <prov:used>
+//       <prov:activity prov:ref="ex:a1"/>
+//       <prov:entity prov:ref="ex:e1"/>
+//     </prov:used>
+//   </prov:document>
+#pragma once
+
+#include <string>
+
+#include "provml/prov/model.hpp"
+
+namespace provml::prov {
+
+/// Renders `doc` (including bundles) as PROV-XML text.
+[[nodiscard]] std::string to_prov_xml(const Document& doc);
+
+/// Escapes XML text content (&, <, >, ", ').
+[[nodiscard]] std::string xml_escape(const std::string& raw);
+
+}  // namespace provml::prov

@@ -1,0 +1,23 @@
+// PROV-O serialization as RDF Turtle (W3C REC-prov-o-20130430). Each
+// element becomes a typed resource (prov:Entity / prov:Activity /
+// prov:Agent), each relation a PROV-O object property
+// (prov:used, prov:wasGeneratedBy, ...), attributes become literal
+// predicates. This is the third serialization listed in the paper's
+// Table 2 ("PROV-N, PROV-JSON, PROV-O (RDF)").
+#pragma once
+
+#include <string>
+
+#include "provml/prov/model.hpp"
+
+namespace provml::prov {
+
+/// Renders `doc` as Turtle. Bundles are flattened with a prov:bundledIn
+/// back-reference (Turtle has no native bundle syntax).
+[[nodiscard]] std::string to_turtle(const Document& doc);
+
+/// Replaces characters that are invalid in Turtle local names ('/', ' ',
+/// '#') with underscores.
+[[nodiscard]] std::string sanitize_local(const std::string& local);
+
+}  // namespace provml::prov

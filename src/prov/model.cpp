@@ -1,0 +1,332 @@
+#include "provml/prov/model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "provml/common/strings.hpp"
+
+namespace provml::prov {
+
+QualifiedName QualifiedName::parse(std::string_view qualified) {
+  const std::size_t colon = qualified.find(':');
+  if (colon == std::string_view::npos) {
+    return QualifiedName{"", std::string(qualified)};
+  }
+  return QualifiedName{std::string(qualified.substr(0, colon)),
+                       std::string(qualified.substr(colon + 1))};
+}
+
+const AttributeValue* find_attribute(const Attributes& attrs, std::string_view key) {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr std::array<RelationSpec, kRelationKindCount> kRelationTable{{
+    {RelationKind::kUsed, "used", "used", "prov:activity", "prov:entity",
+     ElementKind::kActivity, ElementKind::kEntity, true},
+    {RelationKind::kWasGeneratedBy, "wasGeneratedBy", "wasGeneratedBy", "prov:entity",
+     "prov:activity", ElementKind::kEntity, ElementKind::kActivity, true},
+    {RelationKind::kWasInformedBy, "wasInformedBy", "wasInformedBy", "prov:informed",
+     "prov:informant", ElementKind::kActivity, ElementKind::kActivity, false},
+    {RelationKind::kWasStartedBy, "wasStartedBy", "wasStartedBy", "prov:activity",
+     "prov:trigger", ElementKind::kActivity, ElementKind::kEntity, true},
+    {RelationKind::kWasEndedBy, "wasEndedBy", "wasEndedBy", "prov:activity", "prov:trigger",
+     ElementKind::kActivity, ElementKind::kEntity, true},
+    {RelationKind::kWasInvalidatedBy, "wasInvalidatedBy", "wasInvalidatedBy", "prov:entity",
+     "prov:activity", ElementKind::kEntity, ElementKind::kActivity, true},
+    {RelationKind::kWasDerivedFrom, "wasDerivedFrom", "wasDerivedFrom",
+     "prov:generatedEntity", "prov:usedEntity", ElementKind::kEntity, ElementKind::kEntity,
+     false},
+    {RelationKind::kWasAttributedTo, "wasAttributedTo", "wasAttributedTo", "prov:entity",
+     "prov:agent", ElementKind::kEntity, ElementKind::kAgent, false},
+    {RelationKind::kWasAssociatedWith, "wasAssociatedWith", "wasAssociatedWith",
+     "prov:activity", "prov:agent", ElementKind::kActivity, ElementKind::kAgent, false},
+    {RelationKind::kActedOnBehalfOf, "actedOnBehalfOf", "actedOnBehalfOf", "prov:delegate",
+     "prov:responsible", ElementKind::kAgent, ElementKind::kAgent, false},
+    {RelationKind::kSpecializationOf, "specializationOf", "specializationOf",
+     "prov:specificEntity", "prov:generalEntity", ElementKind::kEntity, ElementKind::kEntity,
+     false},
+    {RelationKind::kAlternateOf, "alternateOf", "alternateOf", "prov:alternate1",
+     "prov:alternate2", ElementKind::kEntity, ElementKind::kEntity, false},
+    {RelationKind::kHadMember, "hadMember", "hadMember", "prov:collection", "prov:entity",
+     ElementKind::kEntity, ElementKind::kEntity, false},
+}};
+
+const char* element_kind_name(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kEntity: return "entity";
+    case ElementKind::kActivity: return "activity";
+    case ElementKind::kAgent: return "agent";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const RelationSpec& relation_spec(RelationKind kind) {
+  return kRelationTable[static_cast<std::size_t>(kind)];
+}
+
+const RelationSpec* relation_spec_by_json_key(std::string_view key) {
+  for (const RelationSpec& spec : kRelationTable) {
+    if (key == spec.json_key) return &spec;
+  }
+  return nullptr;
+}
+
+Document::Document() : bundles_(std::make_unique<std::vector<std::pair<std::string, Document>>>()) {
+  declare_namespace("prov", std::string(kProvNamespace));
+  declare_namespace("xsd", std::string(kXsdNamespace));
+}
+
+Document::Document(const Document& other)
+    : namespaces_(other.namespaces_),
+      elements_(other.elements_),
+      relations_(other.relations_),
+      bundles_(std::make_unique<std::vector<std::pair<std::string, Document>>>(*other.bundles_)),
+      blank_counter_(other.blank_counter_) {}
+
+Document& Document::operator=(const Document& other) {
+  if (this != &other) {
+    namespaces_ = other.namespaces_;
+    elements_ = other.elements_;
+    relations_ = other.relations_;
+    bundles_ = std::make_unique<std::vector<std::pair<std::string, Document>>>(*other.bundles_);
+    blank_counter_ = other.blank_counter_;
+  }
+  return *this;
+}
+
+void Document::declare_namespace(const std::string& prefix, const std::string& iri) {
+  for (auto& [p, existing] : namespaces_) {
+    if (p == prefix) {
+      existing = iri;
+      return;
+    }
+  }
+  namespaces_.emplace_back(prefix, iri);
+}
+
+const std::string* Document::namespace_iri(std::string_view prefix) const {
+  for (const auto& [p, iri] : namespaces_) {
+    if (p == prefix) return &iri;
+  }
+  return nullptr;
+}
+
+namespace {
+Element& upsert_element(std::vector<Element>& elements, ElementKind kind,
+                        const std::string& id, Attributes attrs) {
+  for (Element& e : elements) {
+    if (e.id == id && e.kind == kind) {
+      for (auto& kv : attrs) e.attributes.push_back(std::move(kv));
+      return e;
+    }
+  }
+  elements.push_back(Element{kind, id, std::move(attrs), "", ""});
+  return elements.back();
+}
+}  // namespace
+
+Element& Document::add_entity(const std::string& id, Attributes attrs) {
+  return upsert_element(elements_, ElementKind::kEntity, id, std::move(attrs));
+}
+
+Element& Document::add_activity(const std::string& id, Attributes attrs,
+                                const std::string& start_time, const std::string& end_time) {
+  Element& e = upsert_element(elements_, ElementKind::kActivity, id, std::move(attrs));
+  if (!start_time.empty()) e.start_time = start_time;
+  if (!end_time.empty()) e.end_time = end_time;
+  return e;
+}
+
+Element& Document::add_agent(const std::string& id, Attributes attrs) {
+  return upsert_element(elements_, ElementKind::kAgent, id, std::move(attrs));
+}
+
+const Element* Document::find_element(std::string_view id) const {
+  for (const Element& e : elements_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+Element* Document::find_element(std::string_view id) {
+  for (Element& e : elements_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t Document::count(ElementKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(elements_.begin(), elements_.end(),
+                    [kind](const Element& e) { return e.kind == kind; }));
+}
+
+std::string Document::next_blank_id() { return "_:r" + std::to_string(blank_counter_++); }
+
+Relation& Document::add_relation(RelationKind kind, const std::string& subject,
+                                 const std::string& object, const std::string& time,
+                                 Attributes attrs, const std::string& id) {
+  Relation r;
+  r.kind = kind;
+  r.id = id.empty() ? next_blank_id() : id;
+  r.subject = subject;
+  r.object = object;
+  r.time = time;
+  r.attributes = std::move(attrs);
+  relations_.push_back(std::move(r));
+  return relations_.back();
+}
+
+Relation& Document::used(const std::string& activity, const std::string& entity,
+                         const std::string& time, Attributes attrs) {
+  return add_relation(RelationKind::kUsed, activity, entity, time, std::move(attrs));
+}
+
+Relation& Document::was_generated_by(const std::string& entity, const std::string& activity,
+                                     const std::string& time, Attributes attrs) {
+  return add_relation(RelationKind::kWasGeneratedBy, entity, activity, time, std::move(attrs));
+}
+
+Relation& Document::was_derived_from(const std::string& derived, const std::string& source,
+                                     Attributes attrs) {
+  return add_relation(RelationKind::kWasDerivedFrom, derived, source, "", std::move(attrs));
+}
+
+Relation& Document::was_attributed_to(const std::string& entity, const std::string& agent,
+                                      Attributes attrs) {
+  return add_relation(RelationKind::kWasAttributedTo, entity, agent, "", std::move(attrs));
+}
+
+Relation& Document::was_associated_with(const std::string& activity, const std::string& agent,
+                                        Attributes attrs) {
+  return add_relation(RelationKind::kWasAssociatedWith, activity, agent, "", std::move(attrs));
+}
+
+Relation& Document::acted_on_behalf_of(const std::string& delegate,
+                                       const std::string& responsible, Attributes attrs) {
+  return add_relation(RelationKind::kActedOnBehalfOf, delegate, responsible, "",
+                      std::move(attrs));
+}
+
+Relation& Document::was_informed_by(const std::string& informed, const std::string& informant,
+                                    Attributes attrs) {
+  return add_relation(RelationKind::kWasInformedBy, informed, informant, "", std::move(attrs));
+}
+
+Relation& Document::had_member(const std::string& collection, const std::string& member) {
+  return add_relation(RelationKind::kHadMember, collection, member);
+}
+
+std::size_t Document::count(RelationKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(relations_.begin(), relations_.end(),
+                    [kind](const Relation& r) { return r.kind == kind; }));
+}
+
+Document& Document::bundle(const std::string& id) {
+  for (auto& [bid, doc] : *bundles_) {
+    if (bid == id) return doc;
+  }
+  bundles_->emplace_back(id, Document{});
+  return bundles_->back().second;
+}
+
+std::vector<std::string> Document::validate() const { return validate_with_parent(nullptr); }
+
+std::vector<std::string> Document::validate_with_parent(const Document* parent) const {
+  std::vector<std::string> problems;
+
+  auto prefix_declared = [&](const std::string& prefix) {
+    if (namespace_iri(prefix) != nullptr) return true;
+    return parent != nullptr && parent->namespace_iri(prefix) != nullptr;
+  };
+
+  auto check_prefix = [&](const std::string& id, const char* what) {
+    const QualifiedName qn = QualifiedName::parse(id);
+    // Blank-node ids ("_:x") and unqualified ids use the default namespace.
+    if (qn.prefix.empty() || qn.prefix == "_") return;
+    if (!prefix_declared(qn.prefix)) {
+      problems.push_back(std::string(what) + " '" + id + "' uses undeclared prefix '" +
+                         qn.prefix + "'");
+    }
+  };
+
+  std::set<std::string> element_ids;
+  for (const Element& e : elements_) {
+    check_prefix(e.id, "element");
+    if (!element_ids.insert(e.id).second) {
+      problems.push_back("duplicate element id '" + e.id + "'");
+    }
+  }
+
+  std::set<std::string> relation_ids;
+  for (const Relation& r : relations_) {
+    const RelationSpec& spec = relation_spec(r.kind);
+    if (!relation_ids.insert(r.id).second) {
+      problems.push_back("duplicate relation id '" + r.id + "'");
+    }
+    for (const auto& [role_id, role_kind, role_name] :
+         {std::tuple{r.subject, spec.subject_kind, spec.subject_role},
+          std::tuple{r.object, spec.object_kind, spec.object_role}}) {
+      const Element* el = find_element(role_id);
+      if (el == nullptr) {
+        problems.push_back(std::string(spec.json_key) + " '" + r.id + "' references unknown " +
+                           std::string(role_name) + " '" + role_id + "'");
+      } else if (el->kind != role_kind) {
+        problems.push_back(std::string(spec.json_key) + " '" + r.id + "' expects " +
+                           element_kind_name(role_kind) + " for " + std::string(role_name) +
+                           " but '" + role_id + "' is a " + element_kind_name(el->kind));
+      }
+      check_prefix(role_id, "relation endpoint");
+    }
+  }
+
+  for (const auto& [bid, doc] : *bundles_) {
+    for (const std::string& p : doc.validate_with_parent(this)) {
+      problems.push_back("bundle '" + bid + "': " + p);
+    }
+  }
+  return problems;
+}
+
+Status Document::merge(const Document& other) {
+  for (const auto& [prefix, iri] : other.namespaces_) {
+    if (const std::string* existing = namespace_iri(prefix)) {
+      if (*existing != iri) {
+        return Error{"conflicting namespace for prefix '" + prefix + "'", "merge"};
+      }
+    } else {
+      declare_namespace(prefix, iri);
+    }
+  }
+  for (const Element& e : other.elements_) {
+    Element& merged = upsert_element(elements_, e.kind, e.id, Attributes(e.attributes));
+    if (!e.start_time.empty()) merged.start_time = e.start_time;
+    if (!e.end_time.empty()) merged.end_time = e.end_time;
+  }
+  for (const Relation& r : other.relations_) {
+    // Blank relation ids are scoped to their source document: re-issue.
+    const std::string id = strings::starts_with(r.id, "_:") ? next_blank_id() : r.id;
+    add_relation(r.kind, r.subject, r.object, r.time, Attributes(r.attributes), id);
+  }
+  for (const auto& [bid, doc] : *other.bundles_) {
+    Status s = bundle(bid).merge(doc);
+    if (!s.ok()) return s;
+  }
+  return Status::ok_status();
+}
+
+bool operator==(const Document& a, const Document& b) {
+  return a.namespaces_ == b.namespaces_ && a.elements_ == b.elements_ &&
+         a.relations_ == b.relations_ && *a.bundles_ == *b.bundles_;
+}
+
+}  // namespace provml::prov

@@ -1,0 +1,264 @@
+#include "provml/prov/prov_json.hpp"
+
+#include <array>
+
+#include "provml/json/parse.hpp"
+#include "provml/json/write.hpp"
+
+namespace provml::prov {
+namespace {
+
+json::Value attribute_to_json(const AttributeValue& attr) {
+  if (attr.datatype.empty()) return attr.value;
+  json::Object typed;
+  typed.set("$", attr.value);
+  typed.set("type", attr.datatype);
+  return typed;
+}
+
+AttributeValue attribute_from_json(const json::Value& v) {
+  if (const json::Object* obj = v.get_object()) {
+    const json::Value* dollar = obj->find("$");
+    const json::Value* type = obj->find("type");
+    if (dollar != nullptr && type != nullptr && type->is_string() && obj->size() == 2) {
+      return AttributeValue{*dollar, type->as_string()};
+    }
+  }
+  return AttributeValue{v};
+}
+
+json::Object element_body(const Element& e) {
+  json::Object body;
+  if (e.kind == ElementKind::kActivity) {
+    if (!e.start_time.empty()) {
+      body.set("prov:startTime", attribute_to_json({json::Value(e.start_time), "xsd:dateTime"}));
+    }
+    if (!e.end_time.empty()) {
+      body.set("prov:endTime", attribute_to_json({json::Value(e.end_time), "xsd:dateTime"}));
+    }
+  }
+  // Repeated attribute keys become a JSON array of values. Group in one
+  // pass (amortized append) rather than rebuilding arrays per repeat —
+  // metric-heavy runs produce elements with thousands of attributes.
+  json::Object grouped;  // key → array of values, insertion-ordered
+  for (const auto& [key, value] : e.attributes) {
+    json::Value& slot = grouped[key];
+    if (slot.is_null()) slot = json::Array{};
+    slot.as_array().push_back(attribute_to_json(value));
+  }
+  for (auto& [key, values] : grouped) {
+    json::Array& arr = values.as_array();
+    if (arr.size() == 1) {
+      body.set(key, std::move(arr[0]));
+    } else {
+      body.set(key, std::move(values));
+    }
+  }
+  return body;
+}
+
+json::Object relation_body(const Relation& r) {
+  const RelationSpec& spec = relation_spec(r.kind);
+  json::Object body;
+  body.set(spec.subject_role, r.subject);
+  body.set(spec.object_role, r.object);
+  if (!r.time.empty()) {
+    body.set("prov:time", attribute_to_json({json::Value(r.time), "xsd:dateTime"}));
+  }
+  for (const auto& [key, value] : r.attributes) {
+    body.set(key, attribute_to_json(value));
+  }
+  return body;
+}
+
+json::Value document_to_json(const Document& doc) {
+  json::Object root;
+
+  json::Object prefix;
+  for (const auto& [p, iri] : doc.namespaces()) prefix.set(p, iri);
+  root.set("prefix", std::move(prefix));
+
+  // Element buckets in fixed order: entity, activity, agent.
+  const std::array<std::pair<ElementKind, const char*>, 3> element_buckets{{
+      {ElementKind::kEntity, "entity"},
+      {ElementKind::kActivity, "activity"},
+      {ElementKind::kAgent, "agent"},
+  }};
+  for (const auto& [kind, bucket_name] : element_buckets) {
+    json::Object bucket;
+    for (const Element& e : doc.elements()) {
+      if (e.kind == kind) bucket.set(e.id, element_body(e));
+    }
+    if (!bucket.empty()) root.set(bucket_name, std::move(bucket));
+  }
+
+  // Relation buckets in spec order.
+  for (int k = 0; k < kRelationKindCount; ++k) {
+    const auto kind = static_cast<RelationKind>(k);
+    const RelationSpec& spec = relation_spec(kind);
+    json::Object bucket;
+    for (const Relation& r : doc.relations()) {
+      if (r.kind == kind) bucket.set(r.id, relation_body(r));
+    }
+    if (!bucket.empty()) root.set(spec.json_key, std::move(bucket));
+  }
+
+  if (!doc.bundles().empty()) {
+    json::Object bundles;
+    for (const auto& [id, sub] : doc.bundles()) {
+      bundles.set(id, document_to_json(sub));
+    }
+    root.set("bundle", std::move(bundles));
+  }
+  return root;
+}
+
+Status parse_element_body(Document& doc, ElementKind kind, const std::string& id,
+                          const json::Value& body) {
+  if (!body.is_object()) {
+    return Error{"element body must be an object", id};
+  }
+  Attributes attrs;
+  std::string start_time;
+  std::string end_time;
+  for (const auto& [key, value] : body.as_object()) {
+    if (kind == ElementKind::kActivity && (key == "prov:startTime" || key == "prov:endTime")) {
+      const AttributeValue av = attribute_from_json(value);
+      const std::string* s = av.value.get_string();
+      if (s == nullptr) return Error{"activity time must be a string", id};
+      (key == "prov:startTime" ? start_time : end_time) = *s;
+      continue;
+    }
+    if (value.is_array()) {
+      for (const json::Value& item : value.as_array()) {
+        attrs.emplace_back(key, attribute_from_json(item));
+      }
+    } else {
+      attrs.emplace_back(key, attribute_from_json(value));
+    }
+  }
+  switch (kind) {
+    case ElementKind::kEntity: doc.add_entity(id, std::move(attrs)); break;
+    case ElementKind::kActivity:
+      doc.add_activity(id, std::move(attrs), start_time, end_time);
+      break;
+    case ElementKind::kAgent: doc.add_agent(id, std::move(attrs)); break;
+  }
+  return Status::ok_status();
+}
+
+Status parse_relation_body(Document& doc, const RelationSpec& spec, const std::string& id,
+                           const json::Value& body) {
+  if (!body.is_object()) return Error{"relation body must be an object", id};
+  std::string subject;
+  std::string object;
+  std::string time;
+  Attributes attrs;
+  for (const auto& [key, value] : body.as_object()) {
+    if (key == spec.subject_role || key == spec.object_role) {
+      const std::string* s = value.get_string();
+      if (s == nullptr) return Error{"relation role must be a string id", id};
+      (key == spec.subject_role ? subject : object) = *s;
+    } else if (key == "prov:time") {
+      const AttributeValue av = attribute_from_json(value);
+      const std::string* s = av.value.get_string();
+      if (s == nullptr) return Error{"prov:time must be a string", id};
+      time = *s;
+    } else {
+      attrs.emplace_back(key, attribute_from_json(value));
+    }
+  }
+  if (subject.empty() || object.empty()) {
+    return Error{std::string("relation '") + spec.json_key + "' missing " +
+                     (subject.empty() ? spec.subject_role : spec.object_role),
+                 id};
+  }
+  doc.add_relation(spec.kind, subject, object, time, std::move(attrs), id);
+  return Status::ok_status();
+}
+
+Expected<Document> parse_document(const json::Value& value);
+
+Status parse_bucket(Document& doc, const std::string& bucket_name, const json::Value& bucket) {
+  if (bucket_name == "prefix") {
+    if (!bucket.is_object()) return Error{"prefix bucket must be an object", bucket_name};
+    for (const auto& [prefix, iri] : bucket.as_object()) {
+      const std::string* s = iri.get_string();
+      if (s == nullptr) return Error{"namespace IRI must be a string", prefix};
+      doc.declare_namespace(prefix, *s);
+    }
+    return Status::ok_status();
+  }
+  if (bucket_name == "bundle") {
+    if (!bucket.is_object()) return Error{"bundle bucket must be an object", bucket_name};
+    for (const auto& [id, sub] : bucket.as_object()) {
+      Expected<Document> parsed = parse_document(sub);
+      if (!parsed.ok()) return parsed.error();
+      doc.bundle(id) = parsed.take();
+    }
+    return Status::ok_status();
+  }
+
+  ElementKind element_kind{};
+  bool is_element = true;
+  if (bucket_name == "entity") element_kind = ElementKind::kEntity;
+  else if (bucket_name == "activity") element_kind = ElementKind::kActivity;
+  else if (bucket_name == "agent") element_kind = ElementKind::kAgent;
+  else is_element = false;
+
+  if (is_element) {
+    if (!bucket.is_object()) return Error{"element bucket must be an object", bucket_name};
+    for (const auto& [id, body] : bucket.as_object()) {
+      Status s = parse_element_body(doc, element_kind, id, body);
+      if (!s.ok()) return s;
+    }
+    return Status::ok_status();
+  }
+
+  const RelationSpec* spec = relation_spec_by_json_key(bucket_name);
+  if (spec == nullptr) {
+    return Error{"unknown PROV-JSON bucket '" + bucket_name + "'", "prov-json"};
+  }
+  if (!bucket.is_object()) return Error{"relation bucket must be an object", bucket_name};
+  for (const auto& [id, body] : bucket.as_object()) {
+    Status s = parse_relation_body(doc, *spec, id, body);
+    if (!s.ok()) return s;
+  }
+  return Status::ok_status();
+}
+
+Expected<Document> parse_document(const json::Value& value) {
+  if (!value.is_object()) return Error{"PROV-JSON root must be an object", "prov-json"};
+  Document doc;
+  for (const auto& [bucket_name, bucket] : value.as_object()) {
+    Status s = parse_bucket(doc, bucket_name, bucket);
+    if (!s.ok()) return s.error();
+  }
+  return doc;
+}
+
+}  // namespace
+
+json::Value to_prov_json(const Document& doc) { return document_to_json(doc); }
+
+Expected<Document> from_prov_json(const json::Value& value) { return parse_document(value); }
+
+std::string to_prov_json_string(const Document& doc, bool pretty) {
+  json::WriteOptions opts;
+  opts.pretty = pretty;
+  return json::write(to_prov_json(doc), opts);
+}
+
+Expected<Document> read_prov_json_file(const std::string& path) {
+  Expected<json::Value> v = json::parse_file(path);
+  if (!v.ok()) return v.error();
+  return from_prov_json(v.value());
+}
+
+Status write_prov_json_file(const std::string& path, const Document& doc, bool pretty) {
+  json::WriteOptions opts;
+  opts.pretty = pretty;
+  return json::write_file(path, to_prov_json(doc), opts);
+}
+
+}  // namespace provml::prov

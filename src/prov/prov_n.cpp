@@ -1,0 +1,85 @@
+#include "provml/prov/prov_n.hpp"
+
+#include "provml/common/strings.hpp"
+#include "provml/json/write.hpp"
+
+namespace provml::prov {
+namespace {
+
+std::string literal(const AttributeValue& attr) {
+  std::string out;
+  if (attr.value.is_string()) {
+    out = json::escape_string(attr.value.as_string());
+  } else {
+    out = json::write(attr.value);
+  }
+  if (!attr.datatype.empty()) {
+    out += " %% " + attr.datatype;
+  }
+  return out;
+}
+
+std::string attribute_block(const Attributes& attrs) {
+  if (attrs.empty()) return "";
+  std::string out = ", [";
+  bool first = true;
+  for (const auto& [key, value] : attrs) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + "=" + literal(value);
+  }
+  out += "]";
+  return out;
+}
+
+void render(const Document& doc, std::string& out, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string inner = indent + "  ";
+
+  out += indent;
+  out += depth == 0 ? "document\n" : "";
+  for (const auto& [prefix, iri] : doc.namespaces()) {
+    out += inner + "prefix " + prefix + " <" + iri + ">\n";
+  }
+  for (const Element& e : doc.elements()) {
+    switch (e.kind) {
+      case ElementKind::kEntity:
+        out += inner + "entity(" + e.id + attribute_block(e.attributes) + ")\n";
+        break;
+      case ElementKind::kActivity: {
+        out += inner + "activity(" + e.id + ", " +
+               (e.start_time.empty() ? "-" : e.start_time) + ", " +
+               (e.end_time.empty() ? "-" : e.end_time) + attribute_block(e.attributes) + ")\n";
+        break;
+      }
+      case ElementKind::kAgent:
+        out += inner + "agent(" + e.id + attribute_block(e.attributes) + ")\n";
+        break;
+    }
+  }
+  for (const Relation& r : doc.relations()) {
+    const RelationSpec& spec = relation_spec(r.kind);
+    out += inner + std::string(spec.provn_name) + "(";
+    // Explicit relation ids (non-blank) are rendered "id; args".
+    if (!strings::starts_with(r.id, "_:")) out += r.id + "; ";
+    out += r.subject + ", " + r.object;
+    if (spec.has_time) out += ", " + (r.time.empty() ? std::string("-") : r.time);
+    out += attribute_block(r.attributes) + ")\n";
+  }
+  for (const auto& [id, sub] : doc.bundles()) {
+    out += inner + "bundle " + id + "\n";
+    render(sub, out, depth + 1);
+    out += inner + "endBundle\n";
+  }
+  if (depth == 0) out += indent + "endDocument\n";
+}
+
+}  // namespace
+
+std::string to_prov_n(const Document& doc) {
+  std::string out;
+  render(doc, out, 0);
+  return out;
+}
+
+}  // namespace provml::prov

@@ -1,0 +1,120 @@
+#include "provml/prov/prov_xml.hpp"
+
+#include "provml/json/write.hpp"
+
+namespace provml::prov {
+namespace {
+
+const char* element_tag(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kEntity: return "prov:entity";
+    case ElementKind::kActivity: return "prov:activity";
+    case ElementKind::kAgent: return "prov:agent";
+  }
+  return "prov:entity";
+}
+
+std::string attribute_text(const AttributeValue& attr) {
+  if (attr.value.is_string()) return attr.value.as_string();
+  return json::write(attr.value);
+}
+
+/// Attribute keys are CURIEs already; unqualified keys get the provml
+/// prefix so the XML stays namespace-well-formed.
+std::string qualified_key(const std::string& key) {
+  return key.find(':') == std::string::npos ? "provml:" + key : key;
+}
+
+void render_attributes(const Attributes& attrs, std::string& out,
+                       const std::string& indent) {
+  for (const auto& [key, value] : attrs) {
+    const std::string k = qualified_key(key);
+    out += indent + "<" + k;
+    if (!value.datatype.empty()) out += " xsi:type=\"" + value.datatype + "\"";
+    out += ">" + xml_escape(attribute_text(value)) + "</" + k + ">\n";
+  }
+}
+
+void render(const Document& doc, std::string& out, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string inner = indent + "  ";
+  const std::string inner2 = inner + "  ";
+
+  for (const Element& e : doc.elements()) {
+    const char* tag = element_tag(e.kind);
+    out += inner + "<" + tag + " prov:id=\"" + xml_escape(e.id) + "\"";
+    if (e.attributes.empty() && e.start_time.empty() && e.end_time.empty()) {
+      out += "/>\n";
+      continue;
+    }
+    out += ">\n";
+    if (e.kind == ElementKind::kActivity) {
+      if (!e.start_time.empty()) {
+        out += inner2 + "<prov:startTime>" + xml_escape(e.start_time) +
+               "</prov:startTime>\n";
+      }
+      if (!e.end_time.empty()) {
+        out += inner2 + "<prov:endTime>" + xml_escape(e.end_time) + "</prov:endTime>\n";
+      }
+    }
+    render_attributes(e.attributes, out, inner2);
+    out += inner + "</" + std::string(tag) + ">\n";
+  }
+
+  for (const Relation& r : doc.relations()) {
+    const RelationSpec& spec = relation_spec(r.kind);
+    const std::string tag = std::string("prov:") + spec.json_key;
+    out += inner + "<" + tag + ">\n";
+    // Role elements drop the "prov:" of the role key for the tag name:
+    // prov:activity → <prov:activity prov:ref="..."/>.
+    out += inner2 + "<" + spec.subject_role + " prov:ref=\"" + xml_escape(r.subject) +
+           "\"/>\n";
+    out += inner2 + "<" + spec.object_role + " prov:ref=\"" + xml_escape(r.object) +
+           "\"/>\n";
+    if (!r.time.empty()) {
+      out += inner2 + "<prov:time>" + xml_escape(r.time) + "</prov:time>\n";
+    }
+    render_attributes(r.attributes, out, inner2);
+    out += inner + "</" + tag + ">\n";
+  }
+
+  for (const auto& [id, sub] : doc.bundles()) {
+    out += inner + "<prov:bundleContent prov:id=\"" + xml_escape(id) + "\">\n";
+    render(sub, out, depth + 1);
+    out += inner + "</prov:bundleContent>\n";
+  }
+}
+
+}  // namespace
+
+std::string xml_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string to_prov_xml(const Document& doc) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<prov:document";
+  for (const auto& [prefix, iri] : doc.namespaces()) {
+    out += "\n    xmlns:" + (prefix.empty() ? std::string("default") : prefix) + "=\"" +
+           xml_escape(iri) + "\"";
+  }
+  out += "\n    xmlns:provml=\"https://provml.dev/ns#\"";
+  out += "\n    xmlns:xsi=\"http://www.w3.org/2001/XMLSchema-instance\">\n";
+  render(doc, out, 0);
+  out += "</prov:document>\n";
+  return out;
+}
+
+}  // namespace provml::prov

@@ -1,0 +1,109 @@
+#include "provml/prov/turtle.hpp"
+
+#include "provml/common/strings.hpp"
+#include "provml/json/write.hpp"
+
+namespace provml::prov {
+namespace {
+
+/// PROV-O object-property name for each relation kind (camelCase matches
+/// the JSON key for all supported relations).
+std::string predicate_for(RelationKind kind) {
+  return std::string("prov:") + relation_spec(kind).json_key;
+}
+
+/// Qualified names map to CURIEs directly; blank ids ("_:x") stay blank
+/// nodes; bare local names go into the default namespace.
+std::string resource(const std::string& id) {
+  if (strings::starts_with(id, "_:")) return id;
+  const QualifiedName qn = QualifiedName::parse(id);
+  if (qn.prefix.empty()) return ":" + sanitize_local(id);
+  return qn.prefix + ":" + sanitize_local(qn.local);
+}
+
+std::string literal(const AttributeValue& attr) {
+  std::string out;
+  if (attr.value.is_string()) {
+    out = json::escape_string(attr.value.as_string());
+  } else if (attr.value.is_bool()) {
+    out = attr.value.as_bool() ? "true" : "false";
+  } else if (attr.value.is_int()) {
+    out = std::to_string(attr.value.as_int());
+  } else if (attr.value.is_double()) {
+    out = json::write(attr.value);
+  } else {
+    // Structured values are embedded as JSON-in-a-string.
+    out = json::escape_string(json::write(attr.value));
+  }
+  if (!attr.datatype.empty() && attr.value.is_string()) {
+    out += "^^" + attr.datatype;
+  }
+  return out;
+}
+
+void render(const Document& doc, std::string& out, const std::string& bundle_id) {
+  for (const Element& e : doc.elements()) {
+    out += resource(e.id) + " a ";
+    switch (e.kind) {
+      case ElementKind::kEntity: out += "prov:Entity"; break;
+      case ElementKind::kActivity: out += "prov:Activity"; break;
+      case ElementKind::kAgent: out += "prov:Agent"; break;
+    }
+    if (e.kind == ElementKind::kActivity) {
+      if (!e.start_time.empty()) {
+        out += " ;\n    prov:startedAtTime \"" + e.start_time + "\"^^xsd:dateTime";
+      }
+      if (!e.end_time.empty()) {
+        out += " ;\n    prov:endedAtTime \"" + e.end_time + "\"^^xsd:dateTime";
+      }
+    }
+    for (const auto& [key, value] : e.attributes) {
+      // prov:type is already expressed through `a`; other attribute keys
+      // become predicates as-is (they are CURIEs by construction).
+      if (key == "prov:type" && value.value.is_string()) {
+        out += " ;\n    a " + value.value.as_string();
+      } else {
+        out += " ;\n    " + key + " " + literal(value);
+      }
+    }
+    if (!bundle_id.empty()) {
+      out += " ;\n    prov:bundledIn " + resource(bundle_id);
+    }
+    out += " .\n";
+  }
+  for (const Relation& r : doc.relations()) {
+    out += resource(r.subject) + " " + predicate_for(r.kind) + " " + resource(r.object) +
+           " .\n";
+  }
+  for (const auto& [id, sub] : doc.bundles()) {
+    out += resource(id) + " a prov:Bundle .\n";
+    render(sub, out, id);
+  }
+}
+
+}  // namespace
+
+std::string sanitize_local(const std::string& local) {
+  // Turtle local names cannot contain '/', which our hierarchical ids use.
+  std::string out;
+  out.reserve(local.size());
+  for (const char c : local) {
+    out += (c == '/' || c == ' ' || c == '#') ? '_' : c;
+  }
+  return out;
+}
+
+std::string to_turtle(const Document& doc) {
+  std::string out;
+  for (const auto& [prefix, iri] : doc.namespaces()) {
+    out += "@prefix " + (prefix.empty() ? ":" : prefix + ":") + " <" + iri + "> .\n";
+  }
+  if (doc.namespace_iri("") == nullptr) {
+    out += "@prefix : <urn:provml:default#> .\n";
+  }
+  out += "\n";
+  render(doc, out, "");
+  return out;
+}
+
+}  // namespace provml::prov

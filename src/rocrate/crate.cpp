@@ -1,0 +1,246 @@
+#include "provml/rocrate/crate.hpp"
+
+#include <filesystem>
+
+#include "provml/common/strings.hpp"
+#include "provml/json/parse.hpp"
+#include "provml/json/write.hpp"
+
+namespace provml::rocrate {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kMetadataFile = "ro-crate-metadata.json";
+constexpr const char* kContext = "https://w3id.org/ro/crate/1.1/context";
+constexpr const char* kProfile = "https://w3id.org/ro/crate/1.1";
+
+}  // namespace
+
+std::string guess_media_type(const std::string& path) {
+  if (strings::ends_with(path, ".json") || strings::ends_with(path, ".provjson")) {
+    return "application/json";
+  }
+  if (strings::ends_with(path, ".nc")) return "application/netcdf";
+  if (strings::ends_with(path, ".txt") || strings::ends_with(path, ".log")) {
+    return "text/plain";
+  }
+  if (strings::ends_with(path, ".csv")) return "text/csv";
+  if (strings::ends_with(path, ".provn")) return "text/provenance-notation";
+  if (strings::ends_with(path, ".dot")) return "text/vnd.graphviz";
+  return "application/octet-stream";
+}
+
+CrateBuilder& CrateBuilder::set_name(std::string name) {
+  name_ = std::move(name);
+  return *this;
+}
+
+CrateBuilder& CrateBuilder::set_description(std::string description) {
+  description_ = std::move(description);
+  return *this;
+}
+
+CrateBuilder& CrateBuilder::set_license(std::string license_url) {
+  license_ = std::move(license_url);
+  return *this;
+}
+
+CrateBuilder& CrateBuilder::add_author(std::string name, std::string affiliation) {
+  authors_.emplace_back(std::move(name), std::move(affiliation));
+  return *this;
+}
+
+Status CrateBuilder::add_file(const std::string& relative_path, std::string name) {
+  const fs::path full = fs::path(root_dir_) / relative_path;
+  std::error_code ec;
+  if (!fs::is_regular_file(full, ec)) {
+    return Error{"not a regular file", full.string()};
+  }
+  CrateEntry entry;
+  entry.path = relative_path;
+  entry.type = "File";
+  entry.name = name.empty() ? relative_path : std::move(name);
+  entry.encoding = guess_media_type(relative_path);
+  entry.size_bytes = static_cast<std::uint64_t>(fs::file_size(full, ec));
+  entries_.push_back(std::move(entry));
+  return Status::ok_status();
+}
+
+Status CrateBuilder::add_directory(const std::string& relative_path, std::string name) {
+  const fs::path full = fs::path(root_dir_) / relative_path;
+  std::error_code ec;
+  if (!fs::is_directory(full, ec)) {
+    return Error{"not a directory", full.string()};
+  }
+  std::uint64_t total = 0;
+  for (const auto& e : fs::recursive_directory_iterator(full, ec)) {
+    if (e.is_regular_file(ec)) total += static_cast<std::uint64_t>(e.file_size(ec));
+  }
+  CrateEntry entry;
+  // Directory entity ids end with '/' per the RO-Crate spec.
+  entry.path = strings::ends_with(relative_path, "/") ? relative_path : relative_path + "/";
+  entry.type = "Dataset";
+  entry.name = name.empty() ? relative_path : std::move(name);
+  entry.size_bytes = total;
+  entries_.push_back(std::move(entry));
+  return Status::ok_status();
+}
+
+Status CrateBuilder::add_all() {
+  std::error_code ec;
+  if (!fs::is_directory(root_dir_, ec)) return Error{"root is not a directory", root_dir_};
+  for (const auto& e : fs::recursive_directory_iterator(root_dir_, ec)) {
+    if (!e.is_regular_file(ec)) continue;
+    const std::string rel = fs::relative(e.path(), root_dir_, ec).generic_string();
+    if (rel == kMetadataFile) continue;
+    bool known = false;
+    for (const CrateEntry& existing : entries_) {
+      if (existing.path == rel ||
+          (existing.type == "Dataset" && strings::starts_with(rel, existing.path))) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      Status s = add_file(rel);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::ok_status();
+}
+
+json::Value CrateBuilder::metadata() const {
+  json::Array graph;
+
+  // 1. The metadata file descriptor.
+  graph.push_back(json::make_object(
+      {{"@id", kMetadataFile},
+       {"@type", "CreativeWork"},
+       {"conformsTo", json::make_object({{"@id", kProfile}})},
+       {"about", json::make_object({{"@id", "./"}})}}));
+
+  // 2. The root dataset.
+  json::Object root = json::make_object({{"@id", "./"}, {"@type", "Dataset"}});
+  root.set("name", name_);
+  if (!description_.empty()) root.set("description", description_);
+  if (!license_.empty()) root.set("license", json::make_object({{"@id", license_}}));
+  json::Array parts;
+  for (const CrateEntry& entry : entries_) {
+    parts.push_back(json::make_object({{"@id", entry.path}}));
+  }
+  root.set("hasPart", std::move(parts));
+  if (!authors_.empty()) {
+    json::Array author_refs;
+    for (std::size_t i = 0; i < authors_.size(); ++i) {
+      author_refs.push_back(json::make_object({{"@id", "#author" + std::to_string(i)}}));
+    }
+    root.set("author", std::move(author_refs));
+  }
+  graph.push_back(std::move(root));
+
+  // 3. One entity per packaged file/directory.
+  for (const CrateEntry& entry : entries_) {
+    json::Object obj = json::make_object({{"@id", entry.path}, {"@type", entry.type}});
+    obj.set("name", entry.name);
+    if (!entry.encoding.empty()) obj.set("encodingFormat", entry.encoding);
+    obj.set("contentSize", entry.size_bytes);
+    graph.push_back(std::move(obj));
+  }
+
+  // 4. Author entities.
+  for (std::size_t i = 0; i < authors_.size(); ++i) {
+    json::Object person = json::make_object(
+        {{"@id", "#author" + std::to_string(i)}, {"@type", "Person"}});
+    person.set("name", authors_[i].first);
+    if (!authors_[i].second.empty()) person.set("affiliation", authors_[i].second);
+    graph.push_back(std::move(person));
+  }
+
+  json::Object doc;
+  doc.set("@context", kContext);
+  doc.set("@graph", std::move(graph));
+  return doc;
+}
+
+Status CrateBuilder::write() const {
+  json::WriteOptions opts;
+  opts.pretty = true;
+  return json::write_file((fs::path(root_dir_) / kMetadataFile).string(), metadata(), opts);
+}
+
+Expected<CrateInfo> read_crate(const std::string& root_dir) {
+  const std::string meta_path = (fs::path(root_dir) / kMetadataFile).string();
+  Expected<json::Value> parsed = json::parse_file(meta_path);
+  if (!parsed.ok()) return parsed.error();
+  const json::Value& doc = parsed.value();
+
+  const json::Value* context = doc.find("@context");
+  if (context == nullptr || !context->is_string() ||
+      context->as_string().find("w3id.org/ro/crate") == std::string::npos) {
+    return Error{"missing or foreign @context", meta_path};
+  }
+  const json::Value* graph = doc.find("@graph");
+  if (graph == nullptr || !graph->is_array()) return Error{"missing @graph", meta_path};
+
+  const json::Value* root_dataset = nullptr;
+  bool has_descriptor = false;
+  std::vector<const json::Value*> others;
+  for (const json::Value& entity : graph->as_array()) {
+    const json::Value* id = entity.find("@id");
+    if (id == nullptr || !id->is_string()) return Error{"entity without @id", meta_path};
+    if (id->as_string() == kMetadataFile) {
+      has_descriptor = true;
+    } else if (id->as_string() == "./") {
+      root_dataset = &entity;
+    } else {
+      others.push_back(&entity);
+    }
+  }
+  if (!has_descriptor) return Error{"missing metadata descriptor", meta_path};
+  if (root_dataset == nullptr) return Error{"missing root dataset", meta_path};
+
+  CrateInfo info;
+  if (const json::Value* name = root_dataset->find("name"); name && name->is_string()) {
+    info.name = name->as_string();
+  }
+  if (const json::Value* d = root_dataset->find("description"); d && d->is_string()) {
+    info.description = d->as_string();
+  }
+  if (const json::Value* lic = root_dataset->find("license")) {
+    if (const json::Value* id = lic->find("@id"); id && id->is_string()) {
+      info.license = id->as_string();
+    }
+  }
+
+  for (const json::Value* entity : others) {
+    const json::Value* type = entity->find("@type");
+    if (type == nullptr || !type->is_string()) continue;
+    if (type->as_string() != "File" && type->as_string() != "Dataset") continue;
+    CrateEntry entry;
+    entry.path = entity->find("@id")->as_string();
+    entry.type = type->as_string();
+    if (const json::Value* n = entity->find("name"); n && n->is_string()) {
+      entry.name = n->as_string();
+    }
+    if (const json::Value* e = entity->find("encodingFormat"); e && e->is_string()) {
+      entry.encoding = e->as_string();
+    }
+    if (const json::Value* s = entity->find("contentSize"); s && s->is_int()) {
+      entry.size_bytes = static_cast<std::uint64_t>(s->as_int());
+    }
+    // Validation: the referenced payload must exist on disk.
+    const fs::path full = fs::path(root_dir) / entry.path;
+    std::error_code ec;
+    if (entry.type == "File" && !fs::is_regular_file(full, ec)) {
+      return Error{"crate references missing file: " + entry.path, meta_path};
+    }
+    if (entry.type == "Dataset" && !fs::is_directory(full, ec)) {
+      return Error{"crate references missing directory: " + entry.path, meta_path};
+    }
+    info.entries.push_back(std::move(entry));
+  }
+  return info;
+}
+
+}  // namespace provml::rocrate

@@ -1,0 +1,82 @@
+// RO-Crate packaging (RO-Crate 1.1). yProv4ML wraps the artifact directory
+// of an experiment in an RO-Crate so a single directory is self-describing
+// and shareable (paper Table 2: W3C PROV handles provenance *tracking*,
+// RO-Crate handles artifact *packaging*). The crate is a directory whose
+// root holds "ro-crate-metadata.json", a JSON-LD document with one entry
+// per packaged file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+#include "provml/json/value.hpp"
+
+namespace provml::rocrate {
+
+/// One data entity inside the crate (a file or sub-directory).
+struct CrateEntry {
+  std::string path;         ///< crate-relative path, e.g. "metrics.zarr/"
+  std::string type;         ///< "File" or "Dataset" (directory)
+  std::string name;         ///< human-readable label
+  std::string encoding;     ///< media type, e.g. "application/json"
+  std::uint64_t size_bytes = 0;
+};
+
+/// Builds an RO-Crate around an existing directory of artifacts.
+class CrateBuilder {
+ public:
+  /// `root_dir` is the artifact directory the crate describes.
+  explicit CrateBuilder(std::string root_dir) : root_dir_(std::move(root_dir)) {}
+
+  CrateBuilder& set_name(std::string name);
+  CrateBuilder& set_description(std::string description);
+  CrateBuilder& set_license(std::string license_url);
+  CrateBuilder& add_author(std::string name, std::string affiliation = "");
+
+  /// Registers a file already present under the root (path is relative).
+  /// Size and media type are detected from disk.
+  [[nodiscard]] Status add_file(const std::string& relative_path, std::string name = "");
+
+  /// Registers a sub-directory (e.g. a metrics.zarr store) as a Dataset.
+  [[nodiscard]] Status add_directory(const std::string& relative_path,
+                                     std::string name = "");
+
+  /// Walks the root and registers every regular file not yet added.
+  [[nodiscard]] Status add_all();
+
+  /// Writes "ro-crate-metadata.json" into the root directory.
+  [[nodiscard]] Status write() const;
+
+  /// The JSON-LD metadata document (what write() serializes).
+  [[nodiscard]] json::Value metadata() const;
+
+  [[nodiscard]] const std::vector<CrateEntry>& entries() const { return entries_; }
+
+ private:
+  std::string root_dir_;
+  std::string name_ = "provml experiment";
+  std::string description_;
+  std::string license_;
+  std::vector<std::pair<std::string, std::string>> authors_;
+  std::vector<CrateEntry> entries_;
+};
+
+/// Parsed view of an existing crate.
+struct CrateInfo {
+  std::string name;
+  std::string description;
+  std::string license;
+  std::vector<CrateEntry> entries;
+};
+
+/// Reads and validates "ro-crate-metadata.json" under `root_dir`:
+/// the @context, the metadata descriptor, the root dataset, and the
+/// existence of every referenced file.
+[[nodiscard]] Expected<CrateInfo> read_crate(const std::string& root_dir);
+
+/// Media type from a file extension (".json" → "application/json", ...).
+[[nodiscard]] std::string guess_media_type(const std::string& path);
+
+}  // namespace provml::rocrate

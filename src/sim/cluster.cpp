@@ -1,0 +1,24 @@
+#include "provml/sim/cluster.hpp"
+
+namespace provml::sim {
+
+ClusterSpec ClusterSpec::frontier() { return ClusterSpec{}; }
+
+int ClusterSpec::nodes_for(int devices) const {
+  return (devices + node.devices_per_node - 1) / node.devices_per_node;
+}
+
+double ClusterSpec::power_draw_w(int devices, double utilization) const {
+  const double per_device =
+      device.idle_power_w + utilization * (device.max_power_w - device.idle_power_w);
+  return static_cast<double>(devices) * per_device +
+         static_cast<double>(nodes_for(devices)) * node.node_overhead_w;
+}
+
+double ClusterSpec::ring_bandwidth_bps(int devices) const {
+  const double gbs =
+      devices <= node.devices_per_node ? node.intra_node_bw_gbs : node.inter_node_bw_gbs;
+  return gbs * 1e9;
+}
+
+}  // namespace provml::sim

@@ -1,0 +1,59 @@
+#include "provml/sim/ddp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace provml::sim {
+
+double DdpCostModel::compute_time_s() const {
+  const double flops = model_.train_flops_per_sample(data_) * ddp_.flops_fraction *
+                       static_cast<double>(ddp_.per_device_batch);
+  return flops / cluster_.device.effective_flops();
+}
+
+double DdpCostModel::allreduce_time_s() const {
+  const int k = ddp_.devices;
+  if (k <= 1) return 0.0;
+  const double bytes = model_.gradient_bytes() * ddp_.trainable_fraction;
+  const double bw = cluster_.ring_bandwidth_bps(k);
+  const double transfer = 2.0 * (k - 1) / static_cast<double>(k) * bytes / bw;
+  const double latency = 2.0 * (k - 1) * cluster_.node.link_latency_us * 1e-6;
+  return transfer + latency;
+}
+
+double DdpCostModel::data_load_time_s() const {
+  // Bytes per sample: patch pixels × channels, fp32 radiances.
+  const double sample_bytes = static_cast<double>(data_.patch_pixels) *
+                              data_.patch_pixels * data_.channels * 4.0;
+  const double batch_bytes = sample_bytes * ddp_.per_device_batch;
+  return batch_bytes / (ddp_.io_bandwidth_gbs * 1e9);
+}
+
+double DdpCostModel::checkpoint_time_per_step_s() const {
+  if (ddp_.checkpoint_interval_steps <= 0) return 0.0;
+  // Weights + two Adam moments, fp32.
+  const double state_bytes = static_cast<double>(model_.parameters) * 4.0 * 3.0;
+  const double write_s = state_bytes / (ddp_.checkpoint_bandwidth_gbs * 1e9);
+  return write_s / static_cast<double>(ddp_.checkpoint_interval_steps);
+}
+
+double DdpCostModel::step_time_s() const {
+  const double compute = compute_time_s();
+  const double comm = allreduce_time_s();
+  const double exposed_comm = std::max(0.0, comm - ddp_.comm_overlap * compute);
+  const double exposed_io =
+      std::max(0.0, data_load_time_s() - ddp_.io_overlap * compute);
+  return compute + exposed_comm + exposed_io + checkpoint_time_per_step_s();
+}
+
+double DdpCostModel::device_utilization() const {
+  const double step = step_time_s();
+  return step > 0 ? compute_time_s() / step : 0.0;
+}
+
+std::int64_t DdpCostModel::steps_per_epoch() const {
+  const std::int64_t batch = ddp_.global_batch();
+  return (data_.samples + batch - 1) / batch;
+}
+
+}  // namespace provml::sim

@@ -1,0 +1,57 @@
+// Analytic cluster model. Substitutes for the Frontier testbed used in the
+// paper's Section 5 use case: per-device throughput and power, node
+// topology, and interconnect characteristics. The DDP trainer derives step
+// time and energy from these numbers; no actual computation runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace provml::sim {
+
+/// One accelerator (for Frontier: a single MI250X Graphics Compute Die —
+/// the paper notes each GCD "effectively functions as a single GPU").
+struct DeviceSpec {
+  std::string model = "MI250X-GCD";
+  double peak_flops = 95.7e12;   ///< BF16 matrix peak per GCD, FLOP/s
+  double mfu = 0.30;             ///< achieved model-FLOPs utilization
+  double idle_power_w = 90.0;
+  double max_power_w = 280.0;
+  double memory_gib = 64.0;
+
+  /// Sustained throughput the trainer plans with.
+  [[nodiscard]] double effective_flops() const { return peak_flops * mfu; }
+};
+
+/// A compute node: devices plus the links between and beyond them.
+struct NodeSpec {
+  int devices_per_node = 8;              ///< 8 GCDs per Frontier node
+  double intra_node_bw_gbs = 100.0;      ///< Infinity Fabric, GB/s per link
+  double inter_node_bw_gbs = 25.0;       ///< Slingshot-11 per-NIC, GB/s
+  double link_latency_us = 5.0;          ///< per-hop latency
+  double node_overhead_w = 400.0;        ///< CPU + DRAM + NIC power per node
+};
+
+struct ClusterSpec {
+  std::string name = "frontier-sim";
+  DeviceSpec device;
+  NodeSpec node;
+  int total_nodes = 9402;
+
+  /// Frontier-like defaults (OLCF numbers, scaled to GCD granularity).
+  [[nodiscard]] static ClusterSpec frontier();
+
+  /// Nodes needed to host `devices` GCDs (ceil division).
+  [[nodiscard]] int nodes_for(int devices) const;
+
+  /// Aggregate power draw with `devices` GCDs running at `utilization`,
+  /// including per-node overhead for every (possibly partial) node in use.
+  [[nodiscard]] double power_draw_w(int devices, double utilization) const;
+
+  /// Bottleneck bandwidth (bytes/s) for a ring all-reduce across `devices`:
+  /// intra-node fabric when the ring fits in one node, the inter-node NIC
+  /// otherwise.
+  [[nodiscard]] double ring_bandwidth_bps(int devices) const;
+};
+
+}  // namespace provml::sim

@@ -1,0 +1,84 @@
+// Distributed Data Parallel cost model (after Li et al., "PyTorch
+// Distributed", VLDB 2020). Per optimizer step each rank computes its
+// micro-batch and all ranks ring-all-reduce the gradients; DDP overlaps
+// communication with the backward pass, captured by an overlap factor.
+#pragma once
+
+#include <utility>
+
+#include "provml/sim/cluster.hpp"
+#include "provml/sim/models.hpp"
+
+namespace provml::sim {
+
+struct DdpConfig {
+  int devices = 8;
+  int per_device_batch = 32;
+  double comm_overlap = 0.6;  ///< fraction of all-reduce hidden behind backward
+
+  // Training-mode knobs (pre-training defaults). Fine-tuning with a frozen
+  // backbone shrinks both: gradients exist only for the head, and the
+  // backward pass skips frozen layers.
+  double trainable_fraction = 1.0;  ///< fraction of params with gradients
+  double flops_fraction = 1.0;      ///< fraction of full train FLOPs/sample
+
+  // Input pipeline: per-device sustained read bandwidth of the parallel
+  // filesystem share feeding the data loader. Prefetch overlaps loading
+  // with compute; only the non-overlapped part shows in the step time.
+  double io_bandwidth_gbs = 2.0;   ///< GB/s per device (Lustre-like share)
+  double io_overlap = 0.9;         ///< fraction of load time hidden by prefetch
+
+  // Checkpointing: every `checkpoint_interval_steps` the optimizer state
+  // (~3x fp32 parameter bytes: weights + 2 Adam moments) is written at
+  // `checkpoint_bandwidth_gbs` (aggregate), stalling the step. 0 disables.
+  std::int64_t checkpoint_interval_steps = 0;
+  double checkpoint_bandwidth_gbs = 40.0;
+
+  [[nodiscard]] std::int64_t global_batch() const {
+    return static_cast<std::int64_t>(devices) * per_device_batch;
+  }
+};
+
+/// Analytic timing for one optimizer step.
+class DdpCostModel {
+ public:
+  DdpCostModel(ClusterSpec cluster, ModelConfig model, DatasetSpec data, DdpConfig ddp)
+      : cluster_(std::move(cluster)), model_(std::move(model)), data_(std::move(data)),
+        ddp_(ddp) {}
+
+  /// Pure compute time: per-device micro-batch FLOPs / sustained FLOP/s.
+  [[nodiscard]] double compute_time_s() const;
+
+  /// Ring all-reduce of the gradient buffer across all ranks:
+  ///   t = 2 (k-1)/k · bytes / bottleneck_bw + 2 (k-1) · latency
+  [[nodiscard]] double allreduce_time_s() const;
+
+  /// Time to read one device micro-batch from storage (before prefetch
+  /// overlap): batch bytes / per-device bandwidth.
+  [[nodiscard]] double data_load_time_s() const;
+
+  /// Checkpoint stall amortized per step: optimizer-state bytes /
+  /// aggregate write bandwidth / interval. 0 when checkpointing is off.
+  [[nodiscard]] double checkpoint_time_per_step_s() const;
+
+  /// Visible step time: compute plus the non-overlapped communication and
+  /// data-loading tails plus the amortized checkpoint stall.
+  [[nodiscard]] double step_time_s() const;
+
+  /// Average device utilization during a step (compute fraction), used by
+  /// the power model: communication-bound runs burn less GPU power.
+  [[nodiscard]] double device_utilization() const;
+
+  /// Steps needed for one pass over the dataset (ceil).
+  [[nodiscard]] std::int64_t steps_per_epoch() const;
+
+ private:
+  // Stored by value: the model is cheap to copy and callers routinely pass
+  // temporaries (make_model(...)).
+  ClusterSpec cluster_;
+  ModelConfig model_;
+  DatasetSpec data_;
+  DdpConfig ddp_;
+};
+
+}  // namespace provml::sim

@@ -1,0 +1,69 @@
+// Cost models for the two MODIS-FM baselines evaluated in the paper:
+// a Masked Autoencoder with ViT backbone (MAE) and a Swin Transformer V2
+// (SwinT-V2). Each architecture provides FLOPs-per-sample and a
+// data-and-parameter scaling-law loss curve with its own constants, tuned
+// so the qualitative Figure 3 behaviour holds: SwinT-V2 performs better at
+// scale, MAE shows a steeper energy/performance trade-off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace provml::sim {
+
+enum class Architecture { kMae, kSwinV2 };
+
+[[nodiscard]] const char* architecture_name(Architecture arch);
+
+/// Input dataset descriptor. Only sizes enter the simulation — pixel values
+/// never matter for time/energy/loss curves (see DESIGN.md substitutions).
+struct DatasetSpec {
+  std::string name = "modis-l1b";
+  std::int64_t samples = 800'000;  ///< 128x128 patches
+  int patch_pixels = 128;
+  int channels = 6;
+  int vit_patch_size = 16;  ///< tokens per side = patch_pixels / vit_patch_size
+
+  /// 23 years of MODIS 1km L1B radiance patches (paper Section 5).
+  [[nodiscard]] static DatasetSpec modis();
+
+  [[nodiscard]] int tokens_per_sample() const {
+    const int side = patch_pixels / vit_patch_size;
+    return side * side;
+  }
+};
+
+/// One model configuration in the scaling study.
+struct ModelConfig {
+  Architecture arch = Architecture::kMae;
+  std::string name;               ///< e.g. "MAE-100M"
+  std::int64_t parameters = 0;
+
+  /// Training FLOPs per sample (forward + backward). MAE's encoder only
+  /// sees the unmasked quarter of tokens, so it is cheaper per sample;
+  /// SwinT-V2 processes every token through windowed attention.
+  [[nodiscard]] double train_flops_per_sample(const DatasetSpec& data) const;
+
+  /// Scaling-law loss after seeing `samples_seen` samples:
+  ///   L(N, D) = E + A / N^alpha + B / D^beta
+  /// with architecture-specific constants (N = parameters, D = samples).
+  [[nodiscard]] double loss_after(double samples_seen) const;
+
+  /// Gradient bytes exchanged per DDP step (fp32 gradients).
+  [[nodiscard]] double gradient_bytes() const {
+    return static_cast<double>(parameters) * 4.0;
+  }
+};
+
+/// The four scaling-study sizes from the paper: 100M, 200M, 600M, 1.4B.
+[[nodiscard]] std::vector<ModelConfig> scaling_study_models(Architecture arch);
+
+/// A single size (parameters must be one of the four study sizes or any
+/// positive count; the name is derived).
+[[nodiscard]] ModelConfig make_model(Architecture arch, std::int64_t parameters);
+
+/// The paper's device-count axis: 8, 16, 32, 64, 128 GPUs.
+[[nodiscard]] std::vector<int> scaling_study_device_counts();
+
+}  // namespace provml::sim

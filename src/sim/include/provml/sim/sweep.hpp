@@ -1,0 +1,49 @@
+// Scaling-study sweep engine: builds the full (architecture × model size ×
+// device count) grid from the paper's Section 5 and executes the simulated
+// runs, optionally in parallel across a thread pool.
+#pragma once
+
+#include <vector>
+
+#include "provml/sim/trainer.hpp"
+
+namespace provml::sim {
+
+/// One grid cell: the configuration plus its result.
+struct SweepCell {
+  TrainConfig config;
+  TrainResult result;
+};
+
+/// Builds the paper's grid for one architecture: 4 model sizes × 5 device
+/// counts, sharing dataset/cluster/epochs/walltime from `base`.
+[[nodiscard]] std::vector<TrainConfig> build_scaling_grid(Architecture arch,
+                                                          const TrainConfig& base);
+
+/// Runs every configuration; `workers` == 1 executes inline, otherwise a
+/// ThreadPool is used. Results are returned in input order regardless of
+/// completion order.
+[[nodiscard]] std::vector<SweepCell> run_sweep(const std::vector<TrainConfig>& configs,
+                                               unsigned workers = 0);
+
+/// The Figure 3 heatmap for one architecture: rows = model sizes, columns
+/// = device counts; value = loss × total energy; empty (NaN) where the run
+/// exceeded the walltime.
+struct TradeoffTable {
+  Architecture arch = Architecture::kMae;
+  std::vector<std::int64_t> model_sizes;
+  std::vector<int> device_counts;
+  /// row-major [model][devices]; NaN marks walltime-exceeded cells
+  std::vector<double> loss_energy;
+  std::vector<SweepCell> cells;  ///< same order as loss_energy
+
+  [[nodiscard]] double at(std::size_t model_idx, std::size_t device_idx) const {
+    return loss_energy[model_idx * device_counts.size() + device_idx];
+  }
+};
+
+/// Runs the whole study for one architecture and assembles the heatmap.
+[[nodiscard]] TradeoffTable run_tradeoff_study(Architecture arch, const TrainConfig& base,
+                                               unsigned workers = 0);
+
+}  // namespace provml::sim

@@ -1,0 +1,82 @@
+// The simulated training run: pre-training (self-supervised reconstruction)
+// followed by optional fine-tuning with frozen backbone, exactly the two
+// stages the paper's use case describes. Runs in virtual time — the
+// simulator advances a clock analytically and reports loss/energy/walltime
+// without executing any tensor math.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <random>
+
+#include "provml/sim/ddp.hpp"
+
+namespace provml::sim {
+
+struct TrainConfig {
+  ModelConfig model;
+  DatasetSpec dataset = DatasetSpec::modis();
+  ClusterSpec cluster = ClusterSpec::frontier();
+  DdpConfig ddp;
+  int epochs = 10;
+  double walltime_limit_s = 2.0 * 3600.0;  ///< the study's 2-hour cap
+  std::uint64_t seed = 1;                  ///< drives loss jitter only
+  double loss_noise_sigma = 0.004;
+};
+
+/// Progress snapshot delivered once per epoch to the observer callback.
+struct EpochReport {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_loss = 0.0;
+  double epoch_time_s = 0.0;
+  double cumulative_time_s = 0.0;
+  double cumulative_energy_j = 0.0;
+  std::int64_t samples_seen = 0;
+};
+
+using EpochObserver = std::function<void(const EpochReport&)>;
+
+struct TrainResult {
+  bool completed = false;  ///< false = hit the walltime limit (empty cell)
+  int epochs_finished = 0;
+  double final_loss = 0.0;
+  double wall_time_s = 0.0;
+  double energy_j = 0.0;
+  double mean_power_w = 0.0;
+  std::int64_t samples_seen = 0;
+  double step_time_s = 0.0;          ///< per-step time from the cost model
+  double device_utilization = 0.0;
+
+  /// The Figure 3 objective: loss × total energy (lower is better).
+  [[nodiscard]] double loss_energy_product() const { return final_loss * energy_j; }
+};
+
+/// Simulates one DDP pre-training run.
+class DdpTrainer {
+ public:
+  explicit DdpTrainer(TrainConfig config) : config_(std::move(config)) {}
+
+  /// Runs to completion or to the walltime limit. The observer (if any)
+  /// fires after every finished epoch — the core logger hooks in here.
+  [[nodiscard]] TrainResult run(const EpochObserver& observer = nullptr) const;
+
+  [[nodiscard]] const TrainConfig& config() const { return config_; }
+
+ private:
+  TrainConfig config_;
+};
+
+/// Fine-tuning stage: all layers frozen except the prediction head, so
+/// per-sample cost drops to the forward pass plus the head's backward.
+struct FinetuneConfig {
+  double head_fraction = 0.02;     ///< trainable fraction of parameters
+  std::int64_t labeled_samples = 50'000;
+  int epochs = 3;
+};
+
+/// Simulates the fine-tuning stage on top of a completed pre-training run.
+[[nodiscard]] TrainResult run_finetune(const TrainConfig& pretrain,
+                                       const FinetuneConfig& finetune);
+
+}  // namespace provml::sim

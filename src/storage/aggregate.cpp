@@ -1,0 +1,135 @@
+#include "provml/storage/aggregate.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+
+namespace provml::storage {
+
+SeriesSummary summarize(const MetricSeries& series) {
+  SeriesSummary summary;
+  if (series.samples.empty()) return summary;
+  summary.count = series.samples.size();
+  summary.min = series.samples.front().value;
+  summary.max = series.samples.front().value;
+  double sum = 0;
+  for (const MetricSample& s : series.samples) {
+    summary.min = std::min(summary.min, s.value);
+    summary.max = std::max(summary.max, s.value);
+    sum += s.value;
+  }
+  summary.mean = sum / static_cast<double>(summary.count);
+  double var = 0;
+  for (const MetricSample& s : series.samples) {
+    var += (s.value - summary.mean) * (s.value - summary.mean);
+  }
+  summary.stddev = std::sqrt(var / static_cast<double>(summary.count));
+  summary.first = series.samples.front().value;
+  summary.last = series.samples.back().value;
+  summary.first_step = series.samples.front().step;
+  summary.last_step = series.samples.back().step;
+  summary.duration_ms =
+      series.samples.back().timestamp_ms - series.samples.front().timestamp_ms;
+  return summary;
+}
+
+MetricSeries downsample(const MetricSeries& series, std::size_t max_points) {
+  if (max_points == 0 || series.samples.size() <= max_points) return series;
+  MetricSeries out;
+  out.name = series.name;
+  out.context = series.context;
+  out.unit = series.unit;
+  const std::size_t n = series.samples.size();
+  out.samples.reserve(max_points);
+  for (std::size_t bucket = 0; bucket < max_points; ++bucket) {
+    const std::size_t begin = bucket * n / max_points;
+    const std::size_t end = (bucket + 1) * n / max_points;
+    double sum = 0;
+    for (std::size_t i = begin; i < end; ++i) sum += series.samples[i].value;
+    const std::size_t mid = begin + (end - begin) / 2;
+    out.samples.push_back({series.samples[mid].step, series.samples[mid].timestamp_ms,
+                           sum / static_cast<double>(end - begin)});
+  }
+  return out;
+}
+
+double trend_per_step(const MetricSeries& series) {
+  const std::size_t n = series.samples.size();
+  if (n < 2) return 0.0;
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  for (const MetricSample& s : series.samples) {
+    const auto x = static_cast<double>(s.step);
+    sx += x;
+    sy += s.value;
+    sxx += x * x;
+    sxy += x * s.value;
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+double integrate_over_time(const MetricSeries& series) {
+  double total = 0;
+  for (std::size_t i = 1; i < series.samples.size(); ++i) {
+    const double dt_s = static_cast<double>(series.samples[i].timestamp_ms -
+                                            series.samples[i - 1].timestamp_ms) /
+                        1000.0;
+    total += 0.5 * (series.samples[i].value + series.samples[i - 1].value) * dt_s;
+  }
+  return total;
+}
+
+namespace {
+
+std::string csv_field(const std::string& raw) {
+  if (raw.find_first_of(",\"\n") == std::string::npos) return raw;
+  std::string out = "\"";
+  for (const char c : raw) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+}  // namespace
+
+std::string to_csv(const MetricSet& metrics) {
+  std::string out = "series,context,unit,step,timestamp_ms,value\n";
+  for (const MetricSeries& series : metrics.all()) {
+    const std::string prefix = csv_field(series.name) + "," + csv_field(series.context) +
+                               "," + csv_field(series.unit) + ",";
+    for (const MetricSample& sample : series.samples) {
+      out += prefix;
+      out += std::to_string(sample.step);
+      out += ',';
+      out += std::to_string(sample.timestamp_ms);
+      out += ',';
+      append_double(out, sample.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Status write_csv(const MetricSet& metrics, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error{"cannot open file for writing", path};
+  const std::string text = to_csv(metrics);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Error{"write failed", path};
+  return Status::ok_status();
+}
+
+}  // namespace provml::storage

@@ -1,0 +1,53 @@
+// Metric-series aggregation: summary statistics and downsampling. The
+// explorer and the yProv Explorer front-end never plot raw 100k-sample
+// series; they ask for summaries and bounded-size resamples of the stored
+// data ("metrics ... updated during the training process").
+#pragma once
+
+#include <cstddef>
+
+#include "provml/common/expected.hpp"
+#include "provml/storage/series.hpp"
+
+namespace provml::storage {
+
+struct SeriesSummary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;  ///< population standard deviation
+  double first = 0;
+  double last = 0;
+  std::int64_t first_step = 0;
+  std::int64_t last_step = 0;
+  std::int64_t duration_ms = 0;  ///< last timestamp − first timestamp
+};
+
+/// Summary statistics over a series (count == 0 for an empty series).
+[[nodiscard]] SeriesSummary summarize(const MetricSeries& series);
+
+/// Downsamples to at most `max_points` samples by bucket-mean: samples are
+/// split into equal-count buckets; each bucket contributes one sample with
+/// the mean value and the bucket's central step/timestamp. Series at or
+/// under the budget are returned unchanged.
+[[nodiscard]] MetricSeries downsample(const MetricSeries& series, std::size_t max_points);
+
+/// Linear-regression slope of value over step (per-step trend); 0 when
+/// fewer than two samples or constant steps. Used by convergence checks.
+[[nodiscard]] double trend_per_step(const MetricSeries& series);
+
+/// Value area under the curve over *time* (trapezoid on timestamps), e.g.
+/// energy from a power series. Units: value-units × seconds.
+[[nodiscard]] double integrate_over_time(const MetricSeries& series);
+
+/// Plot-ready CSV of a whole metric set:
+///   series,context,unit,step,timestamp_ms,value
+/// Values use shortest round-trip formatting; fields containing commas or
+/// quotes are quoted per RFC 4180.
+[[nodiscard]] std::string to_csv(const MetricSet& metrics);
+
+/// Writes to_csv() to a file.
+[[nodiscard]] Status write_csv(const MetricSet& metrics, const std::string& path);
+
+}  // namespace provml::storage

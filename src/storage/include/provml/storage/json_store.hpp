@@ -1,0 +1,31 @@
+// JSON-embedded metric store: every sample is rendered as JSON text. This
+// is the paper's baseline layout ("Original_file.json") whose size the
+// optimized formats are compared against in Table 1.
+#pragma once
+
+#include "provml/json/value.hpp"
+#include "provml/storage/store.hpp"
+
+namespace provml::storage {
+
+class JsonMetricStore final : public MetricStore {
+ public:
+  /// `pretty` controls indentation; the paper's files are pretty-printed.
+  explicit JsonMetricStore(bool pretty = true) : pretty_(pretty) {}
+
+  [[nodiscard]] std::string format_name() const override { return "json"; }
+  [[nodiscard]] std::string path_suffix() const override { return ".json"; }
+  [[nodiscard]] Status write(const MetricSet& metrics, const std::string& path) const override;
+  [[nodiscard]] Expected<MetricSet> read(const std::string& path) const override;
+
+ private:
+  bool pretty_;
+};
+
+/// Conversion helpers shared with the core logger (which embeds metric
+/// payloads into the run's PROV-JSON document when no external store is
+/// configured).
+[[nodiscard]] json::Value metric_set_to_json(const MetricSet& metrics);
+[[nodiscard]] Expected<MetricSet> metric_set_from_json(const json::Value& value);
+
+}  // namespace provml::storage

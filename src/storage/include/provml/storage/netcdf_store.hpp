@@ -1,0 +1,37 @@
+// NetCDF-classic-like single-file columnar binary store. Layout:
+//   magic "PNC1"
+//   global attrs:  count, then (name, value) string pairs
+//   variable list: count, then per series
+//     name, context, unit (length-prefixed strings)
+//     sample count (varint)
+//     step column      : i64 delta+zigzag+varint, lzss (container frame)
+//     timestamp column : same as step column
+//     value column     : f64 compressed with shuffle+lzss (container frame)
+// Values are compressed *inside* the file, mirroring NetCDF-4's built-in
+// deflate — which is why the paper's Table 1 shows almost no gain from
+// externally compressing the .nc file (2.35 MB → 2.30 MB).
+#pragma once
+
+#include "provml/storage/store.hpp"
+
+namespace provml::storage {
+
+class NetcdfMetricStore final : public MetricStore {
+ public:
+  [[nodiscard]] std::string format_name() const override { return "netcdf"; }
+  [[nodiscard]] std::string path_suffix() const override { return ".nc"; }
+  [[nodiscard]] Status write(const MetricSet& metrics, const std::string& path) const override;
+  [[nodiscard]] Expected<MetricSet> read(const std::string& path) const override;
+
+  /// Global attributes written into the file header.
+  void set_attribute(const std::string& key, const std::string& value) {
+    attributes_.emplace_back(key, value);
+  }
+  [[nodiscard]] static Expected<std::vector<std::pair<std::string, std::string>>>
+  read_attributes(const std::string& path);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> attributes_;
+};
+
+}  // namespace provml::storage

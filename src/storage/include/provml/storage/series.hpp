@@ -1,0 +1,94 @@
+// Metric time-series model. yProv4ML separates bulky per-step metric data
+// from the top-level PROV-JSON document; this is the in-memory form that the
+// JSON-embedded, Zarr-like, and NetCDF-like stores serialize.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+
+namespace provml::storage {
+
+/// One logged observation of a metric.
+struct MetricSample {
+  std::int64_t step = 0;          ///< training step / iteration
+  std::int64_t timestamp_ms = 0;  ///< epoch milliseconds at log time
+  double value = 0.0;
+
+  friend bool operator==(const MetricSample&, const MetricSample&) = default;
+};
+
+/// A named metric stream within one context (e.g. "loss" in "TRAINING").
+struct MetricSeries {
+  std::string name;
+  std::string context;  ///< TRAINING / VALIDATION / TESTING / user-defined
+  std::string unit;     ///< free-form, e.g. "J", "W", "%"
+  std::vector<MetricSample> samples;
+
+  void append(std::int64_t step, std::int64_t timestamp_ms, double value) {
+    samples.push_back({step, timestamp_ms, value});
+  }
+
+  [[nodiscard]] std::size_t size() const { return samples.size(); }
+
+  /// Key used by stores and lookups: "context/name".
+  [[nodiscard]] std::string key() const { return context + "/" + name; }
+
+  friend bool operator==(const MetricSeries&, const MetricSeries&) = default;
+};
+
+/// An ordered collection of series, unique by (context, name).
+/// References returned by series() remain valid for the MetricSet's
+/// lifetime (series are heap-allocated), so callers such as the run logger
+/// can cache them across subsequent insertions.
+class MetricSet {
+ public:
+  MetricSet() = default;
+  MetricSet(const MetricSet& other) { *this = other; }
+  MetricSet& operator=(const MetricSet& other);
+  MetricSet(MetricSet&&) noexcept = default;
+  MetricSet& operator=(MetricSet&&) noexcept = default;
+
+  /// Returns the series for (name, context), creating it if absent.
+  MetricSeries& series(const std::string& name, const std::string& context,
+                       const std::string& unit = "");
+
+  [[nodiscard]] const MetricSeries* find(const std::string& name,
+                                         const std::string& context) const;
+
+  /// Iterates series in insertion order.
+  class ConstView {
+   public:
+    explicit ConstView(const std::vector<std::unique_ptr<MetricSeries>>& v) : v_(v) {}
+    struct Iterator {
+      const std::unique_ptr<MetricSeries>* p;
+      const MetricSeries& operator*() const { return **p; }
+      Iterator& operator++() { ++p; return *this; }
+      bool operator!=(const Iterator& o) const { return p != o.p; }
+    };
+    [[nodiscard]] Iterator begin() const { return {v_.data()}; }
+    [[nodiscard]] Iterator end() const { return {v_.data() + v_.size()}; }
+    [[nodiscard]] std::size_t size() const { return v_.size(); }
+    const MetricSeries& operator[](std::size_t i) const { return *v_[i]; }
+
+   private:
+    const std::vector<std::unique_ptr<MetricSeries>>& v_;
+  };
+
+  [[nodiscard]] ConstView all() const { return ConstView{series_}; }
+  [[nodiscard]] std::size_t size() const { return series_.size(); }
+  [[nodiscard]] bool empty() const { return series_.empty(); }
+
+  /// Total samples across all series.
+  [[nodiscard]] std::size_t total_samples() const;
+
+  friend bool operator==(const MetricSet& a, const MetricSet& b);
+
+ private:
+  std::vector<std::unique_ptr<MetricSeries>> series_;
+};
+
+}  // namespace provml::storage

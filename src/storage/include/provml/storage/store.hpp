@@ -1,0 +1,61 @@
+// Pluggable metric-store back-ends. A store serializes a MetricSet to a
+// path (file or directory, format-dependent) and reads it back. The three
+// built-ins reproduce the formats compared in the paper's Table 1:
+//   "json"   — metrics embedded in a JSON document (the 39.82 MB baseline)
+//   "zarr"   — chunked, compressed directory store (Zarr-v2-like layout)
+//   "netcdf" — single-file columnar binary (NetCDF-classic-like)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "provml/common/expected.hpp"
+#include "provml/storage/series.hpp"
+
+namespace provml::storage {
+
+class MetricStore {
+ public:
+  virtual ~MetricStore() = default;
+
+  /// Stable format identifier ("json", "zarr", "netcdf").
+  [[nodiscard]] virtual std::string format_name() const = 0;
+
+  /// Conventional path suffix for this format (".json", ".zarr", ".nc").
+  [[nodiscard]] virtual std::string path_suffix() const = 0;
+
+  /// Serializes `metrics` to `path` (created/overwritten).
+  [[nodiscard]] virtual Status write(const MetricSet& metrics,
+                                     const std::string& path) const = 0;
+
+  /// Reads a MetricSet previously written by this store.
+  [[nodiscard]] virtual Expected<MetricSet> read(const std::string& path) const = 0;
+
+  /// Total on-disk footprint in bytes (sums directory contents for
+  /// directory-based formats).
+  [[nodiscard]] virtual Expected<std::uint64_t> size_on_disk(const std::string& path) const;
+};
+
+/// Name → factory registry mirroring compress::CodecRegistry. The built-in
+/// stores are pre-registered in global(); plugins may add more.
+class StoreRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<MetricStore>()>;
+
+  static StoreRegistry& global();
+
+  void register_store(const std::string& name, Factory factory);
+  [[nodiscard]] std::unique_ptr<MetricStore> create(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Recursive byte size of a file or directory tree.
+[[nodiscard]] Expected<std::uint64_t> path_size_bytes(const std::string& path);
+
+}  // namespace provml::storage

@@ -1,0 +1,77 @@
+#include "provml/storage/json_store.hpp"
+
+#include "provml/json/parse.hpp"
+#include "provml/json/write.hpp"
+
+namespace provml::storage {
+
+json::Value metric_set_to_json(const MetricSet& metrics) {
+  json::Array series_array;
+  for (const MetricSeries& s : metrics.all()) {
+    json::Object entry;
+    entry.set("name", s.name);
+    entry.set("context", s.context);
+    entry.set("unit", s.unit);
+    // One JSON object per sample — deliberately the naive layout the paper
+    // measures as the uncompressed baseline.
+    json::Array samples;
+    samples.reserve(s.samples.size());
+    for (const MetricSample& sample : s.samples) {
+      json::Object rec;
+      rec.set("step", sample.step);
+      rec.set("time", sample.timestamp_ms);
+      rec.set("value", sample.value);
+      samples.push_back(std::move(rec));
+    }
+    entry.set("samples", std::move(samples));
+    series_array.push_back(std::move(entry));
+  }
+  json::Object root;
+  root.set("series", std::move(series_array));
+  return root;
+}
+
+Expected<MetricSet> metric_set_from_json(const json::Value& value) {
+  const json::Value* series_array = value.find("series");
+  if (series_array == nullptr || !series_array->is_array()) {
+    return Error{"missing 'series' array", "json-store"};
+  }
+  MetricSet out;
+  for (const json::Value& entry : series_array->as_array()) {
+    const json::Value* name = entry.find("name");
+    const json::Value* context = entry.find("context");
+    const json::Value* samples = entry.find("samples");
+    if (name == nullptr || !name->is_string() || context == nullptr ||
+        !context->is_string() || samples == nullptr || !samples->is_array()) {
+      return Error{"malformed series entry", "json-store"};
+    }
+    const json::Value* unit = entry.find("unit");
+    MetricSeries& s = out.series(name->as_string(), context->as_string(),
+                                 unit != nullptr && unit->is_string() ? unit->as_string() : "");
+    for (const json::Value& rec : samples->as_array()) {
+      const json::Value* step = rec.find("step");
+      const json::Value* time = rec.find("time");
+      const json::Value* val = rec.find("value");
+      if (step == nullptr || !step->is_int() || time == nullptr || !time->is_int() ||
+          val == nullptr || !val->is_number()) {
+        return Error{"malformed sample in series '" + s.name + "'", "json-store"};
+      }
+      s.append(step->as_int(), time->as_int(), val->as_double());
+    }
+  }
+  return out;
+}
+
+Status JsonMetricStore::write(const MetricSet& metrics, const std::string& path) const {
+  json::WriteOptions opts;
+  opts.pretty = pretty_;
+  return json::write_file(path, metric_set_to_json(metrics), opts);
+}
+
+Expected<MetricSet> JsonMetricStore::read(const std::string& path) const {
+  Expected<json::Value> v = json::parse_file(path);
+  if (!v.ok()) return v.error();
+  return metric_set_from_json(v.value());
+}
+
+}  // namespace provml::storage

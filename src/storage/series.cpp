@@ -1,0 +1,49 @@
+#include "provml/storage/series.hpp"
+
+namespace provml::storage {
+
+MetricSet& MetricSet::operator=(const MetricSet& other) {
+  if (this != &other) {
+    series_.clear();
+    series_.reserve(other.series_.size());
+    for (const auto& s : other.series_) {
+      series_.push_back(std::make_unique<MetricSeries>(*s));
+    }
+  }
+  return *this;
+}
+
+MetricSeries& MetricSet::series(const std::string& name, const std::string& context,
+                                const std::string& unit) {
+  for (const auto& s : series_) {
+    if (s->name == name && s->context == context) {
+      if (s->unit.empty() && !unit.empty()) s->unit = unit;
+      return *s;
+    }
+  }
+  series_.push_back(std::make_unique<MetricSeries>(MetricSeries{name, context, unit, {}}));
+  return *series_.back();
+}
+
+const MetricSeries* MetricSet::find(const std::string& name, const std::string& context) const {
+  for (const auto& s : series_) {
+    if (s->name == name && s->context == context) return s.get();
+  }
+  return nullptr;
+}
+
+std::size_t MetricSet::total_samples() const {
+  std::size_t total = 0;
+  for (const auto& s : series_) total += s->samples.size();
+  return total;
+}
+
+bool operator==(const MetricSet& a, const MetricSet& b) {
+  if (a.series_.size() != b.series_.size()) return false;
+  for (std::size_t i = 0; i < a.series_.size(); ++i) {
+    if (!(*a.series_[i] == *b.series_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace provml::storage

@@ -1,0 +1,67 @@
+#include "provml/storage/store.hpp"
+
+#include <filesystem>
+
+#include "provml/storage/json_store.hpp"
+#include "provml/storage/netcdf_store.hpp"
+#include "provml/storage/zarr_store.hpp"
+
+namespace provml::storage {
+
+Expected<std::uint64_t> path_size_bytes(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status status = fs::status(path, ec);
+  if (ec) return Error{"cannot stat path: " + ec.message(), path};
+  if (fs::is_regular_file(status)) {
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (ec) return Error{"cannot read file size: " + ec.message(), path};
+    return static_cast<std::uint64_t>(size);
+  }
+  if (!fs::is_directory(status)) return Error{"not a file or directory", path};
+  std::uint64_t total = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+    if (entry.is_regular_file(ec)) {
+      total += static_cast<std::uint64_t>(entry.file_size(ec));
+    }
+  }
+  if (ec) return Error{"directory walk failed: " + ec.message(), path};
+  return total;
+}
+
+Expected<std::uint64_t> MetricStore::size_on_disk(const std::string& path) const {
+  return path_size_bytes(path);
+}
+
+StoreRegistry& StoreRegistry::global() {
+  static StoreRegistry registry = [] {
+    StoreRegistry r;
+    r.register_store("json", [] { return std::make_unique<JsonMetricStore>(); });
+    r.register_store("zarr", [] { return std::make_unique<ZarrMetricStore>(); });
+    r.register_store("netcdf", [] { return std::make_unique<NetcdfMetricStore>(); });
+    return r;
+  }();
+  return registry;
+}
+
+void StoreRegistry::register_store(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<MetricStore> StoreRegistry::create(const std::string& name) const {
+  const auto it = factories_.find(name);
+  return it == factories_.end() ? nullptr : it->second();
+}
+
+bool StoreRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> StoreRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace provml::storage

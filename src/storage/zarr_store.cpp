@@ -1,0 +1,256 @@
+#include "provml/storage/zarr_store.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+
+#include "provml/compress/container.hpp"
+#include "provml/compress/varint.hpp"
+#include "provml/json/parse.hpp"
+#include "provml/json/write.hpp"
+#include "provml/storage/json_store.hpp"
+
+namespace provml::storage {
+namespace {
+
+namespace fs = std::filesystem;
+using compress::Bytes;
+
+constexpr const char* kColumns[3] = {"step", "timestamp", "value"};
+constexpr const char* kIntFilter = "delta-varint";
+
+std::string sanitize_dir(std::size_t index, const MetricSeries& s) {
+  std::string out = "s" + std::to_string(index) + "_";
+  for (const char c : s.key()) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' || c == '-')
+               ? c
+               : '_';
+  }
+  return out;
+}
+
+/// Extracts one column of a series as raw bytes ready for the codec chain.
+Bytes column_chunk_bytes(const MetricSeries& s, int column, std::size_t begin,
+                         std::size_t end) {
+  if (column == 2) {  // f64 values, little-endian memcpy
+    Bytes out((end - begin) * sizeof(double));
+    for (std::size_t i = begin; i < end; ++i) {
+      std::memcpy(out.data() + (i - begin) * sizeof(double), &s.samples[i].value,
+                  sizeof(double));
+    }
+    return out;
+  }
+  std::vector<std::int64_t> values;
+  values.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    values.push_back(column == 0 ? s.samples[i].step : s.samples[i].timestamp_ms);
+  }
+  return compress::pack_i64(values);
+}
+
+Status restore_column(MetricSeries& s, int column, std::size_t begin, std::size_t count,
+                      const Bytes& raw) {
+  if (column == 2) {
+    if (raw.size() != count * sizeof(double)) {
+      return Error{"value chunk size mismatch", s.key()};
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      std::memcpy(&s.samples[begin + i].value, raw.data() + i * sizeof(double),
+                  sizeof(double));
+    }
+    return Status::ok_status();
+  }
+  Expected<std::vector<std::int64_t>> values = compress::unpack_i64(raw, count);
+  if (!values.ok()) return values.error();
+  for (std::size_t i = 0; i < count; ++i) {
+    (column == 0 ? s.samples[begin + i].step : s.samples[begin + i].timestamp_ms) =
+        values.value()[i];
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
+Status ZarrMetricStore::write(const MetricSet& metrics, const std::string& path) const {
+  std::error_code ec;
+  fs::remove_all(path, ec);  // overwrite semantics, like a file store
+  if (!fs::create_directories(path, ec) && ec) {
+    return Error{"cannot create store directory: " + ec.message(), path};
+  }
+
+  const std::string codec = options_.compress ? options_.codec : "raw";
+  const std::string int_codec = options_.compress ? options_.int_codec : "raw";
+
+  Status s = json::write_file((fs::path(path) / ".zgroup").string(),
+                              json::Value(json::make_object({{"zarr_format", 2}})));
+  if (!s.ok()) return s;
+
+  json::Array listing;
+  for (std::size_t idx = 0; idx < metrics.all().size(); ++idx) {
+    const MetricSeries& series = metrics.all()[idx];
+    const std::string dir_name = sanitize_dir(idx, series);
+    listing.push_back(json::make_object({{"name", series.name},
+                                         {"context", series.context},
+                                         {"unit", series.unit},
+                                         {"path", dir_name},
+                                         {"length", series.samples.size()}}));
+
+    for (int column = 0; column < 3; ++column) {
+      const fs::path col_dir = fs::path(path) / dir_name / kColumns[column];
+      if (!fs::create_directories(col_dir, ec) && ec) {
+        return Error{"cannot create column directory: " + ec.message(), col_dir.string()};
+      }
+      const std::string col_codec = column == 2 ? codec : int_codec;
+      json::Object zarray = json::make_object(
+          {{"zarr_format", 2},
+           {"shape", json::Array{series.samples.size()}},
+           {"chunks", json::Array{options_.chunk_length}},
+           {"dtype", column == 2 ? "<f8" : "<i8"},
+           {"compressor", json::make_object({{"id", col_codec}})},
+           {"filters",
+            column == 2 ? json::Array{} : json::Array{json::Value(kIntFilter)}}});
+      s = json::write_file((col_dir / ".zarray").string(), json::Value(std::move(zarray)));
+      if (!s.ok()) return s;
+
+      const std::size_t n = series.samples.size();
+      for (std::size_t begin = 0, chunk = 0; begin < n || chunk == 0;
+           begin += options_.chunk_length, ++chunk) {
+        if (begin >= n && chunk > 0) break;
+        const std::size_t end = std::min(begin + options_.chunk_length, n);
+        const Bytes raw = column_chunk_bytes(series, column, begin, end);
+        Expected<Bytes> packed = compress::pack(raw, col_codec);
+        if (!packed.ok()) return packed.error();
+        s = compress::write_file_bytes((col_dir / std::to_string(chunk)).string(),
+                                       packed.value());
+        if (!s.ok()) return s;
+        if (end == n) break;
+      }
+    }
+  }
+
+  json::Object attrs;
+  attrs.set("series", std::move(listing));
+  return json::write_file((fs::path(path) / ".zattrs").string(), json::Value(std::move(attrs)));
+}
+
+namespace {
+
+/// Reads the .zattrs listing after checking the .zgroup format marker.
+Expected<json::Value> read_listing(const std::string& path) {
+  Expected<json::Value> group = json::parse_file((fs::path(path) / ".zgroup").string());
+  if (!group.ok()) return group.error();
+  const json::Value* zf = group.value().find("zarr_format");
+  if (zf == nullptr || !zf->is_int() || zf->as_int() != 2) {
+    return Error{"unsupported zarr_format", path};
+  }
+  Expected<json::Value> attrs = json::parse_file((fs::path(path) / ".zattrs").string());
+  if (!attrs.ok()) return attrs;
+  const json::Value* listing = attrs.value().find("series");
+  if (listing == nullptr || !listing->is_array()) {
+    return Error{"missing series listing in .zattrs", path};
+  }
+  return *listing;
+}
+
+/// Loads one series described by a listing entry into `series`.
+Status read_entry(const std::string& path, const json::Value& entry,
+                  MetricSeries& series) {
+  const json::Value* dir = entry.find("path");
+  const json::Value* length = entry.find("length");
+  if (dir == nullptr || length == nullptr || !length->is_int()) {
+    return Error{"malformed series listing entry", path};
+  }
+  const auto n = static_cast<std::size_t>(length->as_int());
+  series.samples.resize(n);
+
+  for (int column = 0; column < 3; ++column) {
+    const fs::path col_dir = fs::path(path) / dir->as_string() / kColumns[column];
+    Expected<json::Value> zarray = json::parse_file((col_dir / ".zarray").string());
+    if (!zarray.ok()) return zarray.error();
+    const json::Value* chunks = zarray.value().find("chunks");
+    if (chunks == nullptr || !chunks->is_array() || chunks->as_array().empty() ||
+        !chunks->as_array()[0].is_int()) {
+      return Error{"malformed .zarray chunks", col_dir.string()};
+    }
+    const auto chunk_length = static_cast<std::size_t>(chunks->as_array()[0].as_int());
+    if (chunk_length == 0) return Error{"zero chunk length", col_dir.string()};
+
+    for (std::size_t begin = 0, chunk = 0; begin < n || chunk == 0;
+         begin += chunk_length, ++chunk) {
+      if (begin >= n && chunk > 0) break;
+      const std::size_t end = std::min(begin + chunk_length, n);
+      Expected<Bytes> packed =
+          compress::read_file_bytes((col_dir / std::to_string(chunk)).string());
+      if (!packed.ok()) return packed.error();
+      Expected<Bytes> raw = compress::unpack(packed.value());
+      if (!raw.ok()) return raw.error();
+      Status s = restore_column(series, column, begin, end - begin, raw.value());
+      if (!s.ok()) return s;
+      if (end == n) break;
+    }
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
+Expected<MetricSet> ZarrMetricStore::read(const std::string& path) const {
+  Expected<json::Value> listing = read_listing(path);
+  if (!listing.ok()) return listing.error();
+
+  MetricSet out;
+  for (const json::Value& entry : listing.value().as_array()) {
+    const json::Value* name = entry.find("name");
+    const json::Value* context = entry.find("context");
+    if (name == nullptr || context == nullptr) {
+      return Error{"malformed series listing entry", path};
+    }
+    const json::Value* unit = entry.find("unit");
+    MetricSeries& series =
+        out.series(name->as_string(), context->as_string(),
+                   unit != nullptr && unit->is_string() ? unit->as_string() : "");
+    Status s = read_entry(path, entry, series);
+    if (!s.ok()) return s.error();
+  }
+  return out;
+}
+
+Expected<MetricSeries> ZarrMetricStore::read_series(const std::string& path,
+                                                    const std::string& name,
+                                                    const std::string& context) const {
+  Expected<json::Value> listing = read_listing(path);
+  if (!listing.ok()) return listing.error();
+  for (const json::Value& entry : listing.value().as_array()) {
+    const json::Value* entry_name = entry.find("name");
+    const json::Value* entry_context = entry.find("context");
+    if (entry_name == nullptr || entry_context == nullptr) continue;
+    if (entry_name->as_string() != name || entry_context->as_string() != context) {
+      continue;
+    }
+    const json::Value* unit = entry.find("unit");
+    MetricSeries series;
+    series.name = name;
+    series.context = context;
+    if (unit != nullptr && unit->is_string()) series.unit = unit->as_string();
+    Status s = read_entry(path, entry, series);
+    if (!s.ok()) return s.error();
+    return series;
+  }
+  return Error{"series not found: " + context + "/" + name, path};
+}
+
+Expected<std::vector<std::pair<std::string, std::string>>> ZarrMetricStore::list_series(
+    const std::string& path) const {
+  Expected<json::Value> listing = read_listing(path);
+  if (!listing.ok()) return listing.error();
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const json::Value& entry : listing.value().as_array()) {
+    const json::Value* name = entry.find("name");
+    const json::Value* context = entry.find("context");
+    if (name == nullptr || context == nullptr) continue;
+    out.emplace_back(name->as_string(), context->as_string());
+  }
+  return out;
+}
+
+}  // namespace provml::storage

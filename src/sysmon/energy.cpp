@@ -1,0 +1,28 @@
+#include "provml/sysmon/energy.hpp"
+
+namespace provml::sysmon {
+
+Status EnergyIntegrator::add_sample(std::int64_t timestamp_ms, double power_w) {
+  if (power_w < 0) return Error{"negative power sample", "energy"};
+  if (count_ > 0 && timestamp_ms < last_ts_ms_) {
+    return Error{"power sample timestamps must be non-decreasing", "energy"};
+  }
+  if (count_ == 0) {
+    first_ts_ms_ = timestamp_ms;
+  } else {
+    const double dt_s = static_cast<double>(timestamp_ms - last_ts_ms_) / 1000.0;
+    joules_ += 0.5 * (last_power_w_ + power_w) * dt_s;
+  }
+  last_ts_ms_ = timestamp_ms;
+  last_power_w_ = power_w;
+  ++count_;
+  return Status::ok_status();
+}
+
+double EnergyIntegrator::mean_power_w() const {
+  if (count_ < 2 || last_ts_ms_ == first_ts_ms_) return 0.0;
+  const double window_s = static_cast<double>(last_ts_ms_ - first_ts_ms_) / 1000.0;
+  return joules_ / window_s;
+}
+
+}  // namespace provml::sysmon

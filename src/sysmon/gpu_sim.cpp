@@ -1,0 +1,21 @@
+#include "provml/sysmon/gpu_sim.hpp"
+
+#include <algorithm>
+
+namespace provml::sysmon {
+
+std::vector<Reading> SimulatedGpuCollector::collect() {
+  // Mean-reverting random walk around the externally-set base utilization:
+  // util += 0.3 (base - util) + N(0, 0.02), clamped to [0, 1].
+  std::normal_distribution<double> noise(0.0, 0.02);
+  utilization_ += 0.3 * (base_utilization_ - utilization_) + noise(rng_);
+  utilization_ = std::clamp(utilization_, 0.0, 1.0);
+
+  const double power = spec_.power_at(utilization_);
+  const double memory = 0.2 * spec_.memory_gib + 0.6 * spec_.memory_gib * utilization_;
+  return {{"gpu_utilization", utilization_ * 100.0, "%"},
+          {"gpu_power", power, "W"},
+          {"gpu_memory_used", memory, "GiB"}};
+}
+
+}  // namespace provml::sysmon

@@ -1,0 +1,57 @@
+// System-metric collectors and their plugin registry. The paper's yProv4ML
+// "enables users to integrate additional data collection tools via
+// plugins" — a plugin here is any Collector registered by name; the core
+// logger samples every attached collector and logs the readings as metric
+// series (energy, power, GPU usage, CPU, memory, ...).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+
+namespace provml::sysmon {
+
+/// One instantaneous reading produced by a collector.
+struct Reading {
+  std::string metric;  ///< e.g. "cpu_utilization"
+  double value = 0.0;
+  std::string unit;    ///< e.g. "%", "W", "MiB"
+};
+
+/// A source of system metrics, polled by the Sampler. Implementations must
+/// tolerate being polled from a dedicated sampling thread (collect() is
+/// called from one thread at a time, but not necessarily the creator's).
+class Collector {
+ public:
+  virtual ~Collector() = default;
+
+  /// Stable plugin name ("cpu", "memory", "gpu_sim", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Takes one reading set. Collectors that need a time base between polls
+  /// (CPU utilization) keep internal state across calls.
+  [[nodiscard]] virtual std::vector<Reading> collect() = 0;
+};
+
+/// Name → factory registry for collector plugins. Built-ins ("cpu",
+/// "memory", "process", "gpu_sim") are pre-registered in global().
+class CollectorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Collector>()>;
+
+  static CollectorRegistry& global();
+
+  void register_collector(const std::string& name, Factory factory);
+  [[nodiscard]] std::unique_ptr<Collector> create(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace provml::sysmon

@@ -1,0 +1,49 @@
+// Energy accounting: trapezoidal integration of power samples and a
+// codecarbon-style CO2 estimate. Used by the core logger's energy plugin
+// and by the scaling-study simulator's per-run energy totals.
+#pragma once
+
+#include <cstdint>
+
+#include "provml/common/expected.hpp"
+
+namespace provml::sysmon {
+
+/// Integrates ∫ P dt over irregularly-spaced power samples (trapezoid
+/// rule). Timestamps must be non-decreasing; out-of-order samples are
+/// rejected so that silent accounting bugs cannot produce negative energy.
+class EnergyIntegrator {
+ public:
+  /// Adds a power reading (watts) at `timestamp_ms`.
+  [[nodiscard]] Status add_sample(std::int64_t timestamp_ms, double power_w);
+
+  [[nodiscard]] double total_joules() const { return joules_; }
+  [[nodiscard]] double total_kwh() const { return joules_ / 3.6e6; }
+  [[nodiscard]] std::size_t sample_count() const { return count_; }
+
+  /// Mean power over the observed window, or 0 before two samples.
+  [[nodiscard]] double mean_power_w() const;
+
+ private:
+  double joules_ = 0.0;
+  double last_power_w_ = 0.0;
+  std::int64_t first_ts_ms_ = 0;
+  std::int64_t last_ts_ms_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Converts energy to CO2-equivalent grams using a grid carbon intensity.
+/// Default is the 2024 world average (~481 gCO2e/kWh, Ember).
+class CarbonEstimator {
+ public:
+  explicit CarbonEstimator(double grams_per_kwh = 481.0)
+      : grams_per_kwh_(grams_per_kwh) {}
+
+  [[nodiscard]] double grams_co2e(double kwh) const { return kwh * grams_per_kwh_; }
+  [[nodiscard]] double intensity() const { return grams_per_kwh_; }
+
+ private:
+  double grams_per_kwh_;
+};
+
+}  // namespace provml::sysmon

@@ -1,0 +1,51 @@
+// Simulated GPU telemetry. Real MI250X power counters (rocm-smi) are not
+// available in this environment, so this collector reproduces their
+// *structure*: utilization follows a bounded random walk driven by a
+// deterministic seed, power follows a standard idle+linear model, and
+// memory tracks a workload footprint. DESIGN.md records this substitution.
+#pragma once
+
+#include <random>
+
+#include "provml/sysmon/collector.hpp"
+
+namespace provml::sysmon {
+
+/// Static description of the simulated device (defaults: one MI250X GCD as
+/// deployed in Frontier nodes — 560 W peak per module, ~280 W per GCD).
+struct GpuSpec {
+  std::string model = "AMD Instinct MI250X (GCD)";
+  double idle_power_w = 90.0;
+  double max_power_w = 280.0;
+  double memory_gib = 64.0;
+
+  /// Power at a given utilization in [0,1]: idle + linear dynamic range.
+  [[nodiscard]] double power_at(double utilization) const {
+    return idle_power_w + utilization * (max_power_w - idle_power_w);
+  }
+};
+
+class SimulatedGpuCollector final : public Collector {
+ public:
+  explicit SimulatedGpuCollector(GpuSpec spec = {}, std::uint64_t seed = 0x9e3779b9,
+                                 double base_utilization = 0.85)
+      : spec_(spec), rng_(seed), utilization_(base_utilization),
+        base_utilization_(base_utilization) {}
+
+  [[nodiscard]] std::string name() const override { return "gpu_sim"; }
+  [[nodiscard]] std::vector<Reading> collect() override;
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+
+  /// Drives the simulated load level (e.g. the trainer sets ~0.95 during
+  /// compute phases and ~0.3 during communication stalls).
+  void set_base_utilization(double utilization) { base_utilization_ = utilization; }
+
+ private:
+  GpuSpec spec_;
+  std::mt19937_64 rng_;
+  double utilization_;
+  double base_utilization_;
+};
+
+}  // namespace provml::sysmon

@@ -1,0 +1,77 @@
+// I/O collectors backed by /proc: block-device throughput from
+// /proc/diskstats and network throughput from /proc/net/dev. Both report
+// rates computed between successive polls (first poll establishes the
+// baseline). Paths are injectable for tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "provml/sysmon/collector.hpp"
+
+namespace provml::sysmon {
+
+/// Aggregate read/write bytes per second across all physical block devices
+/// (partitions and virtual devices like loop/ram are skipped).
+class DiskIoCollector final : public Collector {
+ public:
+  explicit DiskIoCollector(std::string diskstats_path = "/proc/diskstats")
+      : diskstats_path_(std::move(diskstats_path)) {}
+
+  [[nodiscard]] std::string name() const override { return "disk"; }
+  [[nodiscard]] std::vector<Reading> collect() override;
+
+ private:
+  std::string diskstats_path_;
+  std::uint64_t last_read_sectors_ = 0;
+  std::uint64_t last_written_sectors_ = 0;
+  std::int64_t last_poll_ms_ = 0;
+  bool primed_ = false;
+};
+
+/// Aggregate receive/transmit bytes per second across all non-loopback
+/// interfaces from /proc/net/dev.
+class NetworkCollector final : public Collector {
+ public:
+  explicit NetworkCollector(std::string netdev_path = "/proc/net/dev")
+      : netdev_path_(std::move(netdev_path)) {}
+
+  [[nodiscard]] std::string name() const override { return "network"; }
+  [[nodiscard]] std::vector<Reading> collect() override;
+
+ private:
+  std::string netdev_path_;
+  std::uint64_t last_rx_ = 0;
+  std::uint64_t last_tx_ = 0;
+  std::int64_t last_poll_ms_ = 0;
+  bool primed_ = false;
+};
+
+/// Derives cumulative energy (J) and CO2-equivalent emissions (g) from a
+/// power-producing collector it wraps (codecarbon-style). Each collect()
+/// polls the inner collector, integrates its `power_metric` reading over
+/// wall-clock time, and reports the inner readings plus the derived ones.
+class CarbonCollector final : public Collector {
+ public:
+  CarbonCollector(std::unique_ptr<Collector> inner, std::string power_metric = "gpu_power",
+                  double grams_per_kwh = 481.0)
+      : inner_(std::move(inner)),
+        power_metric_(std::move(power_metric)),
+        grams_per_kwh_(grams_per_kwh) {}
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+carbon";
+  }
+  [[nodiscard]] std::vector<Reading> collect() override;
+
+ private:
+  std::unique_ptr<Collector> inner_;
+  std::string power_metric_;
+  double grams_per_kwh_;
+  double joules_ = 0;
+  double last_power_w_ = 0;
+  std::int64_t last_poll_ms_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace provml::sysmon

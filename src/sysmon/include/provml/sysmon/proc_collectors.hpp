@@ -1,0 +1,55 @@
+// Collectors backed by the Linux /proc filesystem. Paths are injectable so
+// tests can point them at fixture files.
+#pragma once
+
+#include <cstdint>
+
+#include "provml/sysmon/collector.hpp"
+
+namespace provml::sysmon {
+
+/// Whole-machine CPU utilization from /proc/stat. The first collect()
+/// establishes a baseline and reports 0%; subsequent calls report the
+/// busy-time fraction since the previous call.
+class CpuCollector final : public Collector {
+ public:
+  explicit CpuCollector(std::string stat_path = "/proc/stat")
+      : stat_path_(std::move(stat_path)) {}
+
+  [[nodiscard]] std::string name() const override { return "cpu"; }
+  [[nodiscard]] std::vector<Reading> collect() override;
+
+ private:
+  std::string stat_path_;
+  std::uint64_t last_busy_ = 0;
+  std::uint64_t last_total_ = 0;
+  bool primed_ = false;
+};
+
+/// System memory from /proc/meminfo: total, available, used (MiB).
+class MemoryCollector final : public Collector {
+ public:
+  explicit MemoryCollector(std::string meminfo_path = "/proc/meminfo")
+      : meminfo_path_(std::move(meminfo_path)) {}
+
+  [[nodiscard]] std::string name() const override { return "memory"; }
+  [[nodiscard]] std::vector<Reading> collect() override;
+
+ private:
+  std::string meminfo_path_;
+};
+
+/// Calling process statistics from /proc/self/status: RSS and thread count.
+class ProcessCollector final : public Collector {
+ public:
+  explicit ProcessCollector(std::string status_path = "/proc/self/status")
+      : status_path_(std::move(status_path)) {}
+
+  [[nodiscard]] std::string name() const override { return "process"; }
+  [[nodiscard]] std::vector<Reading> collect() override;
+
+ private:
+  std::string status_path_;
+};
+
+}  // namespace provml::sysmon

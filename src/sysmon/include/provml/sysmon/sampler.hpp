@@ -1,0 +1,66 @@
+// Background sampling thread: polls a set of collectors at a fixed period
+// and hands each reading to a sink callback. The run logger attaches a sink
+// that appends to its metric series; benches attach counters.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "provml/sysmon/collector.hpp"
+
+namespace provml::sysmon {
+
+/// Sink invoked for every reading: (collector name, reading, timestamp_ms).
+using ReadingSink =
+    std::function<void(const std::string&, const Reading&, std::int64_t)>;
+
+class Sampler {
+ public:
+  explicit Sampler(std::chrono::milliseconds period = std::chrono::milliseconds(100))
+      : period_(period) {}
+
+  /// Joins the sampling thread; a running sampler is stopped cleanly.
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Adds a collector (before start()). Ownership transfers to the sampler.
+  void add_collector(std::unique_ptr<Collector> collector);
+
+  [[nodiscard]] std::size_t collector_count() const { return collectors_.size(); }
+
+  /// Starts the background thread. One immediate sample round is taken
+  /// synchronously so short-lived runs still capture at least one reading.
+  void start(ReadingSink sink);
+
+  /// Stops and joins the thread; takes one final sample round first so the
+  /// tail of the run is covered. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+
+  /// Polls all collectors once, synchronously, through `sink`.
+  void sample_once(const ReadingSink& sink);
+
+ private:
+  void run_loop();
+
+  std::chrono::milliseconds period_;
+  std::vector<std::unique_ptr<Collector>> collectors_;
+  ReadingSink sink_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+};
+
+/// Milliseconds since the Unix epoch (system clock).
+[[nodiscard]] std::int64_t now_ms();
+
+}  // namespace provml::sysmon

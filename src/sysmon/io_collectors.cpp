@@ -1,0 +1,140 @@
+#include "provml/sysmon/io_collectors.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "provml/common/strings.hpp"
+#include "provml/sysmon/sampler.hpp"
+
+namespace provml::sysmon {
+namespace {
+
+constexpr double kSectorBytes = 512.0;
+
+bool is_physical_device(const std::string& name) {
+  if (strings::starts_with(name, "loop") || strings::starts_with(name, "ram") ||
+      strings::starts_with(name, "dm-") || strings::starts_with(name, "zram")) {
+    return false;
+  }
+  // Partitions end in a digit preceded by a letter stem (sda1, nvme0n1p2);
+  // keep whole disks only: nvme0n1 / sda / vda / xvda / mmcblk0.
+  if (strings::starts_with(name, "nvme")) {
+    return name.find('p') == std::string::npos;
+  }
+  return std::isdigit(static_cast<unsigned char>(name.back())) == 0 ||
+         strings::starts_with(name, "mmcblk");
+}
+
+}  // namespace
+
+std::vector<Reading> DiskIoCollector::collect() {
+  std::ifstream in(diskstats_path_);
+  if (!in) return {};
+  std::uint64_t read_sectors = 0;
+  std::uint64_t written_sectors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    unsigned major = 0;
+    unsigned minor = 0;
+    std::string device;
+    std::uint64_t stats[10] = {};
+    fields >> major >> minor >> device;
+    for (auto& s : stats) {
+      if (!(fields >> s)) break;
+    }
+    if (!is_physical_device(device)) continue;
+    read_sectors += stats[2];     // field 5: sectors read
+    written_sectors += stats[6];  // field 9: sectors written
+  }
+
+  const std::int64_t now = now_ms();
+  std::vector<Reading> out;
+  if (primed_ && now > last_poll_ms_) {
+    const double dt_s = static_cast<double>(now - last_poll_ms_) / 1000.0;
+    const double read_bps =
+        static_cast<double>(read_sectors - last_read_sectors_) * kSectorBytes / dt_s;
+    const double write_bps =
+        static_cast<double>(written_sectors - last_written_sectors_) * kSectorBytes / dt_s;
+    out.push_back({"disk_read", read_bps / 1e6, "MB/s"});
+    out.push_back({"disk_write", write_bps / 1e6, "MB/s"});
+  } else if (primed_) {
+    return {};
+  } else {
+    out.push_back({"disk_read", 0.0, "MB/s"});
+    out.push_back({"disk_write", 0.0, "MB/s"});
+  }
+  last_read_sectors_ = read_sectors;
+  last_written_sectors_ = written_sectors;
+  last_poll_ms_ = now;
+  primed_ = true;
+  return out;
+}
+
+std::vector<Reading> NetworkCollector::collect() {
+  std::ifstream in(netdev_path_);
+  if (!in) return {};
+  std::uint64_t rx = 0;
+  std::uint64_t tx = 0;
+  std::string line;
+  // First two lines are headers.
+  std::getline(in, line);
+  std::getline(in, line);
+  while (std::getline(in, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string iface(strings::trim(line.substr(0, colon)));
+    if (iface == "lo") continue;
+    std::istringstream fields(line.substr(colon + 1));
+    std::uint64_t values[16] = {};
+    for (auto& v : values) {
+      if (!(fields >> v)) break;
+    }
+    rx += values[0];  // receive bytes
+    tx += values[8];  // transmit bytes
+  }
+
+  const std::int64_t now = now_ms();
+  std::vector<Reading> out;
+  if (primed_ && now > last_poll_ms_) {
+    const double dt_s = static_cast<double>(now - last_poll_ms_) / 1000.0;
+    out.push_back({"net_rx", static_cast<double>(rx - last_rx_) / dt_s / 1e6, "MB/s"});
+    out.push_back({"net_tx", static_cast<double>(tx - last_tx_) / dt_s / 1e6, "MB/s"});
+  } else if (primed_) {
+    return {};
+  } else {
+    out.push_back({"net_rx", 0.0, "MB/s"});
+    out.push_back({"net_tx", 0.0, "MB/s"});
+  }
+  last_rx_ = rx;
+  last_tx_ = tx;
+  last_poll_ms_ = now;
+  primed_ = true;
+  return out;
+}
+
+std::vector<Reading> CarbonCollector::collect() {
+  std::vector<Reading> readings = inner_->collect();
+  const std::int64_t now = now_ms();
+  double power = last_power_w_;
+  for (const Reading& r : readings) {
+    if (r.metric == power_metric_) {
+      power = r.value;
+      break;
+    }
+  }
+  if (primed_ && now > last_poll_ms_) {
+    const double dt_s = static_cast<double>(now - last_poll_ms_) / 1000.0;
+    joules_ += 0.5 * (last_power_w_ + power) * dt_s;  // trapezoid
+  }
+  last_power_w_ = power;
+  last_poll_ms_ = now;
+  primed_ = true;
+
+  readings.push_back({"energy", joules_, "J"});
+  const double kwh = joules_ / 3.6e6;
+  readings.push_back({"co2e", kwh * grams_per_kwh_, "g"});
+  return readings;
+}
+
+}  // namespace provml::sysmon

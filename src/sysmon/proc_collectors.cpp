@@ -1,0 +1,88 @@
+#include "provml/sysmon/proc_collectors.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "provml/common/strings.hpp"
+
+namespace provml::sysmon {
+namespace {
+
+/// Parses "Key:   12345 kB" lines; returns value in kB or -1.
+std::int64_t scan_kb_field(const std::string& text, std::string_view key) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!strings::starts_with(line, key)) continue;
+    std::istringstream fields(line.substr(key.size()));
+    std::int64_t value = 0;
+    if (fields >> value) return value;
+  }
+  return -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::vector<Reading> CpuCollector::collect() {
+  const std::string text = slurp(stat_path_);
+  // First line: "cpu  user nice system idle iowait irq softirq steal ..."
+  std::istringstream in(text);
+  std::string label;
+  in >> label;
+  if (label != "cpu") return {};
+  std::uint64_t fields[8] = {};
+  for (auto& f : fields) {
+    if (!(in >> f)) break;
+  }
+  const std::uint64_t idle = fields[3] + fields[4];  // idle + iowait
+  std::uint64_t total = 0;
+  for (const std::uint64_t f : fields) total += f;
+  const std::uint64_t busy = total - idle;
+
+  double utilization = 0.0;
+  if (primed_ && total > last_total_) {
+    const auto d_busy = static_cast<double>(busy - last_busy_);
+    const auto d_total = static_cast<double>(total - last_total_);
+    utilization = d_total > 0 ? 100.0 * d_busy / d_total : 0.0;
+  }
+  last_busy_ = busy;
+  last_total_ = total;
+  primed_ = true;
+  return {{"cpu_utilization", utilization, "%"}};
+}
+
+std::vector<Reading> MemoryCollector::collect() {
+  const std::string text = slurp(meminfo_path_);
+  const std::int64_t total_kb = scan_kb_field(text, "MemTotal:");
+  const std::int64_t avail_kb = scan_kb_field(text, "MemAvailable:");
+  if (total_kb < 0 || avail_kb < 0) return {};
+  const double total_mib = static_cast<double>(total_kb) / 1024.0;
+  const double avail_mib = static_cast<double>(avail_kb) / 1024.0;
+  return {{"memory_total", total_mib, "MiB"},
+          {"memory_available", avail_mib, "MiB"},
+          {"memory_used", total_mib - avail_mib, "MiB"}};
+}
+
+std::vector<Reading> ProcessCollector::collect() {
+  const std::string text = slurp(status_path_);
+  std::vector<Reading> out;
+  const std::int64_t rss_kb = scan_kb_field(text, "VmRSS:");
+  if (rss_kb >= 0) {
+    out.push_back({"process_rss", static_cast<double>(rss_kb) / 1024.0, "MiB"});
+  }
+  const std::int64_t threads = scan_kb_field(text, "Threads:");
+  if (threads >= 0) {
+    out.push_back({"process_threads", static_cast<double>(threads), ""});
+  }
+  return out;
+}
+
+}  // namespace provml::sysmon

@@ -1,0 +1,96 @@
+#include "provml/sysmon/sampler.hpp"
+
+#include "provml/sysmon/gpu_sim.hpp"
+#include "provml/sysmon/io_collectors.hpp"
+#include "provml/sysmon/proc_collectors.hpp"
+
+namespace provml::sysmon {
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+CollectorRegistry& CollectorRegistry::global() {
+  static CollectorRegistry registry = [] {
+    CollectorRegistry r;
+    r.register_collector("cpu", [] { return std::make_unique<CpuCollector>(); });
+    r.register_collector("memory", [] { return std::make_unique<MemoryCollector>(); });
+    r.register_collector("process", [] { return std::make_unique<ProcessCollector>(); });
+    r.register_collector("gpu_sim", [] { return std::make_unique<SimulatedGpuCollector>(); });
+    r.register_collector("disk", [] { return std::make_unique<DiskIoCollector>(); });
+    r.register_collector("network", [] { return std::make_unique<NetworkCollector>(); });
+    r.register_collector("gpu_sim+carbon", [] {
+      return std::make_unique<CarbonCollector>(std::make_unique<SimulatedGpuCollector>());
+    });
+    return r;
+  }();
+  return registry;
+}
+
+void CollectorRegistry::register_collector(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Collector> CollectorRegistry::create(const std::string& name) const {
+  const auto it = factories_.find(name);
+  return it == factories_.end() ? nullptr : it->second();
+}
+
+bool CollectorRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> CollectorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::add_collector(std::unique_ptr<Collector> collector) {
+  collectors_.push_back(std::move(collector));
+}
+
+void Sampler::sample_once(const ReadingSink& sink) {
+  const std::int64_t ts = now_ms();
+  for (const auto& collector : collectors_) {
+    for (const Reading& reading : collector->collect()) {
+      sink(collector->name(), reading, ts);
+    }
+  }
+}
+
+void Sampler::start(ReadingSink sink) {
+  if (thread_.joinable()) return;  // already running
+  sink_ = std::move(sink);
+  stop_requested_ = false;
+  sample_once(sink_);
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void Sampler::run_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, period_, [this] { return stop_requested_; })) break;
+    lock.unlock();
+    sample_once(sink_);
+    lock.lock();
+  }
+}
+
+void Sampler::stop() {
+  if (!thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  sample_once(sink_);  // closing reading so the run tail is covered
+}
+
+}  // namespace provml::sysmon

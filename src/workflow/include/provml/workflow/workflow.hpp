@@ -1,0 +1,116 @@
+// yProv4WFs counterpart: provenance-tracked workflow execution. The paper
+// places yProv4ML next to "its workflow counterpart yProv4WFs" (both
+// provenance *producers*) and cites Sacco et al., "Enabling provenance
+// tracking in workflow management systems" — this module is that substrate:
+// a DAG of tasks executed (optionally in parallel) with automatic W3C PROV
+// capture: every task becomes an activity, every declared input/output a
+// data entity, inter-task data dependencies become used/wasGeneratedBy/
+// wasDerivedFrom relations, and the whole run a PROV document ready for the
+// yProv service.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+#include "provml/json/value.hpp"
+#include "provml/prov/model.hpp"
+
+namespace provml::workflow {
+
+/// Runtime context handed to a task body: read upstream outputs, publish
+/// this task's outputs.
+class TaskContext {
+ public:
+  explicit TaskContext(std::map<std::string, json::Value>* data) : data_(data) {}
+
+  /// The value published under `name` by an upstream task (null if absent).
+  [[nodiscard]] json::Value input(const std::string& name) const {
+    const auto it = data_->find(name);
+    return it == data_->end() ? json::Value(nullptr) : it->second;
+  }
+
+  /// Publishes an output value for downstream tasks.
+  void output(const std::string& name, json::Value value) {
+    (*data_)[name] = std::move(value);
+  }
+
+ private:
+  std::map<std::string, json::Value>* data_;
+};
+
+/// A task body: returns a Status; failures abort the workflow run.
+using TaskBody = std::function<Status(TaskContext&)>;
+
+/// Declarative task description.
+struct TaskSpec {
+  std::string name;
+  std::vector<std::string> after;    ///< task names this one depends on
+  std::vector<std::string> consumes; ///< data names read via ctx.input()
+  std::vector<std::string> produces; ///< data names written via ctx.output()
+  TaskBody body;
+};
+
+/// Builds and runs a workflow.
+class Workflow {
+ public:
+  explicit Workflow(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a task; names must be unique.
+  [[nodiscard]] Status add_task(TaskSpec task);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+  /// Validates the DAG: dependencies exist, no cycles, every consumed data
+  /// name is produced by some (not necessarily upstream-declared) task or
+  /// provided as a workflow input.
+  [[nodiscard]] std::vector<std::string> validate(
+      const std::set<std::string>& workflow_inputs = {}) const;
+
+  /// Topological order (dependency-respecting); error when cyclic.
+  [[nodiscard]] Expected<std::vector<std::string>> topological_order() const;
+
+  [[nodiscard]] const std::vector<TaskSpec>& tasks() const { return tasks_; }
+
+ private:
+  std::string name_;
+  std::vector<TaskSpec> tasks_;
+};
+
+/// Per-task outcome of a run.
+struct TaskResult {
+  std::string name;
+  bool executed = false;
+  bool succeeded = false;
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+  std::string error;
+};
+
+struct WorkflowResult {
+  bool succeeded = false;
+  std::vector<TaskResult> tasks;                 ///< in execution order
+  std::map<std::string, json::Value> data;       ///< final data space
+  prov::Document provenance;                     ///< captured PROV document
+
+  [[nodiscard]] const TaskResult* task(const std::string& name) const;
+};
+
+struct RunOptions {
+  std::map<std::string, json::Value> inputs;  ///< initial data space
+  unsigned workers = 1;  ///< >1 executes independent tasks concurrently
+  std::string agent = "workflow-engine";
+};
+
+/// Executes `workflow`, capturing provenance. Tasks run as soon as their
+/// dependencies finish; a task failure stops scheduling new tasks (running
+/// ones drain) and the result reports which tasks never executed.
+[[nodiscard]] Expected<WorkflowResult> run_workflow(const Workflow& workflow,
+                                                    const RunOptions& options = {});
+
+}  // namespace provml::workflow

@@ -1,0 +1,298 @@
+#include "provml/workflow/workflow.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "provml/common/strings.hpp"
+#include "provml/sysmon/sampler.hpp"  // now_ms
+
+namespace provml::workflow {
+
+const TaskResult* WorkflowResult::task(const std::string& name) const {
+  for (const TaskResult& t : tasks) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+Status Workflow::add_task(TaskSpec task) {
+  if (task.name.empty()) return Error{"task name must not be empty", name_};
+  for (const TaskSpec& existing : tasks_) {
+    if (existing.name == task.name) {
+      return Error{"duplicate task name '" + task.name + "'", name_};
+    }
+  }
+  if (!task.body) return Error{"task '" + task.name + "' has no body", name_};
+  tasks_.push_back(std::move(task));
+  return Status::ok_status();
+}
+
+std::vector<std::string> Workflow::validate(
+    const std::set<std::string>& workflow_inputs) const {
+  std::vector<std::string> problems;
+  std::set<std::string> names;
+  std::set<std::string> produced(workflow_inputs.begin(), workflow_inputs.end());
+  for (const TaskSpec& task : tasks_) names.insert(task.name);
+  for (const TaskSpec& task : tasks_) {
+    for (const std::string& dep : task.after) {
+      if (names.count(dep) == 0) {
+        problems.push_back("task '" + task.name + "' depends on unknown task '" + dep +
+                           "'");
+      }
+    }
+    for (const std::string& out : task.produces) produced.insert(out);
+  }
+  for (const TaskSpec& task : tasks_) {
+    for (const std::string& in : task.consumes) {
+      if (produced.count(in) == 0) {
+        problems.push_back("task '" + task.name + "' consumes '" + in +
+                           "' which nothing produces");
+      }
+    }
+  }
+  if (!topological_order().ok()) {
+    problems.push_back("dependency graph contains a cycle");
+  }
+  return problems;
+}
+
+Expected<std::vector<std::string>> Workflow::topological_order() const {
+  std::map<std::string, int> in_degree;
+  std::map<std::string, std::vector<std::string>> downstream;
+  for (const TaskSpec& task : tasks_) in_degree[task.name] = 0;
+  for (const TaskSpec& task : tasks_) {
+    for (const std::string& dep : task.after) {
+      if (in_degree.count(dep) == 0) {
+        return Error{"unknown dependency '" + dep + "'", name_};
+      }
+      downstream[dep].push_back(task.name);
+      ++in_degree[task.name];
+    }
+  }
+  std::deque<std::string> ready;
+  for (const TaskSpec& task : tasks_) {  // insertion order for determinism
+    if (in_degree[task.name] == 0) ready.push_back(task.name);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    const std::string current = ready.front();
+    ready.pop_front();
+    order.push_back(current);
+    for (const std::string& next : downstream[current]) {
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != tasks_.size()) return Error{"cycle detected", name_};
+  return order;
+}
+
+namespace {
+
+/// Builds the run's PROV document from the execution record.
+prov::Document build_provenance(const Workflow& workflow, const RunOptions& options,
+                                const std::vector<TaskResult>& results,
+                                const std::vector<TaskSpec>& tasks,
+                                const std::map<std::string, json::Value>& data) {
+  prov::Document doc;
+  doc.declare_namespace("wf", "urn:provml:workflow:" + workflow.name() + "/");
+  const std::string agent_id = "wf:" + options.agent;
+  const std::string run_id = "wf:run";
+  doc.add_agent(agent_id, {{"prov:type", "prov:SoftwareAgent"}});
+  doc.add_activity(run_id, {{"prov:type", "provml:WorkflowRun"},
+                            {"provml:workflow", workflow.name()}});
+  doc.was_associated_with(run_id, agent_id);
+
+  // Workflow inputs are pre-existing entities used by the run.
+  for (const auto& [name, value] : options.inputs) {
+    const std::string id = "wf:data/" + name;
+    doc.add_entity(id, {{"prov:type", "provml:WorkflowData"},
+                        {"provml:value", prov::AttributeValue{value}}});
+    doc.used(run_id, id);
+  }
+
+  std::map<std::string, std::string> producer_of;  // data name → task activity id
+  for (const TaskSpec& task : tasks) {
+    for (const std::string& out : task.produces) {
+      producer_of[out] = "wf:task/" + task.name;
+    }
+  }
+
+  for (const TaskResult& result : results) {
+    const TaskSpec* spec = nullptr;
+    for (const TaskSpec& task : tasks) {
+      if (task.name == result.name) spec = &task;
+    }
+    if (spec == nullptr) continue;
+    const std::string task_id = "wf:task/" + result.name;
+    doc.add_activity(task_id,
+                     {{"prov:type", "provml:Task"},
+                      {"provml:status", result.succeeded ? "succeeded"
+                                        : result.executed ? "failed"
+                                                          : "skipped"}},
+                     result.executed ? strings::iso8601_utc(result.start_ms) : "",
+                     result.executed ? strings::iso8601_utc(result.end_ms) : "");
+    doc.was_informed_by(task_id, run_id);
+    if (!result.executed) continue;
+
+    for (const std::string& in : spec->consumes) {
+      const std::string data_id = "wf:data/" + in;
+      if (doc.find_element(data_id) == nullptr) {
+        doc.add_entity(data_id, {{"prov:type", "provml:WorkflowData"}});
+      }
+      doc.used(task_id, data_id, strings::iso8601_utc(result.start_ms));
+    }
+    if (result.succeeded) {
+      for (const std::string& out : spec->produces) {
+        const std::string data_id = "wf:data/" + out;
+        prov::Attributes attrs{{"prov:type", "provml:WorkflowData"}};
+        const auto it = data.find(out);
+        if (it != data.end()) {
+          attrs.emplace_back("provml:value", prov::AttributeValue{it->second});
+        }
+        doc.add_entity(data_id, std::move(attrs));
+        doc.was_generated_by(data_id, task_id, strings::iso8601_utc(result.end_ms));
+        // Outputs derive from the task's inputs.
+        for (const std::string& in : spec->consumes) {
+          doc.was_derived_from(data_id, "wf:data/" + in);
+        }
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace
+
+Expected<WorkflowResult> run_workflow(const Workflow& workflow, const RunOptions& options) {
+  std::set<std::string> input_names;
+  for (const auto& [name, value] : options.inputs) input_names.insert(name);
+  const std::vector<std::string> problems = workflow.validate(input_names);
+  if (!problems.empty()) return Error{problems.front(), workflow.name()};
+
+  // Execution state under one mutex: the data space, per-task status, and
+  // the ready queue. Workers pull ready tasks; finishing a task may ready
+  // its dependents.
+  struct TaskState {
+    const TaskSpec* spec = nullptr;
+    std::size_t remaining_deps = 0;
+    std::vector<std::string> dependents;
+    TaskResult result;
+  };
+
+  std::map<std::string, TaskState> states;
+  for (const TaskSpec& task : workflow.tasks()) {
+    TaskState state;
+    state.spec = &task;
+    state.remaining_deps = task.after.size();
+    state.result.name = task.name;
+    states.emplace(task.name, std::move(state));
+  }
+  for (const TaskSpec& task : workflow.tasks()) {
+    for (const std::string& dep : task.after) {
+      states.at(dep).dependents.push_back(task.name);
+    }
+  }
+
+  std::map<std::string, json::Value> data = options.inputs;
+  std::vector<TaskResult> completed;
+  std::deque<std::string> ready;
+  for (const TaskSpec& task : workflow.tasks()) {
+    if (task.after.empty()) ready.push_back(task.name);
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t running = 0;
+  bool failed = false;
+
+  const unsigned workers = std::max(1u, options.workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+
+  auto worker_loop = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      cv.wait(lock, [&] {
+        return !ready.empty() || (running == 0 && (ready.empty() || failed));
+      });
+      if (ready.empty() || failed) {
+        if (running == 0) {
+          cv.notify_all();
+          return;
+        }
+        continue;
+      }
+      const std::string name = ready.front();
+      ready.pop_front();
+      TaskState& state = states.at(name);
+      state.result.executed = true;
+      state.result.start_ms = sysmon::now_ms();
+      ++running;
+
+      // Run the body outside the lock on a private context copy of the
+      // data pointer (TaskContext serializes through the shared map, so
+      // reads/writes still need the lock: give the body a local snapshot).
+      std::map<std::string, json::Value> local = data;
+      lock.unlock();
+      TaskContext ctx(&local);
+      Status status = Status::ok_status();
+      try {
+        status = state.spec->body(ctx);
+      } catch (const std::exception& e) {
+        status = Error{std::string("task threw: ") + e.what(), name};
+      }
+      lock.lock();
+
+      state.result.end_ms = sysmon::now_ms();
+      --running;
+      if (status.ok()) {
+        state.result.succeeded = true;
+        // Merge only the declared outputs back into the shared space.
+        for (const std::string& out : state.spec->produces) {
+          const auto it = local.find(out);
+          if (it != local.end()) data[out] = it->second;
+        }
+        for (const std::string& dependent : state.result.succeeded
+                 ? state.dependents
+                 : std::vector<std::string>{}) {
+          if (--states.at(dependent).remaining_deps == 0 && !failed) {
+            ready.push_back(dependent);
+          }
+        }
+      } else {
+        state.result.error = status.error().to_string();
+        failed = true;
+      }
+      completed.push_back(state.result);
+      cv.notify_all();
+      if (ready.empty() && running == 0) {
+        cv.notify_all();
+        return;
+      }
+    }
+  };
+
+  for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker_loop);
+  for (std::thread& t : pool) t.join();
+
+  WorkflowResult result;
+  // completed holds executed tasks in finish order; append skipped ones.
+  result.tasks = completed;
+  for (const TaskSpec& task : workflow.tasks()) {
+    if (result.task(task.name) == nullptr) {
+      result.tasks.push_back(states.at(task.name).result);
+    }
+  }
+  result.succeeded = !failed && completed.size() == workflow.tasks().size() &&
+                     std::all_of(completed.begin(), completed.end(),
+                                 [](const TaskResult& t) { return t.succeeded; });
+  result.data = std::move(data);
+  result.provenance =
+      build_provenance(workflow, options, result.tasks, workflow.tasks(), result.data);
+  return result;
+}
+
+}  // namespace provml::workflow

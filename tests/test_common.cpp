@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "provml/common/expected.hpp"
+#include "provml/common/strings.hpp"
+
+namespace provml {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(e.value_or(-1), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(Error{"boom", "here"});
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error().message, "boom");
+  EXPECT_EQ(e.error().to_string(), "here: boom");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, ValueOnErrorThrows) {
+  Expected<int> e(Error{"boom", ""});
+  EXPECT_THROW((void)e.value(), std::runtime_error);
+}
+
+TEST(Expected, TakeMovesValue) {
+  Expected<std::string> e(std::string("payload"));
+  std::string s = e.take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, ErrorState) {
+  Status s(Error{"io failure", "/tmp/x"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "io failure");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(strings::starts_with("prov:Entity", "prov:"));
+  EXPECT_FALSE(strings::starts_with("x", "prov:"));
+  EXPECT_TRUE(strings::ends_with("metrics.zarr", ".zarr"));
+  EXPECT_FALSE(strings::ends_with(".zarr", "metrics.zarr"));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(strings::trim("  a b \n"), "a b");
+  EXPECT_EQ(strings::trim(""), "");
+  EXPECT_EQ(strings::trim(" \t\r\n "), "");
+}
+
+TEST(Strings, SplitAndJoin) {
+  const auto parts = strings::split("a:b::c", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(strings::join(parts, ":"), "a:b::c");
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto parts = strings::split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, ToInt64) {
+  EXPECT_EQ(strings::to_int64("123").value(), 123);
+  EXPECT_EQ(strings::to_int64("-9").value(), -9);
+  EXPECT_FALSE(strings::to_int64("12x").has_value());
+  EXPECT_FALSE(strings::to_int64("").has_value());
+}
+
+TEST(Strings, ToDouble) {
+  EXPECT_DOUBLE_EQ(strings::to_double("1.5").value(), 1.5);
+  EXPECT_FALSE(strings::to_double("nanx").has_value());
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(strings::human_bytes(512), "512 B");
+  EXPECT_EQ(strings::human_bytes(2048), "2.00 KB");
+  EXPECT_EQ(strings::human_bytes(41760000), "39.83 MB");
+}
+
+TEST(Strings, Pad) {
+  EXPECT_EQ(strings::pad(7, 3), "007");
+  EXPECT_EQ(strings::pad(1234, 3), "1234");
+}
+
+}  // namespace
+}  // namespace provml

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "provml/core/mlflow_compat.hpp"
+#include "provml/core/run.hpp"
+#include "provml/prov/prov_json.hpp"
+#include "provml/rocrate/crate.hpp"
+#include "provml/storage/store.hpp"
+#include "provml/storage/zarr_store.hpp"
+
+namespace provml::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("provml_core_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] RunOptions options(const std::string& store = "zarr") const {
+    RunOptions opts;
+    opts.provenance_dir = (dir_ / "prov").string();
+    opts.metric_store = store;
+    opts.user = "tester";
+    return opts;
+  }
+
+  fs::path dir_;
+};
+
+void simulate_training(Run& run) {
+  run.log_param("learning_rate", 1e-4);
+  run.log_param("model_size", std::int64_t{100'000'000});
+  run.log_param("final_accuracy", 0.91, IoRole::kOutput);
+  run.log_source_code("train.py");
+  run.log_artifact("dataset", "/data/modis.zarr", IoRole::kInput);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    run.begin_epoch(contexts::kTraining, epoch);
+    for (int step = 0; step < 10; ++step) {
+      run.log_metric("loss", 1.0 / (epoch * 10 + step + 1), epoch * 10 + step);
+    }
+    run.end_epoch(contexts::kTraining, epoch);
+    run.log_metric("val_loss", 1.1 / (epoch + 1), epoch, contexts::kValidation);
+  }
+  run.log_artifact("checkpoint", "ckpt/final.pt", IoRole::kOutput, contexts::kTraining);
+}
+
+// -------------------------------------------------------------- experiment
+
+TEST_F(CoreTest, RunNamesAutoAssigned) {
+  Experiment exp("demo");
+  provml::core::Run& r0 = exp.start_run(options());
+  provml::core::Run& r1 = exp.start_run(options());
+  provml::core::Run& named = exp.start_run(options(), "custom");
+  EXPECT_EQ(r0.name(), "run_0");
+  EXPECT_EQ(r1.name(), "run_1");
+  EXPECT_EQ(named.name(), "custom");
+  EXPECT_EQ(exp.runs().size(), 3u);
+  ASSERT_TRUE(exp.finish_all().ok());
+}
+
+TEST_F(CoreTest, CollectsParamsMetricsArtifacts) {
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(options());
+  simulate_training(run);
+  EXPECT_EQ(run.parameters().size(), 3u);
+  EXPECT_EQ(run.artifacts().size(), 2u);
+  EXPECT_EQ(run.metrics().find("loss", contexts::kTraining)->size(), 30u);
+  EXPECT_EQ(run.metrics().find("val_loss", contexts::kValidation)->size(), 3u);
+  ASSERT_TRUE(run.finish().ok());
+}
+
+TEST_F(CoreTest, FinishWritesProvJsonAndMetricStore) {
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(options("zarr"));
+  simulate_training(run);
+  ASSERT_TRUE(run.finish().ok());
+
+  EXPECT_TRUE(fs::exists(run.provenance_path()));
+  EXPECT_TRUE(fs::exists(dir_ / "prov" / "run_0_metrics.zarr"));
+
+  // The metric store reads back with every sample intact.
+  storage::ZarrMetricStore store;
+  auto metrics = store.read((dir_ / "prov" / "run_0_metrics.zarr").string());
+  ASSERT_TRUE(metrics.ok()) << metrics.error().to_string();
+  EXPECT_EQ(metrics.value().find("loss", contexts::kTraining)->size(), 30u);
+}
+
+TEST_F(CoreTest, DocumentStructureMatchesDataModel) {
+  Experiment exp("modis_fm");
+  provml::core::Run& run = exp.start_run(options());
+  simulate_training(run);
+  ASSERT_TRUE(run.finish().ok());
+  const prov::Document& doc = run.document();
+
+  EXPECT_TRUE(doc.validate().empty());
+
+  // Figure 2 hierarchy: experiment entity, run activity, context
+  // activities, epoch activities.
+  EXPECT_NE(doc.find_element("ex:experiment"), nullptr);
+  const prov::Element* run_el = doc.find_element("ex:run_0");
+  ASSERT_NE(run_el, nullptr);
+  EXPECT_EQ(run_el->kind, prov::ElementKind::kActivity);
+  EXPECT_FALSE(run_el->start_time.empty());
+  EXPECT_FALSE(run_el->end_time.empty());
+  EXPECT_NE(doc.find_element("ex:run_0/TRAINING"), nullptr);
+  EXPECT_NE(doc.find_element("ex:run_0/VALIDATION"), nullptr);
+  EXPECT_NE(doc.find_element("ex:run_0/TRAINING/epoch_2"), nullptr);
+
+  // Parameters: inputs used, outputs generated.
+  EXPECT_NE(doc.find_element("ex:param/learning_rate"), nullptr);
+  EXPECT_NE(doc.find_element("ex:param/final_accuracy"), nullptr);
+
+  // Artifacts: input via used, output via wasGeneratedBy (Figure 1 shows
+  // both kinds).
+  EXPECT_GE(doc.count(prov::RelationKind::kUsed), 3u);  // dataset, source, lr...
+  EXPECT_GE(doc.count(prov::RelationKind::kWasGeneratedBy), 3u);
+
+  // Metric store collection membership.
+  EXPECT_NE(doc.find_element("ex:metric_store"), nullptr);
+  EXPECT_EQ(doc.count(prov::RelationKind::kHadMember), 2u);  // loss + val_loss
+
+  // Agent associations.
+  EXPECT_EQ(doc.count(prov::RelationKind::kWasAssociatedWith), 1u);
+  EXPECT_EQ(doc.count(prov::RelationKind::kWasAttributedTo), 1u);
+}
+
+TEST_F(CoreTest, WrittenFileRoundTripsThroughProvJson) {
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(options());
+  simulate_training(run);
+  ASSERT_TRUE(run.finish().ok());
+  auto doc = prov::read_prov_json_file(run.provenance_path());
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+  EXPECT_TRUE(doc.value().validate().empty());
+  EXPECT_EQ(prov::to_prov_json_string(doc.value()),
+            prov::to_prov_json_string(run.document()));
+}
+
+TEST_F(CoreTest, EmbeddedStoreInlinesSamples) {
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(options("embedded"));
+  run.log_metric("loss", 0.5, 0);
+  run.log_metric("loss", 0.4, 1);
+  ASSERT_TRUE(run.finish().ok());
+  const prov::Element* metric = run.document().find_element("ex:metric/TRAINING/loss");
+  ASSERT_NE(metric, nullptr);
+  const prov::AttributeValue* data = prov::find_attribute(metric->attributes, "provml:data");
+  ASSERT_NE(data, nullptr);
+  ASSERT_TRUE(data->value.is_array());
+  EXPECT_EQ(data->value.as_array().size(), 2u);
+  // No side store entity or file.
+  EXPECT_EQ(run.document().find_element("ex:metric_store"), nullptr);
+  EXPECT_FALSE(fs::exists(dir_ / "prov" / "run_0_metrics.zarr"));
+}
+
+TEST_F(CoreTest, EmbeddedDocumentLargerThanZarrStore) {
+  // The Table 1 effect end-to-end at small scale.
+  auto run_with_store = [this](const std::string& store, const std::string& name) {
+    Experiment exp("size_" + name);
+    RunOptions opts = options(store);
+    opts.provenance_dir = (dir_ / name).string();
+    provml::core::Run& run = exp.start_run(opts);
+    for (int i = 0; i < 5000; ++i) {
+      run.log_metric("loss", 1.0 / (i + 1), i);
+    }
+    EXPECT_TRUE(run.finish().ok());
+    return storage::path_size_bytes(opts.provenance_dir).take();
+  };
+  const auto embedded = run_with_store("embedded", "emb");
+  const auto zarr = run_with_store("zarr", "zarr");
+  EXPECT_GT(embedded, 3 * zarr);
+}
+
+TEST_F(CoreTest, FinishIsIdempotent) {
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(options());
+  run.log_metric("loss", 1.0, 0);
+  ASSERT_TRUE(run.finish().ok());
+  ASSERT_TRUE(run.finish().ok());
+  EXPECT_TRUE(run.finished());
+}
+
+TEST_F(CoreTest, DestructorFinishesRun) {
+  const std::string path;
+  {
+    Experiment exp("demo");
+    provml::core::Run& run = exp.start_run(options());
+    run.log_metric("loss", 1.0, 0);
+    // no explicit finish
+  }
+  EXPECT_TRUE(fs::exists(dir_ / "prov" / "run_0.provjson"));
+}
+
+TEST_F(CoreTest, OptionalOutputsWritten) {
+  RunOptions opts = options();
+  opts.write_prov_n = true;
+  opts.write_dot = true;
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(opts);
+  simulate_training(run);
+  ASSERT_TRUE(run.finish().ok());
+  EXPECT_TRUE(fs::exists(dir_ / "prov" / "run_0.provn"));
+  EXPECT_TRUE(fs::exists(dir_ / "prov" / "run_0.dot"));
+}
+
+TEST_F(CoreTest, RoCrateWrapsRunDirectory) {
+  RunOptions opts = options();
+  opts.create_rocrate = true;
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(opts);
+  simulate_training(run);
+  ASSERT_TRUE(run.finish().ok());
+  auto info = rocrate::read_crate((dir_ / "prov").string());
+  ASSERT_TRUE(info.ok()) << info.error().to_string();
+  EXPECT_GE(info.value().entries.size(), 1u);
+}
+
+TEST_F(CoreTest, SystemMetricsCollectedWhenEnabled) {
+  RunOptions opts = options();
+  opts.collect_system_metrics = true;
+  opts.sampling_period = std::chrono::milliseconds(5);
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(opts);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(run.finish().ok());
+  const storage::MetricSet& metrics = run.metrics();
+  const storage::MetricSeries* gpu = metrics.find("gpu_power", "SYSTEM");
+  ASSERT_NE(gpu, nullptr);
+  EXPECT_GE(gpu->size(), 2u);  // at least start + stop rounds
+  EXPECT_EQ(gpu->unit, "W");
+  // System metrics appear in provenance as a SYSTEM context.
+  EXPECT_NE(run.document().find_element("ex:run_0/SYSTEM"), nullptr);
+}
+
+TEST_F(CoreTest, ConcurrentMetricLoggingIsSafe) {
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(options());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&run, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        run.log_metric("m" + std::to_string(t % 2), 1.0, t * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_TRUE(run.finish().ok());
+  std::size_t total = 0;
+  for (const storage::MetricSeries& s : run.metrics().all()) total += s.size();
+  EXPECT_EQ(total, static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST_F(CoreTest, UnknownMetricStoreFails) {
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(options("parquet"));
+  run.log_metric("loss", 1.0, 0);
+  EXPECT_FALSE(run.finish().ok());
+}
+
+TEST_F(CoreTest, EndEpochWithoutBeginRecordsZeroLength) {
+  Experiment exp("demo");
+  provml::core::Run& run = exp.start_run(options());
+  run.end_epoch(contexts::kTraining, 7);
+  ASSERT_TRUE(run.finish().ok());
+  EXPECT_NE(run.document().find_element("ex:run_0/TRAINING/epoch_7"), nullptr);
+}
+
+
+TEST_F(CoreTest, CombinedExperimentProvenance) {
+  Experiment exp("combined_demo");
+  for (int i = 0; i < 3; ++i) {
+    provml::core::Run& run = exp.start_run(options());
+    run.log_param("lr", 0.1 * (i + 1));
+    run.log_metric("loss", 1.0 / (i + 1), 0);
+    ASSERT_TRUE(run.finish().ok());
+  }
+  const prov::Document combined = exp.combined_document();
+  EXPECT_TRUE(combined.validate().empty());
+  EXPECT_EQ(combined.bundles().size(), 3u);
+  EXPECT_NE(combined.find_element("ex:experiment"), nullptr);
+  // Each bundle carries the full run document.
+  const prov::Document& run0 = const_cast<prov::Document&>(combined).bundle("ex:run_0");
+  EXPECT_NE(run0.find_element("ex:param/lr"), nullptr);
+
+  // Serializes and reads back as a single file.
+  const std::string path = (dir_ / "experiment.provjson").string();
+  ASSERT_TRUE(exp.write_combined_provenance(path).ok());
+  auto back = prov::read_prov_json_file(path);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back.value().bundles().size(), 3u);
+}
+
+TEST_F(CoreTest, CombinedProvenanceSkipsUnfinishedRuns) {
+  Experiment exp("combined_partial");
+  provml::core::Run& done = exp.start_run(options());
+  done.log_metric("loss", 1.0, 0);
+  ASSERT_TRUE(done.finish().ok());
+  exp.start_run(options());  // left unfinished
+  EXPECT_EQ(exp.combined_document().bundles().size(), 1u);
+  ASSERT_TRUE(exp.finish_all().ok());
+  EXPECT_EQ(exp.combined_document().bundles().size(), 2u);
+}
+
+
+TEST_F(CoreTest, EnvironmentCaptured) {
+  Experiment exp("env_demo");
+  provml::core::Run& run = exp.start_run(options());
+  run.log_environment();
+  ASSERT_TRUE(run.finish().ok());
+  const prov::Element* env = run.document().find_element("ex:environment");
+  ASSERT_NE(env, nullptr);
+  const prov::AttributeValue* host =
+      prov::find_attribute(env->attributes, "provml:hostname");
+  ASSERT_NE(host, nullptr);
+  EXPECT_FALSE(host->value.as_string().empty());
+  const prov::AttributeValue* pid = prov::find_attribute(env->attributes, "provml:pid");
+  ASSERT_NE(pid, nullptr);
+  EXPECT_GT(pid->value.as_int(), 0);
+  // Related to the run through a `used` edge.
+  bool used_env = false;
+  for (const prov::Relation& r : run.document().relations()) {
+    if (r.kind == prov::RelationKind::kUsed && r.object == "ex:environment") {
+      used_env = true;
+    }
+  }
+  EXPECT_TRUE(used_env);
+}
+
+TEST_F(CoreTest, NoEnvironmentEntityWithoutCapture) {
+  Experiment exp("env_off");
+  provml::core::Run& run = exp.start_run(options());
+  run.log_metric("loss", 1.0, 0);
+  ASSERT_TRUE(run.finish().ok());
+  EXPECT_EQ(run.document().find_element("ex:environment"), nullptr);
+}
+
+// ------------------------------------------------------------------ mlflow
+
+TEST_F(CoreTest, MlflowFacadeLifecycle) {
+  RunOptions opts = options();
+  mlflow::set_experiment("facade", opts);
+  EXPECT_EQ(mlflow::active_run(), nullptr);
+  provml::core::Run& run = mlflow::start_run();
+  EXPECT_EQ(mlflow::active_run(), &run);
+  mlflow::log_param("lr", 0.01);
+  mlflow::log_metric("loss", 0.9, 0);
+  mlflow::log_artifact("out", "model.pt");
+  ASSERT_TRUE(mlflow::end_run().ok());
+  EXPECT_EQ(mlflow::active_run(), nullptr);
+  EXPECT_EQ(run.parameters().size(), 1u);
+  EXPECT_TRUE(fs::exists(run.provenance_path()));
+  mlflow::reset();
+}
+
+TEST_F(CoreTest, MlflowLoggingOutsideRunIsNoOp) {
+  mlflow::reset();
+  mlflow::log_metric("loss", 1.0, 0);  // must not crash
+  EXPECT_TRUE(mlflow::end_run().ok());
+}
+
+TEST_F(CoreTest, MlflowStartRunFinishesPrevious) {
+  mlflow::set_experiment("facade2", options());
+  provml::core::Run& first = mlflow::start_run();
+  provml::core::Run& second = mlflow::start_run();
+  EXPECT_NE(&first, &second);
+  EXPECT_TRUE(first.finished());
+  ASSERT_TRUE(mlflow::end_run().ok());
+  mlflow::reset();
+}
+
+}  // namespace
+}  // namespace provml::core

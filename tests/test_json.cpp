@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "provml/json/parse.hpp"
+#include "provml/json/value.hpp"
+#include "provml/json/write.hpp"
+
+namespace provml::json {
+namespace {
+
+TEST(JsonValue, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Value::Type::kNull);
+}
+
+TEST(JsonValue, ScalarConstruction) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(1).is_int());
+  EXPECT_TRUE(Value(std::int64_t{1} << 40).is_int());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(std::string("s")).is_string());
+}
+
+TEST(JsonValue, IntPromotesToDoubleAccessor) {
+  Value v(7);
+  EXPECT_DOUBLE_EQ(v.as_double(), 7.0);
+  EXPECT_TRUE(v.is_number());
+}
+
+TEST(JsonValue, SoftAccessorsReturnEmptyOnMismatch) {
+  Value v("text");
+  EXPECT_FALSE(v.get_bool().has_value());
+  EXPECT_FALSE(v.get_int().has_value());
+  EXPECT_EQ(v.get_array(), nullptr);
+  EXPECT_EQ(v.get_object(), nullptr);
+  ASSERT_NE(v.get_string(), nullptr);
+  EXPECT_EQ(*v.get_string(), "text");
+}
+
+TEST(JsonObject, PreservesInsertionOrder) {
+  Object o;
+  o.set("zulu", 1);
+  o.set("alpha", 2);
+  o.set("mike", 3);
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : o) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"zulu", "alpha", "mike"}));
+}
+
+TEST(JsonObject, SetOverwritesInPlace) {
+  Object o;
+  o.set("a", 1);
+  o.set("b", 2);
+  o.set("a", 9);
+  EXPECT_EQ(o.size(), 2u);
+  EXPECT_EQ(o.find("a")->as_int(), 9);
+  EXPECT_EQ(o.begin()->first, "a");  // order unchanged
+}
+
+TEST(JsonObject, SubscriptInsertsNull) {
+  Object o;
+  Value& v = o["fresh"];
+  EXPECT_TRUE(v.is_null());
+  v = 3;
+  EXPECT_EQ(o.find("fresh")->as_int(), 3);
+}
+
+TEST(JsonObject, Erase) {
+  Object o;
+  o.set("a", 1);
+  o.set("b", 2);
+  EXPECT_TRUE(o.erase("a"));
+  EXPECT_FALSE(o.erase("a"));
+  EXPECT_EQ(o.size(), 1u);
+  EXPECT_FALSE(o.contains("a"));
+}
+
+TEST(JsonValue, FindChaining) {
+  Value doc = parse(R"({"outer":{"inner":5}})").take();
+  const Value* inner = doc.find("outer")->find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->as_int(), 5);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").value().is_null());
+  EXPECT_EQ(parse("true").value().as_bool(), true);
+  EXPECT_EQ(parse("false").value().as_bool(), false);
+  EXPECT_EQ(parse("42").value().as_int(), 42);
+  EXPECT_EQ(parse("-17").value().as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("3.25").value().as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("1e3").value().as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5E-2").value().as_double(), -0.025);
+  EXPECT_EQ(parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonParse, IntegerOverflowFallsBackToDouble) {
+  Expected<Value> v = parse("92233720368547758089");  // > int64 max
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_double());
+}
+
+TEST(JsonParse, NestedDocument) {
+  const char* text = R"({
+    "prefix": {"prov": "http://www.w3.org/ns/prov#"},
+    "entity": {"ex:model": {"prov:type": "prov:Entity", "size": 1400000000}},
+    "list": [1, 2.5, "three", null, {"k": []}]
+  })";
+  Expected<Value> v = parse(text);
+  ASSERT_TRUE(v.ok()) << v.error().to_string();
+  const Value& doc = v.value();
+  EXPECT_EQ(doc.find("prefix")->find("prov")->as_string(), "http://www.w3.org/ns/prov#");
+  EXPECT_EQ(doc.find("entity")->find("ex:model")->find("size")->as_int(), 1400000000);
+  const Array& list = doc.find("list")->as_array();
+  ASSERT_EQ(list.size(), 5u);
+  EXPECT_TRUE(list[3].is_null());
+  EXPECT_TRUE(list[4].find("k")->as_array().empty());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t\r\b\f")").value().as_string(), "a\"b\\c/d\n\t\r\b\f");
+  EXPECT_EQ(parse(R"("Aé")").value().as_string(), "A\xc3\xa9");
+  EXPECT_EQ(parse(R"("😀")").value().as_string(), "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("{").ok());
+  EXPECT_FALSE(parse("[1,]").ok());
+  EXPECT_FALSE(parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(parse("tru").ok());
+  EXPECT_FALSE(parse("01").ok());
+  EXPECT_FALSE(parse("1.").ok());
+  EXPECT_FALSE(parse(".5").ok());
+  EXPECT_FALSE(parse("1e").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("\"bad\\q\"").ok());
+  EXPECT_FALSE(parse("\"\\u12\"").ok());
+  EXPECT_FALSE(parse("\"\\ud800\"").ok());       // unpaired high surrogate
+  EXPECT_FALSE(parse("\"\\udc00\"").ok());       // unpaired low surrogate
+  EXPECT_FALSE(parse("1 2").ok());               // trailing garbage
+  EXPECT_FALSE(parse("\"ctl\x01\"").ok());       // raw control char
+}
+
+TEST(JsonParse, ErrorCarriesLineAndColumn) {
+  Expected<Value> v = parse("{\n  \"a\": bad\n}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().where, "2:8");
+}
+
+TEST(JsonParse, DeepNestingIsRejectedNotCrash) {
+  std::string deep(600, '[');
+  deep += std::string(600, ']');
+  EXPECT_FALSE(parse(deep).ok());
+}
+
+TEST(JsonParse, DeepButLegalNesting) {
+  std::string deep(100, '[');
+  deep += "1";
+  deep += std::string(100, ']');
+  EXPECT_TRUE(parse(deep).ok());
+}
+
+// ---------------------------------------------------------------- writing
+
+TEST(JsonWrite, CompactForm) {
+  Object o;
+  o.set("b", true);
+  o.set("n", nullptr);
+  o.set("i", 3);
+  o.set("d", 2.5);
+  o.set("s", "x");
+  o.set("a", Array{1, 2});
+  EXPECT_EQ(write(Value(std::move(o))), R"({"b":true,"n":null,"i":3,"d":2.5,"s":"x","a":[1,2]})");
+}
+
+TEST(JsonWrite, PrettyForm) {
+  Object o;
+  o.set("k", Array{1});
+  WriteOptions opts;
+  opts.pretty = true;
+  EXPECT_EQ(write(Value(std::move(o)), opts), "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+TEST(JsonWrite, EmptyContainers) {
+  EXPECT_EQ(write(Value(Array{})), "[]");
+  EXPECT_EQ(write(Value(Object{})), "{}");
+  WriteOptions pretty{.pretty = true};
+  EXPECT_EQ(write(Value(Array{}), pretty), "[]");
+}
+
+TEST(JsonWrite, DoubleAlwaysReparsesAsDouble) {
+  // 4.0 must not serialize as "4" (would re-parse as int).
+  const std::string text = write(Value(4.0));
+  Value v = parse(text).take();
+  EXPECT_TRUE(v.is_double());
+}
+
+TEST(JsonWrite, NonFiniteBecomesNull) {
+  EXPECT_EQ(write(Value(std::nan(""))), "null");
+  EXPECT_EQ(write(Value(HUGE_VAL)), "null");
+}
+
+TEST(JsonWrite, EscapesControlAndQuotes) {
+  EXPECT_EQ(write(Value("a\"b\\c\nd\x01")), "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+TEST(JsonWrite, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "provml_json_rt.json").string();
+  Object o;
+  o.set("answer", 42);
+  ASSERT_TRUE(write_file(path, Value(std::move(o))).ok());
+  Expected<Value> v = parse_file(path);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().find("answer")->as_int(), 42);
+  std::filesystem::remove(path);
+}
+
+TEST(JsonParseFile, MissingFileErrors) {
+  EXPECT_FALSE(parse_file("/nonexistent/provml.json").ok());
+}
+
+// ------------------------------------------------------------ properties
+
+// Property: write(parse(write(v))) == write(v) for randomly generated values.
+class JsonRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+Value random_value(std::mt19937_64& rng, int depth) {
+  std::uniform_int_distribution<int> kind(0, depth > 0 ? 6 : 4);
+  switch (kind(rng)) {
+    case 0: return Value(nullptr);
+    case 1: return Value(static_cast<bool>(rng() & 1));
+    case 2: return Value(static_cast<std::int64_t>(rng()));
+    case 3: {
+      std::uniform_real_distribution<double> d(-1e6, 1e6);
+      return Value(d(rng));
+    }
+    case 4: {
+      std::uniform_int_distribution<int> len(0, 12);
+      std::uniform_int_distribution<int> ch(32, 126);
+      std::string s;
+      const int n = len(rng);
+      for (int i = 0; i < n; ++i) s.push_back(static_cast<char>(ch(rng)));
+      return Value(std::move(s));
+    }
+    case 5: {
+      std::uniform_int_distribution<int> len(0, 5);
+      Array a;
+      const int n = len(rng);
+      for (int i = 0; i < n; ++i) a.push_back(random_value(rng, depth - 1));
+      return Value(std::move(a));
+    }
+    default: {
+      std::uniform_int_distribution<int> len(0, 5);
+      Object o;
+      const int n = len(rng);
+      for (int i = 0; i < n; ++i) {
+        o.set("k" + std::to_string(i), random_value(rng, depth - 1));
+      }
+      return Value(std::move(o));
+    }
+  }
+}
+
+TEST_P(JsonRoundTrip, WriteParseWriteIsStable) {
+  std::mt19937_64 rng(GetParam());
+  const Value original = random_value(rng, 4);
+  const std::string once = write(original);
+  Expected<Value> reparsed = parse(once);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string() << " for " << once;
+  EXPECT_EQ(write(reparsed.value()), once);
+  EXPECT_EQ(reparsed.value(), original);
+}
+
+TEST_P(JsonRoundTrip, PrettyAndCompactParseEqual) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  const Value original = random_value(rng, 3);
+  WriteOptions pretty{.pretty = true};
+  Value a = parse(write(original)).take();
+  Value b = parse(write(original, pretty)).take();
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip, ::testing::Range(0u, 25u));
+
+}  // namespace
+}  // namespace provml::json

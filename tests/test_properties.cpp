@@ -1,0 +1,301 @@
+// Cross-module property tests: randomized operation sequences that must
+// preserve documented invariants, plus interoperability fixtures.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "provml/graphstore/graph.hpp"
+#include "provml/json/parse.hpp"
+#include "provml/prov/prov_json.hpp"
+#include "provml/workflow/workflow.hpp"
+
+namespace provml {
+namespace {
+
+// ------------------------------------------------- graph invariant fuzzing
+
+/// Applies a random sequence of add-node / add-edge / remove-node /
+/// set-property operations and checks the structural invariants after
+/// every step: index hits match brute-force scans, adjacency is symmetric,
+/// and no edge dangles.
+class GraphOps : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GraphOps, RandomOperationsKeepInvariants) {
+  std::mt19937_64 rng(GetParam());
+  graphstore::PropertyGraph graph;
+  std::vector<graphstore::NodeId> live;
+
+  auto check_invariants = [&] {
+    // Every live node's edges reference live nodes, in/out views agree.
+    std::size_t edge_refs = 0;
+    for (const graphstore::NodeId id : live) {
+      for (const graphstore::EdgeId eid :
+           graph.edges_of(id, graphstore::Direction::kOut)) {
+        const graphstore::Edge* e = graph.edge(eid);
+        ASSERT_NE(e, nullptr);
+        ASSERT_EQ(e->from, id);
+        ASSERT_NE(graph.node(e->to), nullptr);
+        ++edge_refs;
+      }
+    }
+    ASSERT_EQ(edge_refs, graph.edge_count());
+
+    // Index results equal brute-force property scans.
+    for (int v = 0; v < 3; ++v) {
+      const auto indexed = graph.find("N", "v", json::Value(v));
+      std::set<graphstore::NodeId> expected;
+      for (const graphstore::NodeId id : live) {
+        const json::Value* actual = graph.node(id)->properties.find("v");
+        if (actual != nullptr && actual->is_int() && actual->as_int() == v) {
+          expected.insert(id);
+        }
+      }
+      ASSERT_EQ(std::set<graphstore::NodeId>(indexed.begin(), indexed.end()), expected);
+    }
+  };
+
+  for (int step = 0; step < 200; ++step) {
+    switch (rng() % 4) {
+      case 0: {  // add node
+        live.push_back(graph.add_node(
+            {"N"}, json::make_object({{"v", static_cast<int>(rng() % 3)}})));
+        break;
+      }
+      case 1: {  // add edge between random live nodes
+        if (live.size() < 2) break;
+        const auto a = live[rng() % live.size()];
+        const auto b = live[rng() % live.size()];
+        ASSERT_TRUE(graph.add_edge(a, b, "r").ok());
+        break;
+      }
+      case 2: {  // remove a random node
+        if (live.empty()) break;
+        const std::size_t idx = rng() % live.size();
+        ASSERT_TRUE(graph.remove_node(live[idx]).ok());
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        break;
+      }
+      default: {  // mutate a property (re-index)
+        if (live.empty()) break;
+        graph.set_property(live[rng() % live.size()], "v",
+                           json::Value(static_cast<int>(rng() % 3)));
+        break;
+      }
+    }
+    if (step % 20 == 19) check_invariants();
+  }
+  check_invariants();
+  ASSERT_EQ(graph.node_count(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphOps, ::testing::Range(0u, 10u));
+
+// ------------------------------------------- workflow scheduling properties
+
+/// Random DAGs: parallel execution must produce exactly the same data
+/// space as sequential execution, and observed task order must respect the
+/// dependency relation.
+class WorkflowSched : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WorkflowSched, ParallelMatchesSequentialOnRandomDags) {
+  std::mt19937_64 rng(GetParam());
+  workflow::Workflow wf("random");
+  std::uniform_int_distribution<int> n_tasks(1, 12);
+  const int n = n_tasks(rng);
+  for (int i = 0; i < n; ++i) {
+    workflow::TaskSpec task;
+    task.name = "t" + std::to_string(i);
+    // Depend on a random subset of earlier tasks (guarantees acyclicity).
+    for (int j = 0; j < i; ++j) {
+      if (rng() % 3 == 0) {
+        task.after.push_back("t" + std::to_string(j));
+        task.consumes.push_back("d" + std::to_string(j));
+      }
+    }
+    task.produces = {"d" + std::to_string(i)};
+    task.body = [i, deps = task.consumes](workflow::TaskContext& ctx) {
+      std::int64_t acc = i + 1;
+      for (const std::string& dep : deps) acc += ctx.input(dep).as_int();
+      ctx.output("d" + std::to_string(i), json::Value(acc));
+      return Status::ok_status();
+    };
+    EXPECT_TRUE(wf.add_task(std::move(task)).ok());
+  }
+
+  workflow::RunOptions sequential;
+  sequential.workers = 1;
+  workflow::RunOptions parallel;
+  parallel.workers = 4;
+  const auto a = workflow::run_workflow(wf, sequential);
+  const auto b = workflow::run_workflow(wf, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a.value().succeeded);
+  ASSERT_TRUE(b.value().succeeded);
+  for (const auto& [name, value] : a.value().data) {
+    ASSERT_TRUE(b.value().data.count(name)) << name;
+    EXPECT_EQ(b.value().data.at(name).as_int(), value.as_int()) << name;
+  }
+
+  // Execution order (position in tasks vector) must respect dependencies.
+  auto position_of = [](const workflow::WorkflowResult& result, const std::string& name) {
+    for (std::size_t i = 0; i < result.tasks.size(); ++i) {
+      if (result.tasks[i].name == name) return i;
+    }
+    return result.tasks.size();
+  };
+  for (const workflow::TaskSpec& task : wf.tasks()) {
+    for (const std::string& dep : task.after) {
+      // Dependency must have *finished* before the dependent started.
+      const workflow::TaskResult* dep_result = a.value().task(dep);
+      const workflow::TaskResult* task_result = a.value().task(task.name);
+      ASSERT_NE(dep_result, nullptr);
+      ASSERT_NE(task_result, nullptr);
+      EXPECT_LE(dep_result->end_ms, task_result->start_ms) << dep << " -> " << task.name;
+      EXPECT_LT(position_of(a.value(), dep), position_of(a.value(), task.name));
+    }
+  }
+
+  // Provenance documents of both runs validate.
+  EXPECT_TRUE(a.value().provenance.validate().empty());
+  EXPECT_TRUE(b.value().provenance.validate().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkflowSched, ::testing::Range(0u, 15u));
+
+
+// -------------------------------------------------- parser robustness fuzz
+
+/// Random byte mutations of a valid PROV-JSON document must never crash
+/// the JSON or PROV parsers — they either parse (possibly to a different
+/// document) or return an error.
+class ParserFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParserFuzz, MutatedDocumentsNeverCrash) {
+  prov::Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.add_entity("ex:e", {{"v", 1}});
+  doc.add_activity("ex:a", {}, "2025-01-01T00:00:00");
+  doc.used("ex:a", "ex:e", "2025-01-01T00:30:00");
+  const std::string base = prov::to_prov_json_string(doc, false);
+
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = base;
+    const int mutations = 1 + static_cast<int>(rng() % 4);
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0: mutated[pos] = static_cast<char>(rng() % 256); break;
+        case 1: mutated.erase(pos, 1); break;
+        default: mutated.insert(pos, 1, static_cast<char>(rng() % 128)); break;
+      }
+    }
+    const auto parsed = json::parse(mutated);
+    if (!parsed.ok()) continue;
+    // Valid JSON after mutation: PROV layer must still not crash.
+    (void)prov::from_prov_json(parsed.value());
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0u, 8u));
+
+// ------------------------------------------------------- W3C interop fixture
+
+// A PROV-JSON document in the style of the W3C member submission's examples
+// (typed literals, qualified attributes, explicit relation ids, a bundle).
+// Our parser must accept it and preserve its content through a round trip.
+constexpr const char* kW3cStyleDocument = R"({
+  "prefix": {
+    "ex": "http://example.org/",
+    "dcterms": "http://purl.org/dc/terms/"
+  },
+  "entity": {
+    "ex:article": {
+      "dcterms:title": "Crime rises in cities",
+      "prov:type": {"$": "prov:Collection", "type": "xsd:QName"}
+    },
+    "ex:dataset1": {},
+    "ex:chart1": {"prov:value": {"$": "1.5", "type": "xsd:float"}}
+  },
+  "activity": {
+    "ex:compile": {
+      "prov:startTime": {"$": "2012-04-15T13:00:00", "type": "xsd:dateTime"},
+      "prov:endTime": {"$": "2012-04-15T14:00:00", "type": "xsd:dateTime"}
+    }
+  },
+  "agent": {
+    "ex:derek": {
+      "prov:type": {"$": "prov:Person", "type": "xsd:QName"},
+      "foaf:givenName": "Derek"
+    }
+  },
+  "used": {
+    "_:u1": {"prov:activity": "ex:compile", "prov:entity": "ex:dataset1"}
+  },
+  "wasGeneratedBy": {
+    "ex:g1": {
+      "prov:entity": "ex:chart1",
+      "prov:activity": "ex:compile",
+      "prov:time": {"$": "2012-04-15T13:30:00", "type": "xsd:dateTime"}
+    }
+  },
+  "wasAttributedTo": {
+    "_:a1": {"prov:entity": "ex:chart1", "prov:agent": "ex:derek"}
+  },
+  "bundle": {
+    "ex:bundle1": {
+      "prefix": {"ex": "http://example.org/"},
+      "entity": {"ex:report1": {}}
+    }
+  }
+})";
+
+TEST(W3cInterop, ParsesSpecStyleDocument) {
+  const auto parsed = json::parse(kW3cStyleDocument);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const auto doc = prov::from_prov_json(parsed.value());
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+
+  EXPECT_EQ(doc.value().count(prov::ElementKind::kEntity), 3u);
+  EXPECT_EQ(doc.value().count(prov::ElementKind::kActivity), 1u);
+  EXPECT_EQ(doc.value().count(prov::ElementKind::kAgent), 1u);
+  EXPECT_EQ(doc.value().count(prov::RelationKind::kUsed), 1u);
+  EXPECT_EQ(doc.value().count(prov::RelationKind::kWasGeneratedBy), 1u);
+  EXPECT_EQ(doc.value().bundles().size(), 1u);
+
+  // Typed literal preserved with its datatype.
+  const prov::Element* chart = doc.value().find_element("ex:chart1");
+  ASSERT_NE(chart, nullptr);
+  const prov::AttributeValue* value =
+      prov::find_attribute(chart->attributes, "prov:value");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->datatype, "xsd:float");
+
+  // Activity times extracted.
+  const prov::Element* compile = doc.value().find_element("ex:compile");
+  ASSERT_NE(compile, nullptr);
+  EXPECT_EQ(compile->start_time, "2012-04-15T13:00:00");
+  EXPECT_EQ(compile->end_time, "2012-04-15T14:00:00");
+
+  // Explicit relation id preserved.
+  bool found_g1 = false;
+  for (const prov::Relation& r : doc.value().relations()) {
+    if (r.id == "ex:g1") {
+      found_g1 = true;
+      EXPECT_EQ(r.time, "2012-04-15T13:30:00");
+    }
+  }
+  EXPECT_TRUE(found_g1);
+
+  // Round trip: serialize, re-parse, equal serialization.
+  const std::string once = prov::to_prov_json_string(doc.value());
+  const auto again = prov::from_prov_json(json::parse(once).take());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(prov::to_prov_json_string(again.value()), once);
+}
+
+}  // namespace
+}  // namespace provml

@@ -1,0 +1,678 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <random>
+
+#include "provml/json/parse.hpp"
+#include "provml/json/write.hpp"
+#include "provml/prov/dot.hpp"
+#include "provml/prov/model.hpp"
+#include "provml/prov/prov_json.hpp"
+#include "provml/prov/constraints.hpp"
+#include "provml/prov/prov_n.hpp"
+#include "provml/prov/prov_xml.hpp"
+#include "provml/prov/turtle.hpp"
+
+namespace provml::prov {
+namespace {
+
+Document example_document() {
+  Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.add_entity("ex:dataset", {{"prov:type", "provml:Dataset"}, {"samples", 800000}});
+  doc.add_entity("ex:model_ckpt", {{"prov:type", "provml:Checkpoint"}});
+  doc.add_activity("ex:training", {{"context", "TRAINING"}}, "2025-01-01T00:00:00",
+                   "2025-01-01T02:00:00");
+  doc.add_agent("ex:researcher", {{"prov:type", "prov:Person"}});
+  doc.used("ex:training", "ex:dataset", "2025-01-01T00:00:00");
+  doc.was_generated_by("ex:model_ckpt", "ex:training", "2025-01-01T02:00:00");
+  doc.was_associated_with("ex:training", "ex:researcher");
+  doc.was_attributed_to("ex:model_ckpt", "ex:researcher");
+  return doc;
+}
+
+// ------------------------------------------------------------------- model
+
+TEST(QualifiedNameTest, ParsesPrefixAndLocal) {
+  const QualifiedName qn = QualifiedName::parse("ex:run_0");
+  EXPECT_EQ(qn.prefix, "ex");
+  EXPECT_EQ(qn.local, "run_0");
+  EXPECT_EQ(qn.str(), "ex:run_0");
+}
+
+TEST(QualifiedNameTest, NoColonMeansDefaultNamespace) {
+  const QualifiedName qn = QualifiedName::parse("plain");
+  EXPECT_TRUE(qn.prefix.empty());
+  EXPECT_EQ(qn.str(), "plain");
+}
+
+TEST(QualifiedNameTest, OnlyFirstColonSplits) {
+  const QualifiedName qn = QualifiedName::parse("ex:a:b");
+  EXPECT_EQ(qn.prefix, "ex");
+  EXPECT_EQ(qn.local, "a:b");
+}
+
+TEST(DocumentTest, ConstructorDeclaresCoreNamespaces) {
+  Document doc;
+  ASSERT_NE(doc.namespace_iri("prov"), nullptr);
+  EXPECT_EQ(*doc.namespace_iri("prov"), kProvNamespace);
+  ASSERT_NE(doc.namespace_iri("xsd"), nullptr);
+  EXPECT_EQ(doc.namespace_iri("nope"), nullptr);
+}
+
+TEST(DocumentTest, AddElementsAndCount) {
+  const Document doc = example_document();
+  EXPECT_EQ(doc.count(ElementKind::kEntity), 2u);
+  EXPECT_EQ(doc.count(ElementKind::kActivity), 1u);
+  EXPECT_EQ(doc.count(ElementKind::kAgent), 1u);
+  EXPECT_EQ(doc.count(RelationKind::kUsed), 1u);
+  EXPECT_EQ(doc.count(RelationKind::kWasGeneratedBy), 1u);
+}
+
+TEST(DocumentTest, ReAddingElementMergesAttributes) {
+  Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.add_entity("ex:e", {{"a", 1}});
+  doc.add_entity("ex:e", {{"b", 2}});
+  const Element* e = doc.find_element("ex:e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->attributes.size(), 2u);
+  EXPECT_EQ(doc.count(ElementKind::kEntity), 1u);
+}
+
+TEST(DocumentTest, FindAttribute) {
+  Attributes attrs{{"k", 1}, {"k", 2}, {"other", "x"}};
+  const AttributeValue* v = find_attribute(attrs, "k");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->value.as_int(), 1);  // first occurrence wins
+  EXPECT_EQ(find_attribute(attrs, "absent"), nullptr);
+}
+
+TEST(DocumentTest, BlankRelationIdsAreUnique) {
+  Document doc = example_document();
+  std::vector<std::string> ids;
+  for (const Relation& r : doc.relations()) ids.push_back(r.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(DocumentTest, RelationSpecTableIsConsistent) {
+  for (int k = 0; k < kRelationKindCount; ++k) {
+    const auto kind = static_cast<RelationKind>(k);
+    const RelationSpec& spec = relation_spec(kind);
+    EXPECT_EQ(spec.kind, kind);
+    EXPECT_EQ(relation_spec_by_json_key(spec.json_key), &spec);
+  }
+  EXPECT_EQ(relation_spec_by_json_key("nonsense"), nullptr);
+}
+
+TEST(DocumentTest, ActivityTimesStored) {
+  const Document doc = example_document();
+  const Element* a = doc.find_element("ex:training");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->start_time, "2025-01-01T00:00:00");
+  EXPECT_EQ(a->end_time, "2025-01-01T02:00:00");
+}
+
+// -------------------------------------------------------------- validation
+
+TEST(Validate, CleanDocumentHasNoProblems) {
+  const std::vector<std::string> problems = example_document().validate();
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Validate, DanglingRelationEndpointReported) {
+  Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.add_activity("ex:a");
+  doc.used("ex:a", "ex:ghost");
+  const auto problems = doc.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("ex:ghost"), std::string::npos);
+}
+
+TEST(Validate, WrongEndpointKindReported) {
+  Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.add_entity("ex:e");
+  doc.add_agent("ex:ag");
+  // used() expects an activity subject, but ex:e is an entity.
+  doc.used("ex:e", "ex:e");
+  doc.was_attributed_to("ex:ag", "ex:ag");  // subject must be an entity
+  const auto problems = doc.validate();
+  EXPECT_EQ(problems.size(), 2u);
+}
+
+TEST(Validate, UndeclaredPrefixReported) {
+  Document doc;
+  doc.add_entity("mystery:e");
+  const auto problems = doc.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("mystery"), std::string::npos);
+}
+
+TEST(Validate, BlankPrefixAllowed) {
+  Document doc;
+  doc.add_entity("_:anon");
+  doc.add_entity("unqualified");
+  EXPECT_TRUE(doc.validate().empty());
+}
+
+TEST(Validate, BundleProblemsPrefixed) {
+  Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  Document& b = doc.bundle("ex:b1");
+  b.add_activity("ex:a");
+  b.used("ex:a", "ex:ghost");
+  const auto problems = doc.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("bundle 'ex:b1'"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- merge
+
+TEST(Merge, UnionsElementsAndRelations) {
+  Document a = example_document();
+  Document b;
+  b.declare_namespace("ex", "http://example.org/");
+  b.add_entity("ex:metrics", {{"prov:type", "provml:MetricFile"}});
+  b.add_activity("ex:training");
+  b.was_generated_by("ex:metrics", "ex:training");
+  ASSERT_TRUE(a.merge(b).ok());
+  EXPECT_NE(a.find_element("ex:metrics"), nullptr);
+  EXPECT_EQ(a.count(RelationKind::kWasGeneratedBy), 2u);
+  EXPECT_TRUE(a.validate().empty());
+}
+
+TEST(Merge, BlankIdsReissuedToAvoidCollision) {
+  Document a;
+  a.declare_namespace("ex", "http://example.org/");
+  a.add_activity("ex:a");
+  a.add_entity("ex:e");
+  a.used("ex:a", "ex:e");  // gets _:r0
+  Document b;
+  b.declare_namespace("ex", "http://example.org/");
+  b.add_activity("ex:a");
+  b.add_entity("ex:e2");
+  b.used("ex:a", "ex:e2");  // also _:r0 in its own scope
+  ASSERT_TRUE(a.merge(b).ok());
+  EXPECT_TRUE(a.validate().empty());  // would report duplicate ids otherwise
+  EXPECT_EQ(a.relations().size(), 2u);
+}
+
+TEST(Merge, ConflictingNamespaceFails) {
+  Document a;
+  a.declare_namespace("ex", "http://example.org/a");
+  Document b;
+  b.declare_namespace("ex", "http://example.org/b");
+  EXPECT_FALSE(a.merge(b).ok());
+}
+
+TEST(Merge, MergesBundles) {
+  Document a;
+  Document b;
+  b.bundle("run1").add_entity("e1");
+  ASSERT_TRUE(a.merge(b).ok());
+  ASSERT_EQ(a.bundles().size(), 1u);
+  EXPECT_NE(a.bundle("run1").find_element("e1"), nullptr);
+}
+
+// --------------------------------------------------------------- PROV-JSON
+
+TEST(ProvJson, StructureMatchesStandard) {
+  const json::Value v = to_prov_json(example_document());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_NE(v.find("prefix"), nullptr);
+  EXPECT_NE(v.find("entity"), nullptr);
+  EXPECT_NE(v.find("activity"), nullptr);
+  EXPECT_NE(v.find("agent"), nullptr);
+  EXPECT_NE(v.find("used"), nullptr);
+  EXPECT_NE(v.find("wasGeneratedBy"), nullptr);
+  // Empty buckets are omitted.
+  EXPECT_EQ(v.find("hadMember"), nullptr);
+  // Activity times are typed literals.
+  const json::Value* st =
+      v.find("activity")->find("ex:training")->find("prov:startTime");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->find("type")->as_string(), "xsd:dateTime");
+}
+
+TEST(ProvJson, RoundTripPreservesDocument) {
+  const Document original = example_document();
+  Expected<Document> reparsed = from_prov_json(to_prov_json(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  EXPECT_EQ(to_prov_json_string(reparsed.value()), to_prov_json_string(original));
+}
+
+TEST(ProvJson, RepeatedAttributeBecomesArrayAndBack) {
+  Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.add_entity("ex:e", {{"prov:type", "A"}, {"prov:type", "B"}});
+  const json::Value v = to_prov_json(doc);
+  const json::Value* types = v.find("entity")->find("ex:e")->find("prov:type");
+  ASSERT_NE(types, nullptr);
+  ASSERT_TRUE(types->is_array());
+  EXPECT_EQ(types->as_array().size(), 2u);
+
+  Expected<Document> back = from_prov_json(v);
+  ASSERT_TRUE(back.ok());
+  const Element* e = back.value().find_element("ex:e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->attributes.size(), 2u);
+}
+
+TEST(ProvJson, TypedLiteralsRoundTrip) {
+  Document doc;
+  doc.add_entity("e", {{"when", AttributeValue{json::Value("2025-01-01"), "xsd:date"}}});
+  Expected<Document> back = from_prov_json(to_prov_json(doc));
+  ASSERT_TRUE(back.ok());
+  const AttributeValue* attr = find_attribute(back.value().find_element("e")->attributes, "when");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->datatype, "xsd:date");
+  EXPECT_EQ(attr->value.as_string(), "2025-01-01");
+}
+
+TEST(ProvJson, BundlesNestAndRoundTrip) {
+  Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  Document& run = doc.bundle("ex:run_0");
+  run.declare_namespace("ex", "http://example.org/");
+  run.add_activity("ex:epoch_0");
+  run.add_entity("ex:loss");
+  run.was_generated_by("ex:loss", "ex:epoch_0");
+
+  Expected<Document> back = from_prov_json(to_prov_json(doc));
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  ASSERT_EQ(back.value().bundles().size(), 1u);
+  EXPECT_NE(back.value().bundle("ex:run_0").find_element("ex:loss"), nullptr);
+}
+
+TEST(ProvJson, UnknownBucketRejected) {
+  const json::Value v = json::parse(R"({"wasMisspelledBy": {}})").take();
+  EXPECT_FALSE(from_prov_json(v).ok());
+}
+
+TEST(ProvJson, MissingRoleRejected) {
+  const json::Value v =
+      json::parse(R"({"used": {"_:r0": {"prov:activity": "a"}}})").take();
+  const auto result = from_prov_json(v);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("prov:entity"), std::string::npos);
+}
+
+TEST(ProvJson, NonObjectRootRejected) {
+  EXPECT_FALSE(from_prov_json(json::Value(json::Array{})).ok());
+}
+
+TEST(ProvJson, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const std::string path = (fs::temp_directory_path() / "provml_doc.json").string();
+  const Document doc = example_document();
+  ASSERT_TRUE(write_prov_json_file(path, doc).ok());
+  Expected<Document> back = read_prov_json_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(to_prov_json_string(back.value()), to_prov_json_string(doc));
+  fs::remove(path);
+}
+
+
+// --------------------------------------------------------------- PROV-XML
+
+TEST(ProvXml, RendersDocumentStructure) {
+  const std::string xml = to_prov_xml(example_document());
+  EXPECT_NE(xml.find("<?xml version=\"1.0\""), std::string::npos);
+  EXPECT_NE(xml.find("<prov:document"), std::string::npos);
+  EXPECT_NE(xml.find("xmlns:prov=\"http://www.w3.org/ns/prov#\""), std::string::npos);
+  EXPECT_NE(xml.find("xmlns:ex=\"http://example.org/\""), std::string::npos);
+  EXPECT_NE(xml.find("<prov:entity prov:id=\"ex:dataset\">"), std::string::npos);
+  EXPECT_NE(xml.find("<prov:activity prov:id=\"ex:training\">"), std::string::npos);
+  EXPECT_NE(xml.find("<prov:startTime>2025-01-01T00:00:00</prov:startTime>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<prov:agent prov:id=\"ex:researcher\">"), std::string::npos);
+  EXPECT_NE(xml.find("<prov:used>"), std::string::npos);
+  EXPECT_NE(xml.find("<prov:activity prov:ref=\"ex:training\"/>"), std::string::npos);
+  EXPECT_NE(xml.find("<prov:wasGeneratedBy>"), std::string::npos);
+  EXPECT_NE(xml.find("</prov:document>"), std::string::npos);
+}
+
+TEST(ProvXml, EscapesSpecialCharacters) {
+  Document doc;
+  doc.add_entity("e", {{"note", "a<b & \"c\" 'd'"}});
+  const std::string xml = to_prov_xml(doc);
+  EXPECT_NE(xml.find("a&lt;b &amp; &quot;c&quot; &apos;d&apos;"), std::string::npos);
+  EXPECT_EQ(xml_escape("<&>\"'"), "&lt;&amp;&gt;&quot;&apos;");
+}
+
+TEST(ProvXml, TypedLiteralsCarryXsiType) {
+  Document doc;
+  doc.add_entity("e", {{"when", AttributeValue{json::Value("2025-01-01"), "xsd:date"}}});
+  const std::string xml = to_prov_xml(doc);
+  EXPECT_NE(xml.find("xsi:type=\"xsd:date\""), std::string::npos);
+}
+
+TEST(ProvXml, UnqualifiedKeysGetProvmlPrefix) {
+  Document doc;
+  doc.add_entity("e", {{"samples", 7}});
+  const std::string xml = to_prov_xml(doc);
+  EXPECT_NE(xml.find("<provml:samples>7</provml:samples>"), std::string::npos);
+}
+
+TEST(ProvXml, BundlesNest) {
+  Document doc;
+  doc.bundle("b1").add_entity("inner");
+  const std::string xml = to_prov_xml(doc);
+  EXPECT_NE(xml.find("<prov:bundleContent prov:id=\"b1\">"), std::string::npos);
+  EXPECT_NE(xml.find("<prov:entity prov:id=\"inner\"/>"), std::string::npos);
+  EXPECT_NE(xml.find("</prov:bundleContent>"), std::string::npos);
+}
+
+TEST(ProvXml, EmptyElementsSelfClose) {
+  Document doc;
+  doc.add_entity("plain");
+  EXPECT_NE(to_prov_xml(doc).find("<prov:entity prov:id=\"plain\"/>"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------------ PROV-N
+
+TEST(ProvN, RendersAllStatementKinds) {
+  const std::string text = to_prov_n(example_document());
+  EXPECT_NE(text.find("document\n"), std::string::npos);
+  EXPECT_NE(text.find("endDocument"), std::string::npos);
+  EXPECT_NE(text.find("prefix ex <http://example.org/>"), std::string::npos);
+  EXPECT_NE(text.find("entity(ex:dataset"), std::string::npos);
+  EXPECT_NE(text.find("activity(ex:training, 2025-01-01T00:00:00, 2025-01-01T02:00:00"),
+            std::string::npos);
+  EXPECT_NE(text.find("agent(ex:researcher"), std::string::npos);
+  EXPECT_NE(text.find("used(ex:training, ex:dataset, 2025-01-01T00:00:00"), std::string::npos);
+  EXPECT_NE(text.find("wasGeneratedBy(ex:model_ckpt, ex:training"), std::string::npos);
+}
+
+TEST(ProvN, OmittedTimeRendersDash) {
+  Document doc;
+  doc.add_activity("a");
+  doc.add_entity("e");
+  doc.used("a", "e");
+  EXPECT_NE(to_prov_n(doc).find("used(a, e, -)"), std::string::npos);
+}
+
+TEST(ProvN, BundlesRenderNested) {
+  Document doc;
+  doc.bundle("b1").add_entity("e1");
+  const std::string text = to_prov_n(doc);
+  EXPECT_NE(text.find("bundle b1"), std::string::npos);
+  EXPECT_NE(text.find("endBundle"), std::string::npos);
+  EXPECT_NE(text.find("entity(e1)"), std::string::npos);
+}
+
+// --------------------------------------------------------------------- DOT
+
+TEST(Dot, NodesUseProvColors) {
+  const std::string dot = to_dot(example_document());
+  EXPECT_NE(dot.find("digraph provenance"), std::string::npos);
+  EXPECT_NE(dot.find("#FFFC87"), std::string::npos);  // entity yellow
+  EXPECT_NE(dot.find("#9FB1FC"), std::string::npos);  // activity blue
+  EXPECT_NE(dot.find("#FED37F"), std::string::npos);  // agent orange
+  EXPECT_NE(dot.find("label=\"used\""), std::string::npos);
+}
+
+TEST(Dot, AttributesOptIn) {
+  DotOptions opts;
+  opts.show_attributes = true;
+  const std::string with = to_dot(example_document(), opts);
+  const std::string without = to_dot(example_document());
+  EXPECT_NE(with.find("samples"), std::string::npos);
+  EXPECT_EQ(without.find("samples"), std::string::npos);
+}
+
+TEST(Dot, BundlesBecomeClusters) {
+  Document doc;
+  doc.bundle("b").add_entity("e");
+  EXPECT_NE(to_dot(doc).find("subgraph cluster_"), std::string::npos);
+}
+
+
+// ------------------------------------------------------------------ turtle
+
+TEST(Turtle, RendersPrefixesTypesAndRelations) {
+  const std::string ttl = to_turtle(example_document());
+  EXPECT_NE(ttl.find("@prefix prov: <http://www.w3.org/ns/prov#> ."), std::string::npos);
+  EXPECT_NE(ttl.find("@prefix ex: <http://example.org/> ."), std::string::npos);
+  EXPECT_NE(ttl.find("ex:dataset a prov:Entity"), std::string::npos);
+  EXPECT_NE(ttl.find("ex:training a prov:Activity"), std::string::npos);
+  EXPECT_NE(ttl.find("ex:researcher a prov:Agent"), std::string::npos);
+  EXPECT_NE(ttl.find("ex:training prov:used ex:dataset ."), std::string::npos);
+  EXPECT_NE(ttl.find("ex:model_ckpt prov:wasGeneratedBy ex:training ."), std::string::npos);
+  EXPECT_NE(ttl.find("prov:startedAtTime \"2025-01-01T00:00:00\"^^xsd:dateTime"),
+            std::string::npos);
+}
+
+TEST(Turtle, ProvTypeBecomesAdditionalClass) {
+  const std::string ttl = to_turtle(example_document());
+  EXPECT_NE(ttl.find("a provml:Dataset"), std::string::npos);
+}
+
+TEST(Turtle, SanitizesSlashedLocalNames) {
+  Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.add_entity("ex:metric/TRAINING/loss");
+  const std::string ttl = to_turtle(doc);
+  EXPECT_NE(ttl.find("ex:metric_TRAINING_loss"), std::string::npos);
+  EXPECT_EQ(ttl.find("ex:metric/TRAINING"), std::string::npos);
+  EXPECT_EQ(sanitize_local("a/b c#d"), "a_b_c_d");
+}
+
+TEST(Turtle, BundlesFlattenWithBackReference) {
+  Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.bundle("ex:b").add_entity("ex:inner");
+  const std::string ttl = to_turtle(doc);
+  EXPECT_NE(ttl.find("ex:b a prov:Bundle ."), std::string::npos);
+  EXPECT_NE(ttl.find("prov:bundledIn ex:b"), std::string::npos);
+}
+
+TEST(Turtle, DefaultNamespaceDeclaredWhenNeeded) {
+  Document doc;
+  doc.add_entity("bare");
+  const std::string ttl = to_turtle(doc);
+  EXPECT_NE(ttl.find("@prefix : <urn:provml:default#> ."), std::string::npos);
+  EXPECT_NE(ttl.find(":bare a prov:Entity"), std::string::npos);
+}
+
+// -------------------------------------------------------------- constraints
+
+TEST(Constraints, CleanDocumentHasNoViolations) {
+  EXPECT_TRUE(check_constraints(example_document()).empty());
+}
+
+TEST(Constraints, DerivationCycleDetected) {
+  Document doc;
+  doc.add_entity("a");
+  doc.add_entity("b");
+  doc.add_entity("c");
+  doc.was_derived_from("a", "b");
+  doc.was_derived_from("b", "c");
+  doc.was_derived_from("c", "a");
+  const auto violations = check_constraints(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "derivation-cycle");
+}
+
+TEST(Constraints, SelfDerivationDetected) {
+  Document doc;
+  doc.add_entity("a");
+  doc.was_derived_from("a", "a");
+  const auto violations = check_constraints(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "derivation-cycle");
+  EXPECT_NE(violations[0].detail.find("itself"), std::string::npos);
+}
+
+TEST(Constraints, AcyclicDerivationChainIsFine) {
+  Document doc;
+  doc.add_entity("a");
+  doc.add_entity("b");
+  doc.add_entity("c");
+  doc.was_derived_from("b", "a");
+  doc.was_derived_from("c", "b");
+  doc.was_derived_from("c", "a");  // diamond shortcut, still acyclic
+  EXPECT_TRUE(check_constraints(doc).empty());
+}
+
+TEST(Constraints, DoubleGenerationDetected) {
+  Document doc;
+  doc.add_entity("e");
+  doc.add_activity("a1");
+  doc.add_activity("a2");
+  doc.was_generated_by("e", "a1");
+  doc.was_generated_by("e", "a2");
+  const auto violations = check_constraints(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "generation-generation");
+  EXPECT_EQ(violations[0].subject, "e");
+}
+
+TEST(Constraints, RepeatedGenerationBySameActivityAllowed) {
+  Document doc;
+  doc.add_entity("e");
+  doc.add_activity("a1");
+  doc.was_generated_by("e", "a1");
+  doc.was_generated_by("e", "a1");
+  EXPECT_TRUE(check_constraints(doc).empty());
+}
+
+TEST(Constraints, ActivityEndBeforeStartDetected) {
+  Document doc;
+  doc.add_activity("a", {}, "2025-01-02T00:00:00", "2025-01-01T00:00:00");
+  const auto violations = check_constraints(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "activity-times");
+}
+
+TEST(Constraints, UsageOutsideActivityWindowDetected) {
+  Document doc;
+  doc.add_activity("a", {}, "2025-01-01T10:00:00", "2025-01-01T12:00:00");
+  doc.add_entity("e");
+  doc.used("a", "e", "2025-01-01T09:00:00");   // before start
+  doc.was_generated_by("e", "a", "2025-01-01T13:00:00");  // after end
+  // Two window violations plus the implied usage-before-generation.
+  const auto violations = check_constraints(doc);
+  ASSERT_EQ(violations.size(), 3u);
+  EXPECT_EQ(violations[0].rule, "usage-within-activity");
+  EXPECT_EQ(violations[1].rule, "usage-within-activity");
+  EXPECT_EQ(violations[2].rule, "generation-before-usage");
+}
+
+TEST(Constraints, GenerationBeforeUsageDetected) {
+  Document doc;
+  doc.add_activity("maker", {}, "2025-01-01T00:00:00", "2025-01-01T23:00:00");
+  doc.add_activity("consumer", {}, "2025-01-01T00:00:00", "2025-01-01T23:00:00");
+  doc.add_entity("e");
+  doc.was_generated_by("e", "maker", "2025-01-01T12:00:00");
+  doc.used("consumer", "e", "2025-01-01T10:00:00");  // used 2h before it exists
+  const auto violations = check_constraints(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "generation-before-usage");
+}
+
+TEST(Constraints, BundleViolationsAnnotated) {
+  Document doc;
+  Document& b = doc.bundle("b1");
+  b.add_entity("a");
+  b.was_derived_from("a", "a");
+  const auto violations = check_constraints(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].detail.find("bundle 'b1'"), std::string::npos);
+}
+
+TEST(Constraints, ToStringFormatsOnePerLine) {
+  Document doc;
+  doc.add_entity("a");
+  doc.was_derived_from("a", "a");
+  const std::string text = to_string(check_constraints(doc));
+  EXPECT_NE(text.find("[derivation-cycle] "), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+TEST(Constraints, CoreRunDocumentIsConstraintClean) {
+  // The documents our own logger emits must never violate constraints.
+  const Document doc = example_document();
+  EXPECT_TRUE(check_constraints(doc).empty());
+}
+
+// ------------------------------------------------------------ property mode
+
+// Property: any randomly constructed valid document round-trips through
+// PROV-JSON with identical serialized form.
+class ProvRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+Document random_document(std::mt19937_64& rng) {
+  Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  std::uniform_int_distribution<int> n_entities(1, 8);
+  std::uniform_int_distribution<int> n_activities(1, 4);
+  std::uniform_int_distribution<int> n_agents(0, 2);
+  std::vector<std::string> entities, activities, agents;
+  const int ne = n_entities(rng);
+  for (int i = 0; i < ne; ++i) {
+    std::string id = "ex:e" + std::to_string(i);
+    Attributes attrs;
+    if (rng() & 1) attrs.emplace_back("value", static_cast<std::int64_t>(rng() % 1000));
+    if (rng() & 1) attrs.emplace_back("prov:type", "provml:Artifact");
+    doc.add_entity(id, std::move(attrs));
+    entities.push_back(std::move(id));
+  }
+  const int na = n_activities(rng);
+  for (int i = 0; i < na; ++i) {
+    std::string id = "ex:a" + std::to_string(i);
+    doc.add_activity(id, {}, "2025-01-01T00:00:00");
+    activities.push_back(std::move(id));
+  }
+  const int ng = n_agents(rng);
+  for (int i = 0; i < ng; ++i) {
+    std::string id = "ex:ag" + std::to_string(i);
+    doc.add_agent(id);
+    agents.push_back(std::move(id));
+  }
+  std::uniform_int_distribution<int> n_rel(0, 12);
+  const int nr = n_rel(rng);
+  auto pick = [&rng](const std::vector<std::string>& v) { return v[rng() % v.size()]; };
+  for (int i = 0; i < nr; ++i) {
+    switch (rng() % 5) {
+      case 0: doc.used(pick(activities), pick(entities)); break;
+      case 1: doc.was_generated_by(pick(entities), pick(activities)); break;
+      case 2: doc.was_derived_from(pick(entities), pick(entities)); break;
+      case 3:
+        if (!agents.empty()) doc.was_associated_with(pick(activities), pick(agents));
+        break;
+      default:
+        if (!agents.empty()) doc.was_attributed_to(pick(entities), pick(agents));
+        break;
+    }
+  }
+  return doc;
+}
+
+TEST_P(ProvRoundTrip, JsonRoundTripIsIdentity) {
+  std::mt19937_64 rng(GetParam());
+  const Document doc = random_document(rng);
+  EXPECT_TRUE(doc.validate().empty());
+  Expected<Document> back = from_prov_json(to_prov_json(doc));
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(to_prov_json_string(back.value()), to_prov_json_string(doc));
+  EXPECT_TRUE(back.value().validate().empty());
+}
+
+TEST_P(ProvRoundTrip, MergeWithSelfKeepsValidity) {
+  std::mt19937_64 rng(GetParam() + 500);
+  Document doc = random_document(rng);
+  const Document copy = doc;
+  ASSERT_TRUE(doc.merge(copy).ok());
+  EXPECT_TRUE(doc.validate().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProvRoundTrip, ::testing::Range(0u, 20u));
+
+}  // namespace
+}  // namespace provml::prov

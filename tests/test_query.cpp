@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "provml/graphstore/graph.hpp"
+#include "provml/graphstore/ingest.hpp"
+#include "provml/graphstore/query.hpp"
+#include "provml/prov/model.hpp"
+
+namespace provml::graphstore {
+namespace {
+
+/// run ←used— dataset; ckpt —wasGeneratedBy→ run; metrics —wasGeneratedBy→ run
+PropertyGraph training_graph() {
+  prov::Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.add_entity("ex:dataset", {{"provml:name", "modis"}});
+  doc.add_entity("ex:ckpt", {{"provml:name", "checkpoint"}});
+  doc.add_entity("ex:metrics", {{"provml:name", "metrics"}});
+  doc.add_activity("ex:run", {{"provml:run_name", "run_0"}});
+  doc.add_agent("ex:alice");
+  doc.used("ex:run", "ex:dataset");
+  doc.was_generated_by("ex:ckpt", "ex:run");
+  doc.was_generated_by("ex:metrics", "ex:run");
+  doc.was_associated_with("ex:run", "ex:alice");
+  PropertyGraph g;
+  EXPECT_TRUE(ingest_document(g, doc, "d").ok());
+  return g;
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(QueryParser, ParsesFullQuery) {
+  const auto q = parse_query(
+      R"(MATCH (a:Activity {prov_id: "ex:run"})<-[:wasGeneratedBy]-(e:Entity) RETURN e)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  ASSERT_EQ(q.value().nodes.size(), 2u);
+  ASSERT_EQ(q.value().edges.size(), 1u);
+  EXPECT_EQ(q.value().nodes[0].var, "a");
+  EXPECT_EQ(q.value().nodes[0].labels, (std::vector<std::string>{"Activity"}));
+  EXPECT_EQ(q.value().nodes[0].properties.find("prov_id")->as_string(), "ex:run");
+  EXPECT_EQ(q.value().edges[0].type, "wasGeneratedBy");
+  EXPECT_EQ(q.value().edges[0].direction, Direction::kIn);
+  EXPECT_EQ(q.value().returns, (std::vector<std::string>{"e"}));
+}
+
+TEST(QueryParser, LiteralTypes) {
+  const auto q = parse_query(
+      R"(MATCH (n {s: "x", i: 42, f: 2.5, neg: -3, b: true}) RETURN n)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  const json::Object& props = q.value().nodes[0].properties;
+  EXPECT_EQ(props.find("s")->as_string(), "x");
+  EXPECT_EQ(props.find("i")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(props.find("f")->as_double(), 2.5);
+  EXPECT_EQ(props.find("neg")->as_int(), -3);
+  EXPECT_EQ(props.find("b")->as_bool(), true);
+}
+
+TEST(QueryParser, EdgeDirections) {
+  EXPECT_EQ(parse_query("MATCH (a)-[:r]->(b) RETURN a").value().edges[0].direction,
+            Direction::kOut);
+  EXPECT_EQ(parse_query("MATCH (a)<-[:r]-(b) RETURN a").value().edges[0].direction,
+            Direction::kIn);
+  EXPECT_EQ(parse_query("MATCH (a)-[:r]-(b) RETURN a").value().edges[0].direction,
+            Direction::kBoth);
+  EXPECT_EQ(parse_query("MATCH (a)--(b) RETURN a").value().edges[0].type, "");
+}
+
+TEST(QueryParser, MultiHopPath) {
+  const auto q =
+      parse_query("MATCH (a:Entity)-[:wasGeneratedBy]->(b)<-[:used]-(c) RETURN a, c");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().nodes.size(), 3u);
+  EXPECT_EQ(q.value().edges.size(), 2u);
+  EXPECT_EQ(q.value().returns.size(), 2u);
+}
+
+TEST(QueryParser, QualifiedPropertyKeys) {
+  const auto q = parse_query(R"(MATCH (n {provml:name: "modis"}) RETURN n)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  EXPECT_TRUE(q.value().nodes[0].properties.contains("provml:name"));
+}
+
+TEST(QueryParser, RejectsMalformed) {
+  EXPECT_FALSE(parse_query("").ok());
+  EXPECT_FALSE(parse_query("MATCH RETURN a").ok());
+  EXPECT_FALSE(parse_query("MATCH (a RETURN a").ok());
+  EXPECT_FALSE(parse_query("MATCH (a) RETURN").ok());
+  EXPECT_FALSE(parse_query("MATCH (a)<-[:r]->(b) RETURN a").ok());  // double arrow
+  EXPECT_FALSE(parse_query("MATCH (a) RETURN ghost").ok());          // unbound
+  EXPECT_FALSE(parse_query("MATCH (a {k: }) RETURN a").ok());        // bad literal
+  EXPECT_FALSE(parse_query("MATCH (a) RETURN a extra").ok());        // trailing
+  EXPECT_FALSE(parse_query(R"(MATCH (a {k: "unterminated}) RETURN a)").ok());
+}
+
+// ------------------------------------------------------------------ matcher
+
+TEST(QueryRun, FindsGeneratedEntities) {
+  const PropertyGraph g = training_graph();
+  const auto rows = run_query(
+      g, R"(MATCH (e:Entity)-[:wasGeneratedBy]->(a:Activity {prov_id: "ex:run"}) RETURN e)");
+  ASSERT_TRUE(rows.ok()) << rows.error().to_string();
+  EXPECT_EQ(rows.value().size(), 2u);  // ckpt + metrics
+}
+
+TEST(QueryRun, DirectionMatters) {
+  const PropertyGraph g = training_graph();
+  // Reversed arrow: nothing is generated *by* an entity.
+  const auto rows = run_query(
+      g, R"(MATCH (e:Entity)<-[:wasGeneratedBy]-(a:Activity {prov_id: "ex:run"}) RETURN e)");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows.value().empty());
+  // Undirected matches regardless.
+  const auto undirected = run_query(
+      g, R"(MATCH (e:Entity)-[:wasGeneratedBy]-(a:Activity {prov_id: "ex:run"}) RETURN e)");
+  EXPECT_EQ(undirected.value().size(), 2u);
+}
+
+TEST(QueryRun, PropertyEqualityFilters) {
+  const PropertyGraph g = training_graph();
+  const auto rows =
+      run_query(g, R"(MATCH (e:Entity {provml:name: "checkpoint"}) RETURN e)");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  const Node* n = g.node(rows.value()[0].at("e"));
+  EXPECT_EQ(n->properties.find("prov_id")->as_string(), "ex:ckpt");
+}
+
+TEST(QueryRun, TwoHopTraversal) {
+  const PropertyGraph g = training_graph();
+  // What did the activity that generated the checkpoint use?
+  const auto rows = run_query(g,
+                              R"(MATCH (c:Entity {provml:name: "checkpoint"})
+                                 -[:wasGeneratedBy]->(r:Activity)-[:used]->(d:Entity)
+                                 RETURN d)");
+  ASSERT_TRUE(rows.ok()) << rows.error().to_string();
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(g.node(rows.value()[0].at("d"))->properties.find("prov_id")->as_string(),
+            "ex:dataset");
+}
+
+TEST(QueryRun, MultipleReturnsFormRows) {
+  const PropertyGraph g = training_graph();
+  const auto rows =
+      run_query(g, "MATCH (e:Entity)-[:wasGeneratedBy]->(a:Activity) RETURN e, a");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  for (const Row& row : rows.value()) {
+    EXPECT_EQ(row.size(), 2u);
+    EXPECT_TRUE(row.count("e"));
+    EXPECT_TRUE(row.count("a"));
+  }
+}
+
+TEST(QueryRun, AnyEdgeTypeWildcard) {
+  const PropertyGraph g = training_graph();
+  const auto rows =
+      run_query(g, R"(MATCH (a:Activity {prov_id: "ex:run"})--(x) RETURN x)");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 4u);  // dataset, ckpt, metrics, alice
+}
+
+TEST(QueryRun, NoLabelScansAllNodes) {
+  const PropertyGraph g = training_graph();
+  const auto rows = run_query(g, "MATCH (n) RETURN n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), g.node_count());
+}
+
+TEST(QueryRun, DuplicateRowsCollapsed) {
+  const PropertyGraph g = training_graph();
+  // Both generated entities reach the same activity; returning only the
+  // activity must yield a single row.
+  const auto rows =
+      run_query(g, "MATCH (e:Entity)-[:wasGeneratedBy]->(a:Activity) RETURN a");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 1u);
+}
+
+TEST(QueryRun, EmptyGraphYieldsNoRows) {
+  PropertyGraph g;
+  const auto rows = run_query(g, "MATCH (n:Entity) RETURN n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows.value().empty());
+}
+
+TEST(QueryRun, ParseErrorsPropagate) {
+  PropertyGraph g;
+  EXPECT_FALSE(run_query(g, "MATCH oops").ok());
+}
+
+
+// ------------------------------------------------------------------- WHERE
+
+TEST(QueryWhere, ParsesConditions) {
+  const auto q = parse_query(
+      R"(MATCH (n:Run) WHERE n.loss < 0.5 AND n.devices >= 32 RETURN n)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  ASSERT_EQ(q.value().conditions.size(), 2u);
+  EXPECT_EQ(q.value().conditions[0].var, "n");
+  EXPECT_EQ(q.value().conditions[0].key, "loss");
+  EXPECT_EQ(q.value().conditions[0].op, Condition::Op::kLt);
+  EXPECT_DOUBLE_EQ(q.value().conditions[0].literal.as_double(), 0.5);
+  EXPECT_EQ(q.value().conditions[1].op, Condition::Op::kGe);
+}
+
+TEST(QueryWhere, AllOperatorsParse) {
+  for (const char* op : {"=", "!=", "<", "<=", ">", ">="}) {
+    const std::string text = std::string("MATCH (n) WHERE n.v ") + op + " 1 RETURN n";
+    EXPECT_TRUE(parse_query(text).ok()) << op;
+  }
+}
+
+TEST(QueryWhere, RejectsMalformedConditions) {
+  EXPECT_FALSE(parse_query("MATCH (n) WHERE RETURN n").ok());
+  EXPECT_FALSE(parse_query("MATCH (n) WHERE n RETURN n").ok());
+  EXPECT_FALSE(parse_query("MATCH (n) WHERE n.v ~ 1 RETURN n").ok());
+  EXPECT_FALSE(parse_query("MATCH (n) WHERE ghost.v = 1 RETURN n").ok());  // unbound
+  EXPECT_FALSE(parse_query("MATCH (n) WHERE n.v ! 1 RETURN n").ok());
+}
+
+TEST(QueryWhere, FiltersNumericProperties) {
+  PropertyGraph g;
+  for (int devices : {8, 32, 128}) {
+    g.add_node({"Run"}, json::make_object(
+                            {{"devices", devices}, {"loss", 1.0 / devices}}));
+  }
+  const auto rows =
+      run_query(g, "MATCH (n:Run) WHERE n.devices > 8 RETURN n");
+  ASSERT_TRUE(rows.ok()) << rows.error().to_string();
+  EXPECT_EQ(rows.value().size(), 2u);
+
+  const auto conj = run_query(
+      g, "MATCH (n:Run) WHERE n.devices > 8 AND n.loss < 0.01 RETURN n");
+  ASSERT_TRUE(conj.ok());
+  EXPECT_EQ(conj.value().size(), 1u);  // only the 128-device run
+}
+
+TEST(QueryWhere, StringAndMissingProperties) {
+  PropertyGraph g;
+  g.add_node({"N"}, json::make_object({{"name", "alpha"}}));
+  g.add_node({"N"}, json::make_object({{"name", "beta"}}));
+  g.add_node({"N"});  // no name property
+  const auto eq = run_query(g, R"(MATCH (n:N) WHERE n.name = "alpha" RETURN n)");
+  EXPECT_EQ(eq.value().size(), 1u);
+  const auto ne = run_query(g, R"(MATCH (n:N) WHERE n.name != "alpha" RETURN n)");
+  EXPECT_EQ(ne.value().size(), 1u);  // missing property never matches
+  const auto lt = run_query(g, R"(MATCH (n:N) WHERE n.name < "b" RETURN n)");
+  EXPECT_EQ(lt.value().size(), 1u);
+}
+
+TEST(QueryWhere, CrossTypeComparisonIsFalse) {
+  PropertyGraph g;
+  g.add_node({"N"}, json::make_object({{"v", "5"}}));  // string "5"
+  EXPECT_TRUE(run_query(g, "MATCH (n:N) WHERE n.v > 1 RETURN n").value().empty());
+  EXPECT_TRUE(run_query(g, "MATCH (n:N) WHERE n.v = 5 RETURN n").value().empty());
+  EXPECT_EQ(run_query(g, "MATCH (n:N) WHERE n.v != 5 RETURN n").value().size(), 1u);
+}
+
+TEST(QueryWhere, FilterOnMidPathVariable) {
+  const PropertyGraph g = training_graph();
+  // Filter on a variable that is not returned.
+  const auto rows = run_query(
+      g,
+      R"(MATCH (e:Entity)-[:wasGeneratedBy]->(a:Activity)
+         WHERE a.provml:run_name = "run_0" RETURN e)");
+  ASSERT_TRUE(rows.ok()) << rows.error().to_string();
+  EXPECT_EQ(rows.value().size(), 2u);
+  const auto none = run_query(
+      g,
+      R"(MATCH (e:Entity)-[:wasGeneratedBy]->(a:Activity)
+         WHERE a.provml:run_name = "other" RETURN e)");
+  EXPECT_TRUE(none.value().empty());
+}
+
+}  // namespace
+}  // namespace provml::graphstore

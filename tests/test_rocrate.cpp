@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "provml/json/parse.hpp"
+#include "provml/rocrate/crate.hpp"
+
+namespace provml::rocrate {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RoCrateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / ("provml_crate_" + std::to_string(::getpid()));
+    fs::create_directories(root_ / "metrics.zarr" / "loss");
+    std::ofstream(root_ / "provenance.json") << "{}\n";
+    std::ofstream(root_ / "model.ckpt") << "weights";
+    std::ofstream(root_ / "metrics.zarr" / ".zgroup") << "{\"zarr_format\":2}\n";
+    std::ofstream(root_ / "metrics.zarr" / "loss" / "0") << "chunk";
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(RoCrateTest, BuildWriteReadRoundTrip) {
+  CrateBuilder builder(root_.string());
+  builder.set_name("MODIS-FM run 0")
+      .set_description("scaling study cell")
+      .set_license("https://creativecommons.org/licenses/by/4.0/")
+      .add_author("Test Author", "University of Trento");
+  ASSERT_TRUE(builder.add_file("provenance.json", "PROV-JSON document").ok());
+  ASSERT_TRUE(builder.add_file("model.ckpt").ok());
+  ASSERT_TRUE(builder.add_directory("metrics.zarr", "metric store").ok());
+  ASSERT_TRUE(builder.write().ok());
+  ASSERT_TRUE(fs::exists(root_ / "ro-crate-metadata.json"));
+
+  Expected<CrateInfo> info = read_crate(root_.string());
+  ASSERT_TRUE(info.ok()) << info.error().to_string();
+  EXPECT_EQ(info.value().name, "MODIS-FM run 0");
+  EXPECT_EQ(info.value().description, "scaling study cell");
+  EXPECT_EQ(info.value().license, "https://creativecommons.org/licenses/by/4.0/");
+  ASSERT_EQ(info.value().entries.size(), 3u);
+  EXPECT_EQ(info.value().entries[0].path, "provenance.json");
+  EXPECT_EQ(info.value().entries[0].encoding, "application/json");
+  EXPECT_EQ(info.value().entries[2].path, "metrics.zarr/");
+  EXPECT_EQ(info.value().entries[2].type, "Dataset");
+  EXPECT_GT(info.value().entries[2].size_bytes, 0u);
+}
+
+TEST_F(RoCrateTest, MetadataStructureIsJsonLd) {
+  CrateBuilder builder(root_.string());
+  ASSERT_TRUE(builder.add_file("provenance.json").ok());
+  const json::Value meta = builder.metadata();
+  ASSERT_TRUE(meta.find("@context")->is_string());
+  const json::Array& graph = meta.find("@graph")->as_array();
+  ASSERT_GE(graph.size(), 3u);
+  // Entity 0: descriptor about "./" conforming to the 1.1 profile.
+  EXPECT_EQ(graph[0].find("@id")->as_string(), "ro-crate-metadata.json");
+  EXPECT_EQ(graph[0].find("about")->find("@id")->as_string(), "./");
+  EXPECT_NE(graph[0].find("conformsTo")->find("@id")->as_string().find("1.1"),
+            std::string::npos);
+  // Entity 1: the root dataset listing hasPart.
+  EXPECT_EQ(graph[1].find("@id")->as_string(), "./");
+  EXPECT_EQ(graph[1].find("hasPart")->as_array().size(), 1u);
+}
+
+TEST_F(RoCrateTest, AddAllDiscoversLooseFiles) {
+  CrateBuilder builder(root_.string());
+  ASSERT_TRUE(builder.add_directory("metrics.zarr").ok());
+  ASSERT_TRUE(builder.add_all().ok());
+  // metrics.zarr contents are covered by the Dataset entry; loose files are
+  // provenance.json and model.ckpt.
+  std::size_t files = 0;
+  for (const CrateEntry& e : builder.entries()) {
+    if (e.type == "File") ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+TEST_F(RoCrateTest, AddAllSkipsExistingMetadataFile) {
+  std::ofstream(root_ / "ro-crate-metadata.json") << "{}";
+  CrateBuilder builder(root_.string());
+  ASSERT_TRUE(builder.add_all().ok());
+  for (const CrateEntry& e : builder.entries()) {
+    EXPECT_NE(e.path, "ro-crate-metadata.json");
+  }
+}
+
+TEST_F(RoCrateTest, MissingPayloadRejected) {
+  CrateBuilder builder(root_.string());
+  EXPECT_FALSE(builder.add_file("ghost.bin").ok());
+  EXPECT_FALSE(builder.add_directory("ghost_dir").ok());
+  // Directory as file and vice versa:
+  EXPECT_FALSE(builder.add_file("metrics.zarr").ok());
+  EXPECT_FALSE(builder.add_directory("model.ckpt").ok());
+}
+
+TEST_F(RoCrateTest, ValidationCatchesDanglingReference) {
+  CrateBuilder builder(root_.string());
+  ASSERT_TRUE(builder.add_file("model.ckpt").ok());
+  ASSERT_TRUE(builder.write().ok());
+  fs::remove(root_ / "model.ckpt");
+  EXPECT_FALSE(read_crate(root_.string()).ok());
+}
+
+TEST_F(RoCrateTest, ValidationRejectsMalformedMetadata) {
+  std::ofstream(root_ / "ro-crate-metadata.json") << "{\"@graph\": []}";
+  EXPECT_FALSE(read_crate(root_.string()).ok());  // no @context
+
+  std::ofstream(root_ / "ro-crate-metadata.json")
+      << R"({"@context": "https://w3id.org/ro/crate/1.1/context", "@graph": []})";
+  EXPECT_FALSE(read_crate(root_.string()).ok());  // no descriptor/root
+}
+
+TEST_F(RoCrateTest, ReadMissingCrateFails) {
+  EXPECT_FALSE(read_crate((root_ / "nope").string()).ok());
+}
+
+TEST(MediaType, KnownExtensions) {
+  EXPECT_EQ(guess_media_type("a/provenance.json"), "application/json");
+  EXPECT_EQ(guess_media_type("run.provjson"), "application/json");
+  EXPECT_EQ(guess_media_type("metrics.nc"), "application/netcdf");
+  EXPECT_EQ(guess_media_type("log.txt"), "text/plain");
+  EXPECT_EQ(guess_media_type("doc.provn"), "text/provenance-notation");
+  EXPECT_EQ(guess_media_type("graph.dot"), "text/vnd.graphviz");
+  EXPECT_EQ(guess_media_type("data.csv"), "text/csv");
+  EXPECT_EQ(guess_media_type("blob.bin"), "application/octet-stream");
+}
+
+}  // namespace
+}  // namespace provml::rocrate

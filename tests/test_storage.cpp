@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <random>
+
+#include "provml/compress/container.hpp"
+#include "provml/storage/aggregate.hpp"
+#include "provml/storage/json_store.hpp"
+#include "provml/storage/netcdf_store.hpp"
+#include "provml/storage/series.hpp"
+#include "provml/storage/store.hpp"
+#include "provml/storage/zarr_store.hpp"
+
+namespace provml::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("provml_storage_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& leaf) const {
+    return (dir_ / leaf).string();
+  }
+
+  fs::path dir_;
+};
+
+MetricSet sample_metrics(std::size_t samples_per_series = 500) {
+  MetricSet set;
+  std::mt19937_64 rng(42);
+  std::normal_distribution<double> noise(0.0, 0.01);
+  MetricSeries& loss = set.series("loss", "TRAINING");
+  MetricSeries& energy = set.series("gpu_energy", "TRAINING", "J");
+  MetricSeries& val_loss = set.series("loss", "VALIDATION");
+  for (std::size_t i = 0; i < samples_per_series; ++i) {
+    const auto step = static_cast<std::int64_t>(i);
+    const std::int64_t ts = 1700000000000 + step * 250;
+    loss.append(step, ts, 2.0 * std::exp(-0.001 * static_cast<double>(i)) + noise(rng));
+    energy.append(step, ts, 350.0 + 10.0 * noise(rng));
+    if (i % 10 == 0) val_loss.append(step, ts, 2.1 * std::exp(-0.001 * static_cast<double>(i)));
+  }
+  return set;
+}
+
+// ------------------------------------------------------------------ series
+
+TEST(MetricSetTest, SeriesCreatesOnceByNameAndContext) {
+  MetricSet set;
+  MetricSeries& a = set.series("loss", "TRAINING");
+  MetricSeries& b = set.series("loss", "TRAINING");
+  MetricSeries& c = set.series("loss", "VALIDATION");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(MetricSetTest, UnitFilledInLazily) {
+  MetricSet set;
+  set.series("power", "TRAINING");
+  MetricSeries& s = set.series("power", "TRAINING", "W");
+  EXPECT_EQ(s.unit, "W");
+}
+
+TEST(MetricSetTest, FindReturnsNullWhenAbsent) {
+  MetricSet set;
+  set.series("loss", "TRAINING");
+  EXPECT_NE(set.find("loss", "TRAINING"), nullptr);
+  EXPECT_EQ(set.find("loss", "TESTING"), nullptr);
+  EXPECT_EQ(set.find("nope", "TRAINING"), nullptr);
+}
+
+TEST(MetricSetTest, TotalSamples) {
+  const MetricSet set = sample_metrics(100);
+  EXPECT_EQ(set.total_samples(), 100u + 100u + 10u);
+}
+
+TEST(MetricSeriesTest, KeyFormat) {
+  MetricSeries s{"loss", "TRAINING", "", {}};
+  EXPECT_EQ(s.key(), "TRAINING/loss");
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(StoreRegistryTest, BuiltinsPresent) {
+  auto& reg = StoreRegistry::global();
+  for (const char* name : {"json", "zarr", "netcdf"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    auto store = reg.create(name);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->format_name(), name);
+  }
+  EXPECT_EQ(reg.create("parquet"), nullptr);
+}
+
+// ------------------------------------------------------------- round trips
+
+class StoreRoundTrip : public StorageTest,
+                       public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(StoreRoundTrip, WriteReadPreservesEverything) {
+  const auto store = StoreRegistry::global().create(GetParam());
+  ASSERT_NE(store, nullptr);
+  const MetricSet original = sample_metrics();
+  const std::string p = path("metrics" + store->path_suffix());
+  ASSERT_TRUE(store->write(original, p).ok());
+  Expected<MetricSet> back = store->read(p);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back.value(), original);
+}
+
+TEST_P(StoreRoundTrip, EmptySetRoundTrips) {
+  const auto store = StoreRegistry::global().create(GetParam());
+  const std::string p = path("empty" + store->path_suffix());
+  ASSERT_TRUE(store->write(MetricSet{}, p).ok());
+  Expected<MetricSet> back = store->read(p);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST_P(StoreRoundTrip, EmptySeriesRoundTrips) {
+  const auto store = StoreRegistry::global().create(GetParam());
+  MetricSet set;
+  set.series("never_logged", "TRAINING", "J");
+  const std::string p = path("zero" + store->path_suffix());
+  ASSERT_TRUE(store->write(set, p).ok());
+  Expected<MetricSet> back = store->read(p);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  ASSERT_EQ(back.value().size(), 1u);
+  EXPECT_EQ(back.value().all()[0].samples.size(), 0u);
+  EXPECT_EQ(back.value().all()[0].unit, "J");
+}
+
+TEST_P(StoreRoundTrip, SpecialFloatValuesSurvive) {
+  // NaN breaks JSON (becomes null) — the binary formats must preserve all
+  // finite extremes; JSON must preserve finite extremes too.
+  const auto store = StoreRegistry::global().create(GetParam());
+  MetricSet set;
+  MetricSeries& s = set.series("extremes", "TESTING");
+  s.append(0, 0, 0.0);
+  s.append(1, 1, -0.0);
+  s.append(2, 2, std::numeric_limits<double>::max());
+  s.append(3, 3, std::numeric_limits<double>::denorm_min());
+  s.append(4, 4, -1e-300);
+  const std::string p = path("extremes" + store->path_suffix());
+  ASSERT_TRUE(store->write(set, p).ok());
+  Expected<MetricSet> back = store->read(p);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  const MetricSeries* rs = back.value().find("extremes", "TESTING");
+  ASSERT_NE(rs, nullptr);
+  ASSERT_EQ(rs->samples.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rs->samples[i].value, s.samples[i].value) << "sample " << i;
+  }
+}
+
+TEST_P(StoreRoundTrip, ReadMissingPathFails) {
+  const auto store = StoreRegistry::global().create(GetParam());
+  EXPECT_FALSE(store->read(path("does_not_exist" + store->path_suffix())).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, StoreRoundTrip,
+                         ::testing::Values("json", "zarr", "netcdf"),
+                         [](const auto& info) { return info.param; });
+
+// --------------------------------------------------------------- zarr extra
+
+TEST_F(StorageTest, ZarrChunkBoundaries) {
+  // chunk_length exactly divides, off-by-one, and single-chunk cases.
+  for (const std::size_t n : {1u, 7u, 8u, 9u, 16u}) {
+    ZarrOptions opts;
+    opts.chunk_length = 8;
+    ZarrMetricStore store(opts);
+    MetricSet set;
+    MetricSeries& s = set.series("m", "C");
+    for (std::size_t i = 0; i < n; ++i) {
+      s.append(static_cast<std::int64_t>(i), static_cast<std::int64_t>(i * 10),
+               static_cast<double>(i) * 0.5);
+    }
+    const std::string p = path("chunks_" + std::to_string(n) + ".zarr");
+    ASSERT_TRUE(store.write(set, p).ok());
+    Expected<MetricSet> back = store.read(p);
+    ASSERT_TRUE(back.ok()) << n << ": " << back.error().to_string();
+    EXPECT_EQ(back.value(), set) << n;
+  }
+}
+
+TEST_F(StorageTest, ZarrLayoutOnDisk) {
+  ZarrMetricStore store;
+  const MetricSet set = sample_metrics(50);
+  const std::string p = path("layout.zarr");
+  ASSERT_TRUE(store.write(set, p).ok());
+  EXPECT_TRUE(fs::exists(fs::path(p) / ".zgroup"));
+  EXPECT_TRUE(fs::exists(fs::path(p) / ".zattrs"));
+  EXPECT_TRUE(fs::exists(fs::path(p) / "s0_TRAINING_loss" / "value" / ".zarray"));
+  EXPECT_TRUE(fs::exists(fs::path(p) / "s0_TRAINING_loss" / "value" / "0"));
+}
+
+TEST_F(StorageTest, ZarrOverwriteReplacesOldStore) {
+  ZarrMetricStore store;
+  const std::string p = path("overwrite.zarr");
+  ASSERT_TRUE(store.write(sample_metrics(100), p).ok());
+  MetricSet small;
+  small.series("only", "C").append(1, 1, 1.0);
+  ASSERT_TRUE(store.write(small, p).ok());
+  Expected<MetricSet> back = store.read(p);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 1u);  // no leftovers from the first write
+}
+
+TEST_F(StorageTest, ZarrCompressionShrinksSmoothSeries) {
+  ZarrOptions compressed;
+  ZarrOptions uncompressed;
+  uncompressed.compress = false;
+  const MetricSet set = sample_metrics(20000);
+  const std::string pc = path("c.zarr");
+  const std::string pu = path("u.zarr");
+  ASSERT_TRUE(ZarrMetricStore(compressed).write(set, pc).ok());
+  ASSERT_TRUE(ZarrMetricStore(uncompressed).write(set, pu).ok());
+  const auto sc = path_size_bytes(pc);
+  const auto su = path_size_bytes(pu);
+  ASSERT_TRUE(sc.ok());
+  ASSERT_TRUE(su.ok());
+  EXPECT_LT(sc.value(), su.value());
+}
+
+TEST_F(StorageTest, ZarrCorruptChunkDetected) {
+  ZarrMetricStore store;
+  const MetricSet set = sample_metrics(100);
+  const std::string p = path("corrupt.zarr");
+  ASSERT_TRUE(store.write(set, p).ok());
+  // Flip a byte in a value chunk: CRC in the container must catch it.
+  const fs::path chunk = fs::path(p) / "s0_TRAINING_loss" / "value" / "0";
+  auto data = ::provml::compress::read_file_bytes(chunk.string()).take();
+  data[data.size() / 2] ^= 0xFF;
+  ASSERT_TRUE(::provml::compress::write_file_bytes(chunk.string(), data).ok());
+  EXPECT_FALSE(store.read(p).ok());
+}
+
+// ------------------------------------------------------------- netcdf extra
+
+TEST_F(StorageTest, NetcdfGlobalAttributes) {
+  NetcdfMetricStore store;
+  store.set_attribute("experiment", "modis_fm");
+  store.set_attribute("run", "0");
+  const std::string p = path("attrs.nc");
+  ASSERT_TRUE(store.write(sample_metrics(10), p).ok());
+  auto attrs = NetcdfMetricStore::read_attributes(p);
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs.value().size(), 2u);
+  EXPECT_EQ(attrs.value()[0].first, "experiment");
+  EXPECT_EQ(attrs.value()[0].second, "modis_fm");
+}
+
+TEST_F(StorageTest, NetcdfRejectsTruncatedFile) {
+  NetcdfMetricStore store;
+  const std::string p = path("trunc.nc");
+  ASSERT_TRUE(store.write(sample_metrics(100), p).ok());
+  auto data = ::provml::compress::read_file_bytes(p).take();
+  data.resize(data.size() / 2);
+  ASSERT_TRUE(::provml::compress::write_file_bytes(p, data).ok());
+  EXPECT_FALSE(store.read(p).ok());
+}
+
+TEST_F(StorageTest, NetcdfRejectsTrailingGarbage) {
+  NetcdfMetricStore store;
+  const std::string p = path("extra.nc");
+  ASSERT_TRUE(store.write(sample_metrics(10), p).ok());
+  auto data = ::provml::compress::read_file_bytes(p).take();
+  data.push_back(0x42);
+  ASSERT_TRUE(::provml::compress::write_file_bytes(p, data).ok());
+  EXPECT_FALSE(store.read(p).ok());
+}
+
+// --------------------------------------------- Table 1 shape (micro version)
+
+TEST_F(StorageTest, FormatSizesFollowPaperOrdering) {
+  // Table 1: json (39.82 MB) >> zarr (2.74 MB) ≈ nc (2.35 MB). Sizes differ
+  // on our synthetic data but the ordering must hold.
+  const MetricSet set = sample_metrics(20000);
+  std::map<std::string, std::uint64_t> sizes;
+  for (const char* fmt : {"json", "zarr", "netcdf"}) {
+    const auto store = StoreRegistry::global().create(fmt);
+    const std::string p = path(std::string("t1") + store->path_suffix());
+    ASSERT_TRUE(store->write(set, p).ok());
+    sizes[fmt] = store->size_on_disk(p).take();
+  }
+  EXPECT_GT(sizes["json"], 5 * sizes["zarr"]);
+  EXPECT_GT(sizes["json"], 5 * sizes["netcdf"]);
+}
+
+TEST_F(StorageTest, PathSizeBytesOnMissingPathFails) {
+  EXPECT_FALSE(path_size_bytes(path("ghost")).ok());
+}
+
+
+
+TEST_F(StorageTest, ZarrPartialReadTouchesOneSeries) {
+  ZarrMetricStore store;
+  const MetricSet set = sample_metrics(200);
+  const std::string p = path("partial.zarr");
+  ASSERT_TRUE(store.write(set, p).ok());
+
+  auto listing = store.list_series(p);
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing.value().size(), 3u);
+
+  auto series = store.read_series(p, "gpu_energy", "TRAINING");
+  ASSERT_TRUE(series.ok()) << series.error().to_string();
+  EXPECT_EQ(series.value().samples.size(), 200u);
+  EXPECT_EQ(series.value().unit, "J");
+  EXPECT_EQ(series.value(), *set.find("gpu_energy", "TRAINING"));
+
+  EXPECT_FALSE(store.read_series(p, "nope", "TRAINING").ok());
+
+  // Deleting another series' chunks must not break the partial read —
+  // proof that only the requested series is touched.
+  fs::remove_all(fs::path(p) / "s0_TRAINING_loss");
+  EXPECT_TRUE(store.read_series(p, "gpu_energy", "TRAINING").ok());
+  EXPECT_FALSE(store.read(p).ok());  // the full read does need it
+}
+
+// --------------------------------------------------------------- aggregate
+
+TEST(Aggregate, SummaryStatistics) {
+  MetricSeries s{"loss", "TRAINING", "", {}};
+  s.append(0, 1000, 4.0);
+  s.append(1, 2000, 2.0);
+  s.append(2, 4000, 6.0);
+  const SeriesSummary sum = summarize(s);
+  EXPECT_EQ(sum.count, 3u);
+  EXPECT_DOUBLE_EQ(sum.min, 2.0);
+  EXPECT_DOUBLE_EQ(sum.max, 6.0);
+  EXPECT_DOUBLE_EQ(sum.mean, 4.0);
+  EXPECT_NEAR(sum.stddev, std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(sum.first, 4.0);
+  EXPECT_DOUBLE_EQ(sum.last, 6.0);
+  EXPECT_EQ(sum.first_step, 0);
+  EXPECT_EQ(sum.last_step, 2);
+  EXPECT_EQ(sum.duration_ms, 3000);
+}
+
+TEST(Aggregate, EmptySeriesSummary) {
+  MetricSeries s{"x", "C", "", {}};
+  const SeriesSummary sum = summarize(s);
+  EXPECT_EQ(sum.count, 0u);
+  EXPECT_DOUBLE_EQ(sum.mean, 0.0);
+}
+
+TEST(Aggregate, DownsamplePreservesMeanAndBudget) {
+  MetricSeries s{"m", "C", "", {}};
+  for (int i = 0; i < 1000; ++i) s.append(i, i * 10, static_cast<double>(i));
+  const MetricSeries small = downsample(s, 10);
+  EXPECT_EQ(small.samples.size(), 10u);
+  EXPECT_EQ(small.name, "m");
+  // Bucket means of a linear ramp average to the global mean.
+  EXPECT_NEAR(summarize(small).mean, summarize(s).mean, 1.0);
+  // Steps stay monotonically increasing.
+  for (std::size_t i = 1; i < small.samples.size(); ++i) {
+    EXPECT_GT(small.samples[i].step, small.samples[i - 1].step);
+  }
+}
+
+TEST(Aggregate, DownsampleNoOpWhenUnderBudget) {
+  MetricSeries s{"m", "C", "", {}};
+  s.append(0, 0, 1.0);
+  s.append(1, 1, 2.0);
+  EXPECT_EQ(downsample(s, 10), s);
+  EXPECT_EQ(downsample(s, 0), s);  // 0 budget = disabled
+}
+
+TEST(Aggregate, TrendDetectsSlope) {
+  MetricSeries falling{"loss", "C", "", {}};
+  MetricSeries flat{"flat", "C", "", {}};
+  for (int i = 0; i < 100; ++i) {
+    falling.append(i, i, 10.0 - 0.1 * i);
+    flat.append(i, i, 3.0);
+  }
+  EXPECT_NEAR(trend_per_step(falling), -0.1, 1e-9);
+  EXPECT_NEAR(trend_per_step(flat), 0.0, 1e-12);
+  MetricSeries single{"s", "C", "", {}};
+  single.append(0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(trend_per_step(single), 0.0);
+}
+
+TEST(Aggregate, IntegrateOverTimeIsEnergy) {
+  // Constant 100 W power over 10 s (timestamps in ms) = 1000 J.
+  MetricSeries power{"power", "SYSTEM", "W", {}};
+  power.append(0, 0, 100.0);
+  power.append(1, 10000, 100.0);
+  EXPECT_DOUBLE_EQ(integrate_over_time(power), 1000.0);
+  MetricSeries empty{"p", "C", "", {}};
+  EXPECT_DOUBLE_EQ(integrate_over_time(empty), 0.0);
+}
+
+
+TEST(Aggregate, CsvExport) {
+  MetricSet set;
+  MetricSeries& s1 = set.series("loss", "TRAINING");
+  s1.append(0, 100, 0.5);
+  s1.append(1, 200, 0.25);
+  MetricSeries& s2 = set.series("name,with\"tricky", "VALIDATION", "J");
+  s2.append(7, 700, 1e-9);
+  const std::string csv = to_csv(set);
+  const auto lines = [&] {
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i <= csv.size(); ++i) {
+      if (i == csv.size() || csv[i] == '\n') {
+        out.push_back(csv.substr(begin, i - begin));
+        begin = i + 1;
+      }
+    }
+    if (!out.empty() && out.back().empty()) out.pop_back();
+    return out;
+  }();
+  ASSERT_EQ(lines.size(), 4u);  // header + 3 samples
+  EXPECT_EQ(lines[0], "series,context,unit,step,timestamp_ms,value");
+  EXPECT_EQ(lines[1], "loss,TRAINING,,0,100,0.5");
+  // Tricky names are RFC-4180 quoted.
+  EXPECT_NE(lines[3].find("\"name,with\"\"tricky\""), std::string::npos);
+}
+
+TEST_F(StorageTest, CsvWriteToFile) {
+  MetricSet set;
+  set.series("m", "C").append(0, 0, 1.5);
+  const std::string p = path("metrics.csv");
+  ASSERT_TRUE(write_csv(set, p).ok());
+  EXPECT_GT(fs::file_size(p), 20u);
+  EXPECT_FALSE(write_csv(set, "/nonexistent/dir/x.csv").ok());
+}
+
+// -------------------------------------------------------- property: stores
+
+class StoreProperty
+    : public StorageTest,
+      public ::testing::WithParamInterface<std::tuple<std::string, unsigned>> {};
+
+TEST_P(StoreProperty, RandomSetsRoundTrip) {
+  const auto& [format, seed] = GetParam();
+  std::mt19937_64 rng(seed);
+  const auto store = StoreRegistry::global().create(format);
+  MetricSet set;
+  std::uniform_int_distribution<int> n_series(0, 5);
+  std::uniform_int_distribution<int> n_samples(0, 3000);
+  std::uniform_real_distribution<double> value(-1e9, 1e9);
+  const int ns = n_series(rng);
+  for (int i = 0; i < ns; ++i) {
+    MetricSeries& s = set.series("metric_" + std::to_string(i),
+                                 i % 2 == 0 ? "TRAINING" : "VALIDATION");
+    const int n = n_samples(rng);
+    for (int k = 0; k < n; ++k) {
+      s.append(k, 1700000000000 + k * 17, value(rng));
+    }
+  }
+  const std::string p = path("prop_" + format + "_" + std::to_string(seed) +
+                             store->path_suffix());
+  ASSERT_TRUE(store->write(set, p).ok());
+  Expected<MetricSet> back = store->read(p);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back.value(), set);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StoreProperty,
+    ::testing::Combine(::testing::Values("json", "zarr", "netcdf"),
+                       ::testing::Range(0u, 5u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace provml::storage

@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "provml/sysmon/collector.hpp"
+#include "provml/sysmon/energy.hpp"
+#include "provml/sysmon/gpu_sim.hpp"
+#include "provml/sysmon/io_collectors.hpp"
+#include "provml/sysmon/proc_collectors.hpp"
+#include "provml/sysmon/sampler.hpp"
+
+namespace provml::sysmon {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string write_fixture(const std::string& name, const std::string& content) {
+  const fs::path p = fs::temp_directory_path() / name;
+  std::ofstream out(p);
+  out << content;
+  return p.string();
+}
+
+// ------------------------------------------------------------------ energy
+
+TEST(EnergyIntegrator, TrapezoidalIntegration) {
+  EnergyIntegrator e;
+  // Constant 100 W for 10 s = 1000 J.
+  ASSERT_TRUE(e.add_sample(0, 100.0).ok());
+  ASSERT_TRUE(e.add_sample(10000, 100.0).ok());
+  EXPECT_DOUBLE_EQ(e.total_joules(), 1000.0);
+  EXPECT_DOUBLE_EQ(e.mean_power_w(), 100.0);
+}
+
+TEST(EnergyIntegrator, RampIntegratesToMean) {
+  EnergyIntegrator e;
+  // Linear ramp 0→200 W over 2 s: trapezoid gives exactly 200 J.
+  ASSERT_TRUE(e.add_sample(0, 0.0).ok());
+  ASSERT_TRUE(e.add_sample(2000, 200.0).ok());
+  EXPECT_DOUBLE_EQ(e.total_joules(), 200.0);
+}
+
+TEST(EnergyIntegrator, MultiSegment) {
+  EnergyIntegrator e;
+  ASSERT_TRUE(e.add_sample(0, 100.0).ok());
+  ASSERT_TRUE(e.add_sample(1000, 300.0).ok());   // 200 J
+  ASSERT_TRUE(e.add_sample(3000, 300.0).ok());   // 600 J
+  EXPECT_DOUBLE_EQ(e.total_joules(), 800.0);
+  EXPECT_EQ(e.sample_count(), 3u);
+}
+
+TEST(EnergyIntegrator, KwhConversion) {
+  EnergyIntegrator e;
+  ASSERT_TRUE(e.add_sample(0, 1000.0).ok());
+  ASSERT_TRUE(e.add_sample(3600 * 1000, 1000.0).ok());  // 1 kW for 1 h
+  EXPECT_NEAR(e.total_kwh(), 1.0, 1e-9);
+}
+
+TEST(EnergyIntegrator, RejectsOutOfOrderTimestamps) {
+  EnergyIntegrator e;
+  ASSERT_TRUE(e.add_sample(1000, 100.0).ok());
+  EXPECT_FALSE(e.add_sample(500, 100.0).ok());
+}
+
+TEST(EnergyIntegrator, RejectsNegativePower) {
+  EnergyIntegrator e;
+  EXPECT_FALSE(e.add_sample(0, -1.0).ok());
+}
+
+TEST(EnergyIntegrator, EmptyAndSingleSample) {
+  EnergyIntegrator e;
+  EXPECT_DOUBLE_EQ(e.total_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(e.mean_power_w(), 0.0);
+  ASSERT_TRUE(e.add_sample(0, 500.0).ok());
+  EXPECT_DOUBLE_EQ(e.total_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(e.mean_power_w(), 0.0);
+}
+
+TEST(CarbonEstimator, ScalesWithIntensity) {
+  const CarbonEstimator world;          // 481 g/kWh default
+  const CarbonEstimator france(56.0);   // low-carbon grid
+  EXPECT_NEAR(world.grams_co2e(2.0), 962.0, 1e-9);
+  EXPECT_NEAR(france.grams_co2e(2.0), 112.0, 1e-9);
+  EXPECT_DOUBLE_EQ(world.grams_co2e(0.0), 0.0);
+}
+
+// --------------------------------------------------------------------- cpu
+
+TEST(CpuCollector, ComputesUtilizationBetweenPolls) {
+  // busy = user+nice+system(+irq+softirq+steal); idle = idle+iowait.
+  const std::string p1 = write_fixture(
+      "provml_stat1", "cpu  100 0 100 800 0 0 0 0 0 0\ncpu0 ...\n");
+  CpuCollector c(p1);
+  auto first = c.collect();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_DOUBLE_EQ(first[0].value, 0.0);  // baseline poll
+
+  // +100 busy, +100 idle → 50%.
+  std::ofstream(p1) << "cpu  150 0 150 900 0 0 0 0 0 0\n";
+  auto second = c.collect();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NEAR(second[0].value, 50.0, 1e-9);
+  EXPECT_EQ(second[0].metric, "cpu_utilization");
+  EXPECT_EQ(second[0].unit, "%");
+  fs::remove(p1);
+}
+
+TEST(CpuCollector, MissingFileYieldsNoReadings) {
+  CpuCollector c("/nonexistent/stat");
+  EXPECT_TRUE(c.collect().empty());
+}
+
+TEST(CpuCollector, RealProcStatWorksOnLinux) {
+  CpuCollector c;
+  const auto readings = c.collect();
+  ASSERT_EQ(readings.size(), 1u);
+  EXPECT_GE(readings[0].value, 0.0);
+  EXPECT_LE(readings[0].value, 100.0);
+}
+
+// ------------------------------------------------------------------ memory
+
+TEST(MemoryCollector, ParsesMeminfo) {
+  const std::string p = write_fixture("provml_meminfo",
+                                      "MemTotal:       16384000 kB\n"
+                                      "MemFree:         1000000 kB\n"
+                                      "MemAvailable:    8192000 kB\n");
+  MemoryCollector c(p);
+  const auto readings = c.collect();
+  ASSERT_EQ(readings.size(), 3u);
+  EXPECT_DOUBLE_EQ(readings[0].value, 16000.0);  // MiB
+  EXPECT_DOUBLE_EQ(readings[1].value, 8000.0);
+  EXPECT_DOUBLE_EQ(readings[2].value, 8000.0);
+  fs::remove(p);
+}
+
+TEST(MemoryCollector, MalformedFileYieldsNothing) {
+  const std::string p = write_fixture("provml_meminfo_bad", "garbage\n");
+  MemoryCollector c(p);
+  EXPECT_TRUE(c.collect().empty());
+  fs::remove(p);
+}
+
+TEST(ProcessCollector, ReadsOwnRss) {
+  ProcessCollector c;
+  const auto readings = c.collect();
+  ASSERT_GE(readings.size(), 1u);
+  EXPECT_EQ(readings[0].metric, "process_rss");
+  EXPECT_GT(readings[0].value, 1.0);  // a test binary uses more than 1 MiB
+}
+
+// --------------------------------------------------------------------- gpu
+
+TEST(SimulatedGpu, DeterministicUnderSeed) {
+  SimulatedGpuCollector a(GpuSpec{}, 123);
+  SimulatedGpuCollector b(GpuSpec{}, 123);
+  for (int i = 0; i < 10; ++i) {
+    const auto ra = a.collect();
+    const auto rb = b.collect();
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t k = 0; k < ra.size(); ++k) {
+      EXPECT_DOUBLE_EQ(ra[k].value, rb[k].value);
+    }
+  }
+}
+
+TEST(SimulatedGpu, PowerTracksUtilizationModel) {
+  const GpuSpec spec;
+  SimulatedGpuCollector c(spec, 7);
+  for (int i = 0; i < 50; ++i) {
+    const auto readings = c.collect();
+    ASSERT_EQ(readings.size(), 3u);
+    const double util = readings[0].value / 100.0;
+    EXPECT_NEAR(readings[1].value, spec.power_at(util), 1e-9);
+    EXPECT_GE(readings[1].value, spec.idle_power_w);
+    EXPECT_LE(readings[1].value, spec.max_power_w);
+  }
+}
+
+TEST(SimulatedGpu, BaseUtilizationShiftsLoad) {
+  SimulatedGpuCollector c(GpuSpec{}, 11, 0.9);
+  double high = 0;
+  for (int i = 0; i < 50; ++i) high += c.collect()[0].value;
+  c.set_base_utilization(0.1);
+  for (int i = 0; i < 20; ++i) (void)c.collect();  // let the walk converge
+  double low = 0;
+  for (int i = 0; i < 50; ++i) low += c.collect()[0].value;
+  EXPECT_GT(high / 50.0, low / 50.0 + 30.0);
+}
+
+TEST(GpuSpecTest, PowerModelEndpoints) {
+  const GpuSpec spec{.model = "x", .idle_power_w = 50, .max_power_w = 250, .memory_gib = 1};
+  EXPECT_DOUBLE_EQ(spec.power_at(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(spec.power_at(1.0), 250.0);
+  EXPECT_DOUBLE_EQ(spec.power_at(0.5), 150.0);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(CollectorRegistryTest, BuiltinsPresent) {
+  auto& reg = CollectorRegistry::global();
+  for (const char* name : {"cpu", "memory", "process", "gpu_sim"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    auto c = reg.create(name);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->name(), name);
+  }
+  EXPECT_EQ(reg.create("tpu"), nullptr);
+}
+
+TEST(CollectorRegistryTest, PluginRegistration) {
+  class FakeCollector final : public Collector {
+   public:
+    [[nodiscard]] std::string name() const override { return "fake"; }
+    [[nodiscard]] std::vector<Reading> collect() override { return {{"x", 1.0, ""}}; }
+  };
+  CollectorRegistry reg;
+  reg.register_collector("fake", [] { return std::make_unique<FakeCollector>(); });
+  auto c = reg.create("fake");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->collect()[0].metric, "x");
+}
+
+
+// ------------------------------------------------------------ io collectors
+
+TEST(DiskIoCollector, RatesFromFixture) {
+  const std::string p = write_fixture(
+      "provml_diskstats1",
+      " 259 0 nvme0n1 100 0 1000 50 200 0 2000 60 0 30 110 0 0 0 0 0 0\n"
+      "   7 0 loop0 9 0 90000 1 0 0 0 0 0 1 1 0 0 0 0 0 0\n");
+  DiskIoCollector c(p);
+  auto first = c.collect();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_DOUBLE_EQ(first[0].value, 0.0);  // baseline
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // +1000 sectors read, +2000 written (loop device must stay ignored).
+  std::ofstream(p) << " 259 0 nvme0n1 150 0 2000 70 300 0 4000 80 0 40 150 0 0 0 0 0 0\n"
+                   << "   7 0 loop0 9 0 999999 1 0 0 0 0 0 1 1 0 0 0 0 0 0\n";
+  auto second = c.collect();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].metric, "disk_read");
+  EXPECT_GT(second[0].value, 0.0);
+  EXPECT_EQ(second[1].metric, "disk_write");
+  // writes grew 2x the reads in sectors.
+  EXPECT_NEAR(second[1].value / second[0].value, 2.0, 0.01);
+  fs::remove(p);
+}
+
+TEST(DiskIoCollector, MissingFileYieldsNothing) {
+  DiskIoCollector c("/nonexistent/diskstats");
+  EXPECT_TRUE(c.collect().empty());
+}
+
+TEST(NetworkCollector, RatesFromFixture) {
+  const std::string p = write_fixture(
+      "provml_netdev1",
+      "Inter-|   Receive                                                |  Transmit\n"
+      " face |bytes    packets errs drop fifo frame compressed multicast|bytes ...\n"
+      "    lo: 5000 10 0 0 0 0 0 0 5000 10 0 0 0 0 0 0\n"
+      "  eth0: 1000 10 0 0 0 0 0 0 2000 20 0 0 0 0 0 0\n");
+  NetworkCollector c(p);
+  auto first = c.collect();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_DOUBLE_EQ(first[0].value, 0.0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::ofstream(p)
+      << "Inter-|   Receive                                                |  Transmit\n"
+      << " face |bytes    packets errs drop fifo frame compressed multicast|bytes ...\n"
+      << "    lo: 99999999 10 0 0 0 0 0 0 99999999 10 0 0 0 0 0 0\n"
+      << "  eth0: 2000 20 0 0 0 0 0 0 5000 30 0 0 0 0 0 0\n";
+  auto second = c.collect();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].metric, "net_rx");
+  EXPECT_GT(second[0].value, 0.0);
+  // tx delta (3000 B) = 3x rx delta (1000 B); loopback explosion ignored.
+  EXPECT_NEAR(second[1].value / second[0].value, 3.0, 0.01);
+  fs::remove(p);
+}
+
+TEST(NetworkCollector, RealProcWorksOnLinux) {
+  NetworkCollector c;
+  const auto readings = c.collect();
+  EXPECT_EQ(readings.size(), 2u);  // baseline zeros
+}
+
+TEST(CarbonCollector, IntegratesEnergyAndEmissions) {
+  // Constant-power fake inner collector: 3600 W so 1 second = 1 Wh.
+  class ConstantPower final : public Collector {
+   public:
+    [[nodiscard]] std::string name() const override { return "const"; }
+    [[nodiscard]] std::vector<Reading> collect() override {
+      return {{"gpu_power", 3600.0, "W"}};
+    }
+  };
+  CarbonCollector c(std::make_unique<ConstantPower>(), "gpu_power", 500.0);
+  EXPECT_EQ(c.name(), "const+carbon");
+  auto first = c.collect();
+  ASSERT_EQ(first.size(), 3u);  // power + energy + co2e
+  EXPECT_DOUBLE_EQ(first[1].value, 0.0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto second = c.collect();
+  ASSERT_EQ(second.size(), 3u);
+  EXPECT_EQ(second[1].metric, "energy");
+  EXPECT_GT(second[1].value, 100.0);   // >= ~360 J after 100 ms at 3.6 kW
+  EXPECT_EQ(second[2].metric, "co2e");
+  // co2e = kWh * 500 = (J / 3.6e6) * 500
+  EXPECT_NEAR(second[2].value, second[1].value / 3.6e6 * 500.0, 1e-9);
+}
+
+TEST(CollectorRegistryTest, IoBuiltinsPresent) {
+  auto& reg = CollectorRegistry::global();
+  for (const char* name : {"disk", "network", "gpu_sim+carbon"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_NE(reg.create(name), nullptr) << name;
+  }
+}
+
+// ----------------------------------------------------------------- sampler
+
+TEST(SamplerTest, CollectsAtLeastOnceImmediately) {
+  Sampler sampler(std::chrono::milliseconds(10000));  // period too long to fire
+  sampler.add_collector(std::make_unique<SimulatedGpuCollector>());
+  std::atomic<int> readings{0};
+  sampler.start([&](const std::string&, const Reading&, std::int64_t) { ++readings; });
+  sampler.stop();
+  // One round at start + one at stop, 3 readings each.
+  EXPECT_EQ(readings.load(), 6);
+}
+
+TEST(SamplerTest, PeriodicSampling) {
+  Sampler sampler(std::chrono::milliseconds(5));
+  sampler.add_collector(std::make_unique<SimulatedGpuCollector>());
+  std::atomic<int> rounds{0};
+  sampler.start([&](const std::string&, const Reading& r, std::int64_t) {
+    if (r.metric == "gpu_utilization") ++rounds;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  sampler.stop();
+  EXPECT_GE(rounds.load(), 5);  // ~20 expected; allow heavy scheduling skew
+}
+
+TEST(SamplerTest, StopIsIdempotentAndRestartable) {
+  Sampler sampler(std::chrono::milliseconds(5));
+  sampler.add_collector(std::make_unique<SimulatedGpuCollector>());
+  std::atomic<int> count{0};
+  sampler.start([&](const std::string&, const Reading&, std::int64_t) { ++count; });
+  sampler.stop();
+  sampler.stop();  // no-op
+  const int after_first = count.load();
+  sampler.start([&](const std::string&, const Reading&, std::int64_t) { ++count; });
+  sampler.stop();
+  EXPECT_GT(count.load(), after_first);
+}
+
+TEST(SamplerTest, MultipleCollectorsTagged) {
+  Sampler sampler(std::chrono::milliseconds(1000));
+  sampler.add_collector(std::make_unique<SimulatedGpuCollector>());
+  sampler.add_collector(std::make_unique<ProcessCollector>());
+  std::map<std::string, int> by_collector;
+  std::mutex m;
+  sampler.start([&](const std::string& name, const Reading&, std::int64_t) {
+    const std::lock_guard<std::mutex> lock(m);
+    ++by_collector[name];
+  });
+  sampler.stop();
+  EXPECT_GT(by_collector["gpu_sim"], 0);
+  EXPECT_GT(by_collector["process"], 0);
+}
+
+TEST(SamplerTest, DestructorStopsThread) {
+  std::atomic<int> count{0};
+  {
+    Sampler sampler(std::chrono::milliseconds(1));
+    sampler.add_collector(std::make_unique<SimulatedGpuCollector>());
+    sampler.start([&](const std::string&, const Reading&, std::int64_t) { ++count; });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }  // destructor must join without hanging or crashing
+  EXPECT_GT(count.load(), 0);
+}
+
+}  // namespace
+}  // namespace provml::sysmon

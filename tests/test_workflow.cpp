@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "provml/explorer/lineage.hpp"
+#include "provml/prov/constraints.hpp"
+#include "provml/prov/prov_json.hpp"
+#include "provml/workflow/workflow.hpp"
+
+namespace provml::workflow {
+namespace {
+
+/// preprocess → train → evaluate, the paper's canonical ML pipeline.
+Workflow ml_pipeline() {
+  Workflow wf("ml_pipeline");
+  EXPECT_TRUE(wf.add_task({"preprocess",
+                           {},
+                           {"raw_data"},
+                           {"clean_data"},
+                           [](TaskContext& ctx) {
+                             const auto raw = ctx.input("raw_data");
+                             ctx.output("clean_data",
+                                        json::Value(raw.as_int() * 2));
+                             return Status::ok_status();
+                           }})
+                  .ok());
+  EXPECT_TRUE(wf.add_task({"train",
+                           {"preprocess"},
+                           {"clean_data"},
+                           {"model"},
+                           [](TaskContext& ctx) {
+                             ctx.output("model",
+                                        json::Value(ctx.input("clean_data").as_int() + 1));
+                             return Status::ok_status();
+                           }})
+                  .ok());
+  EXPECT_TRUE(wf.add_task({"evaluate",
+                           {"train"},
+                           {"model"},
+                           {"report"},
+                           [](TaskContext& ctx) {
+                             ctx.output("report", json::Value("ok"));
+                             return Status::ok_status();
+                           }})
+                  .ok());
+  return wf;
+}
+
+// ------------------------------------------------------------- construction
+
+TEST(WorkflowBuild, RejectsDuplicatesAndEmptyBodies) {
+  Workflow wf("w");
+  EXPECT_TRUE(wf.add_task({"a", {}, {}, {}, [](TaskContext&) {
+                             return Status::ok_status();
+                           }}).ok());
+  EXPECT_FALSE(wf.add_task({"a", {}, {}, {}, [](TaskContext&) {
+                              return Status::ok_status();
+                            }}).ok());
+  EXPECT_FALSE(wf.add_task({"", {}, {}, {}, [](TaskContext&) {
+                              return Status::ok_status();
+                            }}).ok());
+  EXPECT_FALSE(wf.add_task({"b", {}, {}, {}, nullptr}).ok());
+  EXPECT_EQ(wf.task_count(), 1u);
+}
+
+TEST(WorkflowValidate, CleanPipelinePasses) {
+  const Workflow wf = ml_pipeline();
+  EXPECT_TRUE(wf.validate({"raw_data"}).empty());
+}
+
+TEST(WorkflowValidate, ReportsUnknownDependency) {
+  Workflow wf("w");
+  ASSERT_TRUE(wf.add_task({"a", {"ghost"}, {}, {}, [](TaskContext&) {
+                             return Status::ok_status();
+                           }}).ok());
+  const auto problems = wf.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("ghost"), std::string::npos);
+}
+
+TEST(WorkflowValidate, ReportsUnproducedData) {
+  Workflow wf("w");
+  ASSERT_TRUE(wf.add_task({"a", {}, {"mystery"}, {}, [](TaskContext&) {
+                             return Status::ok_status();
+                           }}).ok());
+  const auto problems = wf.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("mystery"), std::string::npos);
+  // Providing the data as a workflow input resolves the problem.
+  EXPECT_TRUE(wf.validate({"mystery"}).empty());
+}
+
+TEST(WorkflowValidate, DetectsCycles) {
+  Workflow wf("w");
+  ASSERT_TRUE(wf.add_task({"a", {"b"}, {}, {}, [](TaskContext&) {
+                             return Status::ok_status();
+                           }}).ok());
+  ASSERT_TRUE(wf.add_task({"b", {"a"}, {}, {}, [](TaskContext&) {
+                             return Status::ok_status();
+                           }}).ok());
+  EXPECT_FALSE(wf.topological_order().ok());
+  const auto problems = wf.validate();
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(WorkflowValidate, TopologicalOrderRespectsDeps) {
+  const Workflow wf = ml_pipeline();
+  const auto order = wf.topological_order();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value(),
+            (std::vector<std::string>{"preprocess", "train", "evaluate"}));
+}
+
+// --------------------------------------------------------------- execution
+
+TEST(WorkflowRun, ExecutesPipelineAndThreadsData) {
+  const Workflow wf = ml_pipeline();
+  RunOptions options;
+  options.inputs["raw_data"] = json::Value(21);
+  const auto result = run_workflow(wf, options);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result.value().succeeded);
+  EXPECT_EQ(result.value().data.at("clean_data").as_int(), 42);
+  EXPECT_EQ(result.value().data.at("model").as_int(), 43);
+  EXPECT_EQ(result.value().data.at("report").as_string(), "ok");
+  for (const TaskResult& task : result.value().tasks) {
+    EXPECT_TRUE(task.executed);
+    EXPECT_TRUE(task.succeeded);
+    EXPECT_GE(task.end_ms, task.start_ms);
+  }
+}
+
+TEST(WorkflowRun, InvalidWorkflowRefusesToRun) {
+  Workflow wf("w");
+  ASSERT_TRUE(wf.add_task({"a", {"ghost"}, {}, {}, [](TaskContext&) {
+                             return Status::ok_status();
+                           }}).ok());
+  EXPECT_FALSE(run_workflow(wf).ok());
+}
+
+TEST(WorkflowRun, FailureSkipsDownstream) {
+  Workflow wf("w");
+  ASSERT_TRUE(wf.add_task({"boom", {}, {}, {"x"}, [](TaskContext&) -> Status {
+                             return Error{"exploded", "boom"};
+                           }}).ok());
+  ASSERT_TRUE(wf.add_task({"after", {"boom"}, {}, {}, [](TaskContext&) {
+                             return Status::ok_status();
+                           }}).ok());
+  const auto result = run_workflow(wf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().succeeded);
+  const TaskResult* boom = result.value().task("boom");
+  ASSERT_NE(boom, nullptr);
+  EXPECT_TRUE(boom->executed);
+  EXPECT_FALSE(boom->succeeded);
+  EXPECT_NE(boom->error.find("exploded"), std::string::npos);
+  const TaskResult* after = result.value().task("after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_FALSE(after->executed);
+}
+
+TEST(WorkflowRun, ThrowingTaskIsCapturedAsFailure) {
+  Workflow wf("w");
+  ASSERT_TRUE(wf.add_task({"thrower", {}, {}, {}, [](TaskContext&) -> Status {
+                             throw std::runtime_error("kaput");
+                           }}).ok());
+  const auto result = run_workflow(wf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().succeeded);
+  EXPECT_NE(result.value().task("thrower")->error.find("kaput"), std::string::npos);
+}
+
+TEST(WorkflowRun, UndeclaredOutputsAreDropped) {
+  Workflow wf("w");
+  ASSERT_TRUE(wf.add_task({"sneaky", {}, {}, {"declared"}, [](TaskContext& ctx) {
+                             ctx.output("declared", json::Value(1));
+                             ctx.output("undeclared", json::Value(2));
+                             return Status::ok_status();
+                           }}).ok());
+  const auto result = run_workflow(wf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().data.count("declared"));
+  EXPECT_FALSE(result.value().data.count("undeclared"));
+}
+
+TEST(WorkflowRun, ParallelBranchesRunConcurrently) {
+  // Two independent 50 ms tasks with 2 workers must overlap in time.
+  Workflow wf("parallel");
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  auto slow_body = [&](TaskContext&) {
+    const int now = ++concurrent;
+    int expected = max_concurrent.load();
+    while (now > expected && !max_concurrent.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    --concurrent;
+    return Status::ok_status();
+  };
+  ASSERT_TRUE(wf.add_task({"left", {}, {}, {}, slow_body}).ok());
+  ASSERT_TRUE(wf.add_task({"right", {}, {}, {}, slow_body}).ok());
+  RunOptions options;
+  options.workers = 2;
+  const auto result = run_workflow(wf, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().succeeded);
+  EXPECT_EQ(max_concurrent.load(), 2);
+}
+
+TEST(WorkflowRun, DiamondJoinSeesBothBranches) {
+  Workflow wf("diamond");
+  ASSERT_TRUE(wf.add_task({"src", {}, {}, {"seed"}, [](TaskContext& ctx) {
+                             ctx.output("seed", json::Value(10));
+                             return Status::ok_status();
+                           }}).ok());
+  ASSERT_TRUE(wf.add_task({"double", {"src"}, {"seed"}, {"doubled"},
+                           [](TaskContext& ctx) {
+                             ctx.output("doubled", json::Value(ctx.input("seed").as_int() * 2));
+                             return Status::ok_status();
+                           }}).ok());
+  ASSERT_TRUE(wf.add_task({"triple", {"src"}, {"seed"}, {"tripled"},
+                           [](TaskContext& ctx) {
+                             ctx.output("tripled", json::Value(ctx.input("seed").as_int() * 3));
+                             return Status::ok_status();
+                           }}).ok());
+  ASSERT_TRUE(wf.add_task({"join", {"double", "triple"}, {"doubled", "tripled"}, {"sum"},
+                           [](TaskContext& ctx) {
+                             ctx.output("sum",
+                                        json::Value(ctx.input("doubled").as_int() +
+                                                    ctx.input("tripled").as_int()));
+                             return Status::ok_status();
+                           }}).ok());
+  RunOptions options;
+  options.workers = 4;
+  const auto result = run_workflow(wf, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().succeeded);
+  EXPECT_EQ(result.value().data.at("sum").as_int(), 50);
+}
+
+// --------------------------------------------------------------- provenance
+
+TEST(WorkflowProvenance, CapturesTasksDataAndLineage) {
+  const Workflow wf = ml_pipeline();
+  RunOptions options;
+  options.inputs["raw_data"] = json::Value(21);
+  options.agent = "tester";
+  const auto result = run_workflow(wf, options);
+  ASSERT_TRUE(result.ok());
+  const prov::Document& doc = result.value().provenance;
+
+  EXPECT_TRUE(doc.validate().empty());
+  EXPECT_TRUE(prov::check_constraints(doc).empty());
+
+  // One activity per task plus the run itself.
+  EXPECT_EQ(doc.count(prov::ElementKind::kActivity), 4u);
+  EXPECT_NE(doc.find_element("wf:task/train"), nullptr);
+  EXPECT_NE(doc.find_element("wf:data/model"), nullptr);
+  EXPECT_NE(doc.find_element("wf:data/raw_data"), nullptr);
+
+  // Lineage from the report reaches the raw input through the whole chain.
+  const auto hops = explorer::upstream(doc, "wf:data/report");
+  std::set<std::string> reached;
+  for (const auto& hop : hops) reached.insert(hop.id);
+  EXPECT_TRUE(reached.count("wf:data/raw_data"));
+  EXPECT_TRUE(reached.count("wf:task/preprocess"));
+  EXPECT_TRUE(reached.count("wf:task/train"));
+}
+
+TEST(WorkflowProvenance, FailedAndSkippedTasksAnnotated) {
+  Workflow wf("w");
+  ASSERT_TRUE(wf.add_task({"boom", {}, {}, {}, [](TaskContext&) -> Status {
+                             return Error{"x", "boom"};
+                           }}).ok());
+  ASSERT_TRUE(wf.add_task({"never", {"boom"}, {}, {}, [](TaskContext&) {
+                             return Status::ok_status();
+                           }}).ok());
+  const auto result = run_workflow(wf);
+  ASSERT_TRUE(result.ok());
+  const prov::Document& doc = result.value().provenance;
+  const prov::Element* boom = doc.find_element("wf:task/boom");
+  ASSERT_NE(boom, nullptr);
+  EXPECT_EQ(prov::find_attribute(boom->attributes, "provml:status")->value.as_string(),
+            "failed");
+  const prov::Element* never = doc.find_element("wf:task/never");
+  ASSERT_NE(never, nullptr);
+  EXPECT_EQ(prov::find_attribute(never->attributes, "provml:status")->value.as_string(),
+            "skipped");
+}
+
+TEST(WorkflowProvenance, DocumentRoundTripsThroughProvJson) {
+  const Workflow wf = ml_pipeline();
+  RunOptions options;
+  options.inputs["raw_data"] = json::Value(1);
+  const auto result = run_workflow(wf, options);
+  ASSERT_TRUE(result.ok());
+  const auto back = prov::from_prov_json(prov::to_prov_json(result.value().provenance));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(prov::to_prov_json_string(back.value()),
+            prov::to_prov_json_string(result.value().provenance));
+}
+
+TEST(WorkflowProvenance, ValuesRecordedOnDataEntities) {
+  const Workflow wf = ml_pipeline();
+  RunOptions options;
+  options.inputs["raw_data"] = json::Value(21);
+  const auto result = run_workflow(wf, options);
+  ASSERT_TRUE(result.ok());
+  const prov::Element* model = result.value().provenance.find_element("wf:data/model");
+  ASSERT_NE(model, nullptr);
+  const prov::AttributeValue* value =
+      prov::find_attribute(model->attributes, "provml:value");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->value.as_int(), 43);
+}
+
+}  // namespace
+}  // namespace provml::workflow
