@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_graphstore.dir/bench/bench_ablation_graphstore.cpp.o"
+  "CMakeFiles/bench_ablation_graphstore.dir/bench/bench_ablation_graphstore.cpp.o.d"
+  "bench/bench_ablation_graphstore"
+  "bench/bench_ablation_graphstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_graphstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

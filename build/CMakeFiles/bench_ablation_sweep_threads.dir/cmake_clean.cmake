@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sweep_threads.dir/bench/bench_ablation_sweep_threads.cpp.o"
+  "CMakeFiles/bench_ablation_sweep_threads.dir/bench/bench_ablation_sweep_threads.cpp.o.d"
+  "bench/bench_ablation_sweep_threads"
+  "bench/bench_ablation_sweep_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sweep_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_workflow.dir/bench/bench_ablation_workflow.cpp.o"
+  "CMakeFiles/bench_ablation_workflow.dir/bench/bench_ablation_workflow.cpp.o.d"
+  "bench/bench_ablation_workflow"
+  "bench/bench_ablation_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

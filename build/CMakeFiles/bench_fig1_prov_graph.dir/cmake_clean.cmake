@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_prov_graph.dir/bench/bench_fig1_prov_graph.cpp.o"
+  "CMakeFiles/bench_fig1_prov_graph.dir/bench/bench_fig1_prov_graph.cpp.o.d"
+  "bench/bench_fig1_prov_graph"
+  "bench/bench_fig1_prov_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_prov_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

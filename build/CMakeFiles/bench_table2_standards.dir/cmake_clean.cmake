@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_standards.dir/bench/bench_table2_standards.cpp.o"
+  "CMakeFiles/bench_table2_standards.dir/bench/bench_table2_standards.cpp.o.d"
+  "bench/bench_table2_standards"
+  "bench/bench_table2_standards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_standards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

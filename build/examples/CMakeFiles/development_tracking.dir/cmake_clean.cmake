@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/development_tracking.dir/development_tracking.cpp.o"
+  "CMakeFiles/development_tracking.dir/development_tracking.cpp.o.d"
+  "development_tracking"
+  "development_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/development_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

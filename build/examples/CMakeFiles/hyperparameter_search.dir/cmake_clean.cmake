@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperparameter_search.dir/hyperparameter_search.cpp.o"
+  "CMakeFiles/hyperparameter_search.dir/hyperparameter_search.cpp.o.d"
+  "hyperparameter_search"
+  "hyperparameter_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperparameter_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

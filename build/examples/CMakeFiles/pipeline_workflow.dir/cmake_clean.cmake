@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_workflow.dir/pipeline_workflow.cpp.o"
+  "CMakeFiles/pipeline_workflow.dir/pipeline_workflow.cpp.o.d"
+  "pipeline_workflow"
+  "pipeline_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduce_run.dir/reproduce_run.cpp.o"
+  "CMakeFiles/reproduce_run.dir/reproduce_run.cpp.o.d"
+  "reproduce_run"
+  "reproduce_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduce_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tradeoff_training.cpp" "examples/CMakeFiles/tradeoff_training.dir/tradeoff_training.cpp.o" "gcc" "examples/CMakeFiles/tradeoff_training.dir/tradeoff_training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/provml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/provml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/provml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/provml_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/provml_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphstore/CMakeFiles/provml_graphstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/rocrate/CMakeFiles/provml_rocrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/explorer/CMakeFiles/provml_explorer.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/provml_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/provml_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/prov/CMakeFiles/provml_prov.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/provml_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysmon/CMakeFiles/provml_sysmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/provml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_training.dir/tradeoff_training.cpp.o"
+  "CMakeFiles/tradeoff_training.dir/tradeoff_training.cpp.o.d"
+  "tradeoff_training"
+  "tradeoff_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

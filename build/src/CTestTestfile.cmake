@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("compress")
+subdirs("prov")
+subdirs("storage")
+subdirs("sysmon")
+subdirs("sim")
+subdirs("graphstore")
+subdirs("rocrate")
+subdirs("core")
+subdirs("analysis")
+subdirs("workflow")
+subdirs("explorer")
+subdirs("cli")

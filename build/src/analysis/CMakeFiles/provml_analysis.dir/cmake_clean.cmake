@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_analysis.dir/advisor.cpp.o"
+  "CMakeFiles/provml_analysis.dir/advisor.cpp.o.d"
+  "CMakeFiles/provml_analysis.dir/forecast.cpp.o"
+  "CMakeFiles/provml_analysis.dir/forecast.cpp.o.d"
+  "CMakeFiles/provml_analysis.dir/pareto.cpp.o"
+  "CMakeFiles/provml_analysis.dir/pareto.cpp.o.d"
+  "CMakeFiles/provml_analysis.dir/scaling_fit.cpp.o"
+  "CMakeFiles/provml_analysis.dir/scaling_fit.cpp.o.d"
+  "libprovml_analysis.a"
+  "libprovml_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_cli.dir/cli.cpp.o"
+  "CMakeFiles/provml_cli.dir/cli.cpp.o.d"
+  "libprovml_cli.a"
+  "libprovml_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprovml_cli.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yprov.dir/yprov_main.cpp.o"
+  "CMakeFiles/yprov.dir/yprov_main.cpp.o.d"
+  "yprov"
+  "yprov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yprov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

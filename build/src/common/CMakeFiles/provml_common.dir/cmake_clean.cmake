@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_common.dir/strings.cpp.o"
+  "CMakeFiles/provml_common.dir/strings.cpp.o.d"
+  "libprovml_common.a"
+  "libprovml_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_compress.dir/container.cpp.o"
+  "CMakeFiles/provml_compress.dir/container.cpp.o.d"
+  "CMakeFiles/provml_compress.dir/crc32.cpp.o"
+  "CMakeFiles/provml_compress.dir/crc32.cpp.o.d"
+  "CMakeFiles/provml_compress.dir/lzss.cpp.o"
+  "CMakeFiles/provml_compress.dir/lzss.cpp.o.d"
+  "CMakeFiles/provml_compress.dir/rle.cpp.o"
+  "CMakeFiles/provml_compress.dir/rle.cpp.o.d"
+  "CMakeFiles/provml_compress.dir/varint.cpp.o"
+  "CMakeFiles/provml_compress.dir/varint.cpp.o.d"
+  "libprovml_compress.a"
+  "libprovml_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_core.dir/mlflow_compat.cpp.o"
+  "CMakeFiles/provml_core.dir/mlflow_compat.cpp.o.d"
+  "CMakeFiles/provml_core.dir/run.cpp.o"
+  "CMakeFiles/provml_core.dir/run.cpp.o.d"
+  "libprovml_core.a"
+  "libprovml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explorer/diff.cpp" "src/explorer/CMakeFiles/provml_explorer.dir/diff.cpp.o" "gcc" "src/explorer/CMakeFiles/provml_explorer.dir/diff.cpp.o.d"
+  "/root/repo/src/explorer/lineage.cpp" "src/explorer/CMakeFiles/provml_explorer.dir/lineage.cpp.o" "gcc" "src/explorer/CMakeFiles/provml_explorer.dir/lineage.cpp.o.d"
+  "/root/repo/src/explorer/reproduce.cpp" "src/explorer/CMakeFiles/provml_explorer.dir/reproduce.cpp.o" "gcc" "src/explorer/CMakeFiles/provml_explorer.dir/reproduce.cpp.o.d"
+  "/root/repo/src/explorer/stats.cpp" "src/explorer/CMakeFiles/provml_explorer.dir/stats.cpp.o" "gcc" "src/explorer/CMakeFiles/provml_explorer.dir/stats.cpp.o.d"
+  "/root/repo/src/explorer/subgraph.cpp" "src/explorer/CMakeFiles/provml_explorer.dir/subgraph.cpp.o" "gcc" "src/explorer/CMakeFiles/provml_explorer.dir/subgraph.cpp.o.d"
+  "/root/repo/src/explorer/timeline.cpp" "src/explorer/CMakeFiles/provml_explorer.dir/timeline.cpp.o" "gcc" "src/explorer/CMakeFiles/provml_explorer.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/provml_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/prov/CMakeFiles/provml_prov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_explorer.dir/diff.cpp.o"
+  "CMakeFiles/provml_explorer.dir/diff.cpp.o.d"
+  "CMakeFiles/provml_explorer.dir/lineage.cpp.o"
+  "CMakeFiles/provml_explorer.dir/lineage.cpp.o.d"
+  "CMakeFiles/provml_explorer.dir/reproduce.cpp.o"
+  "CMakeFiles/provml_explorer.dir/reproduce.cpp.o.d"
+  "CMakeFiles/provml_explorer.dir/stats.cpp.o"
+  "CMakeFiles/provml_explorer.dir/stats.cpp.o.d"
+  "CMakeFiles/provml_explorer.dir/subgraph.cpp.o"
+  "CMakeFiles/provml_explorer.dir/subgraph.cpp.o.d"
+  "CMakeFiles/provml_explorer.dir/timeline.cpp.o"
+  "CMakeFiles/provml_explorer.dir/timeline.cpp.o.d"
+  "libprovml_explorer.a"
+  "libprovml_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

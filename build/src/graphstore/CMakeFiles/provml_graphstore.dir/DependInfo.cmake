@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphstore/graph.cpp" "src/graphstore/CMakeFiles/provml_graphstore.dir/graph.cpp.o" "gcc" "src/graphstore/CMakeFiles/provml_graphstore.dir/graph.cpp.o.d"
+  "/root/repo/src/graphstore/ingest.cpp" "src/graphstore/CMakeFiles/provml_graphstore.dir/ingest.cpp.o" "gcc" "src/graphstore/CMakeFiles/provml_graphstore.dir/ingest.cpp.o.d"
+  "/root/repo/src/graphstore/query.cpp" "src/graphstore/CMakeFiles/provml_graphstore.dir/query.cpp.o" "gcc" "src/graphstore/CMakeFiles/provml_graphstore.dir/query.cpp.o.d"
+  "/root/repo/src/graphstore/service.cpp" "src/graphstore/CMakeFiles/provml_graphstore.dir/service.cpp.o" "gcc" "src/graphstore/CMakeFiles/provml_graphstore.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/provml_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/prov/CMakeFiles/provml_prov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

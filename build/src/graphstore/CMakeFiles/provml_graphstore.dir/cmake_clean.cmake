@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_graphstore.dir/graph.cpp.o"
+  "CMakeFiles/provml_graphstore.dir/graph.cpp.o.d"
+  "CMakeFiles/provml_graphstore.dir/ingest.cpp.o"
+  "CMakeFiles/provml_graphstore.dir/ingest.cpp.o.d"
+  "CMakeFiles/provml_graphstore.dir/query.cpp.o"
+  "CMakeFiles/provml_graphstore.dir/query.cpp.o.d"
+  "CMakeFiles/provml_graphstore.dir/service.cpp.o"
+  "CMakeFiles/provml_graphstore.dir/service.cpp.o.d"
+  "libprovml_graphstore.a"
+  "libprovml_graphstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_graphstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

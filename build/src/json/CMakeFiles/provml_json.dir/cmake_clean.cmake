@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_json.dir/parse.cpp.o"
+  "CMakeFiles/provml_json.dir/parse.cpp.o.d"
+  "CMakeFiles/provml_json.dir/value.cpp.o"
+  "CMakeFiles/provml_json.dir/value.cpp.o.d"
+  "CMakeFiles/provml_json.dir/write.cpp.o"
+  "CMakeFiles/provml_json.dir/write.cpp.o.d"
+  "libprovml_json.a"
+  "libprovml_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

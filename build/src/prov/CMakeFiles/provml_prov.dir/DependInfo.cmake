@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prov/constraints.cpp" "src/prov/CMakeFiles/provml_prov.dir/constraints.cpp.o" "gcc" "src/prov/CMakeFiles/provml_prov.dir/constraints.cpp.o.d"
+  "/root/repo/src/prov/dot.cpp" "src/prov/CMakeFiles/provml_prov.dir/dot.cpp.o" "gcc" "src/prov/CMakeFiles/provml_prov.dir/dot.cpp.o.d"
+  "/root/repo/src/prov/model.cpp" "src/prov/CMakeFiles/provml_prov.dir/model.cpp.o" "gcc" "src/prov/CMakeFiles/provml_prov.dir/model.cpp.o.d"
+  "/root/repo/src/prov/prov_json.cpp" "src/prov/CMakeFiles/provml_prov.dir/prov_json.cpp.o" "gcc" "src/prov/CMakeFiles/provml_prov.dir/prov_json.cpp.o.d"
+  "/root/repo/src/prov/prov_n.cpp" "src/prov/CMakeFiles/provml_prov.dir/prov_n.cpp.o" "gcc" "src/prov/CMakeFiles/provml_prov.dir/prov_n.cpp.o.d"
+  "/root/repo/src/prov/prov_xml.cpp" "src/prov/CMakeFiles/provml_prov.dir/prov_xml.cpp.o" "gcc" "src/prov/CMakeFiles/provml_prov.dir/prov_xml.cpp.o.d"
+  "/root/repo/src/prov/turtle.cpp" "src/prov/CMakeFiles/provml_prov.dir/turtle.cpp.o" "gcc" "src/prov/CMakeFiles/provml_prov.dir/turtle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/provml_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

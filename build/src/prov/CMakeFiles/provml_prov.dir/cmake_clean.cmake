@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_prov.dir/constraints.cpp.o"
+  "CMakeFiles/provml_prov.dir/constraints.cpp.o.d"
+  "CMakeFiles/provml_prov.dir/dot.cpp.o"
+  "CMakeFiles/provml_prov.dir/dot.cpp.o.d"
+  "CMakeFiles/provml_prov.dir/model.cpp.o"
+  "CMakeFiles/provml_prov.dir/model.cpp.o.d"
+  "CMakeFiles/provml_prov.dir/prov_json.cpp.o"
+  "CMakeFiles/provml_prov.dir/prov_json.cpp.o.d"
+  "CMakeFiles/provml_prov.dir/prov_n.cpp.o"
+  "CMakeFiles/provml_prov.dir/prov_n.cpp.o.d"
+  "CMakeFiles/provml_prov.dir/prov_xml.cpp.o"
+  "CMakeFiles/provml_prov.dir/prov_xml.cpp.o.d"
+  "CMakeFiles/provml_prov.dir/turtle.cpp.o"
+  "CMakeFiles/provml_prov.dir/turtle.cpp.o.d"
+  "libprovml_prov.a"
+  "libprovml_prov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_prov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_rocrate.dir/crate.cpp.o"
+  "CMakeFiles/provml_rocrate.dir/crate.cpp.o.d"
+  "libprovml_rocrate.a"
+  "libprovml_rocrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_rocrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/provml_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/provml_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/ddp.cpp" "src/sim/CMakeFiles/provml_sim.dir/ddp.cpp.o" "gcc" "src/sim/CMakeFiles/provml_sim.dir/ddp.cpp.o.d"
+  "/root/repo/src/sim/models.cpp" "src/sim/CMakeFiles/provml_sim.dir/models.cpp.o" "gcc" "src/sim/CMakeFiles/provml_sim.dir/models.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/sim/CMakeFiles/provml_sim.dir/sweep.cpp.o" "gcc" "src/sim/CMakeFiles/provml_sim.dir/sweep.cpp.o.d"
+  "/root/repo/src/sim/thread_pool.cpp" "src/sim/CMakeFiles/provml_sim.dir/thread_pool.cpp.o" "gcc" "src/sim/CMakeFiles/provml_sim.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/trainer.cpp" "src/sim/CMakeFiles/provml_sim.dir/trainer.cpp.o" "gcc" "src/sim/CMakeFiles/provml_sim.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

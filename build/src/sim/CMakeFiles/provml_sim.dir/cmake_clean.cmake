@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_sim.dir/cluster.cpp.o"
+  "CMakeFiles/provml_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/provml_sim.dir/ddp.cpp.o"
+  "CMakeFiles/provml_sim.dir/ddp.cpp.o.d"
+  "CMakeFiles/provml_sim.dir/models.cpp.o"
+  "CMakeFiles/provml_sim.dir/models.cpp.o.d"
+  "CMakeFiles/provml_sim.dir/sweep.cpp.o"
+  "CMakeFiles/provml_sim.dir/sweep.cpp.o.d"
+  "CMakeFiles/provml_sim.dir/thread_pool.cpp.o"
+  "CMakeFiles/provml_sim.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/provml_sim.dir/trainer.cpp.o"
+  "CMakeFiles/provml_sim.dir/trainer.cpp.o.d"
+  "libprovml_sim.a"
+  "libprovml_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/aggregate.cpp" "src/storage/CMakeFiles/provml_storage.dir/aggregate.cpp.o" "gcc" "src/storage/CMakeFiles/provml_storage.dir/aggregate.cpp.o.d"
+  "/root/repo/src/storage/json_store.cpp" "src/storage/CMakeFiles/provml_storage.dir/json_store.cpp.o" "gcc" "src/storage/CMakeFiles/provml_storage.dir/json_store.cpp.o.d"
+  "/root/repo/src/storage/netcdf_store.cpp" "src/storage/CMakeFiles/provml_storage.dir/netcdf_store.cpp.o" "gcc" "src/storage/CMakeFiles/provml_storage.dir/netcdf_store.cpp.o.d"
+  "/root/repo/src/storage/series.cpp" "src/storage/CMakeFiles/provml_storage.dir/series.cpp.o" "gcc" "src/storage/CMakeFiles/provml_storage.dir/series.cpp.o.d"
+  "/root/repo/src/storage/store.cpp" "src/storage/CMakeFiles/provml_storage.dir/store.cpp.o" "gcc" "src/storage/CMakeFiles/provml_storage.dir/store.cpp.o.d"
+  "/root/repo/src/storage/zarr_store.cpp" "src/storage/CMakeFiles/provml_storage.dir/zarr_store.cpp.o" "gcc" "src/storage/CMakeFiles/provml_storage.dir/zarr_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/provml_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/provml_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

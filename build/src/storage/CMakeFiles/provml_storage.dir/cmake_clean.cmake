@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_storage.dir/aggregate.cpp.o"
+  "CMakeFiles/provml_storage.dir/aggregate.cpp.o.d"
+  "CMakeFiles/provml_storage.dir/json_store.cpp.o"
+  "CMakeFiles/provml_storage.dir/json_store.cpp.o.d"
+  "CMakeFiles/provml_storage.dir/netcdf_store.cpp.o"
+  "CMakeFiles/provml_storage.dir/netcdf_store.cpp.o.d"
+  "CMakeFiles/provml_storage.dir/series.cpp.o"
+  "CMakeFiles/provml_storage.dir/series.cpp.o.d"
+  "CMakeFiles/provml_storage.dir/store.cpp.o"
+  "CMakeFiles/provml_storage.dir/store.cpp.o.d"
+  "CMakeFiles/provml_storage.dir/zarr_store.cpp.o"
+  "CMakeFiles/provml_storage.dir/zarr_store.cpp.o.d"
+  "libprovml_storage.a"
+  "libprovml_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysmon/energy.cpp" "src/sysmon/CMakeFiles/provml_sysmon.dir/energy.cpp.o" "gcc" "src/sysmon/CMakeFiles/provml_sysmon.dir/energy.cpp.o.d"
+  "/root/repo/src/sysmon/gpu_sim.cpp" "src/sysmon/CMakeFiles/provml_sysmon.dir/gpu_sim.cpp.o" "gcc" "src/sysmon/CMakeFiles/provml_sysmon.dir/gpu_sim.cpp.o.d"
+  "/root/repo/src/sysmon/io_collectors.cpp" "src/sysmon/CMakeFiles/provml_sysmon.dir/io_collectors.cpp.o" "gcc" "src/sysmon/CMakeFiles/provml_sysmon.dir/io_collectors.cpp.o.d"
+  "/root/repo/src/sysmon/proc_collectors.cpp" "src/sysmon/CMakeFiles/provml_sysmon.dir/proc_collectors.cpp.o" "gcc" "src/sysmon/CMakeFiles/provml_sysmon.dir/proc_collectors.cpp.o.d"
+  "/root/repo/src/sysmon/sampler.cpp" "src/sysmon/CMakeFiles/provml_sysmon.dir/sampler.cpp.o" "gcc" "src/sysmon/CMakeFiles/provml_sysmon.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_sysmon.dir/energy.cpp.o"
+  "CMakeFiles/provml_sysmon.dir/energy.cpp.o.d"
+  "CMakeFiles/provml_sysmon.dir/gpu_sim.cpp.o"
+  "CMakeFiles/provml_sysmon.dir/gpu_sim.cpp.o.d"
+  "CMakeFiles/provml_sysmon.dir/io_collectors.cpp.o"
+  "CMakeFiles/provml_sysmon.dir/io_collectors.cpp.o.d"
+  "CMakeFiles/provml_sysmon.dir/proc_collectors.cpp.o"
+  "CMakeFiles/provml_sysmon.dir/proc_collectors.cpp.o.d"
+  "CMakeFiles/provml_sysmon.dir/sampler.cpp.o"
+  "CMakeFiles/provml_sysmon.dir/sampler.cpp.o.d"
+  "libprovml_sysmon.a"
+  "libprovml_sysmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_sysmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provml_workflow.dir/workflow.cpp.o"
+  "CMakeFiles/provml_workflow.dir/workflow.cpp.o.d"
+  "libprovml_workflow.a"
+  "libprovml_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provml_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphstore.dir/test_graphstore.cpp.o"
+  "CMakeFiles/test_graphstore.dir/test_graphstore.cpp.o.d"
+  "test_graphstore"
+  "test_graphstore.pdb"
+  "test_graphstore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prov.dir/test_prov.cpp.o"
+  "CMakeFiles/test_prov.dir/test_prov.cpp.o.d"
+  "test_prov"
+  "test_prov.pdb"
+  "test_prov[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rocrate.dir/test_rocrate.cpp.o"
+  "CMakeFiles/test_rocrate.dir/test_rocrate.cpp.o.d"
+  "test_rocrate"
+  "test_rocrate.pdb"
+  "test_rocrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rocrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysmon.dir/test_sysmon.cpp.o"
+  "CMakeFiles/test_sysmon.dir/test_sysmon.cpp.o.d"
+  "test_sysmon"
+  "test_sysmon.pdb"
+  "test_sysmon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
