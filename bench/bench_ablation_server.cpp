@@ -1,0 +1,95 @@
+// Ablation: HTTP server worker-thread count. Mirrors the sweep-threading
+// ablation (DESIGN.md §2): fixed client concurrency hammering the yProv
+// service on loopback, measuring requests/s as the worker pool grows.
+// Route handling serializes on the store mutex, so the sweep exposes how
+// much of the request path (parsing, socket I/O, response serialization)
+// parallelizes around that critical section.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "provml/net/client.hpp"
+#include "provml/net/server.hpp"
+#include "provml/net/yprov_http.hpp"
+#include "provml/prov/model.hpp"
+
+namespace {
+
+using namespace provml;
+using namespace provml::net;
+
+prov::Document seed_document() {
+  prov::Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  for (int i = 0; i < 8; ++i) {
+    const std::string n = std::to_string(i);
+    doc.add_entity("ex:ckpt" + n);
+    doc.add_activity("ex:train" + n);
+    doc.was_generated_by("ex:ckpt" + n, "ex:train" + n);
+  }
+  return doc;
+}
+
+/// Requests/s versus worker-thread count: 8 concurrent keep-alive clients,
+/// each issuing GETs against the stats route.
+void BM_ServerRequestThroughput(benchmark::State& state) {
+  YProvHttpApp app;
+  (void)app.service().put_document("exp", seed_document());
+  ServerConfig config;
+  config.threads = static_cast<unsigned>(state.range(0));
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  if (!server.start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&server] {
+        HttpClient client("127.0.0.1", server.port());
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          auto r = client.get("/api/v0/documents/exp/stats");
+          benchmark::DoNotOptimize(r.ok());
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * kClients * kRequestsPerClient);
+  server.stop();
+}
+BENCHMARK(BM_ServerRequestThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Single-connection round-trip latency for the stats-free health route.
+void BM_ServerHealthRoundTrip(benchmark::State& state) {
+  YProvHttpApp app;
+  ServerConfig config;
+  config.threads = 2;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  if (!server.start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  HttpClient client("127.0.0.1", server.port());
+  for (auto _ : state) {
+    auto r = client.get("/api/v0/health");
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  server.stop();
+}
+BENCHMARK(BM_ServerHealthRoundTrip)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

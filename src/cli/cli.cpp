@@ -1,7 +1,11 @@
 #include "provml/cli/cli.hpp"
 
+#include <atomic>
+#include <csignal>
 #include <filesystem>
 #include <map>
+#include <memory>
+#include <mutex>
 
 #include "provml/common/strings.hpp"
 #include "provml/compress/container.hpp"
@@ -14,6 +18,10 @@
 #include "provml/explorer/timeline.hpp"
 #include "provml/graphstore/query.hpp"
 #include "provml/graphstore/service.hpp"
+#include "provml/json/parse.hpp"
+#include "provml/net/client.hpp"
+#include "provml/net/server.hpp"
+#include "provml/net/yprov_http.hpp"
 #include "provml/prov/constraints.hpp"
 #include "provml/prov/dot.hpp"
 #include "provml/prov/prov_json.hpp"
@@ -396,6 +404,148 @@ int cmd_crate(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// ---------------------------------------------------------------- remote
+// `--url http://host:port` switches ingest/query/stats from the local
+// store to a running `yprov serve` instance, via the provml_net client.
+
+int cmd_ingest_remote(const std::string& url, const ParsedArgs& args, std::ostream& out,
+                      std::ostream& err) {
+  if (args.positional.empty()) {
+    return fail(err, "ingest --url takes name=file pairs (no store dir)");
+  }
+  auto parsed = net::parse_url(url);
+  if (!parsed.ok()) return fail(err, parsed.error().to_string());
+  net::HttpClient client(parsed.value().host, parsed.value().port);
+  for (const std::string& pair : args.positional) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) return fail(err, "expected name=file, got: " + pair);
+    const std::string name = pair.substr(0, eq);
+    auto doc = prov::read_prov_json_file(pair.substr(eq + 1));
+    if (!doc.ok()) return fail(err, doc.error().to_string());
+    auto response = client.put(parsed.value().base_path + "/api/v0/documents/" + name,
+                               prov::to_prov_json_string(doc.value(), /*pretty=*/false));
+    if (!response.ok()) return fail(err, response.error().to_string());
+    if (response.value().status != 201) {
+      return fail(err, "server rejected " + name + ": " + response.value().body);
+    }
+    out << "ingested " << name << " -> " << url << "\n";
+  }
+  return 0;
+}
+
+int cmd_query_remote(const std::string& url, const std::string& query, std::ostream& out,
+                     std::ostream& err) {
+  auto parsed = net::parse_url(url);
+  if (!parsed.ok()) return fail(err, parsed.error().to_string());
+  net::HttpClient client(parsed.value().host, parsed.value().port);
+  auto response = client.post(parsed.value().base_path + "/api/v0/query", query);
+  if (!response.ok()) return fail(err, response.error().to_string());
+  if (response.value().status != 200) {
+    return fail(err, "query failed: " + response.value().body);
+  }
+  auto body = json::parse(response.value().body);
+  if (!body.ok()) return fail(err, body.error().to_string());
+  const json::Value* rows = body.value().find("rows");
+  if (rows == nullptr || !rows->is_array()) return fail(err, "malformed query response");
+  for (const json::Value& row : rows->as_array()) {
+    if (!row.is_object()) continue;
+    bool first = true;
+    for (const auto& [var, id] : row.as_object()) {
+      if (!first) out << "  ";
+      first = false;
+      out << var << "=" << (id.is_string() ? id.as_string() : std::string("?"));
+    }
+    out << "\n";
+  }
+  out << rows->as_array().size() << " row(s)\n";
+  return 0;
+}
+
+int cmd_stats_remote(const std::string& url, const ParsedArgs& args, std::ostream& out,
+                     std::ostream& err) {
+  if (args.positional.size() != 1) {
+    return fail(err, "stats --url takes a document name");
+  }
+  auto parsed = net::parse_url(url);
+  if (!parsed.ok()) return fail(err, parsed.error().to_string());
+  net::HttpClient client(parsed.value().host, parsed.value().port);
+  auto response = client.get(parsed.value().base_path + "/api/v0/documents/" +
+                             args.positional[0] + "/stats");
+  if (!response.ok()) return fail(err, response.error().to_string());
+  if (response.value().status != 200) {
+    return fail(err, "stats failed: " + response.value().body);
+  }
+  out << response.value().body << "\n";
+  return 0;
+}
+
+// ----------------------------------------------------------------- serve
+
+std::atomic<net::HttpServer*> g_serving{nullptr};
+
+void serve_signal_handler(int) {
+  net::HttpServer* server = g_serving.load();
+  if (server != nullptr) server->request_stop();  // async-signal-safe
+}
+
+int cmd_serve(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (!args.positional.empty()) return fail(err, "serve takes only options");
+  net::ServerConfig config;
+  const auto port = args.options.find("port");
+  if (port != args.options.end()) {
+    const auto value = strings::to_int64(port->second);
+    if (!value || *value < 0 || *value > 65535) return fail(err, "invalid --port");
+    config.port = static_cast<std::uint16_t>(*value);
+  }
+  const auto threads = args.options.find("threads");
+  if (threads != args.options.end()) {
+    const auto value = strings::to_int64(threads->second);
+    if (!value || *value < 1 || *value > 256) return fail(err, "invalid --threads");
+    config.threads = static_cast<unsigned>(*value);
+  }
+
+  net::YProvHttpApp app;
+  const auto snapshot = args.options.find("snapshot");
+  if (snapshot != args.options.end() &&
+      fs::exists(fs::path(snapshot->second) / "index.json")) {
+    auto loaded = graphstore::YProvService::load(snapshot->second);
+    if (!loaded.ok()) return fail(err, loaded.error().to_string());
+    app.service() = std::move(loaded.value());
+    out << "loaded " << app.service().list_documents().size() << " document(s) from "
+        << snapshot->second << "\n";
+  }
+
+  net::HttpServer server(config,
+                         [&app](const net::HttpRequest& r) { return app.handle(r); });
+  // Workers log concurrently; serialize writes to the shared stream.
+  auto log_mutex = std::make_shared<std::mutex>();
+  server.set_access_logger([&out, log_mutex](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(*log_mutex);
+    out << line << "\n";
+  });
+  Status started = server.start();
+  if (!started.ok()) return fail(err, started.error().to_string());
+  out << "yprov service listening on http://" << config.host << ":" << server.port()
+      << " (" << config.threads << " worker thread(s), Ctrl-C to stop)\n";
+
+  g_serving.store(&server);
+  const auto previous_int = std::signal(SIGINT, serve_signal_handler);
+  const auto previous_term = std::signal(SIGTERM, serve_signal_handler);
+  server.wait();
+  (void)std::signal(SIGINT, previous_int);
+  (void)std::signal(SIGTERM, previous_term);
+  g_serving.store(nullptr);
+
+  if (snapshot != args.options.end()) {
+    Status saved = app.service().save(snapshot->second);
+    if (!saved.ok()) return fail(err, saved.error().to_string());
+    out << "snapshot saved to " << snapshot->second << "\n";
+  }
+  const net::ServerStats stats = server.stats();
+  out << "server stopped after " << stats.requests_handled << " request(s)\n";
+  return 0;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -403,6 +553,7 @@ std::string usage() {
          "commands:\n"
          "  validate <file>                     check a PROV-JSON document\n"
          "  stats <file>                        element/relation counts\n"
+         "  stats --url <svc> <name>            stats of a served document\n"
          "  convert <file> --to provn|dot|ttl|xml re-serialize a document\n"
          "  constraints <file>                  PROV-CONSTRAINTS checks\n"
          "  timeline <file>                     Gantt view of run activities\n"
@@ -410,9 +561,13 @@ std::string usage() {
          "  diff <a> <b>                        compare two run documents\n"
          "  lineage <file> <id> [--direction up|down] [--depth N]\n"
          "  ingest <store> <name=file>...       add documents to a store\n"
+         "  ingest --url <svc> <name=file>...   upload documents over HTTP\n"
          "  list <store>                        list stored documents\n"
          "  get <store> <name> [--element <id>] query the store\n"
          "  query <store> '<MATCH ...>'         pattern query over the graph\n"
+         "  query --url <svc> '<MATCH ...>'     pattern query over HTTP\n"
+         "  serve [--port N] [--threads K] [--snapshot DIR]\n"
+         "                                      run the yProv HTTP service\n"
          "  fit <store>                         fit the scaling law to stored runs\n"
          "  predict <store> <output> k=v...     k-NN forecast from stored runs\n"
          "  report <store>                      tabulate run outputs\n"
@@ -432,16 +587,35 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
   if (command == "constraints") return cmd_constraints(parsed, out, err);
   if (command == "timeline") return cmd_timeline(parsed, out, err);
   if (command == "subgraph") return cmd_subgraph(parsed, out, err);
-  if (command == "query") return cmd_query(parsed, out, err);
+  if (command == "query") {
+    if (parsed.options.count("url") != 0) {
+      if (parsed.positional.size() != 1) {
+        return fail(err, "query --url takes a MATCH query (no store dir)");
+      }
+      return cmd_query_remote(parsed.options.at("url"), parsed.positional[0], out, err);
+    }
+    return cmd_query(parsed, out, err);
+  }
+  if (command == "serve") return cmd_serve(parsed, out, err);
   if (command == "fit") return cmd_fit(parsed, out, err);
   if (command == "predict") return cmd_predict(parsed, out, err);
   if (command == "report") return cmd_report(parsed, out, err);
   if (command == "crate") return cmd_crate(parsed, out, err);
-  if (command == "stats") return cmd_stats(parsed, out, err);
+  if (command == "stats") {
+    if (parsed.options.count("url") != 0) {
+      return cmd_stats_remote(parsed.options.at("url"), parsed, out, err);
+    }
+    return cmd_stats(parsed, out, err);
+  }
   if (command == "convert") return cmd_convert(parsed, out, err);
   if (command == "diff") return cmd_diff(parsed, out, err);
   if (command == "lineage") return cmd_lineage(parsed, out, err);
-  if (command == "ingest") return cmd_ingest(parsed, out, err);
+  if (command == "ingest") {
+    if (parsed.options.count("url") != 0) {
+      return cmd_ingest_remote(parsed.options.at("url"), parsed, out, err);
+    }
+    return cmd_ingest(parsed, out, err);
+  }
   if (command == "list") return cmd_list(parsed, out, err);
   if (command == "get") return cmd_get(parsed, out, err);
   if (command == "pack") return cmd_pack(parsed, out, err);

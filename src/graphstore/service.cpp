@@ -22,6 +22,15 @@ Response error_response(int status, const std::string& message) {
   return Response{status, json::write(json::Value(std::move(body)))};
 }
 
+/// 405 for a known route: the body carries the permitted methods the way
+/// an Allow header would, so HTTP front-ends can relay it.
+Response method_not_allowed(const std::string& allow) {
+  json::Object body;
+  body.set("error", "method not allowed");
+  body.set("allow", allow);
+  return Response{405, json::write(json::Value(std::move(body)))};
+}
+
 json::Value edge_summary(const PropertyGraph& graph, const Edge& e, bool outgoing) {
   json::Object obj;
   obj.set("type", e.type);
@@ -84,7 +93,7 @@ Response YProvService::handle(const Request& request) {
   // POST /api/v0/query — body is a MATCH query; the response lists rows of
   // bound prov ids.
   if (request.path == "/api/v0/query") {
-    if (request.method != "POST") return error_response(405, "method not allowed");
+    if (request.method != "POST") return method_not_allowed("POST");
     Expected<std::vector<Row>> rows = run_query(graph_, request.body);
     if (!rows.ok()) return error_response(400, rows.error().to_string());
     json::Array rows_json;
@@ -110,7 +119,7 @@ Response YProvService::handle(const Request& request) {
 
   // GET /api/v0/documents — list.
   if (rest.empty()) {
-    if (request.method != "GET") return error_response(405, "method not allowed");
+    if (request.method != "GET") return method_not_allowed("GET");
     json::Array names;
     for (const std::string& name : list_documents()) names.emplace_back(name);
     json::Object body;
@@ -140,10 +149,10 @@ Response YProvService::handle(const Request& request) {
       if (!delete_document(name)) return error_response(404, "document not found");
       return Response{200, "{}"};
     }
-    return error_response(405, "method not allowed");
+    return method_not_allowed("GET, PUT, DELETE");
   }
 
-  if (request.method != "GET") return error_response(405, "method not allowed");
+  if (request.method != "GET") return method_not_allowed("GET");
   if (documents_.count(name) == 0) return error_response(404, "document not found");
 
   if (parts.size() == 2 && parts[1] == "stats") {

@@ -1,0 +1,93 @@
+#include "provml/net/http.hpp"
+
+namespace provml::net {
+namespace {
+
+char lower(char c) { return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c; }
+
+const std::string* find_header(const std::vector<Header>& headers, std::string_view name) {
+  for (const Header& h : headers) {
+    if (iequals(h.name, name)) return &h.value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default:  return status >= 500 ? "Server Error" : "Unknown";
+  }
+}
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+const std::string* HttpResponse::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* connection = header("Connection");
+  if (version == "HTTP/1.0") {
+    return connection != nullptr && iequals(*connection, "keep-alive");
+  }
+  return connection == nullptr || !iequals(*connection, "close");
+}
+
+std::string serialize(const HttpResponse& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out += reason_phrase(response.status);
+  out += "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: " + response.content_type + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const Header& h : response.headers) {
+    out += h.name + ": " + h.value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string serialize(const HttpRequest& request, const std::string& host,
+                      bool keep_alive) {
+  std::string out = request.method + " " + request.target + " HTTP/1.1\r\n";
+  out += "Host: " + host + "\r\n";
+  for (const Header& h : request.headers) {
+    out += h.name + ": " + h.value + "\r\n";
+  }
+  if (!request.body.empty() || request.method == "PUT" || request.method == "POST") {
+    out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+}  // namespace provml::net

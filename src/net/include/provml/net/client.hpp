@@ -1,0 +1,75 @@
+// Minimal blocking HTTP/1.1 client for driving the yProv service over
+// TCP: non-blocking connect with timeout, retry-with-backoff when the
+// connection is refused (the server may still be coming up), poll-guarded
+// reads, and connection reuse across requests (keep-alive) with one
+// transparent reconnect when a pooled connection has gone stale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "provml/common/expected.hpp"
+#include "provml/net/http.hpp"
+#include "provml/net/parser.hpp"
+
+namespace provml::net {
+
+struct ClientConfig {
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 5000;     ///< per poll() while sending/receiving
+  int retries = 3;              ///< extra connect attempts on refusal
+  int retry_backoff_ms = 50;    ///< initial backoff, doubled per attempt
+  ParserLimits limits{};        ///< response size guards
+};
+
+/// A parsed http:// URL. `base_path` has no trailing slash ("" for none).
+struct Url {
+  std::string host;
+  std::uint16_t port = 80;
+  std::string base_path;
+};
+
+/// Parses "http://host[:port][/base]". https is rejected.
+[[nodiscard]] Expected<Url> parse_url(const std::string& url);
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port, ClientConfig config = {});
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One request/response exchange. Reuses the pooled connection when the
+  /// previous response allowed keep-alive.
+  [[nodiscard]] Expected<HttpResponse> request(const std::string& method,
+                                               const std::string& target,
+                                               const std::string& body = "");
+
+  [[nodiscard]] Expected<HttpResponse> get(const std::string& target) {
+    return request("GET", target);
+  }
+  [[nodiscard]] Expected<HttpResponse> put(const std::string& target,
+                                           const std::string& body) {
+    return request("PUT", target, body);
+  }
+  [[nodiscard]] Expected<HttpResponse> post(const std::string& target,
+                                            const std::string& body) {
+    return request("POST", target, body);
+  }
+  [[nodiscard]] Expected<HttpResponse> del(const std::string& target) {
+    return request("DELETE", target);
+  }
+
+ private:
+  [[nodiscard]] Expected<int> connect_with_retry();
+  [[nodiscard]] Expected<HttpResponse> exchange(int fd, const std::string& wire);
+  void close_connection();
+
+  std::string host_;
+  std::uint16_t port_;
+  ClientConfig config_;
+  int fd_ = -1;  ///< pooled keep-alive connection, -1 when closed
+};
+
+}  // namespace provml::net

@@ -1,0 +1,57 @@
+// HTTP/1.1 message types shared by the provml_net parser, server, and
+// client. Only the subset the yProv service needs is modelled: verbs with
+// optional Content-Length bodies, case-insensitive headers, keep-alive.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace provml::net {
+
+/// One header line. Name comparison is case-insensitive per RFC 9110.
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+/// Case-insensitive ASCII comparison (header names, token values).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// The canonical reason phrase for a status code ("Not Found", ...).
+[[nodiscard]] std::string_view reason_phrase(int status);
+
+struct HttpRequest {
+  std::string method;             ///< "GET", "PUT", "POST", "DELETE", ...
+  std::string target;             ///< origin-form target, e.g. "/api/v0/health"
+  std::string version = "HTTP/1.1";
+  std::vector<Header> headers;
+  std::string body;
+
+  /// First header named `name` (case-insensitive), or nullptr.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+
+  /// Whether the connection should stay open after this exchange:
+  /// HTTP/1.1 defaults to true unless "Connection: close"; HTTP/1.0
+  /// defaults to false unless "Connection: keep-alive".
+  [[nodiscard]] bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<Header> headers;    ///< extra headers beyond the standard set
+  std::string body;
+  bool close = false;             ///< force "Connection: close"
+
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+/// Serializes a response with Content-Length and Connection headers.
+[[nodiscard]] std::string serialize(const HttpResponse& response, bool keep_alive);
+
+/// Serializes a request (adds Host/Content-Length/Connection).
+[[nodiscard]] std::string serialize(const HttpRequest& request, const std::string& host,
+                                    bool keep_alive);
+
+}  // namespace provml::net

@@ -1,0 +1,129 @@
+// From-scratch POSIX-socket HTTP/1.1 server: a blocking accept loop feeds
+// accepted connections to a fixed pool of worker threads; each worker
+// speaks HTTP/1.1 with keep-alive and Content-Length framing via
+// RequestParser, enforcing a per-connection read timeout. Shutdown is
+// graceful through a self-pipe: request_stop() is async-signal-safe (a
+// single write()), every poll() in the server also watches the pipe, and
+// stop() joins all threads and releases the port.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+#include "provml/net/http.hpp"
+#include "provml/net/parser.hpp"
+
+namespace provml::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;        ///< 0 → ephemeral; see HttpServer::port()
+  unsigned threads = 4;          ///< worker pool size (min 1)
+  int read_timeout_ms = 5000;    ///< per-connection idle read timeout
+  int listen_backlog = 64;
+  ParserLimits limits{};
+};
+
+/// Monotonic counters, readable while the server runs.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_handled = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t parse_errors = 0;     ///< malformed/oversized requests
+  std::uint64_t read_timeouts = 0;
+  std::uint64_t latency_us_total = 0; ///< handler time, summed
+
+  [[nodiscard]] double mean_latency_us() const {
+    return requests_handled == 0
+               ? 0.0
+               : static_cast<double>(latency_us_total) / static_cast<double>(requests_handled);
+  }
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  /// Called once per completed exchange with a pre-formatted line:
+  /// `<method> <target> <status> <response-bytes> <micros>us`.
+  using AccessLogger = std::function<void(const std::string& line)>;
+
+  HttpServer(ServerConfig config, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + worker threads.
+  [[nodiscard]] Status start();
+
+  /// Graceful shutdown: stops accepting, wakes every blocked poll(),
+  /// lets in-flight exchanges finish, joins all threads, closes the
+  /// listening socket. Idempotent; also run by the destructor.
+  void stop();
+
+  /// Async-signal-safe stop request (one write to the self-pipe); pair
+  /// with wait() from the serving thread.
+  void request_stop() noexcept;
+
+  /// Blocks until a stop is requested, then performs stop().
+  void wait();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  /// Actual bound port (useful when config.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Must be set before start().
+  void set_access_logger(AccessLogger logger) { access_logger_ = std::move(logger); }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  /// poll() on fd + the shutdown pipe; returns +1 when fd is readable,
+  /// 0 on timeout, -1 on shutdown/error.
+  int wait_readable(int fd, int timeout_ms) const;
+  bool send_all(int fd, std::string_view data) const;
+  void record_response(int status, std::uint64_t latency_us);
+
+  ServerConfig config_;
+  Handler handler_;
+  AccessLogger access_logger_;
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};  ///< [read, write]; write end poked to stop
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::mutex lifecycle_mutex_;  ///< serializes start()/stop()
+
+  // Stats counters (atomics: touched by every worker).
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_handled_{0};
+  std::atomic<std::uint64_t> responses_2xx_{0};
+  std::atomic<std::uint64_t> responses_4xx_{0};
+  std::atomic<std::uint64_t> responses_5xx_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> read_timeouts_{0};
+  std::atomic<std::uint64_t> latency_us_total_{0};
+};
+
+}  // namespace provml::net

@@ -1,0 +1,50 @@
+// Binds the generic HTTP layer to the yProv REST routes: translates
+// HttpRequest → graphstore::Request, serializes access to the store (the
+// property graph is not thread-safe, and PUT/DELETE rebuild it), keeps
+// request/latency counters, and adds the one route the in-process facade
+// never needed: GET /api/v0/health, reporting liveness and traffic stats.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "provml/graphstore/service.hpp"
+#include "provml/net/http.hpp"
+
+namespace provml::net {
+
+class YProvHttpApp {
+ public:
+  YProvHttpApp() = default;
+  explicit YProvHttpApp(graphstore::YProvService service) : service_(std::move(service)) {}
+
+  /// Thread-safe: callable concurrently from every server worker.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request);
+
+  /// Direct access for setup/teardown (snapshot load/save). Not
+  /// synchronized with handle(); use before start or after stop.
+  [[nodiscard]] graphstore::YProvService& service() { return service_; }
+
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::uint64_t status_2xx = 0;
+    std::uint64_t status_4xx = 0;
+    std::uint64_t status_5xx = 0;
+    std::uint64_t latency_us_total = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  std::mutex service_mutex_;
+  graphstore::YProvService service_;
+  std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> status_2xx_{0};
+  std::atomic<std::uint64_t> status_4xx_{0};
+  std::atomic<std::uint64_t> status_5xx_{0};
+  std::atomic<std::uint64_t> latency_us_total_{0};
+};
+
+}  // namespace provml::net

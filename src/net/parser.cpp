@@ -1,0 +1,138 @@
+#include "provml/net/parser.hpp"
+
+#include "provml/common/strings.hpp"
+
+namespace provml::net {
+namespace {
+
+/// Locates the blank line ending the header section. Accepts CRLF line
+/// endings (the standard) and bare LF (lenient, for hand-typed peers).
+/// Returns the offset one past the terminator, or npos.
+std::size_t find_header_end(std::string_view buf) {
+  const std::size_t crlf = buf.find("\r\n\r\n");
+  const std::size_t lf = buf.find("\n\n");
+  if (crlf == std::string_view::npos && lf == std::string_view::npos) {
+    return std::string_view::npos;
+  }
+  if (crlf != std::string_view::npos && (lf == std::string_view::npos || crlf < lf)) {
+    return crlf + 4;
+  }
+  return lf + 2;
+}
+
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+void RequestParser::feed(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+  advance();
+}
+
+void RequestParser::fail(int status, std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_message_ = std::move(message);
+}
+
+bool RequestParser::parse_header_section(std::string_view section) {
+  // Request line: METHOD SP target SP HTTP-version.
+  std::size_t line_end = section.find('\n');
+  const std::string_view request_line =
+      strip_cr(section.substr(0, line_end == std::string_view::npos ? section.size()
+                                                                    : line_end));
+  const std::vector<std::string> parts = strings::split(request_line, ' ');
+  if (parts.size() != 3 || parts[0].empty() || parts[1].empty() ||
+      !strings::starts_with(parts[2], "HTTP/")) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = parts[0];
+  request_.target = parts[1];
+  request_.version = parts[2];
+
+  // Header lines until the blank terminator.
+  while (line_end != std::string_view::npos) {
+    const std::size_t begin = line_end + 1;
+    line_end = section.find('\n', begin);
+    const std::string_view line = strip_cr(
+        section.substr(begin, line_end == std::string_view::npos ? section.size() - begin
+                                                                 : line_end - begin));
+    if (line.empty()) continue;  // blank terminator (or trailing CR remnant)
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      fail(400, "malformed header line");
+      return false;
+    }
+    request_.headers.push_back(Header{std::string(strings::trim(line.substr(0, colon))),
+                                      std::string(strings::trim(line.substr(colon + 1)))});
+  }
+
+  // Body framing: Content-Length only.
+  if (request_.header("Transfer-Encoding") != nullptr) {
+    fail(501, "transfer codings are not supported");
+    return false;
+  }
+  const std::string* content_length = request_.header("Content-Length");
+  if (content_length == nullptr) {
+    if (request_.method == "PUT" || request_.method == "POST") {
+      fail(411, "PUT/POST requires Content-Length");
+      return false;
+    }
+    body_needed_ = 0;
+    return true;
+  }
+  const auto length = strings::to_int64(*content_length);
+  if (!length || *length < 0) {
+    fail(400, "invalid Content-Length");
+    return false;
+  }
+  if (static_cast<std::size_t>(*length) > limits_.max_body_bytes) {
+    fail(413, "body exceeds " + std::to_string(limits_.max_body_bytes) + " bytes");
+    return false;
+  }
+  body_needed_ = static_cast<std::size_t>(*length);
+  return true;
+}
+
+void RequestParser::advance() {
+  if (state_ == State::kHeaders) {
+    const std::size_t header_end = find_header_end(buffer_);
+    if (header_end == std::string_view::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        fail(431, "header section exceeds " + std::to_string(limits_.max_header_bytes) +
+                      " bytes");
+      }
+      return;
+    }
+    if (header_end > limits_.max_header_bytes) {
+      fail(431, "header section exceeds " + std::to_string(limits_.max_header_bytes) +
+                    " bytes");
+      return;
+    }
+    const bool ok = parse_header_section(std::string_view(buffer_).substr(0, header_end));
+    buffer_.erase(0, header_end);
+    if (!ok) return;
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody) {
+    if (buffer_.size() < body_needed_) return;
+    request_.body = buffer_.substr(0, body_needed_);
+    buffer_.erase(0, body_needed_);
+    state_ = State::kComplete;
+  }
+}
+
+void RequestParser::reset() {
+  request_ = HttpRequest{};
+  body_needed_ = 0;
+  error_status_ = 0;
+  error_message_.clear();
+  state_ = State::kHeaders;
+  advance();  // a pipelined request may already be buffered in full
+}
+
+}  // namespace provml::net

@@ -1,0 +1,298 @@
+#include "provml/net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+
+namespace provml::net {
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string json_error(const std::string& message) {
+  // Error strings are server-chosen constants: no escaping needed.
+  return "{\"error\":\"" + message + "\"}";
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ServerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {
+  if (config_.threads == 0) config_.threads = 1;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+Status HttpServer::start() {
+  const std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (running_.load()) return Error{"server already running", config_.host};
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Error{std::strerror(errno), "socket"};
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (config_.host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    close_fd(listen_fd_);
+    return Error{"invalid listen address", config_.host};
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string message = std::strerror(errno);
+    close_fd(listen_fd_);
+    return Error{message, config_.host + ":" + std::to_string(config_.port)};
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) != 0) {
+    const std::string message = std::strerror(errno);
+    close_fd(listen_fd_);
+    return Error{message, "listen"};
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  if (::pipe(stop_pipe_) != 0) {
+    close_fd(listen_fd_);
+    return Error{std::strerror(errno), "pipe"};
+  }
+  // The write end is poked from signal handlers: never let it block.
+  (void)set_nonblocking(stop_pipe_[0]);
+  (void)set_nonblocking(stop_pipe_[1]);
+
+  stopping_.store(false);
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(config_.threads);
+  for (unsigned i = 0; i < config_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return Status::ok_status();
+}
+
+void HttpServer::request_stop() noexcept {
+  stopping_.store(true);
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    // Best effort; the pipe staying readable is all that matters.
+    (void)!::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void HttpServer::wait() {
+  if (!running_.load()) return;
+  pollfd pfd{stop_pipe_[0], POLLIN, 0};
+  while (!stopping_.load()) {
+    const int r = ::poll(&pfd, 1, -1);
+    if (r > 0 || (r < 0 && errno != EINTR)) break;
+  }
+  stop();
+}
+
+void HttpServer::stop() {
+  const std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (!running_.load()) return;
+  request_stop();
+  cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  for (const int fd : pending_) ::close(fd);
+  pending_.clear();
+  close_fd(listen_fd_);
+  close_fd(stop_pipe_[0]);
+  close_fd(stop_pipe_[1]);
+  running_.store(false);
+}
+
+ServerStats HttpServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.requests_handled = requests_handled_.load();
+  s.responses_2xx = responses_2xx_.load();
+  s.responses_4xx = responses_4xx_.load();
+  s.responses_5xx = responses_5xx_.load();
+  s.parse_errors = parse_errors_.load();
+  s.read_timeouts = read_timeouts_.load();
+  s.latency_us_total = latency_us_total_.load();
+  return s;
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(pfds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((pfds[1].revents & POLLIN) != 0 || stopping_.load()) return;
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ++connections_accepted_;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      pending_.push_back(conn);
+    }
+    cv_.notify_one();
+  }
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_.load() || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping, queue drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+int HttpServer::wait_readable(int fd, int timeout_ms) const {
+  for (;;) {
+    pollfd pfds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(pfds, 2, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if ((pfds[1].revents & POLLIN) != 0) return -1;  // shutdown requested
+    if (r == 0) return 0;                            // timeout
+    return 1;
+  }
+}
+
+bool HttpServer::send_all(int fd, std::string_view data) const {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+void HttpServer::record_response(int status, std::uint64_t latency_us) {
+  ++requests_handled_;
+  latency_us_total_ += latency_us;
+  if (status >= 500) {
+    ++responses_5xx_;
+  } else if (status >= 400) {
+    ++responses_4xx_;
+  } else {
+    ++responses_2xx_;
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  RequestParser parser(config_.limits);
+  char buf[8192];
+  bool mid_request = false;
+  for (;;) {
+    while (!parser.complete() && !parser.failed()) {
+      const int readable = wait_readable(fd, config_.read_timeout_ms);
+      if (readable < 0) return;  // shutdown or poll failure
+      if (readable == 0) {
+        ++read_timeouts_;
+        if (mid_request) {
+          // A half-received request timed out; tell the peer before closing.
+          HttpResponse timeout;
+          timeout.status = 408;
+          timeout.body = json_error("request read timed out");
+          timeout.close = true;
+          (void)send_all(fd, serialize(timeout, /*keep_alive=*/false));
+        }
+        return;  // idle keep-alive connections are reaped silently
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n == 0) return;  // peer closed
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      mid_request = true;
+      parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+
+    if (parser.failed()) {
+      ++parse_errors_;
+      HttpResponse error;
+      error.status = parser.error_status();
+      error.body = json_error(parser.error_message());
+      record_response(error.status, 0);
+      (void)send_all(fd, serialize(error, /*keep_alive=*/false));
+      if (access_logger_) {
+        access_logger_("(malformed) " + std::to_string(error.status));
+      }
+      return;
+    }
+
+    const HttpRequest& request = parser.request();
+    const auto t0 = std::chrono::steady_clock::now();
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      response = HttpResponse{};
+      response.status = 500;
+      response.body = json_error("internal error");
+      (void)e;
+    }
+    const auto latency_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    const bool keep =
+        request.keep_alive() && !response.close && !stopping_.load();
+    const std::string wire = serialize(response, keep);
+    // Record before sending so stats are visible to any observer who has
+    // already received the response.
+    record_response(response.status, latency_us);
+    const bool sent = send_all(fd, wire);
+    if (access_logger_) {
+      access_logger_(request.method + " " + request.target + " " +
+                     std::to_string(response.status) + " " +
+                     std::to_string(wire.size()) + " " +
+                     std::to_string(latency_us) + "us");
+    }
+    if (!sent || !keep) return;
+    mid_request = false;
+    parser.reset();
+  }
+}
+
+}  // namespace provml::net

@@ -1,0 +1,83 @@
+#include "provml/net/yprov_http.hpp"
+
+#include "provml/json/write.hpp"
+
+namespace provml::net {
+
+YProvHttpApp::Counters YProvHttpApp::counters() const {
+  Counters c;
+  c.requests = requests_.load();
+  c.status_2xx = status_2xx_.load();
+  c.status_4xx = status_4xx_.load();
+  c.status_5xx = status_5xx_.load();
+  c.latency_us_total = latency_us_total_.load();
+  return c;
+}
+
+HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  HttpResponse response;
+
+  // Strip any query string: the yProv routes are path-addressed.
+  std::string path = request.target;
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.erase(query);
+
+  if (path == "/api/v0/health") {
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = "{\"error\":\"method not allowed\",\"allow\":\"GET\"}";
+    } else {
+      const Counters c = counters();
+      const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - started_);
+      std::size_t documents = 0;
+      {
+        const std::lock_guard<std::mutex> lock(service_mutex_);
+        documents = service_.list_documents().size();
+      }
+      json::Object body;
+      body.set("status", "ok");
+      body.set("uptime_s", static_cast<std::int64_t>(uptime.count()));
+      body.set("documents", documents);
+      body.set("requests", c.requests);
+      body.set("responses_2xx", c.status_2xx);
+      body.set("responses_4xx", c.status_4xx);
+      body.set("responses_5xx", c.status_5xx);
+      const double mean_ms =
+          c.requests == 0 ? 0.0
+                          : static_cast<double>(c.latency_us_total) /
+                                (1000.0 * static_cast<double>(c.requests));
+      body.set("mean_latency_ms", mean_ms);
+      response.body = json::write(json::Value(std::move(body)));
+    }
+  } else {
+    graphstore::Request inner;
+    inner.method = request.method;
+    inner.path = std::move(path);
+    inner.body = request.body;
+    graphstore::Response routed;
+    {
+      const std::lock_guard<std::mutex> lock(service_mutex_);
+      routed = service_.handle(inner);
+    }
+    response.status = routed.status;
+    response.body = std::move(routed.body);
+  }
+
+  ++requests_;
+  latency_us_total_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  if (response.status >= 500) {
+    ++status_5xx_;
+  } else if (response.status >= 400) {
+    ++status_4xx_;
+  } else {
+    ++status_2xx_;
+  }
+  return response;
+}
+
+}  // namespace provml::net

@@ -317,6 +317,48 @@ TEST(Service, RestErrors) {
 }
 
 
+TEST(Service, MethodNotAllowedNamesAllowedMethods) {
+  YProvService service;
+  ASSERT_TRUE(service.put_document("exp1", training_doc()).ok());
+
+  Response r = service.handle({"PATCH", "/api/v0/documents/exp1", ""});
+  EXPECT_EQ(r.status, 405);
+  EXPECT_EQ(json::parse(r.body).take().find("allow")->as_string(), "GET, PUT, DELETE");
+
+  r = service.handle({"POST", "/api/v0/documents", ""});
+  EXPECT_EQ(r.status, 405);
+  EXPECT_EQ(json::parse(r.body).take().find("allow")->as_string(), "GET");
+
+  r = service.handle({"GET", "/api/v0/query", ""});
+  EXPECT_EQ(r.status, 405);
+  EXPECT_EQ(json::parse(r.body).take().find("allow")->as_string(), "POST");
+
+  r = service.handle({"DELETE", "/api/v0/documents/exp1/stats", ""});
+  EXPECT_EQ(r.status, 405);
+  EXPECT_EQ(json::parse(r.body).take().find("allow")->as_string(), "GET");
+}
+
+TEST(Service, MalformedPutBodiesReturn400WithErrorBody) {
+  YProvService service;
+  const char* bodies[] = {
+      "not json at all",
+      "[1, 2, 3]",
+      R"({"entity": 5})",
+      R"({"entity": {"ex:e": []}})",
+      R"({"prefix":)",  // truncated
+      "",
+  };
+  for (const char* body : bodies) {
+    const Response r = service.handle({"PUT", "/api/v0/documents/x", body});
+    EXPECT_EQ(r.status, 400) << "body: " << body;
+    ASSERT_FALSE(r.body.empty()) << "body: " << body;
+    const auto parsed = json::parse(r.body);
+    ASSERT_TRUE(parsed.ok()) << "body: " << body;
+    EXPECT_NE(parsed.value().find("error"), nullptr) << "body: " << body;
+  }
+  EXPECT_TRUE(service.list_documents().empty());
+}
+
 TEST(Service, QueryRoute) {
   YProvService service;
   ASSERT_TRUE(service.put_document("exp1", training_doc()).ok());

@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "provml/cli/cli.hpp"
+#include "provml/core/run.hpp"
+#include "provml/json/parse.hpp"
+#include "provml/net/client.hpp"
+#include "provml/net/parser.hpp"
+#include "provml/net/server.hpp"
+#include "provml/net/yprov_http.hpp"
+#include "provml/prov/prov_json.hpp"
+
+namespace provml::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------------ parser
+
+TEST(RequestParser, ParsesACompleteRequestInOneFeed) {
+  RequestParser parser;
+  parser.feed("PUT /api/v0/documents/x HTTP/1.1\r\nHost: a\r\nContent-Length: 5\r\n\r\nhello");
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().method, "PUT");
+  EXPECT_EQ(parser.request().target, "/api/v0/documents/x");
+  EXPECT_EQ(parser.request().version, "HTTP/1.1");
+  EXPECT_EQ(parser.request().body, "hello");
+  ASSERT_NE(parser.request().header("host"), nullptr);  // case-insensitive
+  EXPECT_EQ(*parser.request().header("HOST"), "a");
+}
+
+TEST(RequestParser, HandlesArbitrarySplitReads) {
+  const std::string wire =
+      "POST /api/v0/query HTTP/1.1\r\nContent-Length: 11\r\n\r\nMATCH (n) R";
+  // Feed one byte at a time: framing must not depend on read boundaries.
+  RequestParser parser;
+  for (const char c : wire) {
+    ASSERT_FALSE(parser.failed());
+    parser.feed(std::string_view(&c, 1));
+  }
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().body, "MATCH (n) R");
+}
+
+TEST(RequestParser, PipelinedRequestsComeOutInOrder) {
+  RequestParser parser;
+  parser.feed(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "PUT /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /c HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().target, "/a");
+  parser.reset();
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().target, "/b");
+  EXPECT_EQ(parser.request().body, "hi");
+  parser.reset();
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().target, "/c");
+  parser.reset();
+  EXPECT_EQ(parser.state(), RequestParser::State::kHeaders);  // buffer drained
+}
+
+TEST(RequestParser, OversizedHeaderSectionIs431) {
+  ParserLimits limits;
+  limits.max_header_bytes = 64;
+  RequestParser parser(limits);
+  parser.feed("GET /x HTTP/1.1\r\nX-Filler: " + std::string(100, 'a') + "\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, OversizedHeadersFailEvenWithoutTerminator) {
+  ParserLimits limits;
+  limits.max_header_bytes = 64;
+  RequestParser parser(limits);
+  parser.feed("GET /x HTTP/1.1\r\nX-Filler: " + std::string(200, 'a'));  // no blank line
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, MissingContentLengthOnPutIs411) {
+  RequestParser parser;
+  parser.feed("PUT /api/v0/documents/x HTTP/1.1\r\nHost: a\r\n\r\n{\"entity\":{}}");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 411);
+}
+
+TEST(RequestParser, GetWithoutContentLengthHasEmptyBody) {
+  RequestParser parser;
+  parser.feed("GET /api/v0/health HTTP/1.1\r\nHost: a\r\n\r\n");
+  ASSERT_TRUE(parser.complete());
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(RequestParser, BodyBeyondLimitIs413) {
+  ParserLimits limits;
+  limits.max_body_bytes = 16;
+  RequestParser parser(limits);
+  parser.feed("PUT /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParser, MalformedFramesAre400) {
+  for (const char* wire : {
+           "NOT-A-REQUEST-LINE\r\n\r\n",
+           "GET /x SPDY/9\r\n\r\n",
+           "GET /x HTTP/1.1\r\nBroken header line\r\n\r\n",
+           "PUT /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+       }) {
+    RequestParser parser;
+    parser.feed(wire);
+    ASSERT_TRUE(parser.failed()) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(RequestParser, TransferEncodingIsRejected) {
+  RequestParser parser;
+  parser.feed("PUT /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpRequestModel, KeepAliveDefaults) {
+  HttpRequest req;
+  req.version = "HTTP/1.1";
+  EXPECT_TRUE(req.keep_alive());
+  req.headers.push_back({"Connection", "close"});
+  EXPECT_FALSE(req.keep_alive());
+  HttpRequest old;
+  old.version = "HTTP/1.0";
+  EXPECT_FALSE(old.keep_alive());
+  old.headers.push_back({"Connection", "keep-alive"});
+  EXPECT_TRUE(old.keep_alive());
+}
+
+TEST(UrlParse, AcceptsHostPortAndBasePath) {
+  const Url url = parse_url("http://127.0.0.1:8080").value();
+  EXPECT_EQ(url.host, "127.0.0.1");
+  EXPECT_EQ(url.port, 8080);
+  EXPECT_EQ(url.base_path, "");
+  const Url with_base = parse_url("http://10.0.0.1:99/yprov/").value();
+  EXPECT_EQ(with_base.base_path, "/yprov");
+  EXPECT_EQ(parse_url("http://example.org").value().port, 80);
+  EXPECT_FALSE(parse_url("https://example.org").ok());
+  EXPECT_FALSE(parse_url("ftp://example.org").ok());
+  EXPECT_FALSE(parse_url("http://:8080").ok());
+  EXPECT_FALSE(parse_url("http://h:70000").ok());
+}
+
+// ---------------------------------------------------------------- loopback
+
+/// Sends raw bytes to the server and returns everything it answers until
+/// it closes the connection. Used to exercise malformed-request paths the
+/// well-behaved HttpClient cannot produce.
+std::string raw_exchange(std::uint16_t port, const std::string& wire) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+TEST(HttpServer, LoopbackEndToEndWithARealRunDocument) {
+  // 1. Produce a genuine PROV-JSON document with the provml_core logger.
+  const fs::path dir = fs::temp_directory_path() / "provml_net_e2e";
+  fs::remove_all(dir);
+  core::RunOptions options;
+  options.provenance_dir = dir.string();
+  core::Experiment experiment("net_e2e");
+  core::Run& run = experiment.start_run(options, "served_run");
+  run.log_param("learning_rate", 1e-3);
+  run.log_param("batch_size", 64);
+  run.begin_epoch(core::contexts::kTraining, 0);
+  run.log_metric("loss", 0.5, 0);
+  run.end_epoch(core::contexts::kTraining, 0);
+  run.log_artifact("checkpoint", "ckpt.pt", core::IoRole::kOutput);
+  ASSERT_TRUE(run.finish().ok());
+  std::ifstream file(run.provenance_path());
+  ASSERT_TRUE(file.good());
+  std::stringstream raw;
+  raw << file.rdbuf();
+  const std::string body = raw.str();
+  ASSERT_FALSE(body.empty());
+
+  // Expected node count: what the facade reports when fed directly.
+  graphstore::YProvService reference;
+  ASSERT_TRUE(reference.put_document("served_run", run.document()).ok());
+  const graphstore::Response expected =
+      reference.handle({"GET", "/api/v0/documents/served_run/stats", ""});
+  const std::int64_t expected_nodes =
+      json::parse(expected.body).take().find("nodes")->as_int();
+  ASSERT_GT(expected_nodes, 0);
+
+  // 2. Serve on an ephemeral port and drive everything through TCP.
+  YProvHttpApp app;
+  ServerConfig config;
+  config.threads = 3;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+  const std::uint16_t port = server.port();
+  ASSERT_NE(port, 0);
+
+  HttpClient client("127.0.0.1", port);
+  auto put = client.put("/api/v0/documents/served_run", body);
+  ASSERT_TRUE(put.ok()) << put.error().to_string();
+  EXPECT_EQ(put.value().status, 201);
+
+  auto stats = client.get("/api/v0/documents/served_run/stats");
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(stats.value().status, 200);
+  EXPECT_EQ(json::parse(stats.value().body).take().find("nodes")->as_int(),
+            expected_nodes);
+
+  // Lineage through the element route: the run activity must be reachable.
+  auto element = client.get("/api/v0/documents/served_run/elements/run:execution");
+  ASSERT_TRUE(element.ok());
+  if (element.value().status == 200) {
+    EXPECT_NE(element.value().body.find("incoming"), std::string::npos);
+  }
+
+  auto health = client.get("/api/v0/health");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status, 200);
+  const json::Value health_body = json::parse(health.value().body).take();
+  EXPECT_EQ(health_body.find("status")->as_string(), "ok");
+  EXPECT_EQ(health_body.find("documents")->as_int(), 1);
+  EXPECT_GE(health_body.find("requests")->as_int(), 2);
+
+  // 3. Keep-alive: all requests above rode one pooled connection.
+  const ServerStats server_stats = server.stats();
+  EXPECT_EQ(server_stats.connections_accepted, 1u);
+  EXPECT_GE(server_stats.requests_handled, 4u);
+  EXPECT_EQ(server_stats.responses_5xx, 0u);
+
+  // 4. Clean shutdown: threads joined, port released and rebindable.
+  server.stop();
+  EXPECT_FALSE(server.running());
+  ClientConfig no_retry;
+  no_retry.retries = 0;
+  HttpClient refused("127.0.0.1", port, no_retry);
+  EXPECT_FALSE(refused.get("/api/v0/health").ok());
+
+  ServerConfig rebind = config;
+  rebind.port = port;
+  HttpServer second(rebind, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(second.start().ok()) << "port not released";
+  second.stop();
+  fs::remove_all(dir);
+}
+
+TEST(HttpServer, ConcurrentClientsAllSucceed) {
+  YProvHttpApp app;
+  ServerConfig config;
+  config.threads = 4;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  std::vector<std::thread> clients;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client("127.0.0.1", server.port());
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        auto r = client.get("/api/v0/health");
+        if (r.ok() && r.value().status == 200) ++ok_counts[c];
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ok_counts[c], kRequestsPerClient) << "client " << c;
+  }
+  EXPECT_EQ(server.stats().requests_handled,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  server.stop();
+}
+
+TEST(HttpServer, MalformedRequestsGetHttpErrorStatuses) {
+  YProvHttpApp app;
+  ServerConfig config;
+  config.limits.max_header_bytes = 256;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+
+  EXPECT_NE(raw_exchange(server.port(), "BOGUS\r\n\r\n").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(raw_exchange(server.port(),
+                         "GET /x HTTP/1.1\r\nX-F: " + std::string(400, 'a') + "\r\n\r\n")
+                .find("HTTP/1.1 431"),
+            std::string::npos);
+  EXPECT_NE(raw_exchange(server.port(), "PUT /x HTTP/1.1\r\nHost: a\r\n\r\n")
+                .find("HTTP/1.1 411"),
+            std::string::npos);
+  EXPECT_EQ(server.stats().parse_errors, 3u);
+  server.stop();
+}
+
+TEST(HttpServer, ReadTimeoutAnswers408OnPartialRequest) {
+  YProvHttpApp app;
+  ServerConfig config;
+  config.read_timeout_ms = 100;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+  // Half a request, then silence: the server must reap the connection.
+  const std::string reply = raw_exchange(server.port(), "GET /api/v0/health HT");
+  EXPECT_NE(reply.find("HTTP/1.1 408"), std::string::npos);
+  EXPECT_EQ(server.stats().read_timeouts, 1u);
+  server.stop();
+}
+
+TEST(HttpServer, PipelinedRequestsOnOneConnection) {
+  YProvHttpApp app;
+  ServerConfig config;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+  const std::string reply = raw_exchange(
+      server.port(),
+      "GET /api/v0/health HTTP/1.1\r\n\r\n"
+      "GET /api/v0/documents HTTP/1.1\r\n\r\n"
+      "GET /api/v0/health HTTP/1.1\r\nConnection: close\r\n\r\n");
+  // Three responses on the wire, then the server closes (Connection: close).
+  std::size_t count = 0;
+  for (std::size_t pos = reply.find("HTTP/1.1 200"); pos != std::string::npos;
+       pos = reply.find("HTTP/1.1 200", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(server.stats().connections_accepted, 1u);
+  server.stop();
+}
+
+TEST(HttpClient, RetriesWithBackoffThenReportsRefusal) {
+  // Bind-then-close to get a port with no listener.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  ClientConfig config;
+  config.retries = 2;
+  config.retry_backoff_ms = 10;
+  HttpClient client("127.0.0.1", dead_port, config);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = client.get("/api/v0/health");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(r.ok());
+  // Two retries with 10ms then 20ms backoff must have actually waited.
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 30);
+}
+
+// --------------------------------------------------------------- remote CLI
+
+TEST(RemoteCli, IngestQueryStatsOverHttp) {
+  const fs::path dir = fs::temp_directory_path() / "provml_net_cli";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  prov::Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.add_entity("ex:model");
+  doc.add_activity("ex:train");
+  doc.was_generated_by("ex:model", "ex:train");
+  const std::string file = (dir / "doc.provjson").string();
+  ASSERT_TRUE(prov::write_prov_json_file(file, doc).ok());
+
+  YProvHttpApp app;
+  ServerConfig config;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+  const std::string url = "http://127.0.0.1:" + std::to_string(server.port());
+
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::run_cli({"ingest", "--url", url, "exp=" + file}, out, err), 0)
+      << err.str();
+  EXPECT_NE(out.str().find("ingested exp"), std::string::npos);
+
+  out.str("");
+  EXPECT_EQ(cli::run_cli({"stats", "--url", url, "exp"}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("\"nodes\":2"), std::string::npos) << out.str();
+
+  out.str("");
+  EXPECT_EQ(cli::run_cli({"query", "--url", url,
+                          "MATCH (e:Entity)-[:wasGeneratedBy]->(a:Activity) RETURN e"},
+                         out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("e=ex:model"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("1 row(s)"), std::string::npos);
+
+  // Unreachable service surfaces a clean error, not a hang or crash.
+  out.str("");
+  err.str("");
+  EXPECT_NE(cli::run_cli({"stats", "--url", "http://127.0.0.1:1", "exp"}, out, err), 0);
+  EXPECT_NE(err.str().find("error"), std::string::npos);
+
+  server.stop();
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace provml::net
