@@ -1,0 +1,80 @@
+// Ablation: what does the testkit itself cost?
+//  - generator throughput (values/s for JSON, PROV, metrics, HTTP wire)
+//  - mutator throughput vs payload size
+//  - the price of a disarmed fault-point check on a hot path (the reason
+//    the hooks can stay compiled into release I/O code), and the armed
+//    price for contrast.
+#include <benchmark/benchmark.h>
+
+#include "provml/json/write.hpp"
+#include "provml/prov/prov_json.hpp"
+#include "provml/testkit/fault.hpp"
+#include "provml/testkit/gen.hpp"
+#include "provml/testkit/mutate.hpp"
+
+namespace {
+
+using namespace provml;
+
+void BM_GenJson(benchmark::State& state) {
+  testkit::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testkit::gen_json(rng));
+  }
+}
+BENCHMARK(BM_GenJson);
+
+void BM_GenProvDocument(benchmark::State& state) {
+  testkit::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testkit::gen_prov_document(rng));
+  }
+}
+BENCHMARK(BM_GenProvDocument);
+
+void BM_GenMetricSet(benchmark::State& state) {
+  testkit::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testkit::gen_metric_set(rng));
+  }
+}
+BENCHMARK(BM_GenMetricSet);
+
+void BM_GenHttpWire(benchmark::State& state) {
+  testkit::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testkit::http_wire(testkit::gen_http_request(rng)));
+  }
+}
+BENCHMARK(BM_GenHttpWire);
+
+void BM_Mutate(benchmark::State& state) {
+  testkit::Rng rng(5);
+  const std::vector<std::uint8_t> payload =
+      testkit::gen_bytes(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testkit::mutate(rng, payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_Mutate)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_FaultCheckDisarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::triggered("bench.disarmed.point"));
+  }
+}
+BENCHMARK(BM_FaultCheckDisarmed);
+
+void BM_FaultCheckArmed(benchmark::State& state) {
+  testkit::ScopedFault fault("bench.armed.point", {.probability = 0.0, .seed = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::triggered("bench.armed.point"));
+  }
+}
+BENCHMARK(BM_FaultCheckArmed);
+
+}  // namespace
+
+BENCHMARK_MAIN();

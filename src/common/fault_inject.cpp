@@ -1,0 +1,107 @@
+#include "provml/common/fault_inject.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace provml::fault {
+namespace {
+
+/// SplitMix64 step: the probability stream must be cheap and seedable
+/// without dragging <random> into every translation unit.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+struct PointState {
+  FaultPlan plan;
+  std::uint64_t rng_state = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t failures = 0;
+};
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  std::atomic<int> armed_count{0};
+  mutable std::mutex mutex;
+  std::map<std::string, PointState, std::less<>> points;
+};
+
+FaultInjector::Impl& FaultInjector::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& point, FaultPlan plan) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  PointState state;
+  state.plan = plan;
+  state.rng_state = plan.seed;
+  const auto [it, inserted] = i.points.insert_or_assign(point, state);
+  (void)it;
+  if (inserted) i.armed_count.fetch_add(1, std::memory_order_release);
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  if (i.points.erase(point) != 0) {
+    i.armed_count.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void FaultInjector::disarm_all() {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  i.armed_count.store(0, std::memory_order_release);
+  i.points.clear();
+}
+
+bool FaultInjector::check(std::string_view point) {
+  Impl& i = impl();
+  if (i.armed_count.load(std::memory_order_acquire) == 0) return false;
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.points.find(point);
+  if (it == i.points.end()) return false;
+  PointState& state = it->second;
+  ++state.hits;
+  bool fire = false;
+  if (state.plan.fail_on_nth != 0) {
+    fire = state.hits == state.plan.fail_on_nth;
+  } else if (state.plan.probability > 0.0) {
+    const double draw =
+        static_cast<double>(splitmix64(state.rng_state) >> 11) * 0x1.0p-53;
+    fire = draw < state.plan.probability;
+  }
+  if (fire) ++state.failures;
+  return fire;
+}
+
+std::uint64_t FaultInjector::hits(std::string_view point) const {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.points.find(point);
+  return it == i.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::failures(std::string_view point) const {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.points.find(point);
+  return it == i.points.end() ? 0 : it->second.failures;
+}
+
+bool triggered(std::string_view point) { return FaultInjector::global().check(point); }
+
+}  // namespace provml::fault

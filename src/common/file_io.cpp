@@ -1,0 +1,116 @@
+#include "provml/common/file_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "provml/common/fault_inject.hpp"
+
+namespace provml::io {
+namespace {
+
+Error errno_error(const std::string& what, const std::string& path) {
+  return Error{what + ": " + std::strerror(errno), path};
+}
+
+/// Writes all of `data` to `fd`, honoring the "storage.write" fault point.
+/// An injected fault writes only a prefix first, so the temp file is left
+/// genuinely torn — the way a crashed process would leave it.
+Status write_fd_all(int fd, std::span<const std::uint8_t> data, const std::string& path) {
+  if (fault::triggered("storage.write")) {
+    const std::size_t half = data.size() / 2;
+    std::size_t done = 0;
+    while (done < half) {
+      const ssize_t n = ::write(fd, data.data() + done, half - done);
+      if (n <= 0) break;
+      done += static_cast<std::size_t>(n);
+    }
+    return Error{"write failed (injected fault)", path};
+  }
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("write failed", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
+Expected<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return errno_error("cannot open file", path);
+  std::vector<std::uint8_t> data;
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    data.reserve(static_cast<std::size_t>(st.st_size));
+  }
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Error e = errno_error("read failed", path);
+      ::close(fd);
+      return e;
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return data;
+}
+
+Status write_file_atomic(const std::string& path, std::span<const std::uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_error("cannot open file for writing", tmp);
+
+  Status written = write_fd_all(fd, data, tmp);
+  if (!written.ok()) {
+    ::close(fd);
+    return written;  // tmp left behind, torn — path is untouched
+  }
+  if (fault::triggered("storage.fsync")) {
+    ::close(fd);
+    return Error{"fsync failed (injected fault)", tmp};
+  }
+  if (::fsync(fd) != 0) {
+    const Error e = errno_error("fsync failed", tmp);
+    ::close(fd);
+    return e;
+  }
+  if (::close(fd) != 0) return errno_error("close failed", tmp);
+
+  if (fault::triggered("storage.rename")) {
+    return Error{"rename failed (injected fault)", path};
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return errno_error("rename failed", path);
+  }
+  return Status::ok_status();
+}
+
+Status write_text_atomic(const std::string& path, std::string_view text) {
+  return write_file_atomic(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Status write_file_direct(const std::string& path, std::span<const std::uint8_t> data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_error("cannot open file for writing", path);
+  Status written = write_fd_all(fd, data, path);
+  ::close(fd);
+  return written;
+}
+
+}  // namespace provml::io

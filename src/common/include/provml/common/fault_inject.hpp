@@ -1,0 +1,81 @@
+// Named fault points for deterministic failure injection. Production I/O
+// code calls fault::triggered("storage.write") at its seams; the call is a
+// single relaxed atomic load when nothing is armed, so it is safe to leave
+// in hot paths. Tests arm points through testkit (ScopedFault) to make the
+// Nth hit — or a seeded fraction of hits — fail with a typed error.
+//
+// Fault-point catalog (see TESTING.md for the full table):
+//   storage.write         file payload write (before bytes reach the fd)
+//   storage.fsync         fsync of a freshly written temp file
+//   storage.rename        the atomic rename publishing a temp file
+//   net.send              socket send() in the HTTP server and client
+//   compress.decode_alloc output-buffer allocation inside codec decoders
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace provml::fault {
+
+/// How an armed fault point decides to fire.
+struct FaultPlan {
+  /// Fire on exactly the Nth call to triggered() after arming (1-based).
+  /// 0 disables the counter and uses `probability` instead.
+  std::uint64_t fail_on_nth = 0;
+  /// Seeded per-hit failure probability in [0, 1]; used when fail_on_nth
+  /// is 0. The stream is derived from `seed`, so runs are reproducible.
+  double probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Process-wide registry of named fault points. Thread-safe; disarmed
+/// checks cost one atomic load (no lock, no lookup).
+class FaultInjector {
+ public:
+  static FaultInjector& global();
+
+  void arm(const std::string& point, FaultPlan plan);
+  void disarm(const std::string& point);
+  void disarm_all();
+
+  /// Records a hit on `point` and returns whether it should fail now.
+  /// Unarmed points return false without taking the lock.
+  [[nodiscard]] bool check(std::string_view point);
+
+  /// Total hits on `point` since it was armed (0 when unarmed).
+  [[nodiscard]] std::uint64_t hits(std::string_view point) const;
+  /// Number of times `point` actually fired since it was armed.
+  [[nodiscard]] std::uint64_t failures(std::string_view point) const;
+
+ private:
+  FaultInjector() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Convenience used at instrumentation sites:
+///   if (fault::triggered("storage.write")) return Error{...};
+[[nodiscard]] bool triggered(std::string_view point);
+
+/// RAII arming: arms in the constructor, disarms in the destructor, so a
+/// failing test cannot leak an armed fault into later tests.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultPlan plan) : point_(std::move(point)) {
+    FaultInjector::global().arm(point_, plan);
+  }
+  ~ScopedFault() { FaultInjector::global().disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  [[nodiscard]] std::uint64_t hits() const { return FaultInjector::global().hits(point_); }
+  [[nodiscard]] std::uint64_t failures() const {
+    return FaultInjector::global().failures(point_);
+  }
+
+ private:
+  std::string point_;
+};
+
+}  // namespace provml::fault

@@ -1,0 +1,35 @@
+// File I/O seam shared by every store and serializer. All provml writes
+// go through write_file_atomic: bytes land in "<path>.tmp", are fsync'd,
+// and are published with rename(2), so a failure at any point — including
+// an injected one — leaves either the old file or no file, never a torn
+// file that later parses as valid data. Fault points (fault_inject.hpp):
+// "storage.write", "storage.fsync", "storage.rename".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "provml/common/expected.hpp"
+
+namespace provml::io {
+
+/// Reads a whole file into memory.
+[[nodiscard]] Expected<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+/// Atomic replace: write to "<path>.tmp", fsync, rename over `path`.
+/// On failure (real or injected) the temp file may remain — simulating a
+/// crash mid-write — but `path` itself is never half-written.
+[[nodiscard]] Status write_file_atomic(const std::string& path,
+                                       std::span<const std::uint8_t> data);
+[[nodiscard]] Status write_text_atomic(const std::string& path, std::string_view text);
+
+/// Direct truncating write with no temp file; only for callers that
+/// explicitly want torn-write semantics (e.g. the fuzz harness when
+/// planting corrupt files).
+[[nodiscard]] Status write_file_direct(const std::string& path,
+                                       std::span<const std::uint8_t> data);
+
+}  // namespace provml::io

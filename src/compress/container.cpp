@@ -1,8 +1,8 @@
 #include "provml/compress/container.hpp"
 
 #include <cstring>
-#include <fstream>
 
+#include "provml/common/file_io.hpp"
 #include "provml/compress/crc32.hpp"
 #include "provml/compress/lzss.hpp"
 #include "provml/compress/rle.hpp"
@@ -129,24 +129,11 @@ Expected<ContainerInfo> inspect(ByteView container) {
 }
 
 Expected<Bytes> read_file_bytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Error{"cannot open file", path};
-  in.seekg(0, std::ios::end);
-  const std::streamoff size = in.tellg();
-  in.seekg(0, std::ios::beg);
-  Bytes data(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(data.data()), size);
-  if (!in) return Error{"read failed", path};
-  return data;
+  return io::read_file(path);
 }
 
 Status write_file_bytes(const std::string& path, ByteView data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Error{"cannot open file for writing", path};
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  if (!out) return Error{"write failed", path};
-  return Status::ok_status();
+  return io::write_file_atomic(path, data);
 }
 
 Status pack_file(const std::string& src_path, const std::string& dst_path,

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "provml/common/fault_inject.hpp"
+
 namespace provml::compress {
 namespace {
 
@@ -12,6 +14,9 @@ constexpr std::size_t kMaxMatch = 258;
 constexpr std::size_t kHashBits = 15;
 constexpr std::size_t kHashSize = 1u << kHashBits;
 constexpr std::size_t kMaxChainLength = 64;  // match-finder effort bound
+// Up-front allocation ceiling for decode: a plausible-but-huge declared
+// size grows incrementally instead of reserving gigabytes at once.
+constexpr std::size_t kReserveCap = std::size_t{1} << 26;  // 64 MiB
 
 [[nodiscard]] inline std::uint32_t hash3(const std::uint8_t* p) {
   // Multiplicative hash of a 3-byte window.
@@ -145,8 +150,18 @@ Bytes LzssCodec::encode(ByteView input) const {
 }
 
 Expected<Bytes> LzssCodec::decode(ByteView input, std::size_t decoded_size) const {
+  // `decoded_size` comes from an untrusted container header. A match token
+  // (3 bytes + 1/8 flag byte) expands to at most kMaxMatch bytes, so any
+  // claimed size beyond input*kMaxMatch is forged — reject it before
+  // allocating, instead of letting a 16-byte file demand gigabytes.
+  if (decoded_size > input.size() * kMaxMatch) {
+    return Error{"declared size exceeds maximum expansion", "lzss"};
+  }
+  if (fault::triggered("compress.decode_alloc")) {
+    return Error{"output allocation failed (injected fault)", "lzss"};
+  }
   Bytes out;
-  out.reserve(decoded_size);
+  out.reserve(std::min(decoded_size, kReserveCap));
   std::size_t i = 0;
   std::uint8_t flags = 0;
   int bit = 8;

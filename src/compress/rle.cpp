@@ -1,11 +1,14 @@
 #include "provml/compress/rle.hpp"
 
+#include "provml/common/fault_inject.hpp"
+
 namespace provml::compress {
 
 namespace {
 constexpr std::size_t kMaxLiteralRun = 0x80;        // ctrl 0x00..0x7F → 1..128
 constexpr std::size_t kMaxRepeatRun = 0x7F + 2;     // ctrl 0x80..0xFF → 2..129
 constexpr std::size_t kMinRepeat = 3;               // below this, literals win
+constexpr std::size_t kReserveCap = std::size_t{1} << 26;  // see lzss.cpp
 }  // namespace
 
 Bytes RleCodec::encode(ByteView input) const {
@@ -49,8 +52,16 @@ Bytes RleCodec::encode(ByteView input) const {
 }
 
 Expected<Bytes> RleCodec::decode(ByteView input, std::size_t decoded_size) const {
+  // Untrusted declared size: a 2-byte repeat packet expands to at most
+  // kMaxRepeatRun bytes, so anything beyond input*kMaxRepeatRun is forged.
+  if (decoded_size > input.size() * kMaxRepeatRun) {
+    return Error{"declared size exceeds maximum expansion", "rle"};
+  }
+  if (fault::triggered("compress.decode_alloc")) {
+    return Error{"output allocation failed (injected fault)", "rle"};
+  }
   Bytes out;
-  out.reserve(decoded_size);
+  out.reserve(std::min(decoded_size, kReserveCap));
   std::size_t i = 0;
   while (i < input.size()) {
     const std::uint8_t ctrl = input[i++];

@@ -61,6 +61,12 @@ std::vector<std::uint8_t> pack_i64(std::span<const std::int64_t> values) {
 
 Expected<std::vector<std::int64_t>> unpack_i64(std::span<const std::uint8_t> bytes,
                                                std::size_t count) {
+  // Every varint occupies at least one byte, so an untrusted `count`
+  // larger than the buffer cannot be satisfied — reject it before the
+  // reserve below turns a forged header into a giant allocation.
+  if (count > bytes.size()) {
+    return Error{"declared count exceeds available bytes", "varint"};
+  }
   std::vector<std::int64_t> deltas;
   deltas.reserve(count);
   std::size_t offset = 0;

@@ -4,7 +4,8 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+
+#include "provml/common/file_io.hpp"
 
 namespace provml::json {
 namespace {
@@ -139,13 +140,10 @@ std::string write(const Value& value, const WriteOptions& opts) {
 }
 
 Status write_file(const std::string& path, const Value& value, const WriteOptions& opts) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Error{"cannot open file for writing", path};
-  const std::string text = write(value, opts);
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  out.put('\n');
-  if (!out) return Error{"write failed", path};
-  return Status::ok_status();
+  std::string text = write(value, opts);
+  text += '\n';
+  // Atomic publish: readers never observe a partially written document.
+  return io::write_text_atomic(path, text);
 }
 
 }  // namespace provml::json

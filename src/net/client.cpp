@@ -12,6 +12,7 @@
 #include <cstring>
 #include <thread>
 
+#include "provml/common/fault_inject.hpp"
 #include "provml/common/strings.hpp"
 
 namespace provml::net {
@@ -26,6 +27,10 @@ bool set_blocking(int fd, bool blocking) {
 
 /// Blocking send of the whole buffer; returns false on a broken pipe.
 bool send_all(int fd, std::string_view data) {
+  if (fault::triggered("net.send")) {
+    errno = ECONNRESET;  // present the injected fault as a peer reset
+    return false;
+  }
   while (!data.empty()) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {

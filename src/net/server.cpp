@@ -12,6 +12,8 @@
 #include <cstring>
 #include <exception>
 
+#include "provml/common/fault_inject.hpp"
+
 namespace provml::net {
 namespace {
 
@@ -195,6 +197,7 @@ int HttpServer::wait_readable(int fd, int timeout_ms) const {
 }
 
 bool HttpServer::send_all(int fd, std::string_view data) const {
+  if (fault::triggered("net.send")) return false;
   while (!data.empty()) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {

@@ -20,7 +20,8 @@ void append_string(Bytes& out, const std::string& s) {
 Expected<std::string> read_string(const Bytes& data, std::size_t& offset) {
   Expected<std::uint64_t> len = compress::varint_read(data, offset);
   if (!len.ok()) return len.error();
-  if (offset + len.value() > data.size()) return Error{"truncated string", "netcdf"};
+  // Subtraction form: `offset + len` would wrap for a forged 64-bit length.
+  if (len.value() > data.size() - offset) return Error{"truncated string", "netcdf"};
   std::string s(reinterpret_cast<const char*>(data.data()) + offset,
                 static_cast<std::size_t>(len.value()));
   offset += static_cast<std::size_t>(len.value());
@@ -35,7 +36,7 @@ void append_block(Bytes& out, const Bytes& block) {
 Expected<Bytes> read_block(const Bytes& data, std::size_t& offset) {
   Expected<std::uint64_t> len = compress::varint_read(data, offset);
   if (!len.ok()) return len.error();
-  if (offset + len.value() > data.size()) return Error{"truncated block", "netcdf"};
+  if (len.value() > data.size() - offset) return Error{"truncated block", "netcdf"};
   Bytes block(data.begin() + static_cast<std::ptrdiff_t>(offset),
               data.begin() + static_cast<std::ptrdiff_t>(offset + len.value()));
   offset += static_cast<std::size_t>(len.value());
@@ -140,7 +141,9 @@ Expected<MetricSet> NetcdfMetricStore::read(const std::string& path) const {
     Expected<std::vector<std::int64_t>> timestamps =
         compress::unpack_i64(time_block.value(), n);
     if (!timestamps.ok()) return timestamps.error();
-    if (value_block.value().size() != n * sizeof(double)) {
+    // Division form: `n * sizeof(double)` would wrap for a forged count.
+    if (value_block.value().size() % sizeof(double) != 0 ||
+        value_block.value().size() / sizeof(double) != n) {
       return Error{"value column size mismatch", path};
     }
 

@@ -51,9 +51,13 @@ Bytes column_chunk_bytes(const MetricSeries& s, int column, std::size_t begin,
 Status restore_column(MetricSeries& s, int column, std::size_t begin, std::size_t count,
                       const Bytes& raw) {
   if (column == 2) {
-    if (raw.size() != count * sizeof(double)) {
+    // Division form: `count * sizeof(double)` would wrap for a forged count.
+    if (raw.size() % sizeof(double) != 0 || raw.size() / sizeof(double) != count) {
       return Error{"value chunk size mismatch", s.key()};
     }
+    // Grow only after the chunk's real byte count validated `count`, so the
+    // listing's declared length can never force a huge allocation by itself.
+    if (s.samples.size() < begin + count) s.samples.resize(begin + count);
     for (std::size_t i = 0; i < count; ++i) {
       std::memcpy(&s.samples[begin + i].value, raw.data() + i * sizeof(double),
                   sizeof(double));
@@ -62,6 +66,7 @@ Status restore_column(MetricSeries& s, int column, std::size_t begin, std::size_
   }
   Expected<std::vector<std::int64_t>> values = compress::unpack_i64(raw, count);
   if (!values.ok()) return values.error();
+  if (s.samples.size() < begin + count) s.samples.resize(begin + count);
   for (std::size_t i = 0; i < count; ++i) {
     (column == 0 ? s.samples[begin + i].step : s.samples[begin + i].timestamp_ms) =
         values.value()[i];
@@ -157,11 +162,13 @@ Status read_entry(const std::string& path, const json::Value& entry,
                   MetricSeries& series) {
   const json::Value* dir = entry.find("path");
   const json::Value* length = entry.find("length");
-  if (dir == nullptr || length == nullptr || !length->is_int()) {
+  if (dir == nullptr || length == nullptr || !length->is_int() || length->as_int() < 0) {
     return Error{"malformed series listing entry", path};
   }
   const auto n = static_cast<std::size_t>(length->as_int());
-  series.samples.resize(n);
+  // The samples vector grows chunk by chunk inside restore_column — each
+  // extension is backed by bytes actually read from disk, so a forged
+  // `length` alone cannot demand a giant allocation.
 
   for (int column = 0; column < 3; ++column) {
     const fs::path col_dir = fs::path(path) / dir->as_string() / kColumns[column];
@@ -172,8 +179,10 @@ Status read_entry(const std::string& path, const json::Value& entry,
         !chunks->as_array()[0].is_int()) {
       return Error{"malformed .zarray chunks", col_dir.string()};
     }
+    if (chunks->as_array()[0].as_int() <= 0) {
+      return Error{"non-positive chunk length", col_dir.string()};
+    }
     const auto chunk_length = static_cast<std::size_t>(chunks->as_array()[0].as_int());
-    if (chunk_length == 0) return Error{"zero chunk length", col_dir.string()};
 
     for (std::size_t begin = 0, chunk = 0; begin < n || chunk == 0;
          begin += chunk_length, ++chunk) {
@@ -188,6 +197,9 @@ Status read_entry(const std::string& path, const json::Value& entry,
       if (!s.ok()) return s;
       if (end == n) break;
     }
+  }
+  if (series.samples.size() != n) {
+    return Error{"series shorter than declared length", path};
   }
   return Status::ok_status();
 }

@@ -1,0 +1,289 @@
+#include "provml/testkit/gen.hpp"
+
+#include <cmath>
+
+namespace provml::testkit {
+namespace {
+
+constexpr const char* kIdentFirst = "abcdefghijklmnopqrstuvwxyz";
+constexpr const char* kIdentRest = "abcdefghijklmnopqrstuvwxyz0123456789_";
+
+void append_random_char(Rng& rng, std::string& out) {
+  switch (rng.below(8)) {
+    case 0:  // escape-worthy ASCII
+      out.push_back(rng.pick<char>({'"', '\\', '\n', '\t', '\r', '\b', '\f', '/'}));
+      break;
+    case 1: {  // 2-byte UTF-8 (U+0080..U+07FF)
+      const std::uint32_t cp = 0x80 + static_cast<std::uint32_t>(rng.below(0x800 - 0x80));
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      break;
+    }
+    case 2: {  // 3-byte UTF-8, skipping the surrogate block
+      std::uint32_t cp = 0x800 + static_cast<std::uint32_t>(rng.below(0xD800 - 0x800));
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      break;
+    }
+    default:  // printable ASCII
+      out.push_back(static_cast<char>(' ' + rng.below('~' - ' ' + 1)));
+      break;
+  }
+}
+
+/// Finite double spanning many magnitudes, including exact integers,
+/// denormal-scale values, and negative zero.
+double gen_double(Rng& rng) {
+  switch (rng.below(6)) {
+    case 0: return 0.0;
+    case 1: return -0.0;
+    case 2: return static_cast<double>(rng.range(-1000, 1000));
+    case 3: return rng.unit();
+    case 4: return (rng.unit() - 0.5) * std::pow(10.0, static_cast<double>(rng.range(-300, 300)));
+    default: return (rng.unit() - 0.5) * 1e6;
+  }
+}
+
+}  // namespace
+
+std::string gen_string(Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.below(max_len + 1);
+  std::string out;
+  out.reserve(len * 3);
+  for (std::size_t i = 0; i < len; ++i) append_random_char(rng, out);
+  return out;
+}
+
+std::string gen_ident(Rng& rng, std::size_t max_len) {
+  std::string out;
+  out.push_back(kIdentFirst[rng.below(26)]);
+  const std::size_t extra = rng.below(max_len);
+  for (std::size_t i = 0; i < extra; ++i) out.push_back(kIdentRest[rng.below(37)]);
+  return out;
+}
+
+std::vector<std::uint8_t> gen_bytes(Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.below(max_len + 1);
+  std::vector<std::uint8_t> out;
+  out.reserve(len);
+  while (out.size() < len) {
+    switch (rng.below(4)) {
+      case 0: {  // uniform noise
+        const std::size_t n = std::min(len - out.size(), rng.below(64) + 1);
+        for (std::size_t i = 0; i < n; ++i) out.push_back(rng.byte());
+        break;
+      }
+      case 1: {  // a run (RLE-friendly)
+        const std::size_t n = std::min(len - out.size(), rng.below(200) + 1);
+        out.insert(out.end(), n, rng.byte());
+        break;
+      }
+      case 2: {  // stepped little-endian counters (delta-friendly)
+        std::uint64_t v = rng.next();
+        const std::uint64_t step = rng.below(16);
+        while (out.size() + 8 <= len && rng.below(40) != 0) {
+          for (int b = 0; b < 8; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+          v += step;
+        }
+        if (out.size() + 8 > len) out.resize(len);
+        break;
+      }
+      default: {  // doubles (shuffle-friendly)
+        double d = gen_double(rng);
+        while (out.size() + 8 <= len && rng.below(30) != 0) {
+          std::uint64_t bits;
+          static_assert(sizeof bits == sizeof d);
+          __builtin_memcpy(&bits, &d, 8);
+          for (int b = 0; b < 8; ++b) out.push_back(static_cast<std::uint8_t>(bits >> (8 * b)));
+          d += 0.125;
+        }
+        if (out.size() + 8 > len) out.resize(len);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+json::Value gen_json(Rng& rng, int max_depth) {
+  const bool leaf = max_depth <= 0 || rng.chance(0.4);
+  if (leaf) {
+    switch (rng.below(5)) {
+      case 0: return json::Value(nullptr);
+      case 1: return json::Value(rng.chance(0.5));
+      case 2: return json::Value(static_cast<std::int64_t>(rng.next()));
+      case 3: return json::Value(gen_double(rng));
+      default: return json::Value(gen_string(rng));
+    }
+  }
+  if (rng.chance(0.5)) {
+    json::Array arr;
+    const std::size_t n = rng.below(5);
+    for (std::size_t i = 0; i < n; ++i) arr.push_back(gen_json(rng, max_depth - 1));
+    return json::Value(std::move(arr));
+  }
+  json::Object obj;
+  const std::size_t n = rng.below(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    obj.set(gen_string(rng, 8), gen_json(rng, max_depth - 1));
+  }
+  return json::Value(std::move(obj));
+}
+
+prov::Document gen_prov_document(Rng& rng, const ProvGenOptions& opts) {
+  prov::Document doc;
+  // A fixed prefix pool with stable IRIs: generated documents then share
+  // namespaces, so merge() of two generated documents cannot conflict.
+  const std::vector<std::string> prefixes = {"ex", "run", "ml"};
+  for (const std::string& p : prefixes) {
+    doc.declare_namespace(p, "http://example.org/" + p + "#");
+  }
+  auto qualified = [&](const std::string& local) {
+    return rng.pick(prefixes) + ":" + local;
+  };
+
+  auto gen_attrs = [&]() {
+    prov::Attributes attrs;
+    const std::size_t n = rng.below(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string key = qualified(gen_ident(rng));
+      switch (rng.below(4)) {
+        case 0: attrs.emplace_back(key, prov::AttributeValue(gen_string(rng)));
+          break;
+        case 1: attrs.emplace_back(key, prov::AttributeValue(rng.range(-1000000, 1000000)));
+          break;
+        case 2: attrs.emplace_back(key, prov::AttributeValue(gen_double(rng)));
+          break;
+        default:
+          if (opts.with_typed_literals) {
+            attrs.emplace_back(key, prov::AttributeValue(json::Value(gen_string(rng)),
+                                                         "xsd:" + gen_ident(rng, 6)));
+          } else {
+            attrs.emplace_back(key, prov::AttributeValue(rng.chance(0.5)));
+          }
+          break;
+      }
+    }
+    return attrs;
+  };
+
+  std::vector<std::string> pool[3];  // entity / activity / agent ids
+  const std::size_t elements = 1 + rng.below(opts.max_elements);
+  for (std::size_t i = 0; i < elements; ++i) {
+    const std::string id = qualified(gen_ident(rng) + "_" + std::to_string(i));
+    switch (rng.below(3)) {
+      case 0:
+        doc.add_entity(id, gen_attrs());
+        pool[0].push_back(id);
+        break;
+      case 1: {
+        const std::string start = rng.chance(0.5) ? "2025-01-01T00:00:00" : "";
+        const std::string end = rng.chance(0.5) ? "2025-01-01T01:00:00" : "";
+        doc.add_activity(id, gen_attrs(), start, end);
+        pool[1].push_back(id);
+        break;
+      }
+      default:
+        doc.add_agent(id, gen_attrs());
+        pool[2].push_back(id);
+        break;
+    }
+  }
+
+  const std::size_t relations = rng.below(opts.max_relations + 1);
+  for (std::size_t i = 0; i < relations; ++i) {
+    const auto kind = static_cast<prov::RelationKind>(rng.below(prov::kRelationKindCount));
+    const prov::RelationSpec& spec = prov::relation_spec(kind);
+    const auto& subjects = pool[static_cast<int>(spec.subject_kind)];
+    const auto& objects = pool[static_cast<int>(spec.object_kind)];
+    if (subjects.empty() || objects.empty()) continue;
+    const std::string time =
+        spec.has_time && rng.chance(0.3) ? "2025-01-01T00:30:00" : "";
+    doc.add_relation(kind, rng.pick(subjects), rng.pick(objects), time, gen_attrs());
+  }
+
+  if (opts.with_bundles && rng.chance(0.3)) {
+    ProvGenOptions inner = opts;
+    inner.with_bundles = false;  // one level of nesting, like real documents
+    inner.max_elements = 4;
+    inner.max_relations = 4;
+    prov::Document& bundle = doc.bundle(qualified("bundle_" + gen_ident(rng, 4)));
+    bundle = gen_prov_document(rng, inner);
+  }
+  return doc;
+}
+
+storage::MetricSet gen_metric_set(Rng& rng, const MetricGenOptions& opts) {
+  storage::MetricSet out;
+  const std::vector<std::string> contexts = {"TRAINING", "VALIDATION", "TESTING"};
+  const std::size_t n_series = 1 + rng.below(opts.max_series);
+  for (std::size_t s = 0; s < n_series; ++s) {
+    storage::MetricSeries& series =
+        out.series(gen_ident(rng) + std::to_string(s), rng.pick(contexts),
+                   rng.chance(0.5) ? gen_ident(rng, 3) : "");
+    const std::size_t n = rng.below(opts.max_samples + 1);
+    std::int64_t step = rng.range(0, 1000);
+    std::int64_t ts = 1700000000000 + rng.range(0, 1000000);
+    const int shape = static_cast<int>(rng.below(3));
+    double level = gen_double(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      step += rng.range(1, 5);
+      ts += rng.range(0, 2000);
+      double value = 0.0;
+      switch (shape) {
+        case 0: value = level; break;                                  // constant
+        case 1: value = level / (1.0 + static_cast<double>(i)); break;  // decay
+        default: value = gen_double(rng); break;                        // noise
+      }
+      series.append(step, ts, value);
+    }
+  }
+  return out;
+}
+
+net::HttpRequest gen_http_request(Rng& rng) {
+  net::HttpRequest request;
+  request.method =
+      rng.pick<std::string>({"GET", "PUT", "POST", "DELETE", "HEAD", "PATCH"});
+  std::string target = "/";
+  const std::size_t segments = rng.below(4);
+  for (std::size_t i = 0; i < segments; ++i) {
+    target += gen_ident(rng) + (i + 1 < segments ? "/" : "");
+  }
+  if (rng.chance(0.3)) target += "?" + gen_ident(rng, 4) + "=" + gen_ident(rng, 4);
+  request.target = target;
+  request.version = "HTTP/1.1";
+
+  const std::size_t n_headers = rng.below(5);
+  for (std::size_t i = 0; i < n_headers; ++i) {
+    // Unique-ified names; skip framing headers the serializer owns.
+    request.headers.push_back(
+        {"X-" + gen_ident(rng) + "-" + std::to_string(i), gen_ident(rng, 16)});
+  }
+  const bool wants_body =
+      request.method == "PUT" || request.method == "POST" || rng.chance(0.2);
+  if (wants_body) {
+    const std::size_t len = rng.below(256);
+    request.body.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      request.body.push_back(static_cast<char>(rng.byte()));
+    }
+  }
+  return request;
+}
+
+std::string http_wire(const net::HttpRequest& request) {
+  std::string wire = request.method + " " + request.target + " " + request.version + "\r\n";
+  for (const net::Header& h : request.headers) {
+    wire += h.name + ": " + h.value + "\r\n";
+  }
+  if (!request.body.empty() || request.method == "PUT" || request.method == "POST") {
+    wire += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += request.body;
+  return wire;
+}
+
+}  // namespace provml::testkit

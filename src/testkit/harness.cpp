@@ -1,0 +1,77 @@
+#include "provml/testkit/harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+namespace provml::testkit {
+namespace {
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+FuzzOptions parse_options(int argc, char** argv, std::uint64_t default_iterations,
+                          bool& ok) {
+  FuzzOptions opts;
+  opts.iterations = default_iterations;
+  ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto take_value = [&](std::uint64_t& slot) {
+      if (i + 1 >= argc || !parse_u64(argv[++i], slot)) ok = false;
+    };
+    if (std::strcmp(arg, "--seed") == 0) {
+      take_value(opts.seed);
+    } else if (std::strcmp(arg, "--iters") == 0) {
+      take_value(opts.iterations);
+    } else if (std::strcmp(arg, "--begin") == 0) {
+      take_value(opts.begin);
+    } else {
+      ok = false;
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+int fuzz_main(int argc, char** argv, const std::string& driver_name,
+              std::uint64_t default_iterations, const std::function<void(Rng&)>& body) {
+  bool ok = false;
+  const FuzzOptions opts = parse_options(argc, argv, default_iterations, ok);
+  if (!ok) {
+    std::fprintf(stderr, "usage: %s [--seed N] [--iters N] [--begin N]\n", argv[0]);
+    return 2;
+  }
+
+  for (std::uint64_t i = opts.begin; i < opts.begin + opts.iterations; ++i) {
+    const std::uint64_t iter_seed = Rng::mix(opts.seed, i);
+    Rng rng(iter_seed);
+    try {
+      body(rng);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "FAIL %s iteration=%llu iter_seed=0x%llx (master seed %llu):\n  %s\n"
+                   "reproduce: %s --seed %llu --begin %llu --iters 1\n",
+                   driver_name.c_str(), static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(iter_seed),
+                   static_cast<unsigned long long>(opts.seed), e.what(), argv[0],
+                   static_cast<unsigned long long>(opts.seed),
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+  }
+  std::printf("OK %s seed=%llu iterations=%llu..%llu\n", driver_name.c_str(),
+              static_cast<unsigned long long>(opts.seed),
+              static_cast<unsigned long long>(opts.begin),
+              static_cast<unsigned long long>(opts.begin + opts.iterations - 1));
+  return 0;
+}
+
+}  // namespace provml::testkit

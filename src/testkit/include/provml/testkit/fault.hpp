@@ -1,0 +1,21 @@
+// Testkit view of the fault-injection layer. The registry itself lives in
+// provml_common (provml/common/fault_inject.hpp) so that production
+// modules — storage, net, compress — can host fault points without
+// depending on the testkit; this header is what tests and fuzz drivers
+// include, alongside the generators and mutator.
+//
+// Typical use:
+//   fault::ScopedFault f("storage.write", {.fail_on_nth = 3});
+//   Status s = store.write(metrics, path);   // 3rd file write fails
+//   // f leaves scope -> point disarmed even if an assertion throws
+#pragma once
+
+#include "provml/common/fault_inject.hpp"
+
+namespace provml::testkit {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::ScopedFault;
+
+}  // namespace provml::testkit

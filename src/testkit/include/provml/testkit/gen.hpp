@@ -1,0 +1,75 @@
+// Structured random-input generators for property/fuzz tests. Every
+// generator is a pure function of the Rng stream: same seed, same value —
+// across platforms. Generators produce *valid* instances (documents that
+// validate, requests that parse); the byte-level mutator (mutate.hpp) is
+// what degrades them into adversarial input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "provml/json/value.hpp"
+#include "provml/net/http.hpp"
+#include "provml/prov/model.hpp"
+#include "provml/storage/series.hpp"
+#include "provml/testkit/rng.hpp"
+
+namespace provml::testkit {
+
+// ------------------------------------------------------------------- strings
+
+/// Random string mixing plain ASCII, JSON-escape-worthy characters, and
+/// multi-byte UTF-8 sequences. `max_len` bounds the character count.
+[[nodiscard]] std::string gen_string(Rng& rng, std::size_t max_len = 12);
+
+/// Identifier-shaped string: [a-z][a-z0-9_]*, never empty.
+[[nodiscard]] std::string gen_ident(Rng& rng, std::size_t max_len = 10);
+
+/// Random byte payload with mixed texture (uniform noise, runs, stepped
+/// integer-like sequences, doubles) so codecs see realistic shapes.
+[[nodiscard]] std::vector<std::uint8_t> gen_bytes(Rng& rng, std::size_t max_len = 4096);
+
+// ---------------------------------------------------------------------- JSON
+
+/// Random JSON value, depth-bounded. Numbers are finite (JSON cannot
+/// round-trip NaN/Inf); integers and doubles both appear.
+[[nodiscard]] json::Value gen_json(Rng& rng, int max_depth = 4);
+
+// ---------------------------------------------------------------------- PROV
+
+struct ProvGenOptions {
+  std::size_t max_elements = 12;   ///< per kind pool ceiling
+  std::size_t max_relations = 20;
+  bool with_bundles = true;
+  bool with_typed_literals = true;
+};
+
+/// Random PROV document that passes Document::validate(): every relation
+/// endpoint is a declared element of the kind its spec requires, every id
+/// uses a declared prefix.
+[[nodiscard]] prov::Document gen_prov_document(Rng& rng, const ProvGenOptions& opts = {});
+
+// -------------------------------------------------------------------- metrics
+
+struct MetricGenOptions {
+  std::size_t max_series = 5;
+  std::size_t max_samples = 400;
+};
+
+/// Random metric set: monotone steps, jittered timestamps, finite values
+/// spanning smooth curves, constants, and wide-magnitude noise.
+[[nodiscard]] storage::MetricSet gen_metric_set(Rng& rng, const MetricGenOptions& opts = {});
+
+// ----------------------------------------------------------------------- HTTP
+
+/// Random well-formed HTTP/1.1 request (parseable by net::RequestParser).
+/// PUT/POST always carry Content-Length; header names/values are tokens
+/// free of CR/LF/colon hazards.
+[[nodiscard]] net::HttpRequest gen_http_request(Rng& rng);
+
+/// Serializes a request the way a peer would put it on the wire (CRLF
+/// framing, Content-Length when a body is present).
+[[nodiscard]] std::string http_wire(const net::HttpRequest& request);
+
+}  // namespace provml::testkit

@@ -1,0 +1,59 @@
+// Fuzz-driver harness. Each driver is a plain executable:
+//
+//   int main(int argc, char** argv) {
+//     return testkit::fuzz_main(argc, argv, "fuzz_json", 300,
+//                               [](testkit::Rng& rng) { ... FUZZ_CHECK(...) ... });
+//   }
+//
+// The harness derives one sub-seed per iteration from the master --seed,
+// runs the body, and on any failure (FUZZ_CHECK, thrown exception, or a
+// typed Error the body escalates) prints BOTH the master seed and the
+// exact one-iteration replay command:
+//
+//   FAIL fuzz_json iteration=17 iter_seed=0x9c2f...:
+//     round-trip mismatch
+//   reproduce: ./fuzz_json --seed 1 --begin 17 --iters 1
+//
+// so a CI failure is one copy-paste away from a local repro.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "provml/testkit/rng.hpp"
+
+namespace provml::testkit {
+
+/// Thrown by FUZZ_CHECK on a failed fuzz assertion.
+class FuzzFailure : public std::runtime_error {
+ public:
+  explicit FuzzFailure(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Options parsed from the command line: --seed N, --iters N, --begin N.
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 300;
+  std::uint64_t begin = 0;  ///< first iteration index (for single-iter replay)
+};
+
+/// Runs `body` for `iterations` iterations with per-iteration Rngs derived
+/// from the master seed. Returns the process exit code (0 = all passed).
+int fuzz_main(int argc, char** argv, const std::string& driver_name,
+              std::uint64_t default_iterations,
+              const std::function<void(Rng&)>& body);
+
+}  // namespace provml::testkit
+
+/// Fuzz assertion: throws FuzzFailure carrying `message` (a std::string
+/// expression; build it with operator+ / std::to_string as needed).
+#define FUZZ_CHECK(cond, message)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      throw ::provml::testkit::FuzzFailure(std::string("FUZZ_CHECK(" #cond   \
+                                                       ") failed: ") +       \
+                                           (message));                       \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,39 @@
+// Byte-level mutation engine: degrades valid inputs into adversarial ones.
+// Operations are the classic fuzzing moves — bitflips, byte sets, erase,
+// truncate, splice (copy a range elsewhere), repeat, insert noise, and
+// magic-value stamps (0x00/0xFF/0x80 and maxed varint continuations) that
+// target length fields and framing bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "provml/testkit/rng.hpp"
+
+namespace provml::testkit {
+
+struct MutateOptions {
+  int min_mutations = 1;
+  int max_mutations = 4;
+  bool allow_growth = true;  ///< false restricts to in-place + shrinking ops
+};
+
+/// Applies 1..max random mutations to a copy of `input`. Mutating an empty
+/// input yields a short random byte string (there is nothing to flip).
+[[nodiscard]] std::vector<std::uint8_t> mutate(Rng& rng,
+                                               const std::vector<std::uint8_t>& input,
+                                               const MutateOptions& opts = {});
+
+/// String convenience wrapper over the byte mutator.
+[[nodiscard]] std::string mutate(Rng& rng, std::string_view input,
+                                 const MutateOptions& opts = {});
+
+/// Truncates at a random point (always returns a strict prefix when
+/// `input` is non-empty) — the "torn write / torn frame" primitive.
+[[nodiscard]] std::vector<std::uint8_t> truncate(Rng& rng,
+                                                 const std::vector<std::uint8_t>& input);
+[[nodiscard]] std::string truncate(Rng& rng, std::string_view input);
+
+}  // namespace provml::testkit

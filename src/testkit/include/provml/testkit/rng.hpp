@@ -1,0 +1,64 @@
+// Seeded deterministic RNG for the test/fuzz harness. SplitMix64-based:
+// tiny, fast, and — unlike std::mt19937_64 + <random> distributions —
+// guaranteed to produce the same stream on every compiler and libstdc++
+// version, so a seed printed by CI reproduces bit-for-bit anywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace provml::testkit {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound 0 returns 0. Modulo bias is irrelevant
+  /// at fuzzing bounds (<< 2^32) and keeps the stream portable.
+  std::uint64_t below(std::uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// True with probability `p`.
+  bool chance(double p) { return unit() < p; }
+
+  std::uint8_t byte() { return static_cast<std::uint8_t>(next() & 0xFF); }
+
+  /// A statistically independent generator derived from this one; lets a
+  /// driver hand sub-streams to helpers without coupling their draws.
+  Rng fork() { return Rng(next() ^ 0xA5A5A5A5DEADBEEFull); }
+
+  /// A random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& options) {
+    return options[below(options.size())];
+  }
+
+  /// Derives the per-iteration seed the harness uses (and prints).
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t iteration) {
+    std::uint64_t s = seed ^ (0x6C62272E07BB0142ull + iteration * 0x100000001B3ull);
+    Rng r(s);
+    return r.next();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace provml::testkit

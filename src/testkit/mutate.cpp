@@ -1,0 +1,93 @@
+#include "provml/testkit/mutate.hpp"
+
+#include <algorithm>
+
+namespace provml::testkit {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+void apply_one(Rng& rng, Bytes& data, const MutateOptions& opts) {
+  if (data.empty()) {
+    const std::size_t n = 1 + rng.below(8);
+    for (std::size_t i = 0; i < n; ++i) data.push_back(rng.byte());
+    return;
+  }
+  const std::size_t pos = rng.below(data.size());
+  switch (rng.below(opts.allow_growth ? 8 : 5)) {
+    case 0:  // bitflip
+      data[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      break;
+    case 1:  // random byte set
+      data[pos] = rng.byte();
+      break;
+    case 2: {  // magic values that stress length fields and framing
+      data[pos] = rng.pick<std::uint8_t>({0x00, 0x01, 0x7F, 0x80, 0xFE, 0xFF});
+      break;
+    }
+    case 3: {  // erase a short range
+      const std::size_t len = std::min(data.size() - pos, rng.below(8) + 1);
+      data.erase(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                 data.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      break;
+    }
+    case 4:  // truncate at pos
+      data.resize(pos);
+      break;
+    case 5: {  // splice: copy a random range over another position
+      const std::size_t src = rng.below(data.size());
+      const std::size_t len = std::min(data.size() - src, rng.below(16) + 1);
+      Bytes chunk(data.begin() + static_cast<std::ptrdiff_t>(src),
+                  data.begin() + static_cast<std::ptrdiff_t>(src + len));
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos), chunk.begin(),
+                  chunk.end());
+      break;
+    }
+    case 6: {  // repeat: duplicate the byte at pos several times
+      const std::size_t n = rng.below(16) + 1;
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos), n, data[pos]);
+      break;
+    }
+    default: {  // insert random noise
+      const std::size_t n = rng.below(8) + 1;
+      Bytes noise(n);
+      for (std::uint8_t& b : noise) b = rng.byte();
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos), noise.begin(),
+                  noise.end());
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Bytes mutate(Rng& rng, const Bytes& input, const MutateOptions& opts) {
+  Bytes out = input;
+  const int n = opts.min_mutations +
+                static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(opts.max_mutations - opts.min_mutations) + 1));
+  for (int i = 0; i < n; ++i) apply_one(rng, out, opts);
+  // A chain of erase/truncate ops can empty the buffer; an empty mutant
+  // exercises nothing, so grow one back (apply_one on empty always grows).
+  if (out.empty()) apply_one(rng, out, opts);
+  return out;
+}
+
+std::string mutate(Rng& rng, std::string_view input, const MutateOptions& opts) {
+  Bytes bytes(input.begin(), input.end());
+  const Bytes out = mutate(rng, bytes, opts);
+  return std::string(out.begin(), out.end());
+}
+
+Bytes truncate(Rng& rng, const Bytes& input) {
+  if (input.empty()) return {};
+  return Bytes(input.begin(),
+               input.begin() + static_cast<std::ptrdiff_t>(rng.below(input.size())));
+}
+
+std::string truncate(Rng& rng, std::string_view input) {
+  if (input.empty()) return {};
+  return std::string(input.substr(0, rng.below(input.size())));
+}
+
+}  // namespace provml::testkit

@@ -1,0 +1,77 @@
+// Fuzz driver: codec and container round-trips, corrupt-container
+// robustness, and injected decode-allocation faults.
+//
+// Properties checked per iteration:
+//   1. For every registered codec: unpack(pack(payload)) == payload.
+//   2. Mutated containers never crash and never return wrong bytes — the
+//      CRC32 over the raw payload means unpack() must either fail with a
+//      typed error or return exactly the original payload.
+//   3. Truncated containers produce typed errors.
+//   4. An armed compress.decode_alloc fault surfaces as a typed error.
+#include "provml/compress/container.hpp"
+#include "provml/testkit/fault.hpp"
+#include "provml/testkit/gen.hpp"
+#include "provml/testkit/harness.hpp"
+#include "provml/testkit/mutate.hpp"
+
+namespace {
+
+using namespace provml;
+using compress::Bytes;
+
+void iteration(testkit::Rng& rng) {
+  const Bytes payload = testkit::gen_bytes(rng);
+  const std::vector<std::string> codecs = compress::CodecRegistry::global().names();
+
+  for (const std::string& codec : codecs) {
+    Expected<Bytes> packed = compress::pack(payload, codec);
+    FUZZ_CHECK(packed.ok(), "pack failed for codec " + codec);
+    Expected<Bytes> unpacked = compress::unpack(packed.value());
+    FUZZ_CHECK(unpacked.ok(),
+               "unpack failed for codec " + codec + ": " + unpacked.error().message);
+    FUZZ_CHECK(unpacked.value() == payload, "round-trip mismatch for codec " + codec);
+  }
+
+  // Corruption: the CRC makes silent wrong-byte results a hard failure.
+  {
+    const std::string codec = codecs[rng.below(codecs.size())];
+    Expected<Bytes> packed = compress::pack(payload, codec);
+    FUZZ_CHECK(packed.ok(), "pack failed for codec " + codec);
+    const Bytes broken = testkit::mutate(rng, packed.value());
+    Expected<Bytes> unpacked = compress::unpack(broken);
+    if (unpacked.ok()) {
+      FUZZ_CHECK(unpacked.value() == payload,
+                 "mutated container decoded to wrong bytes under codec " + codec);
+    }
+
+    const Bytes torn = testkit::truncate(rng, packed.value());
+    Expected<Bytes> torn_result = compress::unpack(torn);
+    if (torn_result.ok()) {
+      FUZZ_CHECK(torn_result.value() == payload,
+                 "truncated container decoded to wrong bytes under codec " + codec);
+    }
+  }
+
+  // Injected allocation failure inside the decoder must become a typed
+  // error, not a crash — and must not fire once disarmed.
+  {
+    Expected<Bytes> packed = compress::pack(payload, "lzss");
+    FUZZ_CHECK(packed.ok(), "pack failed for codec lzss");
+    {
+      testkit::ScopedFault fault("compress.decode_alloc", {.fail_on_nth = 1});
+      Expected<Bytes> unpacked = compress::unpack(packed.value());
+      FUZZ_CHECK(!unpacked.ok(), "armed decode_alloc fault did not surface");
+      FUZZ_CHECK(fault.failures() == 1, "fault fired " +
+                                            std::to_string(fault.failures()) + " times");
+    }
+    Expected<Bytes> unpacked = compress::unpack(packed.value());
+    FUZZ_CHECK(unpacked.ok() && unpacked.value() == payload,
+               "decode still failing after fault disarmed");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return provml::testkit::fuzz_main(argc, argv, "fuzz_compress", 150, iteration);
+}

@@ -1,0 +1,51 @@
+// Fuzz driver: JSON parse/write round-trips plus mutated-input robustness.
+//
+// Properties checked per iteration:
+//   1. write(v) parses back to a value equal to v (compact and pretty).
+//   2. Parsing mutated JSON text never crashes; when it succeeds, the
+//      parsed value re-serializes to a fixed point (write∘parse idempotent).
+#include "provml/json/parse.hpp"
+#include "provml/json/write.hpp"
+#include "provml/testkit/gen.hpp"
+#include "provml/testkit/harness.hpp"
+#include "provml/testkit/mutate.hpp"
+
+namespace {
+
+using namespace provml;
+
+void iteration(testkit::Rng& rng) {
+  const json::Value value = testkit::gen_json(rng);
+
+  json::WriteOptions compact;
+  compact.pretty = false;
+  json::WriteOptions pretty;
+  pretty.pretty = true;
+
+  for (const json::WriteOptions* opts : {&compact, &pretty}) {
+    const std::string text = json::write(value, *opts);
+    Expected<json::Value> parsed = json::parse(text);
+    FUZZ_CHECK(parsed.ok(), "writer output failed to parse: " + parsed.error().message +
+                                "\ntext: " + text);
+    FUZZ_CHECK(parsed.value() == value, "round-trip mismatch\ntext: " + text);
+  }
+
+  // Adversarial half: degrade the serialized form and require a clean
+  // verdict — either a parse error or a value that serializes stably.
+  const std::string text = json::write(value, compact);
+  const std::string broken = testkit::mutate(rng, text);
+  Expected<json::Value> reparsed = json::parse(broken);
+  if (reparsed.ok()) {
+    const std::string once = json::write(reparsed.value(), compact);
+    Expected<json::Value> again = json::parse(once);
+    FUZZ_CHECK(again.ok(), "re-serialized mutant failed to parse: " + once);
+    FUZZ_CHECK(json::write(again.value(), compact) == once,
+               "write/parse not idempotent on mutant\ntext: " + once);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return provml::testkit::fuzz_main(argc, argv, "fuzz_json", 300, iteration);
+}

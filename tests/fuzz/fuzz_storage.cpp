@@ -1,0 +1,142 @@
+// Fuzz driver: metric-store round-trips across all three back-ends,
+// injected mid-write faults, and corrupt-file robustness.
+//
+// Properties checked per iteration:
+//   1. read(write(metrics)) == metrics for json, zarr, and netcdf stores.
+//   2. With a storage.write / storage.fsync / storage.rename fault armed,
+//      a failed write never yields valid-but-wrong data: a subsequent read
+//      either fails with a typed error, returns the pre-write contents
+//      (single-file stores publish atomically via tmp+rename), or returns
+//      the complete new contents — never a blend.
+//   3. After disarming, the same write succeeds and reads back equal.
+//   4. Reading a mutated store file errors cleanly or returns a value —
+//      it never crashes.
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "provml/common/file_io.hpp"
+#include "provml/storage/store.hpp"
+#include "provml/testkit/fault.hpp"
+#include "provml/testkit/gen.hpp"
+#include "provml/testkit/harness.hpp"
+#include "provml/testkit/mutate.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace provml;
+
+const fs::path& base_dir() {
+  static const fs::path dir = [] {
+    fs::path d = fs::temp_directory_path() /
+                 ("provml_fuzz_storage_" + std::to_string(::getpid()));
+    fs::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+const std::vector<std::string>& store_names() {
+  static const std::vector<std::string> names = {"json", "zarr", "netcdf"};
+  return names;
+}
+
+const std::vector<std::string>& fault_points() {
+  static const std::vector<std::string> points = {"storage.write", "storage.fsync",
+                                                  "storage.rename"};
+  return points;
+}
+
+void iteration(testkit::Rng& rng) {
+  testkit::MetricGenOptions small;
+  small.max_series = 3;
+  small.max_samples = 120;  // keep disk traffic inside the smoke budget
+  const storage::MetricSet metrics = testkit::gen_metric_set(rng, small);
+
+  for (const std::string& name : store_names()) {
+    const std::unique_ptr<storage::MetricStore> store =
+        storage::StoreRegistry::global().create(name);
+    FUZZ_CHECK(store != nullptr, "store not registered: " + name);
+    const std::string path = (base_dir() / ("rt_" + name + store->path_suffix())).string();
+
+    Status written = store->write(metrics, path);
+    FUZZ_CHECK(written.ok(), name + " write failed: " + written.error().message);
+    Expected<storage::MetricSet> back = store->read(path);
+    FUZZ_CHECK(back.ok(), name + " read failed: " + back.error().message);
+    FUZZ_CHECK(back.value() == metrics, name + " round-trip mismatch");
+  }
+
+  // Fault injection: fail the Nth I/O primitive mid-write.
+  {
+    const std::string name = rng.pick(store_names());
+    const std::string point = rng.pick(fault_points());
+    const std::unique_ptr<storage::MetricStore> store =
+        storage::StoreRegistry::global().create(name);
+    const std::string path = (base_dir() / ("ft_" + name + store->path_suffix())).string();
+
+    Status seeded = store->write(metrics, path);
+    FUZZ_CHECK(seeded.ok(), name + " seed write failed: " + seeded.error().message);
+
+    const storage::MetricSet next = testkit::gen_metric_set(rng, small);
+    bool write_failed = false;
+    {
+      testkit::ScopedFault fault(
+          point, {.fail_on_nth = 1 + rng.below(4)});
+      Status st = store->write(next, path);
+      write_failed = !st.ok();
+      FUZZ_CHECK(write_failed == (fault.failures() > 0),
+                 name + " write outcome disagrees with fault firings on " + point);
+    }
+    Expected<storage::MetricSet> after = store->read(path);
+    if (write_failed) {
+      // Torn write: a read must give a typed error or one of the two
+      // committed states — silent blends are the bug class under test.
+      FUZZ_CHECK(!after.ok() || after.value() == metrics || after.value() == next,
+                 name + " returned valid-but-wrong data after failed write (" + point + ")");
+    } else {
+      FUZZ_CHECK(after.ok() && after.value() == next,
+                 name + " read after clean write failed (" + point + ")");
+    }
+
+    // Disarmed, the same write must recover regardless of the torn state.
+    Status recovered = store->write(next, path);
+    FUZZ_CHECK(recovered.ok(), name + " recovery write failed");
+    Expected<storage::MetricSet> final_read = store->read(path);
+    FUZZ_CHECK(final_read.ok() && final_read.value() == next,
+               name + " recovery read mismatch");
+  }
+
+  // Corruption robustness on the single-file formats.
+  {
+    const std::string name = rng.chance(0.5) ? "json" : "netcdf";
+    const std::unique_ptr<storage::MetricStore> store =
+        storage::StoreRegistry::global().create(name);
+    const std::string path = (base_dir() / ("mu_" + name + store->path_suffix())).string();
+    Status written = store->write(metrics, path);
+    FUZZ_CHECK(written.ok(), name + " write failed");
+
+    Expected<std::vector<std::uint8_t>> bytes = io::read_file(path);
+    FUZZ_CHECK(bytes.ok(), "cannot read back store file");
+    const std::vector<std::uint8_t> broken =
+        rng.chance(0.3) ? testkit::truncate(rng, bytes.value())
+                        : testkit::mutate(rng, bytes.value());
+    Status rewritten = io::write_file_direct(path, broken);
+    FUZZ_CHECK(rewritten.ok(), "cannot write mutated store file");
+    // Must not crash; a typed error or a (possibly different) value are
+    // both acceptable — wrong values are the price of mutating payload
+    // bytes that no checksum covers (json text, for instance).
+    Expected<storage::MetricSet> result = store->read(path);
+    (void)result;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = provml::testkit::fuzz_main(argc, argv, "fuzz_storage", 25, iteration);
+  std::error_code ec;
+  fs::remove_all(base_dir(), ec);
+  return rc;
+}

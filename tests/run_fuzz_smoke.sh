@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Runs every fuzz-labeled ctest target (3 fixed seeds per driver) against
+# an existing build tree. Usage:
+#
+#   tests/run_fuzz_smoke.sh [build-dir]
+#
+# Each target carries a 60 s ctest TIMEOUT; the whole smoke set is sized
+# to finish well inside a minute. On failure, the driver output contains a
+# one-line `reproduce: ...` command to replay the exact failing iteration.
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+if [ ! -f "${BUILD_DIR}/CTestTestfile.cmake" ]; then
+  echo "error: '${BUILD_DIR}' is not a configured build tree" >&2
+  echo "hint: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 2
+fi
+
+exec ctest --test-dir "${BUILD_DIR}" -L fuzz --output-on-failure --timeout 60

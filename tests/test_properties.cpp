@@ -1,13 +1,17 @@
 // Cross-module property tests: randomized operation sequences that must
-// preserve documented invariants, plus interoperability fixtures.
+// preserve documented invariants, plus interoperability fixtures. All
+// randomness flows through testkit::Rng and the shared generators, so a
+// failing parameter (= seed) reproduces bit-for-bit on any platform.
 #include <gtest/gtest.h>
 
-#include <random>
 #include <set>
 
 #include "provml/graphstore/graph.hpp"
 #include "provml/json/parse.hpp"
 #include "provml/prov/prov_json.hpp"
+#include "provml/testkit/gen.hpp"
+#include "provml/testkit/mutate.hpp"
+#include "provml/testkit/rng.hpp"
 #include "provml/workflow/workflow.hpp"
 
 namespace provml {
@@ -22,7 +26,7 @@ namespace {
 class GraphOps : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(GraphOps, RandomOperationsKeepInvariants) {
-  std::mt19937_64 rng(GetParam());
+  testkit::Rng rng(testkit::Rng::mix(0x6772617068ull, GetParam()));
   graphstore::PropertyGraph graph;
   std::vector<graphstore::NodeId> live;
 
@@ -56,30 +60,30 @@ TEST_P(GraphOps, RandomOperationsKeepInvariants) {
   };
 
   for (int step = 0; step < 200; ++step) {
-    switch (rng() % 4) {
+    switch (rng.below(4)) {
       case 0: {  // add node
         live.push_back(graph.add_node(
-            {"N"}, json::make_object({{"v", static_cast<int>(rng() % 3)}})));
+            {"N"}, json::make_object({{"v", static_cast<int>(rng.below(3))}})));
         break;
       }
       case 1: {  // add edge between random live nodes
         if (live.size() < 2) break;
-        const auto a = live[rng() % live.size()];
-        const auto b = live[rng() % live.size()];
+        const auto a = live[rng.below(live.size())];
+        const auto b = live[rng.below(live.size())];
         ASSERT_TRUE(graph.add_edge(a, b, "r").ok());
         break;
       }
       case 2: {  // remove a random node
         if (live.empty()) break;
-        const std::size_t idx = rng() % live.size();
+        const std::size_t idx = rng.below(live.size());
         ASSERT_TRUE(graph.remove_node(live[idx]).ok());
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
         break;
       }
       default: {  // mutate a property (re-index)
         if (live.empty()) break;
-        graph.set_property(live[rng() % live.size()], "v",
-                           json::Value(static_cast<int>(rng() % 3)));
+        graph.set_property(live[rng.below(live.size())], "v",
+                           json::Value(static_cast<int>(rng.below(3))));
         break;
       }
     }
@@ -99,16 +103,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GraphOps, ::testing::Range(0u, 10u));
 class WorkflowSched : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(WorkflowSched, ParallelMatchesSequentialOnRandomDags) {
-  std::mt19937_64 rng(GetParam());
+  testkit::Rng rng(testkit::Rng::mix(0x776F726Bull, GetParam()));
   workflow::Workflow wf("random");
-  std::uniform_int_distribution<int> n_tasks(1, 12);
-  const int n = n_tasks(rng);
+  const int n = static_cast<int>(rng.range(1, 12));
   for (int i = 0; i < n; ++i) {
     workflow::TaskSpec task;
     task.name = "t" + std::to_string(i);
     // Depend on a random subset of earlier tasks (guarantees acyclicity).
     for (int j = 0; j < i; ++j) {
-      if (rng() % 3 == 0) {
+      if (rng.below(3) == 0) {
         task.after.push_back("t" + std::to_string(j));
         task.consumes.push_back("d" + std::to_string(j));
       }
@@ -167,31 +170,19 @@ INSTANTIATE_TEST_SUITE_P(Seeds, WorkflowSched, ::testing::Range(0u, 15u));
 
 // -------------------------------------------------- parser robustness fuzz
 
-/// Random byte mutations of a valid PROV-JSON document must never crash
-/// the JSON or PROV parsers — they either parse (possibly to a different
-/// document) or return an error.
+/// Random byte mutations of generated PROV-JSON documents must never
+/// crash the JSON or PROV parsers — they either parse (possibly to a
+/// different document) or return an error. The documents and mutations
+/// both come from the shared testkit engine.
 class ParserFuzz : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(ParserFuzz, MutatedDocumentsNeverCrash) {
-  prov::Document doc;
-  doc.declare_namespace("ex", "http://example.org/");
-  doc.add_entity("ex:e", {{"v", 1}});
-  doc.add_activity("ex:a", {}, "2025-01-01T00:00:00");
-  doc.used("ex:a", "ex:e", "2025-01-01T00:30:00");
+  testkit::Rng rng(testkit::Rng::mix(0x70617273ull, GetParam()));
+  const prov::Document doc = testkit::gen_prov_document(rng);
   const std::string base = prov::to_prov_json_string(doc, false);
 
-  std::mt19937_64 rng(GetParam());
   for (int round = 0; round < 200; ++round) {
-    std::string mutated = base;
-    const int mutations = 1 + static_cast<int>(rng() % 4);
-    for (int m = 0; m < mutations; ++m) {
-      const std::size_t pos = rng() % mutated.size();
-      switch (rng() % 3) {
-        case 0: mutated[pos] = static_cast<char>(rng() % 256); break;
-        case 1: mutated.erase(pos, 1); break;
-        default: mutated.insert(pos, 1, static_cast<char>(rng() % 128)); break;
-      }
-    }
+    const std::string mutated = testkit::mutate(rng, base);
     const auto parsed = json::parse(mutated);
     if (!parsed.ok()) continue;
     // Valid JSON after mutation: PROV layer must still not crash.
@@ -201,6 +192,42 @@ TEST_P(ParserFuzz, MutatedDocumentsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0u, 8u));
+
+// --------------------------------------------- generated-document properties
+
+/// Generated PROV documents always validate, survive ser/de to a fixed
+/// point, and stay valid under pairwise merge (the generators share one
+/// prefix table, so merges cannot hit namespace conflicts).
+class ProvGenerated : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ProvGenerated, GeneratedDocumentsValidateRoundTripAndMerge) {
+  testkit::Rng rng(testkit::Rng::mix(0x70726F76ull, GetParam()));
+
+  const prov::Document doc = testkit::gen_prov_document(rng);
+  EXPECT_TRUE(doc.validate().empty());
+
+  const std::string text = prov::to_prov_json_string(doc);
+  const auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const auto round = prov::from_prov_json(parsed.value());
+  ASSERT_TRUE(round.ok()) << round.error().to_string();
+  EXPECT_EQ(prov::to_prov_json_string(round.value()), text);
+
+  // Merge a chain of generated documents; validity is closed under merge.
+  prov::Document merged = doc;
+  for (int i = 0; i < 3; ++i) {
+    const prov::Document other = testkit::gen_prov_document(rng);
+    ASSERT_TRUE(merged.merge(other).ok());
+    EXPECT_TRUE(merged.validate().empty()) << "merge " << i;
+  }
+  // Merge is idempotent on elements: merging a document into itself keeps
+  // it valid and adds no unknown references.
+  prov::Document self = merged;
+  ASSERT_TRUE(self.merge(merged).ok());
+  EXPECT_TRUE(self.validate().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProvGenerated, ::testing::Range(0u, 12u));
 
 // ------------------------------------------------------- W3C interop fixture
 
