@@ -1,0 +1,207 @@
+// Ablation — the streaming write path. Two questions the MetricSink
+// refactor must answer with numbers:
+//
+//  1. Run-level: does streaming (log_metric → flusher → durable sink)
+//     cut finish() latency and peak RSS versus buffering every sample
+//     and serializing at finish()? Each configuration runs in a forked
+//     child so VmHWM measures that configuration's true process peak.
+//
+//  2. Sink-level: does encoding chunk payloads on a worker pool beat
+//     single-threaded encoding on a batch-sized series (>= 100k
+//     samples), and how does it scale at 1/2/4/8 workers?
+//
+// Output is a plain table (like the figure benches); EXPERIMENTS.md
+// records a reference run.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "provml/common/thread_pool.hpp"
+#include "provml/core/run.hpp"
+#include "provml/storage/zarr_store.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Process peak resident set in kB, from /proc/self/status (Linux).
+long vmhwm_kb() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %ld", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+struct RunResult {
+  double log_ms = 0;     ///< the training loop's logging time
+  double finish_ms = 0;  ///< finish(): drain + seal (stream) or full write (batch)
+  long peak_kb = 0;
+};
+
+/// Drives one run configuration to completion in the current process.
+RunResult drive_run(provml::core::MetricSyncMode mode, std::size_t samples,
+                    const std::string& prov_dir) {
+  using namespace provml::core;
+  RunOptions options;
+  options.provenance_dir = prov_dir;
+  options.metric_store = "zarr";
+  options.sync_mode = mode;
+  options.flush_chunk_length = 4096;  // = the zarr batch chunk: same layout
+  Experiment exp("bench");
+  Run& run = exp.start_run(options, "r");
+
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> noise(0.0, 0.01);
+  RunResult result;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto step = static_cast<std::int64_t>(i);
+    run.log_metric("loss", 2.0 * std::exp(-1e-6 * static_cast<double>(i)) + noise(rng),
+                   step);
+    run.log_metric("throughput", 1500.0 + 40.0 * noise(rng), step, "TRAINING", "img/s");
+  }
+  result.log_ms = ms_since(t0);
+  const auto t1 = Clock::now();
+  if (!run.finish().ok()) std::fprintf(stderr, "finish failed\n");
+  result.finish_ms = ms_since(t1);
+  result.peak_kb = vmhwm_kb();
+  return result;
+}
+
+/// Forks, runs `drive_run` in the child, and reports its numbers through a
+/// pipe — so VmHWM (a high-water mark, unresettable in-process) is clean
+/// per configuration.
+RunResult forked_run(provml::core::MetricSyncMode mode, std::size_t samples,
+                     const std::string& prov_dir) {
+  int fds[2];
+  if (::pipe(fds) != 0) return {};
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fds[0]);
+    const RunResult r = drive_run(mode, samples, prov_dir);
+    ::dprintf(fds[1], "%f %f %ld\n", r.log_ms, r.finish_ms, r.peak_kb);
+    ::close(fds[1]);
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  char buf[128] = {0};
+  ssize_t got = 0, n = 0;
+  while ((n = ::read(fds[0], buf + got, sizeof buf - 1 - got)) > 0) got += n;
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  RunResult r;
+  std::sscanf(buf, "%lf %lf %ld", &r.log_ms, &r.finish_ms, &r.peak_kb);
+  return r;
+}
+
+/// One synthetic series for the sink-level encode scaling measurement.
+std::vector<provml::storage::MetricSample> make_samples(std::size_t count) {
+  std::vector<provml::storage::MetricSample> out;
+  out.reserve(count);
+  std::mt19937_64 rng(13);
+  std::normal_distribution<double> noise(0.0, 0.05);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({static_cast<std::int64_t>(i),
+                   1700000000000 + static_cast<std::int64_t>(i) * 250,
+                   std::sin(static_cast<double>(i) * 1e-4) + noise(rng)});
+  }
+  return out;
+}
+
+double time_sink_write(const provml::storage::ZarrMetricStore& store,
+                       const std::vector<provml::storage::MetricSample>& samples,
+                       const provml::storage::SinkOptions& options,
+                       const std::string& path) {
+  const auto t0 = Clock::now();
+  auto sink = store.open_sink(path, options);
+  if (!sink.ok()) return -1;
+  auto id = sink.value()->declare_series("loss", "TRAINING", "");
+  if (!id.ok()) return -1;
+  if (!sink.value()->append_block(id.value(), samples.data(), samples.size()).ok()) {
+    return -1;
+  }
+  if (!sink.value()->seal().ok()) return -1;
+  return ms_since(t0);
+}
+
+}  // namespace
+
+int main() {
+  const fs::path root =
+      fs::temp_directory_path() / ("provml_bench_stream_" + std::to_string(::getpid()));
+  fs::create_directories(root);
+
+  std::printf("Streaming write-path ablation (zarr store, chunk 4096)\n\n");
+
+  // -- run-level: batch vs streaming, forked per configuration -------------
+  std::printf("%-10s %-8s %12s %12s %12s\n", "samples", "mode", "log ms", "finish ms",
+              "peak RSS MB");
+  for (const std::size_t per_series : {100000ul, 500000ul}) {
+    for (const auto mode : {provml::core::MetricSyncMode::kBatch,
+                            provml::core::MetricSyncMode::kStream}) {
+      const bool stream = mode == provml::core::MetricSyncMode::kStream;
+      const std::string prov =
+          (root / (std::string(stream ? "s" : "b") + std::to_string(per_series))).string();
+      const RunResult r = forked_run(mode, per_series, prov);
+      std::printf("%-10zu %-8s %12.1f %12.1f %12.1f\n", 2 * per_series,
+                  stream ? "stream" : "batch", r.log_ms, r.finish_ms,
+                  static_cast<double>(r.peak_kb) / 1024.0);
+    }
+  }
+
+  // -- sink-level: parallel chunk encoding ---------------------------------
+  // Forked section first, pools after: fork from a still-single-threaded
+  // process, then spin up worker pools safely. "inline" encodes on the
+  // caller thread between file writes — the true single-threaded baseline.
+  // Pooled rows overlap encoding with the caller's fsync waits (a win even
+  // on one core) and, on multi-core hosts, with each other.
+  const auto samples = make_samples(400000);
+  provml::storage::ZarrMetricStore store;
+  std::printf("\n(host: %u hardware threads)\n", std::thread::hardware_concurrency());
+  std::printf("%-10s %-8s %12s %12s\n", "samples", "encode", "write ms", "speedup");
+  double base_ms = 0;
+  for (const int workers : {0, 1, 2, 4, 8}) {  // 0 = inline baseline
+    provml::storage::SinkOptions options;
+    provml::common::ThreadPool pool(workers == 0 ? 1 : static_cast<unsigned>(workers));
+    options.encode_pool = &pool;
+    options.inline_encode = workers == 0;
+    const std::string p = (root / ("enc" + std::to_string(workers) + ".zarr")).string();
+    double best = 1e18;  // best-of-3, like the other ablations
+    for (int rep = 0; rep < 3; ++rep) {
+      const double ms = time_sink_write(store, samples, options, p);
+      if (ms >= 0 && ms < best) best = ms;
+    }
+    if (workers == 0) base_ms = best;
+    char label[16];
+    if (workers == 0) {
+      std::snprintf(label, sizeof label, "inline");
+    } else {
+      std::snprintf(label, sizeof label, "pool x%d", workers);
+    }
+    std::printf("%-10zu %-8s %12.1f %11.2fx\n", samples.size(), label, best,
+                base_ms / best);
+  }
+
+  fs::remove_all(root);
+  return 0;
+}

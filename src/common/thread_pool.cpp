@@ -1,8 +1,8 @@
-#include "provml/sim/thread_pool.hpp"
+#include "provml/common/thread_pool.hpp"
 
 #include <algorithm>
 
-namespace provml::sim {
+namespace provml::common {
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == 0) {
@@ -23,6 +23,11 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
@@ -37,4 +42,4 @@ void ThreadPool::worker_loop() {
   }
 }
 
-}  // namespace provml::sim
+}  // namespace provml::common

@@ -51,31 +51,42 @@ Expected<Header> parse_header(ByteView data) {
 }  // namespace
 
 CodecRegistry& CodecRegistry::global() {
-  static CodecRegistry registry = [] {
-    CodecRegistry r;
-    r.register_codec("raw", [] { return std::make_unique<IdentityCodec>(); });
-    r.register_codec("rle", [] { return std::make_unique<RleCodec>(); });
-    r.register_codec("lzss", [] { return std::make_unique<LzssCodec>(); });
-    r.register_codec("shuffle+lzss", [] { return std::make_unique<ShuffleLzssCodec>(8); });
-    return r;
+  static CodecRegistry registry;  // not movable (owns a mutex): fill in place
+  static const bool initialized = [] {
+    registry.register_codec("raw", [] { return std::make_unique<IdentityCodec>(); });
+    registry.register_codec("rle", [] { return std::make_unique<RleCodec>(); });
+    registry.register_codec("lzss", [] { return std::make_unique<LzssCodec>(); });
+    registry.register_codec("shuffle+lzss",
+                            [] { return std::make_unique<ShuffleLzssCodec>(8); });
+    return true;
   }();
+  (void)initialized;
   return registry;
 }
 
 void CodecRegistry::register_codec(const std::string& name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   factories_[name] = std::move(factory);
 }
 
 std::unique_ptr<Codec> CodecRegistry::create(const std::string& name) const {
-  const auto it = factories_.find(name);
-  return it == factories_.end() ? nullptr : it->second();
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;  // copy: run the factory outside the lock
+  }
+  return factory();
 }
 
 bool CodecRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   return factories_.count(name) != 0;
 }
 
 std::vector<std::string> CodecRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);

@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -53,7 +54,8 @@ class IdentityCodec final : public Codec {
 };
 
 /// Name → factory registry. The built-in codecs ("raw", "rle", "lzss",
-/// "shuffle+lzss") are pre-registered; plugins may add more.
+/// "shuffle+lzss") are pre-registered; plugins may add more. Thread-safe:
+/// encode workers in the streaming write path create codecs concurrently.
 class CodecRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Codec>()>;
@@ -67,6 +69,7 @@ class CodecRegistry {
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Factory> factories_;
 };
 

@@ -21,6 +21,18 @@ inline constexpr const char* kTesting = "TESTING";
 /// input, otherwise defaulting to an output").
 enum class IoRole { kInput, kOutput };
 
+/// How metric samples reach the side store.
+///   kBatch  — buffer every sample in memory and serialize the whole set at
+///             finish() (the original write path; finish latency and peak
+///             memory grow with run length).
+///   kStream — hand full chunks to a background flusher during the run.
+///             Chunked stores (zarr) persist each chunk durably as it
+///             completes, so a job killed mid-training (the paper's 2-hour
+///             Frontier walltime) leaves a readable sample prefix and
+///             finish() only seals the tail. Single-file stores still
+///             publish at finish, but off the caller's logging hot path.
+enum class MetricSyncMode { kBatch, kStream };
+
 struct RunOptions {
   /// Directory that receives the run's provenance file, metric store, and
   /// artifacts manifest. Created if missing.
@@ -30,6 +42,20 @@ struct RunOptions {
   /// PROV-JSON document (Table 1's baseline); "json" / "zarr" / "netcdf"
   /// write a side file referenced from the document.
   std::string metric_store = "zarr";
+
+  /// Streaming vs batch metric persistence (see MetricSyncMode). Ignored —
+  /// treated as kBatch — when metric_store is "embedded", which needs every
+  /// sample in memory to inline into the PROV document.
+  MetricSyncMode sync_mode = MetricSyncMode::kBatch;
+
+  /// Stream mode: samples staged per series before a chunk is handed to
+  /// the background flusher. Chunked stores also use it as the on-disk
+  /// chunk length, so each flush durably extends the readable prefix.
+  std::size_t flush_chunk_length = 1024;
+
+  /// Stream mode: chunks the flusher queue holds before log_metric blocks
+  /// (backpressure against a producer outrunning the disk).
+  std::size_t flush_queue_chunks = 8;
 
   /// Attach sysmon collectors for the run's duration.
   bool collect_system_metrics = false;

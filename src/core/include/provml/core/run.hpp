@@ -19,11 +19,15 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
+#include "provml/common/bounded_queue.hpp"
 #include "provml/common/expected.hpp"
 #include "provml/core/options.hpp"
 #include "provml/prov/model.hpp"
 #include "provml/storage/series.hpp"
+#include "provml/storage/sink.hpp"
+#include "provml/storage/store.hpp"
 #include "provml/sysmon/sampler.hpp"
 
 namespace provml::core {
@@ -103,7 +107,17 @@ class Run {
   /// The PROV document (valid after finish()).
   [[nodiscard]] const prov::Document& document() const { return document_; }
 
-  /// Collected metrics (valid anytime; stable references).
+  /// True when samples stream to the store during the run instead of
+  /// buffering until finish() (sync_mode == kStream with a side store).
+  [[nodiscard]] bool streaming() const { return streaming_; }
+
+  /// Path of the metric side store ("" when metric_store is "embedded").
+  [[nodiscard]] std::string metric_store_path() const;
+
+  /// Collected metrics (valid anytime; stable references). In streaming
+  /// mode samples are not retained in memory — this set stays empty and
+  /// the store file is the source of truth; per-series sample counts are
+  /// still recorded in the PROV document.
   [[nodiscard]] const storage::MetricSet& metrics() const { return metrics_; }
   [[nodiscard]] const std::vector<Parameter>& parameters() const { return parameters_; }
   [[nodiscard]] const std::vector<Artifact>& artifacts() const { return artifacts_; }
@@ -115,7 +129,33 @@ class Run {
   friend class Experiment;
   Run(std::string experiment_name, std::string run_name, RunOptions options);
 
+  /// Lightweight per-series record kept in streaming mode instead of the
+  /// sample buffer: identity, cumulative count, and the staged tail that
+  /// has not been handed to the flusher yet.
+  struct StreamSeries {
+    std::string name;
+    std::string context;
+    std::string unit;
+    std::uint64_t count = 0;
+    std::vector<storage::MetricSample> staged;
+  };
+
+  /// One unit of flusher work: a chunk of samples for one series.
+  struct MetricChunk {
+    std::string name;
+    std::string context;
+    std::string unit;
+    std::vector<storage::MetricSample> samples;
+  };
+
   void build_document();
+  void open_stream();  // ctor helper: open sink + start the flusher
+  void flusher_loop();
+  void append_metric_locked(const std::string& name, const std::string& context,
+                            const std::string& unit, std::int64_t step,
+                            std::int64_t timestamp_ms, double value);
+  StreamSeries& stream_series_locked(const std::string& name, const std::string& context,
+                                     const std::string& unit);
 
   std::string experiment_name_;
   std::string run_name_;
@@ -130,6 +170,18 @@ class Run {
   std::map<std::string, std::vector<EpochRecord>> epochs_;  // context → epochs
   std::optional<std::string> source_code_;
   std::vector<std::pair<std::string, json::Value>> environment_;
+
+  // Streaming write path (sync_mode == kStream with a side store): samples
+  // flow log_metric → staged chunk → bounded queue → flusher thread →
+  // MetricSink, never accumulating in metrics_.
+  bool streaming_ = false;
+  std::unique_ptr<storage::MetricStore> stream_store_;
+  std::unique_ptr<storage::MetricSink> sink_;
+  std::unique_ptr<common::BoundedQueue<MetricChunk>> flush_queue_;
+  std::thread flusher_;
+  std::vector<std::unique_ptr<StreamSeries>> stream_series_;
+  std::map<std::pair<std::string, std::string>, std::size_t> stream_index_;
+  Status stream_status_;  // first sink error; owned by the flusher until join
 
   std::unique_ptr<sysmon::Sampler> sampler_;
   prov::Document document_;

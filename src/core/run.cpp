@@ -33,6 +33,10 @@ Run::Run(std::string experiment_name, std::string run_name, RunOptions options)
       run_name_(std::move(run_name)),
       options_(std::move(options)),
       started_ms_(sysmon::now_ms()) {
+  if (options_.sync_mode == MetricSyncMode::kStream &&
+      options_.metric_store != "embedded") {
+    open_stream();  // before the sampler: its readings flow through the sink
+  }
   if (options_.collect_system_metrics) {
     sampler_ = std::make_unique<sysmon::Sampler>(options_.sampling_period);
     for (const std::string& name : options_.collectors) {
@@ -43,15 +47,112 @@ Run::Run(std::string experiment_name, std::string run_name, RunOptions options)
     sampler_->start([this](const std::string&, const sysmon::Reading& reading,
                            std::int64_t ts) {
       const std::lock_guard<std::mutex> lock(mutex_);
-      storage::MetricSeries& series =
-          metrics_.series(reading.metric, kSystemContext, reading.unit);
-      series.append(static_cast<std::int64_t>(series.size()), ts, reading.value);
+      // Step = number of samples already in the series, streaming or not.
+      const std::int64_t step =
+          streaming_
+              ? static_cast<std::int64_t>(
+                    stream_series_locked(reading.metric, kSystemContext, reading.unit)
+                        .count)
+              : static_cast<std::int64_t>(
+                    metrics_.series(reading.metric, kSystemContext, reading.unit).size());
+      append_metric_locked(reading.metric, kSystemContext, reading.unit, step, ts,
+                           reading.value);
     });
   }
 }
 
 Run::~Run() {
   if (!finished_) (void)finish();
+}
+
+std::string Run::metric_store_path() const {
+  if (options_.metric_store == "embedded") return "";
+  const auto store = storage::StoreRegistry::global().create(options_.metric_store);
+  return (fs::path(options_.provenance_dir) /
+          (run_name_ + "_metrics" + (store ? store->path_suffix() : "")))
+      .string();
+}
+
+void Run::open_stream() {
+  stream_store_ = storage::StoreRegistry::global().create(options_.metric_store);
+  if (stream_store_ == nullptr) {
+    stream_status_ = Error{"unknown metric store: " + options_.metric_store, run_name_};
+    return;  // finish() reports it; logging degrades to the batch buffer
+  }
+  std::error_code ec;
+  fs::create_directories(options_.provenance_dir, ec);
+  if (ec) {
+    stream_status_ =
+        Error{"cannot create provenance dir: " + ec.message(), options_.provenance_dir};
+    return;
+  }
+  Expected<std::unique_ptr<storage::MetricSink>> sink =
+      stream_store_->open_sink(metric_store_path(),
+                               {.durable = true,
+                                .chunk_length = options_.flush_chunk_length});
+  if (!sink.ok()) {
+    stream_status_ = sink.error();
+    return;
+  }
+  sink_ = sink.take();
+  flush_queue_ = std::make_unique<common::BoundedQueue<MetricChunk>>(
+      options_.flush_queue_chunks);
+  streaming_ = true;
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+void Run::flusher_loop() {
+  while (std::optional<MetricChunk> chunk = flush_queue_->pop()) {
+    if (!stream_status_.ok()) continue;  // drain + drop after the first error
+    Expected<std::size_t> id =
+        sink_->declare_series(chunk->name, chunk->context, chunk->unit);
+    if (!id.ok()) {
+      stream_status_ = id.error();
+      continue;
+    }
+    Status s = sink_->append_block(id.value(), chunk->samples.data(),
+                                   chunk->samples.size());
+    if (s.ok()) s = sink_->flush();  // publish completed chunks durably
+    if (!s.ok()) stream_status_ = s;
+  }
+}
+
+Run::StreamSeries& Run::stream_series_locked(const std::string& name,
+                                             const std::string& context,
+                                             const std::string& unit) {
+  const auto it = stream_index_.find({context, name});
+  if (it != stream_index_.end()) {
+    StreamSeries& series = *stream_series_[it->second];
+    if (series.unit.empty()) series.unit = unit;
+    return series;
+  }
+  auto series = std::make_unique<StreamSeries>();
+  series->name = name;
+  series->context = context;
+  series->unit = unit;
+  stream_series_.push_back(std::move(series));
+  stream_index_.emplace(std::make_pair(context, name), stream_series_.size() - 1);
+  return *stream_series_.back();
+}
+
+void Run::append_metric_locked(const std::string& name, const std::string& context,
+                               const std::string& unit, std::int64_t step,
+                               std::int64_t timestamp_ms, double value) {
+  if (!streaming_) {
+    metrics_.series(name, context, unit).append(step, timestamp_ms, value);
+    return;
+  }
+  StreamSeries& series = stream_series_locked(name, context, unit);
+  series.staged.push_back({step, timestamp_ms, value});
+  ++series.count;
+  if (series.staged.size() >= options_.flush_chunk_length) {
+    MetricChunk chunk{series.name, series.context, series.unit,
+                      std::move(series.staged)};
+    series.staged = {};
+    // Blocks when the flusher is behind: backpressure instead of unbounded
+    // buffering. The flusher never takes mutex_, so it keeps draining.
+    (void)flush_queue_->push(std::move(chunk));
+  }
 }
 
 void Run::log_param(const std::string& name, json::Value value, IoRole role) {
@@ -62,7 +163,7 @@ void Run::log_param(const std::string& name, json::Value value, IoRole role) {
 void Run::log_metric(const std::string& name, double value, std::int64_t step,
                      const std::string& context, const std::string& unit) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  metrics_.series(name, context, unit).append(step, sysmon::now_ms(), value);
+  append_metric_locked(name, context, unit, step, sysmon::now_ms(), value);
 }
 
 void Run::log_artifact(const std::string& name, const std::string& path, IoRole role,
@@ -177,10 +278,32 @@ void Run::build_document() {
 
   // Metric series: one entity per series, generated by its context. When a
   // side store is configured, series carry a pointer to it; "embedded"
-  // inlines every sample (the Table 1 baseline).
+  // inlines every sample (the Table 1 baseline). In streaming mode only
+  // the lightweight per-series records exist — the samples are already on
+  // disk — so entities are built from those.
+  struct SeriesInfo {
+    const std::string* name;
+    const std::string* context;
+    const std::string* unit;
+    std::uint64_t count;
+    const storage::MetricSeries* data;  ///< nullptr when streaming
+  };
+  std::vector<SeriesInfo> series_infos;
+  if (streaming_) {
+    series_infos.reserve(stream_series_.size());
+    for (const auto& s : stream_series_) {
+      series_infos.push_back({&s->name, &s->context, &s->unit, s->count, nullptr});
+    }
+  } else {
+    series_infos.reserve(metrics_.size());
+    for (const storage::MetricSeries& s : metrics_.all()) {
+      series_infos.push_back({&s.name, &s.context, &s.unit, s.size(), &s});
+    }
+  }
+
   const bool embedded = options_.metric_store == "embedded";
   std::string store_id;
-  if (!embedded && !metrics_.empty()) {
+  if (!embedded && !series_infos.empty()) {
     store_id = "ex:metric_store";
     const auto store = storage::StoreRegistry::global().create(options_.metric_store);
     const std::string store_file =
@@ -190,18 +313,18 @@ void Run::build_document() {
                               {"provml:path", store_file}});
     doc.was_generated_by(store_id, run_id, strings::iso8601_utc(finished_ms_));
   }
-  for (const storage::MetricSeries& series : metrics_.all()) {
-    const std::string ctx_id = context_activity(series.context);
-    const std::string metric_id = "ex:metric/" + series.context + "/" + series.name;
+  for (const SeriesInfo& series : series_infos) {
+    const std::string ctx_id = context_activity(*series.context);
+    const std::string metric_id = "ex:metric/" + *series.context + "/" + *series.name;
     prov::Attributes attrs{{"prov:type", "provml:Metric"},
-                           {"provml:name", series.name},
-                           {"provml:context", series.context},
-                           {"provml:samples", static_cast<std::int64_t>(series.size())}};
-    if (!series.unit.empty()) attrs.emplace_back("provml:unit", series.unit);
-    if (embedded) {
+                           {"provml:name", *series.name},
+                           {"provml:context", *series.context},
+                           {"provml:samples", static_cast<std::int64_t>(series.count)}};
+    if (!series.unit->empty()) attrs.emplace_back("provml:unit", *series.unit);
+    if (embedded && series.data != nullptr) {
       json::Array samples;
-      samples.reserve(series.samples.size());
-      for (const storage::MetricSample& s : series.samples) {
+      samples.reserve(series.data->samples.size());
+      for (const storage::MetricSample& s : series.data->samples) {
         samples.push_back(json::make_object(
             {{"step", s.step}, {"time", s.timestamp_ms}, {"value", s.value}}));
       }
@@ -262,16 +385,31 @@ Status Run::finish() {
 
   build_document();
 
-  // Metric side store.
-  if (options_.metric_store != "embedded" && !metrics_.empty()) {
+  // Metric side store. Streaming: hand the staged tails to the flusher,
+  // drain it, and seal — the bulk of the data is already on disk. Batch:
+  // the whole set is serialized here (through the same sink machinery,
+  // via MetricStore::write).
+  if (streaming_) {
+    for (const auto& series : stream_series_) {
+      if (series->staged.empty()) continue;
+      MetricChunk chunk{series->name, series->context, series->unit,
+                        std::move(series->staged)};
+      series->staged = {};
+      (void)flush_queue_->push(std::move(chunk));
+    }
+    flush_queue_->close();
+    if (flusher_.joinable()) flusher_.join();
+    Status s = stream_status_;  // flusher has exited: safe to read
+    if (s.ok()) s = sink_->seal();
+    if (!s.ok()) return s;
+  } else if (!stream_status_.ok()) {
+    return stream_status_;  // streaming was requested but never opened
+  } else if (options_.metric_store != "embedded" && !metrics_.empty()) {
     const auto store = storage::StoreRegistry::global().create(options_.metric_store);
     if (store == nullptr) {
       return Error{"unknown metric store: " + options_.metric_store, run_name_};
     }
-    const std::string store_path =
-        (fs::path(options_.provenance_dir) / (run_name_ + "_metrics" + store->path_suffix()))
-            .string();
-    Status s = store->write(metrics_, store_path);
+    Status s = store->write(metrics_, metric_store_path());
     if (!s.ok()) return s;
   }
 

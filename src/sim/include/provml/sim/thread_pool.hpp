@@ -1,55 +1,12 @@
-// Fixed-size worker pool with a shared task queue. Used by the sweep engine
-// to run scaling-study configurations in parallel, and benchmarked by the
-// sweep-threading ablation.
+// The sweep engine's worker pool moved to provml_common so the storage
+// write path can share one process-wide pool (common/thread_pool.hpp);
+// this alias keeps the sim-facing spelling stable.
 #pragma once
 
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <future>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "provml/common/thread_pool.hpp"
 
 namespace provml::sim {
 
-class ThreadPool {
- public:
-  /// `workers` == 0 selects hardware_concurrency() (min 1).
-  explicit ThreadPool(unsigned workers = 0);
-
-  /// Drains outstanding tasks, then joins all workers.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueues a task; the future resolves with its result (or exception).
-  template <typename F>
-  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
-    using R = std::invoke_result_t<F>;
-    auto packaged = std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
-    std::future<R> result = packaged->get_future();
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace_back([packaged] { (*packaged)(); });
-    }
-    cv_.notify_one();
-    return result;
-  }
-
-  [[nodiscard]] unsigned worker_count() const {
-    return static_cast<unsigned>(workers_.size());
-  }
-
- private:
-  void worker_loop();
-
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-};
+using ThreadPool = common::ThreadPool;
 
 }  // namespace provml::sim

@@ -15,7 +15,8 @@ class JsonMetricStore final : public MetricStore {
 
   [[nodiscard]] std::string format_name() const override { return "json"; }
   [[nodiscard]] std::string path_suffix() const override { return ".json"; }
-  [[nodiscard]] Status write(const MetricSet& metrics, const std::string& path) const override;
+  [[nodiscard]] Expected<std::unique_ptr<MetricSink>> open_sink(
+      const std::string& path, const SinkOptions& options = {}) const override;
   [[nodiscard]] Expected<MetricSet> read(const std::string& path) const override;
 
  private:

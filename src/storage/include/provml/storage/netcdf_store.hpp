@@ -20,7 +20,8 @@ class NetcdfMetricStore final : public MetricStore {
  public:
   [[nodiscard]] std::string format_name() const override { return "netcdf"; }
   [[nodiscard]] std::string path_suffix() const override { return ".nc"; }
-  [[nodiscard]] Status write(const MetricSet& metrics, const std::string& path) const override;
+  [[nodiscard]] Expected<std::unique_ptr<MetricSink>> open_sink(
+      const std::string& path, const SinkOptions& options = {}) const override;
   [[nodiscard]] Expected<MetricSet> read(const std::string& path) const override;
 
   /// Global attributes written into the file header.

@@ -9,10 +9,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "provml/common/expected.hpp"
 #include "provml/storage/series.hpp"
+#include "provml/storage/sink.hpp"
 
 namespace provml::storage {
 
@@ -26,9 +28,17 @@ class MetricStore {
   /// Conventional path suffix for this format (".json", ".zarr", ".nc").
   [[nodiscard]] virtual std::string path_suffix() const = 0;
 
-  /// Serializes `metrics` to `path` (created/overwritten).
+  /// Opens a streaming sink targeting `path` (created/overwritten at
+  /// seal for single-file formats, at open for directory formats).
+  [[nodiscard]] virtual Expected<std::unique_ptr<MetricSink>> open_sink(
+      const std::string& path, const SinkOptions& options = {}) const = 0;
+
+  /// Serializes `metrics` to `path` (created/overwritten). Implemented on
+  /// top of open_sink(): declare every series, append every sample, seal.
+  /// Streaming the same samples through a sink therefore produces a
+  /// byte-identical store.
   [[nodiscard]] virtual Status write(const MetricSet& metrics,
-                                     const std::string& path) const = 0;
+                                     const std::string& path) const;
 
   /// Reads a MetricSet previously written by this store.
   [[nodiscard]] virtual Expected<MetricSet> read(const std::string& path) const = 0;
@@ -39,7 +49,9 @@ class MetricStore {
 };
 
 /// Name → factory registry mirroring compress::CodecRegistry. The built-in
-/// stores are pre-registered in global(); plugins may add more.
+/// stores are pre-registered in global(); plugins may add more. Thread-safe:
+/// worker threads (the run flusher, server handlers) create stores
+/// concurrently with registration.
 class StoreRegistry {
  public:
   using Factory = std::function<std::unique_ptr<MetricStore>()>;
@@ -52,6 +64,7 @@ class StoreRegistry {
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Factory> factories_;
 };
 

@@ -26,7 +26,21 @@ class ZarrMetricStore final : public MetricStore {
 
   [[nodiscard]] std::string format_name() const override { return "zarr"; }
   [[nodiscard]] std::string path_suffix() const override { return ".zarr"; }
-  [[nodiscard]] Status write(const MetricSet& metrics, const std::string& path) const override;
+
+  /// Chunked streaming sink. Chunk payloads are encoded on the worker pool
+  /// (SinkOptions::encode_pool, default the shared pool) and written in
+  /// order via write_file_atomic. With SinkOptions::durable the sink also
+  /// refreshes .zarray/.zattrs after every batch of completed chunks, so a
+  /// killed process leaves a readable sample prefix; without it the final
+  /// .zattrs written at seal() stays the all-or-nothing commit point.
+  [[nodiscard]] Expected<std::unique_ptr<MetricSink>> open_sink(
+      const std::string& path, const SinkOptions& options = {}) const override;
+
+  /// Tolerates a crashed streaming writer: a missing tail chunk or a
+  /// series listing ahead of the chunks on disk truncates the result to
+  /// the longest complete prefix instead of erroring. Corrupt chunk
+  /// *content* still fails (CRC/size checks), so bitrot is never
+  /// silently shortened away.
   [[nodiscard]] Expected<MetricSet> read(const std::string& path) const override;
 
   /// Partial read — the reason chunked stores exist: loads exactly one

@@ -62,10 +62,16 @@ Expected<MetricSet> metric_set_from_json(const json::Value& value) {
   return out;
 }
 
-Status JsonMetricStore::write(const MetricSet& metrics, const std::string& path) const {
-  json::WriteOptions opts;
-  opts.pretty = pretty_;
-  return json::write_file(path, metric_set_to_json(metrics), opts);
+Expected<std::unique_ptr<MetricSink>> JsonMetricStore::open_sink(
+    const std::string& path, const SinkOptions& /*options*/) const {
+  // Single-file format: buffer and publish one atomic file at seal.
+  const bool pretty = pretty_;
+  return std::unique_ptr<MetricSink>(new BufferedMetricSink(
+      path, [pretty](const MetricSet& metrics, const std::string& dst) {
+        json::WriteOptions opts;
+        opts.pretty = pretty;
+        return json::write_file(dst, metric_set_to_json(metrics), opts);
+      }));
 }
 
 Expected<MetricSet> JsonMetricStore::read(const std::string& path) const {

@@ -45,12 +45,19 @@ Expected<Bytes> read_block(const Bytes& data, std::size_t& offset) {
 
 }  // namespace
 
-Status NetcdfMetricStore::write(const MetricSet& metrics, const std::string& path) const {
+namespace {
+
+/// The batch serializer: assembles the whole single-file image. Both
+/// write() (via the base-class sink loop) and streaming sinks funnel
+/// through this, so their bytes cannot diverge.
+Status encode_netcdf(const MetricSet& metrics,
+                     const std::vector<std::pair<std::string, std::string>>& attributes,
+                     const std::string& path) {
   Bytes out;
   out.insert(out.end(), kMagic, kMagic + 4);
 
-  compress::varint_append(out, attributes_.size());
-  for (const auto& [key, value] : attributes_) {
+  compress::varint_append(out, attributes.size());
+  for (const auto& [key, value] : attributes) {
     append_string(out, key);
     append_string(out, value);
   }
@@ -88,6 +95,19 @@ Status NetcdfMetricStore::write(const MetricSet& metrics, const std::string& pat
     append_block(out, packed.value());
   }
   return compress::write_file_bytes(path, out);
+}
+
+}  // namespace
+
+Expected<std::unique_ptr<MetricSink>> NetcdfMetricStore::open_sink(
+    const std::string& path, const SinkOptions& /*options*/) const {
+  // Single-file format with counts ahead of the data: buffer in the sink
+  // and publish one atomic file at seal.
+  const std::vector<std::pair<std::string, std::string>> attributes = attributes_;
+  return std::unique_ptr<MetricSink>(new BufferedMetricSink(
+      path, [attributes](const MetricSet& metrics, const std::string& dst) {
+        return encode_netcdf(metrics, attributes, dst);
+      }));
 }
 
 Expected<MetricSet> NetcdfMetricStore::read(const std::string& path) const {

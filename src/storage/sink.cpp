@@ -1,0 +1,48 @@
+#include "provml/storage/sink.hpp"
+
+namespace provml::storage {
+
+Status MetricSink::append_block(std::size_t series, const MetricSample* samples,
+                                std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Status s = append(series, samples[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::ok_status();
+}
+
+Expected<std::size_t> BufferedMetricSink::declare_series(const std::string& name,
+                                                         const std::string& context,
+                                                         const std::string& unit) {
+  if (sealed_) return Error{"sink already sealed", path_};
+  MetricSeries& series = set_.series(name, context, unit);
+  for (std::size_t i = 0; i < by_id_.size(); ++i) {
+    if (by_id_[i] == &series) return i;
+  }
+  by_id_.push_back(&series);
+  return by_id_.size() - 1;
+}
+
+Status BufferedMetricSink::append(std::size_t series, const MetricSample& sample) {
+  if (sealed_) return Error{"sink already sealed", path_};
+  if (series >= by_id_.size()) return Error{"append to undeclared series", path_};
+  by_id_[series]->samples.push_back(sample);
+  return Status::ok_status();
+}
+
+Status BufferedMetricSink::append_block(std::size_t series, const MetricSample* samples,
+                                        std::size_t count) {
+  if (sealed_) return Error{"sink already sealed", path_};
+  if (series >= by_id_.size()) return Error{"append to undeclared series", path_};
+  std::vector<MetricSample>& dst = by_id_[series]->samples;
+  dst.insert(dst.end(), samples, samples + count);
+  return Status::ok_status();
+}
+
+Status BufferedMetricSink::seal() {
+  if (sealed_) return Status::ok_status();
+  sealed_ = true;
+  return writer_(set_, path_);
+}
+
+}  // namespace provml::storage

@@ -33,31 +33,56 @@ Expected<std::uint64_t> MetricStore::size_on_disk(const std::string& path) const
   return path_size_bytes(path);
 }
 
+Status MetricStore::write(const MetricSet& metrics, const std::string& path) const {
+  Expected<std::unique_ptr<MetricSink>> sink = open_sink(path);
+  if (!sink.ok()) return sink.error();
+  for (const MetricSeries& series : metrics.all()) {
+    Expected<std::size_t> id =
+        sink.value()->declare_series(series.name, series.context, series.unit);
+    if (!id.ok()) return id.error();
+    Status s = sink.value()->append_block(id.value(), series.samples.data(),
+                                          series.samples.size());
+    if (!s.ok()) return s;
+  }
+  return sink.value()->seal();
+}
+
 StoreRegistry& StoreRegistry::global() {
-  static StoreRegistry registry = [] {
-    StoreRegistry r;
-    r.register_store("json", [] { return std::make_unique<JsonMetricStore>(); });
-    r.register_store("zarr", [] { return std::make_unique<ZarrMetricStore>(); });
-    r.register_store("netcdf", [] { return std::make_unique<NetcdfMetricStore>(); });
-    return r;
+  static StoreRegistry registry;  // not movable (owns a mutex): fill in place
+  static const bool initialized = [] {
+    registry.register_store("json", [] { return std::make_unique<JsonMetricStore>(); });
+    registry.register_store("zarr", [] { return std::make_unique<ZarrMetricStore>(); });
+    registry.register_store("netcdf",
+                            [] { return std::make_unique<NetcdfMetricStore>(); });
+    return true;
   }();
+  (void)initialized;
   return registry;
 }
 
 void StoreRegistry::register_store(const std::string& name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   factories_[name] = std::move(factory);
 }
 
 std::unique_ptr<MetricStore> StoreRegistry::create(const std::string& name) const {
-  const auto it = factories_.find(name);
-  return it == factories_.end() ? nullptr : it->second();
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;  // copy: run the factory outside the lock
+  }
+  return factory();
 }
 
 bool StoreRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   return factories_.count(name) != 0;
 }
 
 std::vector<std::string> StoreRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);

@@ -2,13 +2,18 @@
 
 #include <cctype>
 #include <cstring>
+#include <deque>
 #include <filesystem>
+#include <future>
+#include <map>
+#include <span>
+#include <utility>
 
+#include "provml/common/thread_pool.hpp"
 #include "provml/compress/container.hpp"
 #include "provml/compress/varint.hpp"
 #include "provml/json/parse.hpp"
 #include "provml/json/write.hpp"
-#include "provml/storage/json_store.hpp"
 
 namespace provml::storage {
 namespace {
@@ -19,9 +24,9 @@ using compress::Bytes;
 constexpr const char* kColumns[3] = {"step", "timestamp", "value"};
 constexpr const char* kIntFilter = "delta-varint";
 
-std::string sanitize_dir(std::size_t index, const MetricSeries& s) {
+std::string sanitize_dir(std::size_t index, const std::string& key) {
   std::string out = "s" + std::to_string(index) + "_";
-  for (const char c : s.key()) {
+  for (const char c : key) {
     out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' || c == '-')
                ? c
                : '_';
@@ -29,21 +34,20 @@ std::string sanitize_dir(std::size_t index, const MetricSeries& s) {
   return out;
 }
 
-/// Extracts one column of a series as raw bytes ready for the codec chain.
-Bytes column_chunk_bytes(const MetricSeries& s, int column, std::size_t begin,
-                         std::size_t end) {
+/// Extracts one column of a chunk's samples as raw bytes ready for the
+/// codec chain.
+Bytes column_chunk_bytes(std::span<const MetricSample> samples, int column) {
   if (column == 2) {  // f64 values, little-endian memcpy
-    Bytes out((end - begin) * sizeof(double));
-    for (std::size_t i = begin; i < end; ++i) {
-      std::memcpy(out.data() + (i - begin) * sizeof(double), &s.samples[i].value,
-                  sizeof(double));
+    Bytes out(samples.size() * sizeof(double));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      std::memcpy(out.data() + i * sizeof(double), &samples[i].value, sizeof(double));
     }
     return out;
   }
   std::vector<std::int64_t> values;
-  values.reserve(end - begin);
-  for (std::size_t i = begin; i < end; ++i) {
-    values.push_back(column == 0 ? s.samples[i].step : s.samples[i].timestamp_ms);
+  values.reserve(samples.size());
+  for (const MetricSample& s : samples) {
+    values.push_back(column == 0 ? s.step : s.timestamp_ms);
   }
   return compress::pack_i64(values);
 }
@@ -74,68 +78,267 @@ Status restore_column(MetricSeries& s, int column, std::size_t begin, std::size_
   return Status::ok_status();
 }
 
-}  // namespace
+/// .zarray metadata for one column at the given logical length. Field
+/// order matters: streaming re-publishes must end up byte-identical to the
+/// batch writer's single publish.
+json::Value zarray_json(std::uint64_t shape, std::size_t chunk_length, int column,
+                        const std::string& col_codec) {
+  return json::Value(json::make_object(
+      {{"zarr_format", 2},
+       {"shape", json::Array{json::Value(shape)}},
+       {"chunks", json::Array{json::Value(chunk_length)}},
+       {"dtype", column == 2 ? "<f8" : "<i8"},
+       {"compressor", json::make_object({{"id", col_codec}})},
+       {"filters", column == 2 ? json::Array{} : json::Array{json::Value(kIntFilter)}}}));
+}
 
-Status ZarrMetricStore::write(const MetricSet& metrics, const std::string& path) const {
-  std::error_code ec;
-  fs::remove_all(path, ec);  // overwrite semantics, like a file store
-  if (!fs::create_directories(path, ec) && ec) {
-    return Error{"cannot create store directory: " + ec.message(), path};
+// --------------------------------------------------------------------- sink
+
+/// Streaming writer for the chunked directory layout. Appends stage into a
+/// per-series buffer; each time a buffer reaches chunk_length the chunk's
+/// three columns are handed to the worker pool for encoding, and the
+/// resulting container frames are written strictly in submission order —
+/// encode concurrently, publish sequentially, so the on-disk prefix is
+/// always contiguous.
+class ZarrMetricSink final : public MetricSink {
+ public:
+  ZarrMetricSink(std::string root, const ZarrOptions& options, const SinkOptions& sink_options)
+      : root_(std::move(root)),
+        chunk_length_(sink_options.chunk_length != 0 ? sink_options.chunk_length
+                                                     : options.chunk_length),
+        codec_(options.compress ? options.codec : "raw"),
+        int_codec_(options.compress ? options.int_codec : "raw"),
+        durable_(sink_options.durable),
+        inline_encode_(sink_options.inline_encode),
+        pool_(sink_options.encode_pool != nullptr ? *sink_options.encode_pool
+                                                  : common::ThreadPool::shared()) {}
+
+  /// Claims the directory: overwrite semantics, like the batch writer.
+  Status open() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+    if (!fs::create_directories(root_, ec) && ec) {
+      return Error{"cannot create store directory: " + ec.message(), root_};
+    }
+    return json::write_file((fs::path(root_) / ".zgroup").string(),
+                            json::Value(json::make_object({{"zarr_format", 2}})));
   }
 
-  const std::string codec = options_.compress ? options_.codec : "raw";
-  const std::string int_codec = options_.compress ? options_.int_codec : "raw";
+  Expected<std::size_t> declare_series(const std::string& name, const std::string& context,
+                                       const std::string& unit) override {
+    if (sealed_) return Error{"sink already sealed", root_};
+    const auto it = index_.find({context, name});
+    if (it != index_.end()) {
+      if (series_[it->second].unit.empty()) series_[it->second].unit = unit;
+      return it->second;
+    }
+    SeriesState state;
+    state.name = name;
+    state.context = context;
+    state.unit = unit;
+    state.dir = sanitize_dir(series_.size(), context + "/" + name);
+    series_.push_back(std::move(state));
+    index_.emplace(std::make_pair(context, name), series_.size() - 1);
+    return series_.size() - 1;
+  }
 
-  Status s = json::write_file((fs::path(path) / ".zgroup").string(),
-                              json::Value(json::make_object({{"zarr_format", 2}})));
-  if (!s.ok()) return s;
+  Status append(std::size_t series, const MetricSample& sample) override {
+    return append_block(series, &sample, 1);
+  }
 
-  json::Array listing;
-  for (std::size_t idx = 0; idx < metrics.all().size(); ++idx) {
-    const MetricSeries& series = metrics.all()[idx];
-    const std::string dir_name = sanitize_dir(idx, series);
-    listing.push_back(json::make_object({{"name", series.name},
-                                         {"context", series.context},
-                                         {"unit", series.unit},
-                                         {"path", dir_name},
-                                         {"length", series.samples.size()}}));
+  Status append_block(std::size_t series, const MetricSample* samples,
+                      std::size_t count) override {
+    if (sealed_) return Error{"sink already sealed", root_};
+    if (series >= series_.size()) return Error{"append to undeclared series", root_};
+    SeriesState& s = series_[series];
+    for (std::size_t i = 0; i < count; ++i) {
+      s.staged.push_back(samples[i]);
+      ++s.total;
+      if (s.staged.size() >= chunk_length_) {
+        Status st = seal_chunk(series);
+        if (!st.ok()) return st;
+      }
+    }
+    return Status::ok_status();
+  }
 
-    for (int column = 0; column < 3; ++column) {
-      const fs::path col_dir = fs::path(path) / dir_name / kColumns[column];
+  Status flush() override {
+    if (sealed_) return Status::ok_status();
+    Status st = drain(0);
+    if (!st.ok()) return st;
+    if (durable_ && (metadata_dirty_ || !attrs_written_)) {
+      return publish_metadata(/*final_shape=*/false);
+    }
+    return Status::ok_status();
+  }
+
+  Status seal() override {
+    if (sealed_) return Status::ok_status();
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      // Partial tail chunk — and, matching the batch layout, one empty
+      // chunk 0 for a series that never received a sample.
+      if (!series_[i].staged.empty() || series_[i].total == 0) {
+        Status st = seal_chunk(i);
+        if (!st.ok()) return st;
+      }
+    }
+    Status st = drain(0);
+    if (!st.ok()) return st;
+    st = publish_metadata(/*final_shape=*/true);
+    if (!st.ok()) return st;
+    sealed_ = true;
+    return Status::ok_status();
+  }
+
+ private:
+  struct SeriesState {
+    std::string name;
+    std::string context;
+    std::string unit;
+    std::string dir;
+    std::vector<MetricSample> staged;  ///< samples not yet in a sealed chunk
+    std::uint64_t total = 0;           ///< samples appended
+    std::uint64_t sealed = 0;          ///< samples handed to the encoder
+    std::uint64_t durable = 0;         ///< samples whose chunk triple is on disk
+    std::uint64_t published = 0;       ///< length covered by on-disk .zarray
+    std::size_t chunks = 0;            ///< chunks handed to the encoder
+    bool dirs_created = false;
+  };
+
+  struct PendingWrite {
+    std::string path;
+    std::future<Expected<Bytes>> encoded;
+    std::size_t series = 0;
+    std::uint64_t covers = 0;   ///< durable samples once this triple completes
+    bool completes_chunk = false;  ///< true on the value column
+  };
+
+  Status ensure_dirs(SeriesState& s) {
+    if (s.dirs_created) return Status::ok_status();
+    for (const char* column : kColumns) {
+      std::error_code ec;
+      const fs::path col_dir = fs::path(root_) / s.dir / column;
       if (!fs::create_directories(col_dir, ec) && ec) {
         return Error{"cannot create column directory: " + ec.message(), col_dir.string()};
       }
-      const std::string col_codec = column == 2 ? codec : int_codec;
-      json::Object zarray = json::make_object(
-          {{"zarr_format", 2},
-           {"shape", json::Array{series.samples.size()}},
-           {"chunks", json::Array{options_.chunk_length}},
-           {"dtype", column == 2 ? "<f8" : "<i8"},
-           {"compressor", json::make_object({{"id", col_codec}})},
-           {"filters",
-            column == 2 ? json::Array{} : json::Array{json::Value(kIntFilter)}}});
-      s = json::write_file((col_dir / ".zarray").string(), json::Value(std::move(zarray)));
-      if (!s.ok()) return s;
-
-      const std::size_t n = series.samples.size();
-      for (std::size_t begin = 0, chunk = 0; begin < n || chunk == 0;
-           begin += options_.chunk_length, ++chunk) {
-        if (begin >= n && chunk > 0) break;
-        const std::size_t end = std::min(begin + options_.chunk_length, n);
-        const Bytes raw = column_chunk_bytes(series, column, begin, end);
-        Expected<Bytes> packed = compress::pack(raw, col_codec);
-        if (!packed.ok()) return packed.error();
-        s = compress::write_file_bytes((col_dir / std::to_string(chunk)).string(),
-                                       packed.value());
-        if (!s.ok()) return s;
-        if (end == n) break;
-      }
     }
+    s.dirs_created = true;
+    return Status::ok_status();
   }
 
-  json::Object attrs;
-  attrs.set("series", std::move(listing));
-  return json::write_file((fs::path(path) / ".zattrs").string(), json::Value(std::move(attrs)));
+  /// Moves the staged buffer into three encode jobs on the pool and queues
+  /// their outputs for in-order writing.
+  Status seal_chunk(std::size_t idx) {
+    SeriesState& s = series_[idx];
+    Status st = ensure_dirs(s);
+    if (!st.ok()) return st;
+    const auto samples =
+        std::make_shared<const std::vector<MetricSample>>(std::move(s.staged));
+    s.staged = {};
+    const std::size_t chunk = s.chunks++;
+    s.sealed += samples->size();
+    const std::uint64_t covers = s.sealed;
+    for (int column = 0; column < 3; ++column) {
+      const std::string col_codec = column == 2 ? codec_ : int_codec_;
+      PendingWrite w;
+      w.path = (fs::path(root_) / s.dir / kColumns[column] / std::to_string(chunk)).string();
+      if (inline_encode_) {
+        std::promise<Expected<Bytes>> ready;
+        ready.set_value(compress::pack(column_chunk_bytes(*samples, column), col_codec));
+        w.encoded = ready.get_future();
+      } else {
+        w.encoded = pool_.submit([samples, column, col_codec] {
+          return compress::pack(column_chunk_bytes(*samples, column), col_codec);
+        });
+      }
+      w.series = idx;
+      w.covers = covers;
+      w.completes_chunk = column == 2;
+      pending_.push_back(std::move(w));
+    }
+    // Bound in-flight encoded chunks so a huge batch write cannot hold the
+    // whole store in memory: leave roughly one wave per worker queued.
+    const std::size_t limit = 3 * (pool_.worker_count() + 1);
+    return pending_.size() > limit ? drain(limit) : Status::ok_status();
+  }
+
+  /// Writes queued chunk files oldest-first until at most `keep` remain.
+  Status drain(std::size_t keep) {
+    while (pending_.size() > keep) {
+      PendingWrite w = std::move(pending_.front());
+      pending_.pop_front();
+      Expected<Bytes> packed = w.encoded.get();
+      if (!packed.ok()) return packed.error();
+      Status st = compress::write_file_bytes(w.path, packed.value());
+      if (!st.ok()) return st;
+      if (w.completes_chunk && w.covers > series_[w.series].durable) {
+        series_[w.series].durable = w.covers;
+        metadata_dirty_ = true;
+      }
+    }
+    return Status::ok_status();
+  }
+
+  /// Publishes .zarray for every series (shape = durable prefix, or the
+  /// full total at seal) and then the .zattrs listing — last, so it stays
+  /// the batch commit point and, when streaming, never declares samples
+  /// whose chunks are not on disk yet.
+  Status publish_metadata(bool final_shape) {
+    json::Array listing;
+    for (SeriesState& s : series_) {
+      const std::uint64_t len = final_shape ? s.total : s.durable;
+      if (len != s.published || !attrs_written_ || final_shape) {
+        Status st = ensure_dirs(s);
+        if (!st.ok()) return st;
+        for (int column = 0; column < 3; ++column) {
+          const std::string col_codec = column == 2 ? codec_ : int_codec_;
+          const fs::path col_dir = fs::path(root_) / s.dir / kColumns[column];
+          st = json::write_file((col_dir / ".zarray").string(),
+                                zarray_json(len, chunk_length_, column, col_codec));
+          if (!st.ok()) return st;
+        }
+        s.published = len;
+      }
+      listing.push_back(json::make_object({{"name", s.name},
+                                           {"context", s.context},
+                                           {"unit", s.unit},
+                                           {"path", s.dir},
+                                           {"length", json::Value(len)}}));
+    }
+    json::Object attrs;
+    attrs.set("series", std::move(listing));
+    Status st = json::write_file((fs::path(root_) / ".zattrs").string(),
+                                 json::Value(std::move(attrs)));
+    if (!st.ok()) return st;
+    attrs_written_ = true;
+    metadata_dirty_ = false;
+    return Status::ok_status();
+  }
+
+  std::string root_;
+  std::size_t chunk_length_;
+  std::string codec_;
+  std::string int_codec_;
+  bool durable_;
+  bool inline_encode_ = false;
+  common::ThreadPool& pool_;
+
+  std::vector<SeriesState> series_;
+  std::map<std::pair<std::string, std::string>, std::size_t> index_;  // (ctx, name)
+  std::deque<PendingWrite> pending_;
+  bool attrs_written_ = false;
+  bool metadata_dirty_ = false;
+  bool sealed_ = false;
+};
+
+}  // namespace
+
+Expected<std::unique_ptr<MetricSink>> ZarrMetricStore::open_sink(
+    const std::string& path, const SinkOptions& options) const {
+  auto sink = std::make_unique<ZarrMetricSink>(path, options_, options);
+  Status st = sink->open();
+  if (!st.ok()) return st.error();
+  return std::unique_ptr<MetricSink>(std::move(sink));
 }
 
 namespace {
@@ -157,7 +360,12 @@ Expected<json::Value> read_listing(const std::string& path) {
   return *listing;
 }
 
-/// Loads one series described by a listing entry into `series`.
+/// Loads one series described by a listing entry into `series`. A store
+/// abandoned by a killed streaming writer may declare more samples than
+/// its chunk files cover; a missing *chunk* file truncates the series to
+/// the longest prefix every column can serve. A missing .zarray or a
+/// present-but-corrupt file is still a hard error (listed series publish
+/// their .zarray before the listing, so a crash cannot lose one).
 Status read_entry(const std::string& path, const json::Value& entry,
                   MetricSeries& series) {
   const json::Value* dir = entry.find("path");
@@ -170,8 +378,12 @@ Status read_entry(const std::string& path, const json::Value& entry,
   // extension is backed by bytes actually read from disk, so a forged
   // `length` alone cannot demand a giant allocation.
 
+  std::size_t effective = n;  // min prefix across columns
   for (int column = 0; column < 3; ++column) {
     const fs::path col_dir = fs::path(path) / dir->as_string() / kColumns[column];
+    std::error_code ec;
+    // A series only enters the .zattrs listing after its .zarray files are
+    // on disk, so a missing .zarray is corruption — not a crashed tail.
     Expected<json::Value> zarray = json::parse_file((col_dir / ".zarray").string());
     if (!zarray.ok()) return zarray.error();
     const json::Value* chunks = zarray.value().find("chunks");
@@ -184,12 +396,17 @@ Status read_entry(const std::string& path, const json::Value& entry,
     }
     const auto chunk_length = static_cast<std::size_t>(chunks->as_array()[0].as_int());
 
+    std::size_t achieved = n;
     for (std::size_t begin = 0, chunk = 0; begin < n || chunk == 0;
          begin += chunk_length, ++chunk) {
       if (begin >= n && chunk > 0) break;
       const std::size_t end = std::min(begin + chunk_length, n);
-      Expected<Bytes> packed =
-          compress::read_file_bytes((col_dir / std::to_string(chunk)).string());
+      const fs::path chunk_path = col_dir / std::to_string(chunk);
+      if (!fs::exists(chunk_path, ec)) {
+        achieved = begin;  // missing tail chunk: the declared shape is stale
+        break;
+      }
+      Expected<Bytes> packed = compress::read_file_bytes(chunk_path.string());
       if (!packed.ok()) return packed.error();
       Expected<Bytes> raw = compress::unpack(packed.value());
       if (!raw.ok()) return raw.error();
@@ -197,6 +414,11 @@ Status read_entry(const std::string& path, const json::Value& entry,
       if (!s.ok()) return s;
       if (end == n) break;
     }
+    effective = std::min(effective, achieved);
+  }
+  if (effective < n) {
+    series.samples.resize(effective);
+    return Status::ok_status();
   }
   if (series.samples.size() != n) {
     return Error{"series shorter than declared length", path};
