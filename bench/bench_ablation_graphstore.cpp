@@ -77,6 +77,34 @@ void BM_IndexedFind(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexedFind)->Arg(100)->Arg(10000);
 
+/// The ablation partner of BM_IndexedFind: the same probe answered by a
+/// full node-table scan, the way a store without a property index would —
+/// quantifies what the composite (label, key, value) index buys.
+void BM_ScanFind(benchmark::State& state) {
+  graphstore::PropertyGraph graph;
+  const auto nodes = state.range(0);
+  for (std::int64_t i = 0; i < nodes; ++i) {
+    graph.add_node({"Run"}, json::make_object({{"run_id", i}}));
+  }
+  std::int64_t probe = 0;
+  for (auto _ : state) {
+    const json::Value want(probe++ % nodes);
+    std::optional<graphstore::NodeId> hit;
+    for (const graphstore::NodeId id : graph.node_ids()) {
+      const graphstore::Node* n = graph.node(id);
+      if (n->labels.count("Run") == 0) continue;
+      const json::Value* v = n->properties.find("run_id");
+      if (v != nullptr && *v == want) {
+        hit = id;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(hit.has_value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScanFind)->Arg(100)->Arg(10000);
+
 void BM_ShortestPath(benchmark::State& state) {
   graphstore::PropertyGraph graph;
   const auto n = state.range(0);
@@ -109,6 +137,57 @@ void BM_PatternQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_PatternQuery)->Arg(10)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+/// The same pattern run through the reference matcher (full scan, no
+/// anchor selection, no reversal, no condition pushdown): the planner's
+/// ablation baseline. run_query == run_query_brute_force row-for-row;
+/// only the work to get there differs.
+void BM_PatternQueryBruteForce(benchmark::State& state) {
+  graphstore::PropertyGraph graph;
+  const prov::Document doc = synthetic_run(static_cast<int>(state.range(0)));
+  (void)graphstore::ingest_document(graph, doc, "bench");
+  const auto query = graphstore::parse_query(
+      "MATCH (c:Entity)-[:wasGeneratedBy]->(e:Activity)-[:used]->(p:Entity) "
+      "RETURN c, p").take();
+  for (auto _ : state) {
+    auto rows = graphstore::run_query_brute_force(graph, query);
+    benchmark::DoNotOptimize(rows.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PatternQueryBruteForce)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// A selective anchored query: one epoch activity pinned by property, one
+/// hop out. The planner anchors on the (label, prov_id, value) posting
+/// list (size 1); brute force scans every node. This is the paper's
+/// "query one run out of thousands" shape.
+void BM_SelectiveQuery(benchmark::State& state) {
+  graphstore::PropertyGraph graph;
+  const int epochs = static_cast<int>(state.range(0));
+  const prov::Document doc = synthetic_run(epochs);
+  (void)graphstore::ingest_document(graph, doc, "bench");
+  const std::string text =
+      "MATCH (e:Activity {prov_id: \"ex:epoch_" + std::to_string(epochs / 2) +
+      "\"})-[:used]->(p:Entity) RETURN p";
+  const auto query = graphstore::parse_query(text).take();
+  const bool brute = state.range(1) != 0;
+  for (auto _ : state) {
+    auto rows = brute ? graphstore::run_query_brute_force(graph, query)
+                      : graphstore::run_query(graph, query);
+    benchmark::DoNotOptimize(rows.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectiveQuery)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_QueryParse(benchmark::State& state) {
   const std::string text =

@@ -19,10 +19,10 @@ namespace {
 using namespace provml;
 using namespace provml::net;
 
-prov::Document seed_document() {
+prov::Document seed_document(int pairs = 8) {
   prov::Document doc;
   doc.declare_namespace("ex", "http://example.org/");
-  for (int i = 0; i < 8; ++i) {
+  for (int i = 0; i < pairs; ++i) {
     const std::string n = std::to_string(i);
     doc.add_entity("ex:ckpt" + n);
     doc.add_activity("ex:train" + n);
@@ -67,6 +67,73 @@ BENCHMARK(BM_ServerRequestThroughput)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Closed-loop read throughput: worker-thread sweep × response cache
+/// on/off, 8 keep-alive clients cycling full-document GETs (the
+/// expensive cacheable route: re-serializes 256 element/relation
+/// triples per miss), stats GETs, and MATCH queries (never cached).
+/// With the cache off every GET re-runs the route under the service's
+/// shared lock; with it on, repeat reads at an unchanged graph version
+/// short-circuit before touching the graph at all.
+void BM_ServerReadThroughput(benchmark::State& state) {
+  YProvHttpApp::Options options;
+  options.cache_capacity = state.range(1) != 0 ? 256 : 0;
+  YProvHttpApp app(options);
+  (void)app.service().put_document("exp", seed_document(256));
+  ServerConfig config;
+  config.threads = static_cast<unsigned>(state.range(0));
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  if (!server.start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&server, c] {
+        HttpClient client("127.0.0.1", server.port());
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          switch ((c + i) % 3) {
+            case 0: {
+              auto r = client.get("/api/v0/documents/exp");
+              benchmark::DoNotOptimize(r.ok());
+              break;
+            }
+            case 1: {
+              auto r = client.get("/api/v0/documents/exp/stats");
+              benchmark::DoNotOptimize(r.ok());
+              break;
+            }
+            default: {
+              auto r = client.post("/api/v0/query",
+                                   "MATCH (c:Entity)-[:wasGeneratedBy]->(a:Activity) "
+                                   "RETURN c, a");
+              benchmark::DoNotOptimize(r.ok());
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * kClients * kRequestsPerClient);
+  server.stop();
+}
+BENCHMARK(BM_ServerReadThroughput)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

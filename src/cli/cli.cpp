@@ -504,7 +504,15 @@ int cmd_serve(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     config.threads = static_cast<unsigned>(*value);
   }
 
-  net::YProvHttpApp app;
+  net::YProvHttpApp::Options app_options;
+  const auto cache = args.options.find("cache");
+  if (cache != args.options.end()) {
+    const auto value = strings::to_int64(cache->second);
+    if (!value || *value < 0 || *value > 1000000) return fail(err, "invalid --cache");
+    app_options.cache_capacity = static_cast<std::size_t>(*value);
+  }
+
+  net::YProvHttpApp app(app_options);
   const auto snapshot = args.options.find("snapshot");
   if (snapshot != args.options.end() &&
       fs::exists(fs::path(snapshot->second) / "index.json")) {
@@ -566,7 +574,7 @@ std::string usage() {
          "  get <store> <name> [--element <id>] query the store\n"
          "  query <store> '<MATCH ...>'         pattern query over the graph\n"
          "  query --url <svc> '<MATCH ...>'     pattern query over HTTP\n"
-         "  serve [--port N] [--threads K] [--snapshot DIR]\n"
+         "  serve [--port N] [--threads K] [--snapshot DIR] [--cache N]\n"
          "                                      run the yProv HTTP service\n"
          "  fit <store>                         fit the scaling law to stored runs\n"
          "  predict <store> <output> k=v...     k-NN forecast from stored runs\n"

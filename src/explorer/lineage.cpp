@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <set>
+#include <unordered_map>
 
 namespace provml::explorer {
 namespace {
@@ -10,31 +11,32 @@ namespace {
 /// means activity a consumed e; wasGeneratedBy(e, a) means e came from a.
 /// Upstream therefore walks subject → object.
 struct DepEdge {
-  const std::string* from;
   const std::string* to;
   const char* via;
 };
 
-std::vector<DepEdge> dependency_edges(const prov::Document& doc,
-                                      LineageDirection direction) {
-  std::vector<DepEdge> edges;
-  edges.reserve(doc.relations().size());
+/// Edges bucketed by source id, so the BFS expands a node in O(degree)
+/// instead of rescanning the whole relation list per frontier entry.
+/// Buckets keep relation-declaration order, preserving hop order exactly.
+std::unordered_map<std::string, std::vector<DepEdge>> dependency_index(
+    const prov::Document& doc, LineageDirection direction) {
+  std::unordered_map<std::string, std::vector<DepEdge>> index;
   for (const prov::Relation& r : doc.relations()) {
     const char* via = prov::relation_spec(r.kind).json_key;
     if (direction == LineageDirection::kUpstream) {
-      edges.push_back({&r.subject, &r.object, via});
+      index[r.subject].push_back({&r.object, via});
     } else {
-      edges.push_back({&r.object, &r.subject, via});
+      index[r.object].push_back({&r.subject, via});
     }
   }
-  return edges;
+  return index;
 }
 
 }  // namespace
 
 std::vector<LineageHop> lineage(const prov::Document& doc, const std::string& start_id,
                                 LineageDirection direction, std::size_t max_depth) {
-  const std::vector<DepEdge> edges = dependency_edges(doc, direction);
+  const auto index = dependency_index(doc, direction);
   std::vector<LineageHop> result;
   std::set<std::string> seen{start_id};
   std::deque<LineageHop> frontier{{start_id, "", 0}};
@@ -42,8 +44,9 @@ std::vector<LineageHop> lineage(const prov::Document& doc, const std::string& st
     const LineageHop current = frontier.front();
     frontier.pop_front();
     if (max_depth != 0 && current.depth == max_depth) continue;
-    for (const DepEdge& edge : edges) {
-      if (*edge.from != current.id) continue;
+    const auto bucket = index.find(current.id);
+    if (bucket == index.end()) continue;
+    for (const DepEdge& edge : bucket->second) {
       if (!seen.insert(*edge.to).second) continue;
       LineageHop hop{*edge.to, edge.via, current.depth + 1};
       result.push_back(hop);

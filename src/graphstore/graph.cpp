@@ -2,32 +2,106 @@
 
 #include <algorithm>
 #include <deque>
-
-#include "provml/json/write.hpp"
+#include <functional>
 
 namespace provml::graphstore {
+namespace {
 
-std::string PropertyGraph::index_key(const std::string& label, const std::string& key,
-                                     const json::Value& value) {
-  // The serialized value disambiguates types (1 vs "1" vs 1.0).
-  return label + "\x1f" + key + "\x1f" + json::write(value);
+inline std::size_t hash_mix(std::size_t seed, std::size_t h) {
+  // boost::hash_combine's mixing constant; good enough for table keys.
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Structural hash over a JSON value. Consistent with json::Value equality:
+/// values of different variant alternatives (1 vs 1.0 vs "1") never compare
+/// equal, so hashing the type tag first is safe.
+std::size_t hash_value(const json::Value& v) {
+  std::size_t seed = static_cast<std::size_t>(v.type());
+  switch (v.type()) {
+    case json::Value::Type::kNull:
+      break;
+    case json::Value::Type::kBool:
+      seed = hash_mix(seed, std::hash<bool>{}(v.as_bool()));
+      break;
+    case json::Value::Type::kInt:
+      seed = hash_mix(seed, std::hash<std::int64_t>{}(v.as_int()));
+      break;
+    case json::Value::Type::kDouble:
+      seed = hash_mix(seed, std::hash<double>{}(v.as_double()));
+      break;
+    case json::Value::Type::kString:
+      seed = hash_mix(seed, std::hash<std::string>{}(v.as_string()));
+      break;
+    case json::Value::Type::kArray:
+      for (const json::Value& item : v.as_array()) seed = hash_mix(seed, hash_value(item));
+      break;
+    case json::Value::Type::kObject:
+      for (const auto& [key, value] : v.as_object()) {
+        seed = hash_mix(seed, std::hash<std::string>{}(key));
+        seed = hash_mix(seed, hash_value(value));
+      }
+      break;
+  }
+  return seed;
+}
+
+}  // namespace
+
+std::size_t PropertyGraph::PropKeyHash::operator()(const PropKey& k) const {
+  std::size_t seed = std::hash<LabelId>{}(k.label);
+  seed = hash_mix(seed, std::hash<std::string>{}(k.key));
+  return hash_mix(seed, hash_value(k.value));
+}
+
+std::optional<PropertyGraph::LabelId> PropertyGraph::label_id(const std::string& label) const {
+  const auto it = label_ids_.find(label);
+  if (it == label_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+PropertyGraph::LabelId PropertyGraph::intern_label(const std::string& label) {
+  const auto it = label_ids_.find(label);
+  if (it != label_ids_.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(label_index_.size());
+  label_ids_.emplace(label, id);
+  label_index_.emplace_back();
+  return id;
+}
+
+std::optional<PropertyGraph::TypeId> PropertyGraph::type_id(const std::string& type) const {
+  const auto it = type_ids_.find(type);
+  if (it == type_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+PropertyGraph::TypeId PropertyGraph::intern_type(const std::string& type) {
+  const auto it = type_ids_.find(type);
+  if (it != type_ids_.end()) return it->second;
+  const TypeId id = static_cast<TypeId>(type_ids_.size());
+  type_ids_.emplace(type, id);
+  return id;
 }
 
 void PropertyGraph::index_node(const Node& n) {
   for (const std::string& label : n.labels) {
+    const LabelId lid = intern_label(label);
+    label_index_[lid].insert(n.id);
     for (const auto& [key, value] : n.properties) {
-      index_[index_key(label, key, value)].insert(n.id);
+      prop_index_[PropKey{lid, key, value}].insert(n.id);
     }
   }
 }
 
 void PropertyGraph::unindex_node(const Node& n) {
   for (const std::string& label : n.labels) {
+    const std::optional<LabelId> lid = label_id(label);
+    if (!lid) continue;
+    label_index_[*lid].erase(n.id);
     for (const auto& [key, value] : n.properties) {
-      const auto it = index_.find(index_key(label, key, value));
-      if (it != index_.end()) {
+      const auto it = prop_index_.find(PropKey{*lid, key, value});
+      if (it != prop_index_.end()) {
         it->second.erase(n.id);
-        if (it->second.empty()) index_.erase(it);
+        if (it->second.empty()) prop_index_.erase(it);
       }
     }
   }
@@ -46,16 +120,41 @@ Expected<EdgeId> PropertyGraph::add_edge(NodeId from, NodeId to, std::string typ
   if (nodes_.count(from) == 0) return Error{"unknown source node", std::to_string(from)};
   if (nodes_.count(to) == 0) return Error{"unknown target node", std::to_string(to)};
   const EdgeId id = next_edge_++;
+  const TypeId tid = intern_type(type);
   edges_.emplace(id, Edge{id, from, to, std::move(type), std::move(properties)});
-  out_[from].push_back(id);
-  in_[to].push_back(id);
+  Adjacency& out = out_[from];
+  out.all.push_back(id);
+  out.by_type[tid].push_back(id);
+  Adjacency& in = in_[to];
+  in.all.push_back(id);
+  in.by_type[tid].push_back(id);
   return id;
+}
+
+void PropertyGraph::unlink_edge(const Edge& e) {
+  const std::optional<TypeId> tid = type_id(e.type);
+  auto drop = [&](std::unordered_map<NodeId, Adjacency>& table, NodeId node) {
+    const auto it = table.find(node);
+    if (it == table.end()) return;
+    auto& all = it->second.all;
+    all.erase(std::remove(all.begin(), all.end(), e.id), all.end());
+    if (tid) {
+      const auto bucket = it->second.by_type.find(*tid);
+      if (bucket != it->second.by_type.end()) {
+        auto& vec = bucket->second;
+        vec.erase(std::remove(vec.begin(), vec.end(), e.id), vec.end());
+        if (vec.empty()) it->second.by_type.erase(bucket);
+      }
+    }
+  };
+  drop(out_, e.from);
+  drop(in_, e.to);
 }
 
 Status PropertyGraph::remove_node(NodeId id) {
   const auto it = nodes_.find(id);
   if (it == nodes_.end()) return Error{"unknown node", std::to_string(id)};
-  // Collect incident edges first: erasing mutates the adjacency maps.
+  // Collect incident edges first: erasing mutates the adjacency tables.
   std::vector<EdgeId> incident;
   for (const Direction dir : {Direction::kOut, Direction::kIn}) {
     for (const EdgeId e : edges_of(id, dir)) incident.push_back(e);
@@ -63,10 +162,7 @@ Status PropertyGraph::remove_node(NodeId id) {
   for (const EdgeId eid : incident) {
     const auto eit = edges_.find(eid);
     if (eit == edges_.end()) continue;
-    auto& out_vec = out_[eit->second.from];
-    out_vec.erase(std::remove(out_vec.begin(), out_vec.end(), eid), out_vec.end());
-    auto& in_vec = in_[eit->second.to];
-    in_vec.erase(std::remove(in_vec.begin(), in_vec.end(), eid), in_vec.end());
+    unlink_edge(eit->second);
     edges_.erase(eit);
   }
   unindex_node(it->second);
@@ -98,40 +194,72 @@ std::vector<NodeId> PropertyGraph::node_ids() const {
   std::vector<NodeId> out;
   out.reserve(nodes_.size());
   for (const auto& [id, n] : nodes_) out.push_back(id);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<NodeId> PropertyGraph::nodes_with_label(const std::string& label) const {
-  std::vector<NodeId> out;
-  for (const auto& [id, n] : nodes_) {
-    if (n.labels.count(label) != 0) out.push_back(id);
-  }
-  return out;
+  const std::optional<LabelId> lid = label_id(label);
+  if (!lid) return {};
+  const std::set<NodeId>& postings = label_index_[*lid];
+  return {postings.begin(), postings.end()};
 }
 
 std::vector<NodeId> PropertyGraph::find(const std::string& label, const std::string& key,
                                         const json::Value& value) const {
-  const auto it = index_.find(index_key(label, key, value));
-  if (it == index_.end()) return {};
+  const std::optional<LabelId> lid = label_id(label);
+  if (!lid) return {};
+  const auto it = prop_index_.find(PropKey{*lid, key, value});
+  if (it == prop_index_.end()) return {};
   return {it->second.begin(), it->second.end()};
 }
 
 std::optional<NodeId> PropertyGraph::find_one(const std::string& label, const std::string& key,
                                               const json::Value& value) const {
-  const std::vector<NodeId> matches = find(label, key, value);
-  if (matches.empty()) return std::nullopt;
-  return matches.front();
+  const std::optional<LabelId> lid = label_id(label);
+  if (!lid) return std::nullopt;
+  const auto it = prop_index_.find(PropKey{*lid, key, value});
+  if (it == prop_index_.end() || it->second.empty()) return std::nullopt;
+  return *it->second.begin();
+}
+
+std::size_t PropertyGraph::count_with_label(const std::string& label) const {
+  const std::optional<LabelId> lid = label_id(label);
+  return lid ? label_index_[*lid].size() : 0;
+}
+
+std::size_t PropertyGraph::count_with_property(const std::string& label, const std::string& key,
+                                               const json::Value& value) const {
+  const std::optional<LabelId> lid = label_id(label);
+  if (!lid) return 0;
+  const auto it = prop_index_.find(PropKey{*lid, key, value});
+  return it == prop_index_.end() ? 0 : it->second.size();
+}
+
+std::size_t PropertyGraph::degree(NodeId id, Direction dir) const {
+  std::size_t n = 0;
+  if (dir == Direction::kOut || dir == Direction::kBoth) {
+    const auto it = out_.find(id);
+    if (it != out_.end()) n += it->second.all.size();
+  }
+  if (dir == Direction::kIn || dir == Direction::kBoth) {
+    const auto it = in_.find(id);
+    if (it != in_.end()) n += it->second.all.size();
+  }
+  return n;
 }
 
 std::vector<EdgeId> PropertyGraph::edges_of(NodeId id, Direction dir) const {
   std::vector<EdgeId> result;
   if (dir == Direction::kOut || dir == Direction::kBoth) {
     const auto it = out_.find(id);
-    if (it != out_.end()) result.insert(result.end(), it->second.begin(), it->second.end());
+    if (it != out_.end())
+      result.insert(result.end(), it->second.all.begin(), it->second.all.end());
   }
   if (dir == Direction::kIn || dir == Direction::kBoth) {
     const auto it = in_.find(id);
-    if (it != in_.end()) result.insert(result.end(), it->second.begin(), it->second.end());
+    if (it != in_.end())
+      result.insert(result.end(), it->second.all.begin(), it->second.all.end());
   }
   return result;
 }
@@ -139,11 +267,27 @@ std::vector<EdgeId> PropertyGraph::edges_of(NodeId id, Direction dir) const {
 std::vector<NodeId> PropertyGraph::neighbors(NodeId id, Direction dir,
                                              const std::string& edge_type) const {
   std::vector<NodeId> result;
-  for (const EdgeId eid : edges_of(id, dir)) {
-    const Edge& e = edges_.at(eid);
-    if (!edge_type.empty() && e.type != edge_type) continue;
-    result.push_back(e.from == id ? e.to : e.from);
+  if (edge_type.empty()) {
+    for (const EdgeId eid : edges_of(id, dir)) {
+      const Edge& e = edges_.find(eid)->second;
+      result.push_back(e.from == id ? e.to : e.from);
+    }
+    return result;
   }
+  const std::optional<TypeId> tid = type_id(edge_type);
+  if (!tid) return result;
+  auto walk = [&](const std::unordered_map<NodeId, Adjacency>& table, bool outgoing) {
+    const auto it = table.find(id);
+    if (it == table.end()) return;
+    const auto bucket = it->second.by_type.find(*tid);
+    if (bucket == it->second.by_type.end()) return;
+    for (const EdgeId eid : bucket->second) {
+      const Edge& e = edges_.find(eid)->second;
+      result.push_back(outgoing ? e.to : e.from);
+    }
+  };
+  if (dir == Direction::kOut || dir == Direction::kBoth) walk(out_, true);
+  if (dir == Direction::kIn || dir == Direction::kBoth) walk(in_, false);
   return result;
 }
 
@@ -199,9 +343,13 @@ std::string to_dot(const PropertyGraph& graph) {
   for (const NodeId id : graph.node_ids()) {
     const Node* n = graph.node(id);
     const json::Value* prov_id = n->properties.find("prov_id");
-    std::string label = prov_id != nullptr && prov_id->is_string()
-                            ? prov_id->as_string()
-                            : "#" + std::to_string(id);
+    std::string label;
+    if (prov_id != nullptr && prov_id->is_string()) {
+      label = prov_id->as_string();
+    } else {
+      label = "#";
+      label += std::to_string(id);
+    }
     std::string escaped;
     for (const char c : label) {
       if (c == '"' || c == '\\') escaped += '\\';

@@ -2,6 +2,14 @@
 // service facade, substituting for the Neo4j back-end described in the
 // paper (Fiore et al. 2023). Supports labeled nodes/edges with JSON
 // properties, a (label, key, value) equality index, and BFS traversals.
+//
+// Internals are built for a read-dominated service: labels and edge types
+// are interned to small integer ids, node/edge tables are hash maps, every
+// label keeps a posting list of its nodes, adjacency is bucketed per edge
+// type, and the equality index is keyed on a structured
+// (label_id, key, value) tuple — no string concatenation on any lookup.
+// Posting-list sizes are exposed so the query planner can pick the most
+// selective anchor.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +17,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "provml/common/expected.hpp"
@@ -53,7 +62,7 @@ class PropertyGraph {
   /// All node ids, ascending.
   [[nodiscard]] std::vector<NodeId> node_ids() const;
 
-  /// All nodes carrying `label`.
+  /// All nodes carrying `label`, ascending.
   [[nodiscard]] std::vector<NodeId> nodes_with_label(const std::string& label) const;
 
   /// Indexed equality match: nodes with `label` whose property `key` equals
@@ -66,11 +75,26 @@ class PropertyGraph {
                                                const std::string& key,
                                                const json::Value& value) const;
 
+  // -- planner statistics ------------------------------------------------------
+  /// Posting-list size of `label` (0 when never seen). O(1).
+  [[nodiscard]] std::size_t count_with_label(const std::string& label) const;
+
+  /// Posting-list size of the (label, key, value) equality index entry
+  /// without materializing the matches. O(1) hash lookups.
+  [[nodiscard]] std::size_t count_with_property(const std::string& label,
+                                                const std::string& key,
+                                                const json::Value& value) const;
+
+  /// Incident-edge count in the given direction. O(1).
+  [[nodiscard]] std::size_t degree(NodeId id, Direction dir) const;
+
   // -- traversal -------------------------------------------------------------
-  /// Incident edges in the given direction.
+  /// Incident edges in the given direction, insertion order (out before in
+  /// for kBoth).
   [[nodiscard]] std::vector<EdgeId> edges_of(NodeId id, Direction dir) const;
 
-  /// Adjacent node ids (optionally restricted to one edge type).
+  /// Adjacent node ids (optionally restricted to one edge type). A typed
+  /// request reads the per-type adjacency bucket directly.
   [[nodiscard]] std::vector<NodeId> neighbors(NodeId id, Direction dir,
                                               const std::string& edge_type = "") const;
 
@@ -85,16 +109,49 @@ class PropertyGraph {
                                                   Direction dir = Direction::kBoth) const;
 
  private:
-  [[nodiscard]] static std::string index_key(const std::string& label, const std::string& key,
-                                             const json::Value& value);
+  using LabelId = std::uint32_t;
+  using TypeId = std::uint32_t;
+
+  /// Composite equality-index key. Values compare with json::Value's deep
+  /// equality, which distinguishes 1 / "1" / 1.0 exactly like the previous
+  /// serialized-string key did (integers and doubles are distinct variant
+  /// alternatives and serialize distinctly).
+  struct PropKey {
+    LabelId label = 0;
+    std::string key;
+    json::Value value;
+    bool operator==(const PropKey& other) const {
+      return label == other.label && key == other.key && value == other.value;
+    }
+  };
+  struct PropKeyHash {
+    std::size_t operator()(const PropKey& k) const;
+  };
+
+  /// Per-node incident edges for one direction: the full insertion-order
+  /// list plus per-edge-type buckets (each bucket insertion-ordered).
+  struct Adjacency {
+    std::vector<EdgeId> all;
+    std::unordered_map<TypeId, std::vector<EdgeId>> by_type;
+  };
+
+  [[nodiscard]] std::optional<LabelId> label_id(const std::string& label) const;
+  LabelId intern_label(const std::string& label);
+  [[nodiscard]] std::optional<TypeId> type_id(const std::string& type) const;
+  TypeId intern_type(const std::string& type);
+
   void index_node(const Node& n);
   void unindex_node(const Node& n);
+  void unlink_edge(const Edge& e);
 
-  std::map<NodeId, Node> nodes_;
-  std::map<EdgeId, Edge> edges_;
-  std::map<NodeId, std::vector<EdgeId>> out_;
-  std::map<NodeId, std::vector<EdgeId>> in_;
-  std::map<std::string, std::set<NodeId>> index_;
+  std::unordered_map<NodeId, Node> nodes_;
+  std::unordered_map<EdgeId, Edge> edges_;
+  std::unordered_map<NodeId, Adjacency> out_;
+  std::unordered_map<NodeId, Adjacency> in_;
+  std::unordered_map<std::string, LabelId> label_ids_;
+  std::unordered_map<std::string, TypeId> type_ids_;
+  std::vector<std::set<NodeId>> label_index_;  ///< postings by LabelId
+  std::unordered_map<PropKey, std::set<NodeId>, PropKeyHash> prop_index_;
   NodeId next_node_ = 1;
   EdgeId next_edge_ = 1;
 };

@@ -61,13 +61,38 @@ struct Query {
 /// One result row: returned variable → matched node.
 using Row = std::map<std::string, NodeId>;
 
+/// How run_query() decided to anchor the path match. Exposed for tests and
+/// benches; explain_query() fills it without executing.
+struct QueryPlan {
+  enum class Anchor { kScanAll, kLabel, kProperty } anchor = Anchor::kScanAll;
+  std::string label;            ///< chosen label (kLabel/kProperty)
+  std::string property_key;     ///< chosen property (kProperty)
+  bool reversed = false;        ///< match ran from the last pattern node
+  std::size_t estimated_candidates = 0;  ///< posting-list size of the anchor
+};
+
+/// Plans `query` against `graph` without executing it: picks the most
+/// selective anchor (smallest posting list over every label and
+/// label×property pair of both endpoint patterns) and decides which end of
+/// the path to start from.
+[[nodiscard]] QueryPlan explain_query(const PropertyGraph& graph, const Query& query);
+
 /// Executes a parsed query against `graph`. Rows are deduplicated and
-/// deterministic (ordered by binding ids).
+/// deterministic (ordered by binding ids). Uses the label/property indexes
+/// to pick the most selective starting point, may match the path from
+/// either endpoint, and prunes WHERE conditions during expansion.
 [[nodiscard]] Expected<std::vector<Row>> run_query(const PropertyGraph& graph,
                                                    const Query& query);
 
 /// Convenience: parse + run.
 [[nodiscard]] Expected<std::vector<Row>> run_query(const PropertyGraph& graph,
                                                    const std::string& text);
+
+/// Reference matcher: full node-table scan, no index use, no condition
+/// pushdown, no endpoint reversal. Semantically equivalent to run_query()
+/// by construction — the property/fuzz suites assert the two return
+/// identical rows, and the bench ablation measures the gap.
+[[nodiscard]] Expected<std::vector<Row>> run_query_brute_force(const PropertyGraph& graph,
+                                                               const Query& query);
 
 }  // namespace provml::graphstore

@@ -8,9 +8,20 @@
 //   DELETE /api/v0/documents/<name>               → remove document
 //   GET    /api/v0/documents/<name>/elements/<id> → one element + edges
 //   GET    /api/v0/documents/<name>/stats         → node/edge counts
+//
+// Concurrency: handle() and the copy-returning direct accessors are
+// thread-safe. Reads (GET routes, POST /api/v0/query, list/count) take a
+// shared lock; PUT/DELETE take an exclusive lock, so queries scale across
+// server workers while writes stay serialized. Every successful mutation
+// bumps a monotonic graph version, which HTTP front-ends use as a response
+// cache key. The pointer/reference accessors (get_document(), graph())
+// bypass the lock and are for single-threaded embedders or setup/teardown.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <string>
 
 #include "provml/graphstore/graph.hpp"
@@ -31,16 +42,32 @@ struct Response {
 
 class YProvService {
  public:
-  /// Dispatches a request to the matching route.
+  YProvService() = default;
+  // Movable so load() and snapshot swaps work; the mutex is not moved —
+  // moves are setup-time operations on unshared instances.
+  YProvService(YProvService&& other) noexcept;
+  YProvService& operator=(YProvService&& other) noexcept;
+
+  /// Dispatches a request to the matching route. Thread-safe: read-only
+  /// methods run under a shared lock, PUT/DELETE under an exclusive one.
   [[nodiscard]] Response handle(const Request& request);
 
-  // Direct (non-HTTP) API used by the CLI and embedders.
+  // Direct (non-HTTP) API used by the CLI and embedders. put/delete/list/
+  // count lock internally; the pointer/reference accessors do not.
   [[nodiscard]] Status put_document(const std::string& name, const prov::Document& doc);
   [[nodiscard]] const prov::Document* get_document(const std::string& name) const;
   [[nodiscard]] bool delete_document(const std::string& name);
   [[nodiscard]] std::vector<std::string> list_documents() const;
+  [[nodiscard]] std::size_t document_count() const;
 
   [[nodiscard]] const PropertyGraph& graph() const { return graph_; }
+
+  /// Monotonic counter bumped by every successful mutation (PUT/DELETE,
+  /// direct or routed). Response caches key on it: any hit keyed at the
+  /// current version is guaranteed not to predate the latest write.
+  [[nodiscard]] std::uint64_t graph_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   /// Persists every stored document under `dir` (one PROV-JSON file each
   /// plus an index).
@@ -49,8 +76,14 @@ class YProvService {
   [[nodiscard]] static Expected<YProvService> load(const std::string& dir);
 
  private:
+  Response route(const Request& request);  ///< caller holds the lock
+  Status put_document_impl(const std::string& name, const prov::Document& doc);
+  bool delete_document_impl(const std::string& name);
   void rebuild_graph();
+  void bump_version() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
+  mutable std::shared_mutex mutex_;
+  std::atomic<std::uint64_t> version_{0};
   std::map<std::string, prov::Document> documents_;
   PropertyGraph graph_;
 };

@@ -256,27 +256,109 @@ bool node_matches(const PropertyGraph& graph, NodeId id, const NodePattern& patt
   return true;
 }
 
-/// Candidate nodes for the pattern, using the property index when possible.
-std::vector<NodeId> candidates(const PropertyGraph& graph, const NodePattern& pattern) {
-  if (!pattern.labels.empty() && !pattern.properties.empty()) {
-    const auto& [key, value] = *pattern.properties.begin();
-    std::vector<NodeId> indexed = graph.find(pattern.labels.front(), key, value);
-    indexed.erase(std::remove_if(indexed.begin(), indexed.end(),
-                                 [&](NodeId id) { return !node_matches(graph, id, pattern); }),
-                  indexed.end());
-    return indexed;
+bool condition_holds_impl(const PropertyGraph& graph, NodeId id, const Condition& cond);
+
+// ---------------------------------------------------------------- planner
+
+/// Plans where candidate nodes for `pattern` come from: the smallest
+/// posting list over every label and every label×property pair, or a full
+/// scan when the pattern has no label. The explicit minimum replaces the
+/// old arbitrary labels.front()/properties.begin() pick.
+QueryPlan plan_anchor(const PropertyGraph& graph, const NodePattern& pattern) {
+  QueryPlan plan;
+  if (pattern.labels.empty()) {
+    plan.anchor = QueryPlan::Anchor::kScanAll;
+    plan.estimated_candidates = graph.node_count();
+    return plan;
   }
-  std::vector<NodeId> out;
-  const std::vector<NodeId> pool = pattern.labels.empty()
-                                       ? graph.node_ids()
-                                       : graph.nodes_with_label(pattern.labels.front());
-  for (const NodeId id : pool) {
-    if (node_matches(graph, id, pattern)) out.push_back(id);
+  plan.anchor = QueryPlan::Anchor::kLabel;
+  plan.label = pattern.labels.front();
+  plan.estimated_candidates = graph.count_with_label(pattern.labels.front());
+  for (const std::string& label : pattern.labels) {
+    const std::size_t n = graph.count_with_label(label);
+    if (n < plan.estimated_candidates) {
+      plan.anchor = QueryPlan::Anchor::kLabel;
+      plan.label = label;
+      plan.estimated_candidates = n;
+    }
+    for (const auto& [key, value] : pattern.properties) {
+      const std::size_t m = graph.count_with_property(label, key, value);
+      if (m <= plan.estimated_candidates) {
+        plan.anchor = QueryPlan::Anchor::kProperty;
+        plan.label = label;
+        plan.property_key = key;
+        plan.estimated_candidates = m;
+      }
+    }
   }
-  return out;
+  return plan;
 }
 
-void extend(const PropertyGraph& graph, const Query& query, std::size_t depth,
+/// Candidate nodes for the pattern per `plan`, fully re-checked against the
+/// whole pattern (the index narrows, node_matches decides).
+std::vector<NodeId> candidates(const PropertyGraph& graph, const NodePattern& pattern,
+                               const QueryPlan& plan) {
+  std::vector<NodeId> pool;
+  switch (plan.anchor) {
+    case QueryPlan::Anchor::kScanAll:
+      pool = graph.node_ids();
+      break;
+    case QueryPlan::Anchor::kLabel:
+      pool = graph.nodes_with_label(plan.label);
+      break;
+    case QueryPlan::Anchor::kProperty:
+      pool = graph.find(plan.label, plan.property_key,
+                        *pattern.properties.find(plan.property_key));
+      break;
+  }
+  pool.erase(std::remove_if(pool.begin(), pool.end(),
+                            [&](NodeId id) { return !node_matches(graph, id, pattern); }),
+             pool.end());
+  return pool;
+}
+
+/// Conditions attached to the node-pattern position they prune, preserving
+/// the historical semantics: each condition applies to the *first* pattern
+/// whose var matches (vars are normally unique per query).
+std::vector<std::vector<const Condition*>> conditions_by_position(const Query& query) {
+  std::vector<std::vector<const Condition*>> by_pos(query.nodes.size());
+  for (const Condition& cond : query.conditions) {
+    for (std::size_t i = 0; i < query.nodes.size(); ++i) {
+      if (query.nodes[i].var == cond.var) {
+        by_pos[i].push_back(&cond);
+        break;
+      }
+    }
+  }
+  return by_pos;
+}
+
+/// The query with its path flipped end-to-end: node patterns reversed,
+/// edges reversed with their directions mirrored. Matching the reversed
+/// query and flipping each found path yields exactly the original matches.
+Query reverse_query(const Query& query) {
+  Query reversed;
+  reversed.nodes.assign(query.nodes.rbegin(), query.nodes.rend());
+  reversed.edges.reserve(query.edges.size());
+  for (auto it = query.edges.rbegin(); it != query.edges.rend(); ++it) {
+    EdgePattern edge = *it;
+    if (edge.direction == Direction::kOut) {
+      edge.direction = Direction::kIn;
+    } else if (edge.direction == Direction::kIn) {
+      edge.direction = Direction::kOut;
+    }
+    reversed.edges.push_back(edge);
+  }
+  reversed.conditions = query.conditions;
+  reversed.returns = query.returns;
+  return reversed;
+}
+
+/// Depth-first path expansion with WHERE pushdown: a frontier node must
+/// satisfy both its pattern and every condition bound to its position, so
+/// non-matching paths are pruned during expansion instead of post-filtered.
+void extend(const PropertyGraph& graph, const Query& query,
+            const std::vector<std::vector<const Condition*>>& conds, std::size_t depth,
             std::vector<NodeId>& path, std::set<std::vector<NodeId>>& results) {
   if (depth == query.nodes.size()) {
     results.insert(path);
@@ -285,18 +367,46 @@ void extend(const PropertyGraph& graph, const Query& query, std::size_t depth,
   const EdgePattern& edge = query.edges[depth - 1];
   for (const NodeId next : graph.neighbors(path.back(), edge.direction, edge.type)) {
     if (!node_matches(graph, next, query.nodes[depth])) continue;
+    const bool pruned = std::any_of(
+        conds[depth].begin(), conds[depth].end(),
+        [&](const Condition* c) { return !condition_holds_impl(graph, next, *c); });
+    if (pruned) continue;
     path.push_back(next);
-    extend(graph, query, depth + 1, path, results);
+    extend(graph, query, conds, depth + 1, path, results);
     path.pop_back();
   }
 }
 
+/// Deterministic row assembly shared by the planner and brute-force paths:
+/// paths are in original pattern orientation, rows ordered by path order,
+/// deduplicated on the returned bindings.
+std::vector<Row> rows_from_paths(const Query& query,
+                                 const std::set<std::vector<NodeId>>& paths) {
+  std::vector<Row> rows;
+  std::set<Row> seen;
+  for (const std::vector<NodeId>& path : paths) {
+    Row row;
+    for (std::size_t i = 0; i < query.nodes.size(); ++i) {
+      const std::string& var = query.nodes[i].var;
+      if (var.empty()) continue;
+      if (std::find(query.returns.begin(), query.returns.end(), var) !=
+          query.returns.end()) {
+        row[var] = path[i];
+      }
+    }
+    if (seen.insert(row).second) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 }  // namespace
+
+namespace {
 
 /// Evaluates one WHERE condition against a node's property value.
 /// Missing properties never match; numbers compare numerically, strings
 /// lexicographically; cross-type comparisons are false.
-bool condition_holds(const PropertyGraph& graph, NodeId id, const Condition& cond) {
+bool condition_holds_impl(const PropertyGraph& graph, NodeId id, const Condition& cond) {
   const Node* n = graph.node(id);
   if (n == nullptr) return false;
   const json::Value* actual = n->properties.find(cond.key);
@@ -334,51 +444,78 @@ bool condition_holds(const PropertyGraph& graph, NodeId id, const Condition& con
   return false;
 }
 
+}  // namespace
+
 Expected<Query> parse_query(const std::string& text) { return Parser(text).run(); }
+
+QueryPlan explain_query(const PropertyGraph& graph, const Query& query) {
+  if (query.nodes.empty()) return QueryPlan{};
+  QueryPlan front = plan_anchor(graph, query.nodes.front());
+  if (query.nodes.size() == 1) return front;
+  QueryPlan back = plan_anchor(graph, query.nodes.back());
+  if (back.estimated_candidates < front.estimated_candidates) {
+    back.reversed = true;
+    return back;
+  }
+  return front;
+}
 
 Expected<std::vector<Row>> run_query(const PropertyGraph& graph, const Query& query) {
   if (query.nodes.empty()) return Error{"query has no node patterns", "query"};
+  const QueryPlan plan = explain_query(graph, query);
+
+  // Execute in anchor orientation; conditions keep their original
+  // first-occurrence positions, mirrored when the path is reversed.
+  const Query executed = plan.reversed ? reverse_query(query) : query;
+  std::vector<std::vector<const Condition*>> conds = conditions_by_position(query);
+  if (plan.reversed) std::reverse(conds.begin(), conds.end());
+
   std::set<std::vector<NodeId>> paths;
-  for (const NodeId start : candidates(graph, query.nodes.front())) {
+  for (const NodeId start : candidates(graph, executed.nodes.front(), plan)) {
+    const bool pruned = std::any_of(
+        conds.front().begin(), conds.front().end(),
+        [&](const Condition* c) { return !condition_holds_impl(graph, start, *c); });
+    if (pruned) continue;
     std::vector<NodeId> path{start};
-    extend(graph, query, 1, path, paths);
+    extend(graph, executed, conds, 1, path, paths);
   }
 
-  // Apply WHERE conditions: map each condition's variable to its pattern
-  // index once, then filter paths.
-  if (!query.conditions.empty()) {
-    std::vector<std::pair<std::size_t, const Condition*>> indexed;
-    for (const Condition& cond : query.conditions) {
-      for (std::size_t i = 0; i < query.nodes.size(); ++i) {
-        if (query.nodes[i].var == cond.var) {
-          indexed.emplace_back(i, &cond);
+  if (plan.reversed) {
+    std::set<std::vector<NodeId>> forward;
+    for (const std::vector<NodeId>& path : paths) {
+      forward.emplace(path.rbegin(), path.rend());
+    }
+    paths.swap(forward);
+  }
+  return rows_from_paths(query, paths);
+}
+
+Expected<std::vector<Row>> run_query_brute_force(const PropertyGraph& graph,
+                                                 const Query& query) {
+  if (query.nodes.empty()) return Error{"query has no node patterns", "query"};
+  // Full scan, forward orientation, no index, no pushdown.
+  std::set<std::vector<NodeId>> paths;
+  const std::vector<std::vector<const Condition*>> no_conds(query.nodes.size());
+  for (const NodeId start : graph.node_ids()) {
+    if (!node_matches(graph, start, query.nodes.front())) continue;
+    std::vector<NodeId> path{start};
+    extend(graph, query, no_conds, 1, path, paths);
+  }
+  // Post-filter WHERE conditions over complete paths.
+  const std::vector<std::vector<const Condition*>> conds = conditions_by_position(query);
+  for (auto it = paths.begin(); it != paths.end();) {
+    bool keep = true;
+    for (std::size_t i = 0; i < query.nodes.size() && keep; ++i) {
+      for (const Condition* c : conds[i]) {
+        if (!condition_holds_impl(graph, (*it)[i], *c)) {
+          keep = false;
           break;
         }
       }
     }
-    for (auto it = paths.begin(); it != paths.end();) {
-      const bool keep = std::all_of(indexed.begin(), indexed.end(), [&](const auto& ic) {
-        return condition_holds(graph, (*it)[ic.first], *ic.second);
-      });
-      it = keep ? std::next(it) : paths.erase(it);
-    }
+    it = keep ? std::next(it) : paths.erase(it);
   }
-
-  std::vector<Row> rows;
-  std::set<Row> seen;
-  for (const std::vector<NodeId>& path : paths) {
-    Row row;
-    for (std::size_t i = 0; i < query.nodes.size(); ++i) {
-      const std::string& var = query.nodes[i].var;
-      if (var.empty()) continue;
-      if (std::find(query.returns.begin(), query.returns.end(), var) !=
-          query.returns.end()) {
-        row[var] = path[i];
-      }
-    }
-    if (seen.insert(row).second) rows.push_back(std::move(row));
-  }
-  return rows;
+  return rows_from_paths(query, paths);
 }
 
 Expected<std::vector<Row>> run_query(const PropertyGraph& graph, const std::string& text) {

@@ -1,6 +1,8 @@
 #include "provml/graphstore/service.hpp"
 
 #include <filesystem>
+#include <mutex>
+#include <shared_mutex>
 
 #include "provml/common/strings.hpp"
 #include "provml/graphstore/ingest.hpp"
@@ -44,7 +46,26 @@ json::Value edge_summary(const PropertyGraph& graph, const Edge& e, bool outgoin
 
 }  // namespace
 
+YProvService::YProvService(YProvService&& other) noexcept
+    : version_(other.version_.load()),
+      documents_(std::move(other.documents_)),
+      graph_(std::move(other.graph_)) {}
+
+YProvService& YProvService::operator=(YProvService&& other) noexcept {
+  if (this != &other) {
+    documents_ = std::move(other.documents_);
+    graph_ = std::move(other.graph_);
+    version_.store(other.version_.load());
+  }
+  return *this;
+}
+
 Status YProvService::put_document(const std::string& name, const prov::Document& doc) {
+  const std::unique_lock lock(mutex_);
+  return put_document_impl(name, doc);
+}
+
+Status YProvService::put_document_impl(const std::string& name, const prov::Document& doc) {
   if (name.empty() || name.find('/') != std::string::npos) {
     return Error{"invalid document name", name};
   }
@@ -52,6 +73,7 @@ Status YProvService::put_document(const std::string& name, const prov::Document&
   documents_[name] = doc;
   if (replacing) {
     rebuild_graph();  // replace semantics: drop the old nodes first
+    bump_version();
     return Status::ok_status();
   }
   Expected<IngestStats> stats = ingest_document(graph_, doc, name);
@@ -59,6 +81,7 @@ Status YProvService::put_document(const std::string& name, const prov::Document&
     documents_.erase(name);
     return stats.error();
   }
+  bump_version();
   return Status::ok_status();
 }
 
@@ -77,19 +100,42 @@ const prov::Document* YProvService::get_document(const std::string& name) const 
 }
 
 bool YProvService::delete_document(const std::string& name) {
+  const std::unique_lock lock(mutex_);
+  return delete_document_impl(name);
+}
+
+bool YProvService::delete_document_impl(const std::string& name) {
   if (documents_.erase(name) == 0) return false;
   rebuild_graph();
+  bump_version();
   return true;
 }
 
 std::vector<std::string> YProvService::list_documents() const {
+  const std::shared_lock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(documents_.size());
   for (const auto& [name, doc] : documents_) names.push_back(name);
   return names;
 }
 
+std::size_t YProvService::document_count() const {
+  const std::shared_lock lock(mutex_);
+  return documents_.size();
+}
+
 Response YProvService::handle(const Request& request) {
+  // Writers mutate documents_ and rebuild graph_; everything else only
+  // reads, including unknown methods/routes (they just produce 4xx).
+  if (request.method == "PUT" || request.method == "DELETE") {
+    const std::unique_lock lock(mutex_);
+    return route(request);
+  }
+  const std::shared_lock lock(mutex_);
+  return route(request);
+}
+
+Response YProvService::route(const Request& request) {
   // POST /api/v0/query — body is a MATCH query; the response lists rows of
   // bound prov ids.
   if (request.path == "/api/v0/query") {
@@ -121,7 +167,7 @@ Response YProvService::handle(const Request& request) {
   if (rest.empty()) {
     if (request.method != "GET") return method_not_allowed("GET");
     json::Array names;
-    for (const std::string& name : list_documents()) names.emplace_back(name);
+    for (const auto& [name, doc] : documents_) names.emplace_back(name);
     json::Object body;
     body.set("documents", std::move(names));
     return Response{200, json::write(json::Value(std::move(body)))};
@@ -136,7 +182,7 @@ Response YProvService::handle(const Request& request) {
       if (!parsed.ok()) return error_response(400, parsed.error().to_string());
       Expected<prov::Document> doc = prov::from_prov_json(parsed.value());
       if (!doc.ok()) return error_response(400, doc.error().to_string());
-      Status s = put_document(name, doc.value());
+      Status s = put_document_impl(name, doc.value());
       if (!s.ok()) return error_response(400, s.error().to_string());
       return Response{201, "{}"};
     }
@@ -146,7 +192,7 @@ Response YProvService::handle(const Request& request) {
       return Response{200, prov::to_prov_json_string(*doc, /*pretty=*/false)};
     }
     if (request.method == "DELETE") {
-      if (!delete_document(name)) return error_response(404, "document not found");
+      if (!delete_document_impl(name)) return error_response(404, "document not found");
       return Response{200, "{}"};
     }
     return method_not_allowed("GET, PUT, DELETE");
@@ -216,6 +262,7 @@ Response YProvService::handle(const Request& request) {
 }
 
 Status YProvService::save(const std::string& dir) const {
+  const std::shared_lock lock(mutex_);
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) return Error{"cannot create directory: " + ec.message(), dir};

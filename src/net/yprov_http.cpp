@@ -11,7 +11,65 @@ YProvHttpApp::Counters YProvHttpApp::counters() const {
   c.status_4xx = status_4xx_.load();
   c.status_5xx = status_5xx_.load();
   c.latency_us_total = latency_us_total_.load();
+  c.cache_hits = cache_hits_.load();
+  c.cache_misses = cache_misses_.load();
+  c.reads = reads_.load();
+  c.writes = writes_.load();
+  c.read_latency_us = read_latency_us_.load();
+  c.write_latency_us = write_latency_us_.load();
   return c;
+}
+
+bool YProvHttpApp::cache_lookup(const CacheKey& key, HttpResponse& out) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_map_.find(key);
+  if (it == cache_map_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  out.status = it->second->status;
+  out.body = it->second->body;
+  return true;
+}
+
+void YProvHttpApp::cache_store(CacheKey key, const HttpResponse& response) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_map_.count(key) != 0) return;  // another worker raced us to it
+  lru_.push_front(CacheEntry{key, response.status, response.body});
+  cache_map_.emplace(std::move(key), lru_.begin());
+  while (lru_.size() > options_.cache_capacity) {
+    cache_map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+HttpResponse YProvHttpApp::health_response(const HttpRequest& request) {
+  HttpResponse response;
+  if (request.method != "GET") {
+    response.status = 405;
+    response.body = "{\"error\":\"method not allowed\",\"allow\":\"GET\"}";
+    return response;
+  }
+  const Counters c = counters();
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - started_);
+  json::Object body;
+  body.set("status", "ok");
+  body.set("uptime_s", static_cast<std::int64_t>(uptime.count()));
+  body.set("documents", service_.document_count());
+  body.set("graph_version", service_.graph_version());
+  body.set("requests", c.requests);
+  body.set("responses_2xx", c.status_2xx);
+  body.set("responses_4xx", c.status_4xx);
+  body.set("responses_5xx", c.status_5xx);
+  body.set("cache_hits", c.cache_hits);
+  body.set("cache_misses", c.cache_misses);
+  const auto mean_ms = [](std::uint64_t total_us, std::uint64_t n) {
+    return n == 0 ? 0.0 : static_cast<double>(total_us) / (1000.0 * static_cast<double>(n));
+  };
+  body.set("mean_latency_ms", mean_ms(c.latency_us_total, c.requests));
+  body.set("mean_read_latency_ms", mean_ms(c.read_latency_us, c.reads));
+  body.set("mean_write_latency_ms", mean_ms(c.write_latency_us, c.writes));
+  response.body = json::write(json::Value(std::move(body)));
+  return response;
 }
 
 HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
@@ -23,53 +81,57 @@ HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
   const std::size_t query = path.find('?');
   if (query != std::string::npos) path.erase(query);
 
+  const bool is_write = request.method == "PUT" || request.method == "DELETE";
+  bool cache_hit = false;
+
   if (path == "/api/v0/health") {
-    if (request.method != "GET") {
-      response.status = 405;
-      response.body = "{\"error\":\"method not allowed\",\"allow\":\"GET\"}";
-    } else {
-      const Counters c = counters();
-      const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
-          std::chrono::steady_clock::now() - started_);
-      std::size_t documents = 0;
-      {
-        const std::lock_guard<std::mutex> lock(service_mutex_);
-        documents = service_.list_documents().size();
-      }
-      json::Object body;
-      body.set("status", "ok");
-      body.set("uptime_s", static_cast<std::int64_t>(uptime.count()));
-      body.set("documents", documents);
-      body.set("requests", c.requests);
-      body.set("responses_2xx", c.status_2xx);
-      body.set("responses_4xx", c.status_4xx);
-      body.set("responses_5xx", c.status_5xx);
-      const double mean_ms =
-          c.requests == 0 ? 0.0
-                          : static_cast<double>(c.latency_us_total) /
-                                (1000.0 * static_cast<double>(c.requests));
-      body.set("mean_latency_ms", mean_ms);
-      response.body = json::write(json::Value(std::move(body)));
-    }
+    response = health_response(request);
   } else {
-    graphstore::Request inner;
-    inner.method = request.method;
-    inner.path = std::move(path);
-    inner.body = request.body;
-    graphstore::Response routed;
-    {
-      const std::lock_guard<std::mutex> lock(service_mutex_);
-      routed = service_.handle(inner);
+    // GETs and MATCH-query POSTs are cacheable: both are pure functions
+    // of (path, body, graph state), and the version in the key pins the
+    // state. The version is read *before* the route executes, so a result
+    // can only ever be stored under a key as old as or older than the
+    // state it reflects — a later reader at the current version never
+    // sees a pre-write body.
+    const bool is_query = request.method == "POST" && path == "/api/v0/query";
+    const bool cacheable =
+        (request.method == "GET" || is_query) && options_.cache_capacity > 0;
+    CacheKey key;
+    if (cacheable) {
+      key = CacheKey{service_.graph_version(), path,
+                     is_query ? request.body : std::string()};
+      cache_hit = cache_lookup(key, response);
+      if (cache_hit) {
+        ++cache_hits_;
+      } else {
+        ++cache_misses_;
+      }
     }
-    response.status = routed.status;
-    response.body = std::move(routed.body);
+    if (!cache_hit) {
+      graphstore::Request inner;
+      inner.method = request.method;
+      inner.path = std::move(path);
+      inner.body = request.body;
+      const graphstore::Response routed = service_.handle(inner);
+      response.status = routed.status;
+      response.body = routed.body;
+      if (cacheable && response.status == 200) cache_store(std::move(key), response);
+    }
   }
 
-  ++requests_;
-  latency_us_total_ += static_cast<std::uint64_t>(
+  const auto elapsed_us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  ++requests_;
+  latency_us_total_ += elapsed_us;
+  if (is_write) {
+    ++writes_;
+    write_latency_us_ += elapsed_us;
+  } else {
+    ++reads_;
+    read_latency_us_ += elapsed_us;
+  }
   if (response.status >= 500) {
     ++status_5xx_;
   } else if (response.status >= 400) {

@@ -214,6 +214,110 @@ prov::Document gen_prov_document(Rng& rng, const ProvGenOptions& opts) {
   return doc;
 }
 
+// ---------------------------------------------------------------------- graph
+
+namespace {
+
+// Shared vocabulary for graph + query generation: small pools so random
+// patterns collide with random graphs often enough to produce rows.
+const std::vector<std::string> kGraphLabels = {"Entity", "Activity", "Agent", "Run",
+                                               "Prov"};
+const std::vector<std::string> kGraphEdgeTypes = {"used", "wasGeneratedBy",
+                                                  "wasAssociatedWith", "follows"};
+const std::vector<std::string> kGraphPropKeys = {"name", "rank", "score", "flag"};
+const std::vector<std::string> kGraphNames = {"alpha", "beta", "gamma", "delta"};
+const std::vector<std::string> kGraphScores = {"0.5", "1.5", "2.25"};
+
+/// Property value typed by key, mirroring graph_literal() below so inline
+/// constraints and WHERE literals can hit stored values exactly.
+json::Value gen_graph_prop_value(Rng& rng, const std::string& key) {
+  if (key == "name") return json::Value(rng.pick(kGraphNames));
+  if (key == "rank") return json::Value(static_cast<std::int64_t>(rng.below(6)));
+  if (key == "score") return json::Value(0.25 + 0.25 * static_cast<double>(rng.below(10)));
+  return json::Value(rng.chance(0.5));
+}
+
+/// The same value space rendered as query-text literal syntax.
+std::string graph_literal(Rng& rng, const std::string& key) {
+  if (key == "name") return "\"" + rng.pick(kGraphNames) + "\"";
+  if (key == "rank") return std::to_string(rng.below(6));
+  if (key == "score") return rng.pick(kGraphScores);
+  return rng.chance(0.5) ? "true" : "false";
+}
+
+}  // namespace
+
+graphstore::PropertyGraph gen_property_graph(Rng& rng, const GraphGenOptions& opts) {
+  graphstore::PropertyGraph graph;
+  std::vector<graphstore::NodeId> ids;
+  const std::size_t nodes = 1 + rng.below(opts.max_nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    std::set<std::string> labels;
+    if (!rng.chance(0.1)) {  // ~10% unlabeled, like raw imported nodes
+      labels.insert(rng.pick(kGraphLabels));
+      if (rng.chance(0.25)) labels.insert(rng.pick(kGraphLabels));
+    }
+    const graphstore::NodeId id = graph.add_node(std::move(labels));
+    const std::size_t props = rng.below(4);
+    for (std::size_t p = 0; p < props; ++p) {
+      const std::string& key = rng.pick(kGraphPropKeys);
+      graph.set_property(id, key, gen_graph_prop_value(rng, key));
+    }
+    ids.push_back(id);
+  }
+  const std::size_t edges = rng.below(opts.max_edges + 1);
+  for (std::size_t e = 0; e < edges; ++e) {
+    (void)graph.add_edge(rng.pick(ids), rng.pick(ids), rng.pick(kGraphEdgeTypes));
+  }
+  return graph;
+}
+
+std::string gen_graph_query(Rng& rng) {
+  const std::size_t n = 1 + rng.below(3);
+  std::string text = "MATCH ";
+  std::vector<std::string> vars;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string var = "v";
+    var += std::to_string(i);
+    vars.push_back(var);
+    text += "(" + var;
+    if (rng.chance(0.7)) text += ":" + rng.pick(kGraphLabels);
+    if (rng.chance(0.4)) {
+      const std::string& key = rng.pick(kGraphPropKeys);
+      text += " {" + key + ": " + graph_literal(rng, key) + "}";
+    }
+    text += ")";
+    if (i + 1 < n) {
+      std::string type;
+      if (rng.chance(0.6)) type = ":" + rng.pick(kGraphEdgeTypes);
+      switch (rng.below(3)) {
+        case 0: text += "-[" + type + "]->"; break;
+        case 1: text += "<-[" + type + "]-"; break;
+        default: text += "-[" + type + "]-"; break;
+      }
+    }
+  }
+  const std::size_t conds = rng.below(3);
+  const std::vector<std::string> ops = {"=", "!=", "<", "<=", ">", ">="};
+  for (std::size_t c = 0; c < conds; ++c) {
+    text += c == 0 ? " WHERE " : " AND ";
+    const std::string& key = rng.pick(kGraphPropKeys);
+    text += rng.pick(vars) + "." + key + " " + rng.pick(ops) + " " +
+            graph_literal(rng, key);
+  }
+  text += " RETURN ";
+  std::string returned;
+  for (const std::string& var : vars) {
+    if (rng.chance(0.6)) {
+      if (!returned.empty()) returned += ", ";
+      returned += var;
+    }
+  }
+  if (returned.empty()) returned = vars.front();
+  text += returned;
+  return text;
+}
+
 storage::MetricSet gen_metric_set(Rng& rng, const MetricGenOptions& opts) {
   storage::MetricSet out;
   const std::vector<std::string> contexts = {"TRAINING", "VALIDATION", "TESTING"};

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "provml/graphstore/graph.hpp"
 #include "provml/json/value.hpp"
 #include "provml/net/http.hpp"
 #include "provml/prov/model.hpp"
@@ -49,6 +50,25 @@ struct ProvGenOptions {
 /// endpoint is a declared element of the kind its spec requires, every id
 /// uses a declared prefix.
 [[nodiscard]] prov::Document gen_prov_document(Rng& rng, const ProvGenOptions& opts = {});
+
+// --------------------------------------------------------------------- graph
+
+struct GraphGenOptions {
+  std::size_t max_nodes = 40;
+  std::size_t max_edges = 80;
+};
+
+/// Random property graph whose labels, edge types, property keys, and
+/// values come from small fixed pools — the same pools gen_graph_query()
+/// draws from, so generated patterns actually match generated graphs.
+[[nodiscard]] graphstore::PropertyGraph gen_property_graph(Rng& rng,
+                                                           const GraphGenOptions& opts = {});
+
+/// Random MATCH query text over the gen_property_graph() vocabulary: a
+/// 1–3 node path with mixed edge directions/types, optional inline
+/// property constraints, WHERE conditions, and a RETURN subset. Always
+/// parses (asserted by the equivalence property tests).
+[[nodiscard]] std::string gen_graph_query(Rng& rng);
 
 // -------------------------------------------------------------------- metrics
 

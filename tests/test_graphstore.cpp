@@ -172,7 +172,9 @@ TEST(GraphDot, UnlabeledNodesFallBackToNumericIds) {
   const NodeId b = g.add_node({"X"});
   (void)g.add_edge(a, b, "rel").value();
   const std::string dot = to_dot(g);
-  EXPECT_NE(dot.find("#" + std::to_string(a)), std::string::npos);
+  std::string fallback = "#";
+  fallback += std::to_string(a);
+  EXPECT_NE(dot.find(fallback), std::string::npos);
   EXPECT_NE(dot.find("label=\"rel\""), std::string::npos);
 }
 

@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "provml/graphstore/query.hpp"
 #include "provml/json/parse.hpp"
 #include "provml/json/write.hpp"
 #include "provml/net/parser.hpp"
@@ -95,6 +96,36 @@ TEST(Generators, HttpWireImagesParse) {
     EXPECT_EQ(parser.request().method, request.method);
     EXPECT_EQ(parser.request().target, request.target);
     EXPECT_EQ(parser.request().body, request.body);
+  }
+}
+
+TEST(Generators, GraphQueriesParse) {
+  testkit::Rng rng(15);
+  for (int i = 0; i < 50; ++i) {
+    const std::string text = testkit::gen_graph_query(rng);
+    const auto query = graphstore::parse_query(text);
+    ASSERT_TRUE(query.ok()) << text << " — " << query.error().to_string();
+    EXPECT_FALSE(query.value().returns.empty()) << text;
+  }
+}
+
+TEST(Generators, PropertyGraphsAreWellFormed) {
+  testkit::Rng rng(16);
+  for (int i = 0; i < 20; ++i) {
+    const graphstore::PropertyGraph graph = testkit::gen_property_graph(rng);
+    const auto ids = graph.node_ids();
+    ASSERT_FALSE(ids.empty());
+    for (const graphstore::NodeId id : ids) {
+      ASSERT_NE(graph.node(id), nullptr);
+      // Every edge endpoint resolves, in both directions.
+      for (const graphstore::EdgeId eid :
+           graph.edges_of(id, graphstore::Direction::kBoth)) {
+        const graphstore::Edge* e = graph.edge(eid);
+        ASSERT_NE(e, nullptr);
+        EXPECT_NE(graph.node(e->from), nullptr);
+        EXPECT_NE(graph.node(e->to), nullptr);
+      }
+    }
   }
 }
 
