@@ -29,6 +29,7 @@
 #include "provml/prov/prov_xml.hpp"
 #include "provml/prov/turtle.hpp"
 #include "provml/rocrate/crate.hpp"
+#include "provml/wal/wal.hpp"
 
 namespace provml::cli {
 namespace {
@@ -154,11 +155,25 @@ int cmd_ingest(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     return fail(err, "ingest takes a store dir and name=file pairs");
   }
   const std::string& store_dir = args.positional[0];
+  // Mutations go through the WAL, so every ingested document is durable
+  // the moment its line prints — a crash mid-batch keeps the prefix.
   graphstore::YProvService service;
-  if (fs::exists(fs::path(store_dir) / "index.json")) {
+  const bool legacy_only = !wal::store_exists(store_dir) &&
+                           fs::exists(fs::path(store_dir) / "index.json");
+  Status attached = service.attach_wal(store_dir);
+  if (!attached.ok()) return fail(err, attached.error().to_string());
+  if (legacy_only) {
+    // Upgrade path: replay the legacy index.json store into the WAL once.
     auto loaded = graphstore::YProvService::load(store_dir);
     if (!loaded.ok()) return fail(err, loaded.error().to_string());
-    service = std::move(loaded.value());
+    for (const std::string& name : loaded.value().list_documents()) {
+      const prov::Document* doc = loaded.value().get_document(name);
+      if (doc == nullptr) continue;
+      Status s = service.put_document(name, *doc);
+      if (!s.ok()) return fail(err, s.error().to_string());
+    }
+    out << "migrated legacy store (" << loaded.value().document_count()
+        << " document(s)) to the WAL layout\n";
   }
   for (std::size_t i = 1; i < args.positional.size(); ++i) {
     const std::string& pair = args.positional[i];
@@ -170,7 +185,7 @@ int cmd_ingest(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     if (!s.ok()) return fail(err, s.error().to_string());
     out << "ingested " << pair.substr(0, eq) << "\n";
   }
-  Status s = service.save(store_dir);
+  Status s = service.wal_compact();  // fold the fresh tail into a snapshot
   if (!s.ok()) return fail(err, s.error().to_string());
   return 0;
 }
@@ -512,15 +527,51 @@ int cmd_serve(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     app_options.cache_capacity = static_cast<std::size_t>(*value);
   }
 
-  net::YProvHttpApp app(app_options);
+  // Durability options. --snapshot used to mean "load at start, save on
+  // clean shutdown" — which silently lost every write on a crash. It is
+  // now an alias for --data-dir, so both spellings get the WAL: every
+  // acknowledged PUT/DELETE is on disk before the response leaves.
+  std::string data_dir;
+  const auto data_dir_opt = args.options.find("data-dir");
   const auto snapshot = args.options.find("snapshot");
-  if (snapshot != args.options.end() &&
-      fs::exists(fs::path(snapshot->second) / "index.json")) {
-    auto loaded = graphstore::YProvService::load(snapshot->second);
-    if (!loaded.ok()) return fail(err, loaded.error().to_string());
-    app.service() = std::move(loaded.value());
-    out << "loaded " << app.service().list_documents().size() << " document(s) from "
-        << snapshot->second << "\n";
+  if (data_dir_opt != args.options.end()) {
+    data_dir = data_dir_opt->second;
+  } else if (snapshot != args.options.end()) {
+    data_dir = snapshot->second;
+  }
+  wal::Options wal_options;
+  const auto fsync_mode = args.options.find("fsync");
+  if (fsync_mode != args.options.end()) {
+    const auto policy = wal::parse_fsync_policy(fsync_mode->second);
+    if (!policy.ok()) return fail(err, "invalid --fsync (every_write|interval|none)");
+    wal_options.fsync_policy = policy.value();
+  }
+  const auto segment_bytes = args.options.find("wal-segment-bytes");
+  if (segment_bytes != args.options.end()) {
+    const auto value = strings::to_int64(segment_bytes->second);
+    if (!value || *value < 1024) return fail(err, "invalid --wal-segment-bytes (>= 1024)");
+    wal_options.segment_bytes = static_cast<std::size_t>(*value);
+  }
+  if (data_dir.empty() &&
+      (fsync_mode != args.options.end() || segment_bytes != args.options.end())) {
+    return fail(err, "--fsync/--wal-segment-bytes require --data-dir");
+  }
+
+  net::YProvHttpApp app(app_options);
+  if (!data_dir.empty()) {
+    // Pre-WAL stores only hold index.json; migrate them through load().
+    if (!wal::store_exists(data_dir) &&
+        fs::exists(fs::path(data_dir) / "index.json")) {
+      auto legacy = graphstore::YProvService::load(data_dir);
+      if (!legacy.ok()) return fail(err, legacy.error().to_string());
+      Status migrated = legacy.value().save(data_dir);
+      if (!migrated.ok()) return fail(err, migrated.error().to_string());
+      out << "migrated legacy store at " << data_dir << " to the WAL layout\n";
+    }
+    Status attached = app.service().attach_wal(data_dir, wal_options);
+    if (!attached.ok()) return fail(err, attached.error().to_string());
+    out << "loaded " << app.service().document_count() << " document(s) from "
+        << data_dir << " (wal lsn " << app.service().wal_stats().last_lsn << ")\n";
   }
 
   net::HttpServer server(config,
@@ -544,10 +595,13 @@ int cmd_serve(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   (void)std::signal(SIGTERM, previous_term);
   g_serving.store(nullptr);
 
-  if (snapshot != args.options.end()) {
-    Status saved = app.service().save(snapshot->second);
-    if (!saved.ok()) return fail(err, saved.error().to_string());
-    out << "snapshot saved to " << snapshot->second << "\n";
+  if (!data_dir.empty()) {
+    // Everything acknowledged is already in the log; compaction just folds
+    // the tail into a snapshot so the next start replays less.
+    Status compacted = app.service().wal_compact();
+    if (!compacted.ok()) return fail(err, compacted.error().to_string());
+    out << "store compacted at " << data_dir << " (wal lsn "
+        << app.service().wal_stats().last_lsn << ")\n";
   }
   const net::ServerStats stats = server.stats();
   out << "server stopped after " << stats.requests_handled << " request(s)\n";
@@ -574,8 +628,11 @@ std::string usage() {
          "  get <store> <name> [--element <id>] query the store\n"
          "  query <store> '<MATCH ...>'         pattern query over the graph\n"
          "  query --url <svc> '<MATCH ...>'     pattern query over HTTP\n"
-         "  serve [--port N] [--threads K] [--snapshot DIR] [--cache N]\n"
-         "                                      run the yProv HTTP service\n"
+         "  serve [--port N] [--threads K] [--data-dir DIR] [--cache N]\n"
+         "        [--fsync every_write|interval|none] [--wal-segment-bytes N]\n"
+         "                                      run the yProv HTTP service;\n"
+         "                                      --data-dir persists writes via a\n"
+         "                                      WAL (--snapshot is an alias)\n"
          "  fit <store>                         fit the scaling law to stored runs\n"
          "  predict <store> <output> k=v...     k-NN forecast from stored runs\n"
          "  report <store>                      tabulate run outputs\n"

@@ -16,16 +16,24 @@
 // bumps a monotonic graph version, which HTTP front-ends use as a response
 // cache key. The pointer/reference accessors (get_document(), graph())
 // bypass the lock and are for single-threaded embedders or setup/teardown.
+//
+// Durability: attach_wal(dir) puts a write-ahead log under the service —
+// every successful PUT/DELETE appends a logical record (and fsyncs, per
+// policy) before the call returns, and recovery replays snapshot + log
+// tail, so acknowledged writes survive kill -9. See provml/wal/wal.hpp
+// for the on-disk contract.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 
 #include "provml/graphstore/graph.hpp"
 #include "provml/prov/model.hpp"
+#include "provml/wal/wal.hpp"
 
 namespace provml::graphstore {
 
@@ -36,8 +44,10 @@ struct Request {
 };
 
 struct Response {
-  int status = 200;    ///< HTTP-style code: 200, 201, 400, 404, 405
+  int status = 200;    ///< HTTP-style code: 200, 201, 400, 404, 405, 500
   std::string body;    ///< JSON payload or error message
+  std::string allow;   ///< permitted methods; set iff status == 405, so HTTP
+                       ///< front-ends can emit a real Allow: header
 };
 
 class YProvService {
@@ -69,16 +79,35 @@ class YProvService {
     return version_.load(std::memory_order_acquire);
   }
 
-  /// Persists every stored document under `dir` (one PROV-JSON file each
-  /// plus an index).
+  // ------------------------------------------------------------ durability
+
+  /// Attaches a durable WAL store at `dir`: recovers any existing state
+  /// into this service (which must hold no documents yet), then logs every
+  /// subsequent successful mutation *before* acknowledging it, under the
+  /// same exclusive lock that applies it. After a crash, attach_wal on the
+  /// same dir restores exactly the acknowledged mutation prefix.
+  [[nodiscard]] Status attach_wal(const std::string& dir, wal::Options options = {});
+  [[nodiscard]] bool wal_attached() const { return wal_ != nullptr; }
+  /// Durability counters for /api/v0/health; zeroed when no WAL attached.
+  [[nodiscard]] wal::Stats wal_stats() const;
+  /// Forces snapshot compaction of the attached WAL (no-op when detached).
+  [[nodiscard]] Status wal_compact();
+
+  /// Persists the current document set at `dir` as a WAL-store snapshot.
+  /// With a WAL attached and `dir` == its directory this is compaction;
+  /// otherwise it replaces whatever store lives at `dir`.
   [[nodiscard]] Status save(const std::string& dir) const;
-  /// Restores a service previously saved with save().
+  /// Restores a service from a WAL store dir (newest snapshot + log tail);
+  /// falls back to the legacy index.json layout for pre-WAL stores. The
+  /// returned service is detached — use attach_wal() to keep logging.
   [[nodiscard]] static Expected<YProvService> load(const std::string& dir);
+  /// Whether `dir` holds a loadable store in either layout.
+  [[nodiscard]] static bool store_exists(const std::string& dir);
 
  private:
   Response route(const Request& request);  ///< caller holds the lock
   Status put_document_impl(const std::string& name, const prov::Document& doc);
-  bool delete_document_impl(const std::string& name);
+  Expected<bool> delete_document_impl(const std::string& name);
   void rebuild_graph();
   void bump_version() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
@@ -86,6 +115,7 @@ class YProvService {
   std::atomic<std::uint64_t> version_{0};
   std::map<std::string, prov::Document> documents_;
   PropertyGraph graph_;
+  std::unique_ptr<wal::DurableStore> wal_;
 };
 
 }  // namespace provml::graphstore

@@ -2,7 +2,9 @@
 
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
+#include <utility>
 
 #include "provml/common/strings.hpp"
 #include "provml/graphstore/ingest.hpp"
@@ -24,13 +26,27 @@ Response error_response(int status, const std::string& message) {
   return Response{status, json::write(json::Value(std::move(body)))};
 }
 
-/// 405 for a known route: the body carries the permitted methods the way
-/// an Allow header would, so HTTP front-ends can relay it.
+/// 405 for a known route: the permitted methods travel both in the JSON
+/// body and in Response::allow, which HTTP front-ends surface as a real
+/// Allow: response header (RFC 9110 §10.2.1).
 Response method_not_allowed(const std::string& allow) {
   json::Object body;
   body.set("error", "method not allowed");
   body.set("allow", allow);
-  return Response{405, json::write(json::Value(std::move(body)))};
+  return Response{405, json::write(json::Value(std::move(body))), allow};
+}
+
+/// Whether a mutation failed in the durability layer (as opposed to being
+/// rejected as invalid input): such errors map to 500, not 400.
+bool is_wal_error(const Error& error) {
+  return strings::starts_with(error.message, "wal: ");
+}
+
+/// Tags an error from the WAL layer so routes can classify it as 5xx.
+Error wal_error(const Error& error) {
+  return strings::starts_with(error.message, "wal: ")
+             ? error
+             : Error{"wal: " + error.message, error.where};
 }
 
 json::Value edge_summary(const PropertyGraph& graph, const Edge& e, bool outgoing) {
@@ -49,12 +65,14 @@ json::Value edge_summary(const PropertyGraph& graph, const Edge& e, bool outgoin
 YProvService::YProvService(YProvService&& other) noexcept
     : version_(other.version_.load()),
       documents_(std::move(other.documents_)),
-      graph_(std::move(other.graph_)) {}
+      graph_(std::move(other.graph_)),
+      wal_(std::move(other.wal_)) {}
 
 YProvService& YProvService::operator=(YProvService&& other) noexcept {
   if (this != &other) {
     documents_ = std::move(other.documents_);
     graph_ = std::move(other.graph_);
+    wal_ = std::move(other.wal_);
     version_.store(other.version_.load());
   }
   return *this;
@@ -69,17 +87,36 @@ Status YProvService::put_document_impl(const std::string& name, const prov::Docu
   if (name.empty() || name.find('/') != std::string::npos) {
     return Error{"invalid document name", name};
   }
-  const bool replacing = documents_.count(name) != 0;
+  // Apply in memory first (ingest can reject the document), log second,
+  // acknowledge last. A WAL failure rolls the memory state back, so the
+  // log holds exactly the acknowledged mutations — never more.
+  const auto it = documents_.find(name);
+  const bool replacing = it != documents_.end();
+  std::optional<prov::Document> previous;
+  if (replacing) previous = std::move(it->second);
   documents_[name] = doc;
   if (replacing) {
     rebuild_graph();  // replace semantics: drop the old nodes first
-    bump_version();
-    return Status::ok_status();
+  } else {
+    Expected<IngestStats> stats = ingest_document(graph_, doc, name);
+    if (!stats.ok()) {
+      documents_.erase(name);
+      return stats.error();
+    }
   }
-  Expected<IngestStats> stats = ingest_document(graph_, doc, name);
-  if (!stats.ok()) {
-    documents_.erase(name);
-    return stats.error();
+  if (wal_ != nullptr) {
+    Expected<wal::Lsn> lsn = wal_->append(
+        {wal::Record::Type::kPutDocument, name,
+         prov::to_prov_json_string(doc, /*pretty=*/false)});
+    if (!lsn.ok()) {
+      if (replacing) {
+        documents_[name] = std::move(*previous);
+      } else {
+        documents_.erase(name);
+      }
+      rebuild_graph();
+      return wal_error(lsn.error());
+    }
   }
   bump_version();
   return Status::ok_status();
@@ -101,11 +138,20 @@ const prov::Document* YProvService::get_document(const std::string& name) const 
 
 bool YProvService::delete_document(const std::string& name) {
   const std::unique_lock lock(mutex_);
-  return delete_document_impl(name);
+  const Expected<bool> deleted = delete_document_impl(name);
+  return deleted.ok() && deleted.value();
 }
 
-bool YProvService::delete_document_impl(const std::string& name) {
-  if (documents_.erase(name) == 0) return false;
+Expected<bool> YProvService::delete_document_impl(const std::string& name) {
+  if (documents_.count(name) == 0) return false;
+  // Deletion of a present document cannot fail in memory, so the record
+  // can be logged first — no rollback path needed.
+  if (wal_ != nullptr) {
+    Expected<wal::Lsn> lsn =
+        wal_->append({wal::Record::Type::kDeleteDocument, name, std::string()});
+    if (!lsn.ok()) return wal_error(lsn.error());
+  }
+  documents_.erase(name);
   rebuild_graph();
   bump_version();
   return true;
@@ -183,7 +229,10 @@ Response YProvService::route(const Request& request) {
       Expected<prov::Document> doc = prov::from_prov_json(parsed.value());
       if (!doc.ok()) return error_response(400, doc.error().to_string());
       Status s = put_document_impl(name, doc.value());
-      if (!s.ok()) return error_response(400, s.error().to_string());
+      if (!s.ok()) {
+        return error_response(is_wal_error(s.error()) ? 500 : 400,
+                              s.error().to_string());
+      }
       return Response{201, "{}"};
     }
     if (request.method == "GET") {
@@ -192,7 +241,9 @@ Response YProvService::route(const Request& request) {
       return Response{200, prov::to_prov_json_string(*doc, /*pretty=*/false)};
     }
     if (request.method == "DELETE") {
-      if (!delete_document_impl(name)) return error_response(404, "document not found");
+      const Expected<bool> deleted = delete_document_impl(name);
+      if (!deleted.ok()) return error_response(500, deleted.error().to_string());
+      if (!deleted.value()) return error_response(404, "document not found");
       return Response{200, "{}"};
     }
     return method_not_allowed("GET, PUT, DELETE");
@@ -261,25 +312,91 @@ Response YProvService::route(const Request& request) {
   return error_response(404, "unknown route");
 }
 
+// --------------------------------------------------------------- durability
+
+Status YProvService::attach_wal(const std::string& dir, wal::Options options) {
+  const std::unique_lock lock(mutex_);
+  if (wal_ != nullptr) return Error{"a WAL is already attached", wal_->dir()};
+  if (!documents_.empty()) {
+    return Error{"attach_wal requires an empty service (it hydrates from the store)",
+                 dir};
+  }
+  Expected<std::unique_ptr<wal::DurableStore>> store = wal::DurableStore::open(dir, options);
+  if (!store.ok()) return store.error();
+  for (auto& [name, body] : store.value()->recovered().documents) {
+    Expected<json::Value> parsed = json::parse(body);
+    if (!parsed.ok()) {
+      return Error{"wal-recovered document does not parse: " + parsed.error().message,
+                   name};
+    }
+    Expected<prov::Document> doc = prov::from_prov_json(parsed.value());
+    if (!doc.ok()) {
+      return Error{"wal-recovered document is not PROV-JSON: " + doc.error().message,
+                   name};
+    }
+    documents_[name] = std::move(doc.value());
+  }
+  rebuild_graph();
+  wal_ = std::move(store.value());
+  bump_version();
+  return Status::ok_status();
+}
+
+wal::Stats YProvService::wal_stats() const {
+  const std::shared_lock lock(mutex_);
+  return wal_ != nullptr ? wal_->stats() : wal::Stats{};
+}
+
+Status YProvService::wal_compact() {
+  // compact() coordinates with appenders through the store's own locks;
+  // taking the service lock here would only serialize it against reads.
+  const std::shared_lock lock(mutex_);
+  if (wal_ == nullptr) return Status::ok_status();
+  return wal_->compact();
+}
+
+namespace {
+
+/// Serializes the in-memory document map the way the WAL logs it.
+std::map<std::string, std::string> serialize_documents(
+    const std::map<std::string, prov::Document>& documents) {
+  std::map<std::string, std::string> bodies;
+  for (const auto& [name, doc] : documents) {
+    bodies[name] = prov::to_prov_json_string(doc, /*pretty=*/false);
+  }
+  return bodies;
+}
+
+}  // namespace
+
 Status YProvService::save(const std::string& dir) const {
   const std::shared_lock lock(mutex_);
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) return Error{"cannot create directory: " + ec.message(), dir};
-  json::Array index;
-  for (const auto& [name, doc] : documents_) {
-    const std::string file = name + ".provjson";
-    Status s = prov::write_prov_json_file((fs::path(dir) / file).string(), doc);
-    if (!s.ok()) return s;
-    index.push_back(json::make_object({{"name", name}, {"file", file}}));
+  if (wal_ != nullptr &&
+      fs::weakly_canonical(wal_->dir()) == fs::weakly_canonical(dir)) {
+    // The WAL already holds every acknowledged mutation; saving into the
+    // same store just means folding the tail into a snapshot.
+    return wal_->compact();
   }
-  json::Object root;
-  root.set("documents", std::move(index));
-  return json::write_file((fs::path(dir) / "index.json").string(),
-                          json::Value(std::move(root)));
+  return wal::replace_store(dir, serialize_documents(documents_));
 }
 
 Expected<YProvService> YProvService::load(const std::string& dir) {
+  if (wal::store_exists(dir)) {
+    Expected<wal::RecoveredState> recovered = wal::recover(dir);
+    if (!recovered.ok()) return recovered.error();
+    YProvService service;
+    for (auto& [name, body] : recovered.value().documents) {
+      Expected<json::Value> parsed = json::parse(body);
+      if (!parsed.ok()) return Error{"stored document does not parse", name};
+      Expected<prov::Document> doc = prov::from_prov_json(parsed.value());
+      if (!doc.ok()) return doc.error();
+      Status s = service.put_document(name, doc.value());
+      if (!s.ok()) return s.error();
+    }
+    return service;
+  }
+  // Legacy layout (pre-WAL stores): index.json + one PROV-JSON file per
+  // document. Read-only compatibility; the first save() upgrades the dir.
   Expected<json::Value> index = json::parse_file((fs::path(dir) / "index.json").string());
   if (!index.ok()) return index.error();
   const json::Value* docs = index.value().find("documents");
@@ -296,6 +413,10 @@ Expected<YProvService> YProvService::load(const std::string& dir) {
     if (!s.ok()) return s.error();
   }
   return service;
+}
+
+bool YProvService::store_exists(const std::string& dir) {
+  return wal::store_exists(dir) || fs::exists(fs::path(dir) / "index.json");
 }
 
 }  // namespace provml::graphstore

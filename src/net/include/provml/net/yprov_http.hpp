@@ -7,7 +7,10 @@
 // serve state older than the latest completed write — no explicit
 // invalidation needed, stale keys simply age out of the LRU.
 // Adds the one route the in-process facade never needed:
-// GET /api/v0/health, reporting liveness, traffic, cache, and version.
+// GET /api/v0/health, reporting liveness, traffic, cache, version, and —
+// when the service has a WAL attached — durability stats (LSN, segment
+// count, compaction age, fsync latency). 405 responses from the routed
+// service carry a real Allow: header alongside the JSON body.
 #pragma once
 
 #include <atomic>

@@ -45,6 +45,7 @@ HttpResponse YProvHttpApp::health_response(const HttpRequest& request) {
   HttpResponse response;
   if (request.method != "GET") {
     response.status = 405;
+    response.headers.push_back({"Allow", "GET"});
     response.body = "{\"error\":\"method not allowed\",\"allow\":\"GET\"}";
     return response;
   }
@@ -68,6 +69,21 @@ HttpResponse YProvHttpApp::health_response(const HttpRequest& request) {
   body.set("mean_latency_ms", mean_ms(c.latency_us_total, c.requests));
   body.set("mean_read_latency_ms", mean_ms(c.read_latency_us, c.reads));
   body.set("mean_write_latency_ms", mean_ms(c.write_latency_us, c.writes));
+  // Durability: present (nested) only when a WAL is attached.
+  body.set("wal_enabled", service_.wal_attached());
+  if (service_.wal_attached()) {
+    const wal::Stats w = service_.wal_stats();
+    json::Object wal_body;
+    wal_body.set("last_lsn", w.last_lsn);
+    wal_body.set("snapshot_lsn", w.snapshot_lsn);
+    wal_body.set("segments", w.segment_count);
+    wal_body.set("records_since_compaction", w.records_since_compaction);
+    wal_body.set("compactions", w.compactions);
+    wal_body.set("seconds_since_compaction", w.seconds_since_compaction);
+    wal_body.set("fsyncs", w.fsyncs);
+    wal_body.set("mean_fsync_ms", mean_ms(w.fsync_us_total, w.fsyncs));
+    body.set("wal", std::move(wal_body));
+  }
   response.body = json::write(json::Value(std::move(body)));
   return response;
 }
@@ -115,6 +131,9 @@ HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
       const graphstore::Response routed = service_.handle(inner);
       response.status = routed.status;
       response.body = routed.body;
+      if (routed.status == 405 && !routed.allow.empty()) {
+        response.headers.push_back({"Allow", routed.allow});
+      }
       if (cacheable && response.status == 200) cache_store(std::move(key), response);
     }
   }

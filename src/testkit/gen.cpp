@@ -1,5 +1,6 @@
 #include "provml/testkit/gen.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace provml::testkit {
@@ -212,6 +213,30 @@ prov::Document gen_prov_document(Rng& rng, const ProvGenOptions& opts) {
     bundle = gen_prov_document(rng, inner);
   }
   return doc;
+}
+
+// ----------------------------------------------------------- mutation streams
+
+std::vector<MutationOp> gen_mutation_stream(Rng& rng, const MutationStreamOptions& opts) {
+  std::vector<std::string> names;
+  const std::size_t pool = std::max<std::size_t>(1, opts.name_pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    names.push_back("doc_" + gen_ident(rng, 6) + "_" + std::to_string(i));
+  }
+  std::vector<MutationOp> ops;
+  const std::size_t count = 1 + rng.below(std::max<std::size_t>(1, opts.max_ops));
+  for (std::size_t i = 0; i < count; ++i) {
+    MutationOp op;
+    op.name = rng.pick(names);
+    if (rng.chance(opts.delete_ratio)) {
+      op.kind = MutationOp::Kind::kDelete;  // may hit a name not live: no-op
+    } else {
+      op.kind = MutationOp::Kind::kPut;
+      op.doc = gen_prov_document(rng, opts.doc_options);
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
 }
 
 // ---------------------------------------------------------------------- graph

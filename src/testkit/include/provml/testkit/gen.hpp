@@ -51,6 +51,32 @@ struct ProvGenOptions {
 /// uses a declared prefix.
 [[nodiscard]] prov::Document gen_prov_document(Rng& rng, const ProvGenOptions& opts = {});
 
+// ----------------------------------------------------------- mutation streams
+
+/// One logical store mutation, as the WAL and crash-recovery tests see it.
+struct MutationOp {
+  enum class Kind { kPut, kDelete };
+  Kind kind = Kind::kPut;
+  std::string name;     ///< document name (drawn from a small shared pool)
+  prov::Document doc;   ///< payload; meaningful only for kPut
+};
+
+struct MutationStreamOptions {
+  std::size_t max_ops = 24;        ///< stream length: 1..max_ops
+  std::size_t name_pool = 4;       ///< distinct names, so puts overwrite and
+                                   ///< deletes hit live documents often
+  double delete_ratio = 0.3;
+  ProvGenOptions doc_options{
+      /*max_elements=*/4, /*max_relations=*/6,
+      /*with_bundles=*/false, /*with_typed_literals=*/true};
+};
+
+/// Random put/delete sequence over a small name pool. Every put carries a
+/// valid generated document; replaying any prefix of the stream yields a
+/// well-defined store state — the fixture crash-recovery asserts against.
+[[nodiscard]] std::vector<MutationOp> gen_mutation_stream(
+    Rng& rng, const MutationStreamOptions& opts = {});
+
 // --------------------------------------------------------------------- graph
 
 struct GraphGenOptions {

@@ -1,0 +1,70 @@
+// Logical mutation records and their on-disk framing for the provml WAL.
+//
+// A WAL segment is a flat byte sequence of frames:
+//
+//   frame   := varint(payload_len) ++ u32le crc32(payload) ++ payload
+//   payload := u8 type ++ varint(name_len) ++ name ++ varint(body_len) ++ body
+//
+// The length prefix and CRC together make torn tails detectable: a frame
+// whose bytes run out mid-way decodes as kTorn, a frame whose checksum or
+// payload structure is wrong decodes as kCorrupt, and recovery truncates
+// the log at the first frame that is either. The varint and crc32
+// primitives are provml_compress's — the same ones the container format
+// already trusts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace provml::wal {
+
+/// Log sequence number: 1-based, dense, assigned at append time. LSN order
+/// is mutation order; a snapshot at LSN n captures exactly records 1..n.
+using Lsn = std::uint64_t;
+
+/// One logical mutation against the document store.
+struct Record {
+  enum class Type : std::uint8_t {
+    kPutDocument = 1,     ///< body carries the compact PROV-JSON
+    kDeleteDocument = 2,  ///< body empty
+  };
+
+  Type type = Type::kPutDocument;
+  std::string name;
+  std::string body;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+/// Frames `record` and appends the bytes to `out`.
+void append_frame(std::vector<std::uint8_t>& out, const Record& record);
+
+/// Serialized frame size of `record` (what append_frame would add).
+[[nodiscard]] std::size_t frame_size(const Record& record);
+
+/// Outcome of decoding one frame at a given offset.
+enum class DecodeStatus {
+  kOk,      ///< record decoded; next_offset points past the frame
+  kEnd,     ///< offset is exactly at the end of the bytes — clean EOF
+  kTorn,    ///< bytes end mid-frame (crashed writer); truncate here
+  kCorrupt  ///< CRC mismatch or malformed payload; truncate here
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kEnd;
+  Record record;                 ///< valid only when status == kOk
+  std::size_t next_offset = 0;   ///< valid only when status == kOk
+};
+
+/// Decodes the frame starting at `offset` in `bytes`.
+[[nodiscard]] DecodeResult decode_frame(std::span<const std::uint8_t> bytes,
+                                        std::size_t offset);
+
+/// Upper bound on a single frame's payload; larger declared lengths are
+/// treated as corruption rather than torn tails, so a flipped length byte
+/// cannot make recovery wait for gigabytes that were never written.
+inline constexpr std::uint64_t kMaxRecordPayload = 256ull * 1024 * 1024;
+
+}  // namespace provml::wal

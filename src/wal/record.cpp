@@ -1,0 +1,130 @@
+#include "provml/wal/record.hpp"
+
+#include "provml/compress/crc32.hpp"
+#include "provml/compress/varint.hpp"
+
+namespace provml::wal {
+namespace {
+
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+std::uint32_t read_u32le(std::span<const std::uint8_t> bytes, std::size_t offset) {
+  return static_cast<std::uint32_t>(bytes[offset]) |
+         (static_cast<std::uint32_t>(bytes[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[offset + 3]) << 24);
+}
+
+void append_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  compress::varint_append(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> encode_payload(const Record& record) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(1 + record.name.size() + record.body.size() + 10);
+  payload.push_back(static_cast<std::uint8_t>(record.type));
+  append_string(payload, record.name);
+  append_string(payload, record.body);
+  return payload;
+}
+
+/// Reads a varint-prefixed string out of `payload`; false on any overrun.
+bool read_string(std::span<const std::uint8_t> payload, std::size_t& offset,
+                 std::string& out) {
+  Expected<std::uint64_t> len = compress::varint_read(payload, offset);
+  if (!len.ok()) return false;
+  if (len.value() > payload.size() - offset) return false;
+  out.assign(reinterpret_cast<const char*>(payload.data() + offset),
+             static_cast<std::size_t>(len.value()));
+  offset += static_cast<std::size_t>(len.value());
+  return true;
+}
+
+}  // namespace
+
+void append_frame(std::vector<std::uint8_t>& out, const Record& record) {
+  const std::vector<std::uint8_t> payload = encode_payload(record);
+  compress::varint_append(out, payload.size());
+  append_u32le(out, compress::crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::size_t frame_size(const Record& record) {
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, record);
+  return frame.size();
+}
+
+DecodeResult decode_frame(std::span<const std::uint8_t> bytes, std::size_t offset) {
+  DecodeResult result;
+  if (offset >= bytes.size()) {
+    result.status = DecodeStatus::kEnd;
+    return result;
+  }
+  // The length varint itself can be torn: varint_read fails on both a
+  // truncated continuation chain and a >10-byte chain. Distinguish by
+  // whether the bytes simply ran out.
+  std::size_t cursor = offset;
+  Expected<std::uint64_t> len = compress::varint_read(bytes, cursor);
+  if (!len.ok()) {
+    bool all_continuation = true;
+    for (std::size_t i = offset; i < bytes.size() && i < offset + 10; ++i) {
+      if ((bytes[i] & 0x80) == 0) all_continuation = false;
+    }
+    result.status = all_continuation && bytes.size() - offset < 10
+                        ? DecodeStatus::kTorn
+                        : DecodeStatus::kCorrupt;
+    return result;
+  }
+  if (len.value() > kMaxRecordPayload) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+  if (bytes.size() - cursor < 4) {
+    result.status = DecodeStatus::kTorn;
+    return result;
+  }
+  const std::uint32_t expected_crc = read_u32le(bytes, cursor);
+  cursor += 4;
+  if (bytes.size() - cursor < len.value()) {
+    result.status = DecodeStatus::kTorn;
+    return result;
+  }
+  const std::span<const std::uint8_t> payload = bytes.subspan(cursor, len.value());
+  cursor += static_cast<std::size_t>(len.value());
+  if (compress::crc32(payload) != expected_crc) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+
+  std::size_t p = 0;
+  if (payload.empty()) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+  const std::uint8_t type = payload[p++];
+  if (type != static_cast<std::uint8_t>(Record::Type::kPutDocument) &&
+      type != static_cast<std::uint8_t>(Record::Type::kDeleteDocument)) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+  Record record;
+  record.type = static_cast<Record::Type>(type);
+  if (!read_string(payload, p, record.name) || !read_string(payload, p, record.body) ||
+      p != payload.size()) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+  result.status = DecodeStatus::kOk;
+  result.record = std::move(record);
+  result.next_offset = cursor;
+  return result;
+}
+
+}  // namespace provml::wal

@@ -1,0 +1,627 @@
+#include "provml/wal/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "provml/common/fault_inject.hpp"
+#include "provml/common/file_io.hpp"
+#include "provml/compress/crc32.hpp"
+#include "provml/compress/varint.hpp"
+
+namespace provml::wal {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kSegmentPrefix[] = "wal-";
+constexpr char kSegmentSuffix[] = ".seg";
+constexpr char kSnapshotPrefix[] = "snap-";
+constexpr char kSnapshotSuffix[] = ".pws";
+constexpr char kSnapshotMagic[4] = {'P', 'W', 'S', '1'};
+
+Error errno_error(const std::string& what, const std::string& path) {
+  return Error{what + ": " + std::strerror(errno), path};
+}
+
+std::string lsn_hex(Lsn lsn) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+std::string segment_path(const std::string& dir, Lsn first_lsn) {
+  return (fs::path(dir) / (kSegmentPrefix + lsn_hex(first_lsn) + kSegmentSuffix)).string();
+}
+
+std::string snapshot_path(const std::string& dir, Lsn lsn) {
+  return (fs::path(dir) / (kSnapshotPrefix + lsn_hex(lsn) + kSnapshotSuffix)).string();
+}
+
+/// Parses "<prefix><16 hex digits><suffix>"; nullopt when it doesn't match.
+std::optional<Lsn> parse_lsn_name(const std::string& name, std::string_view prefix,
+                                  std::string_view suffix) {
+  if (name.size() != prefix.size() + 16 + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(prefix.size() + 16, suffix.size(), suffix) != 0) return std::nullopt;
+  Lsn lsn = 0;
+  for (std::size_t i = prefix.size(); i < prefix.size() + 16; ++i) {
+    const char c = name[i];
+    lsn <<= 4;
+    if (c >= '0' && c <= '9') lsn |= static_cast<Lsn>(c - '0');
+    else if (c >= 'a' && c <= 'f') lsn |= static_cast<Lsn>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  return lsn;
+}
+
+/// Best-effort directory fsync so freshly created/renamed entries survive
+/// power loss. Failure is ignored: some filesystems reject O_RDONLY dirs.
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+// ------------------------------------------------------------- snapshots
+//
+//   "PWS1" ++ varint(lsn) ++ varint(count)
+//          ++ count * (varint(name_len) name varint(body_len) body)
+//          ++ u32le crc32(everything before the trailer)
+
+std::vector<std::uint8_t> encode_snapshot(
+    const std::map<std::string, std::string>& documents, Lsn lsn) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  for (const char c : kSnapshotMagic) out.push_back(static_cast<std::uint8_t>(c));
+  compress::varint_append(out, lsn);
+  compress::varint_append(out, documents.size());
+  for (const auto& [name, body] : documents) {
+    compress::varint_append(out, name.size());
+    out.insert(out.end(), name.begin(), name.end());
+    compress::varint_append(out, body.size());
+    out.insert(out.end(), body.begin(), body.end());
+  }
+  const std::uint32_t crc = compress::crc32(out);
+  out.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((crc >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((crc >> 24) & 0xFF));
+  return out;
+}
+
+struct DecodedSnapshot {
+  std::map<std::string, std::string> documents;
+  Lsn lsn = 0;
+};
+
+Expected<DecodedSnapshot> decode_snapshot(std::span<const std::uint8_t> bytes,
+                                          const std::string& path) {
+  if (bytes.size() < 4 + 4 || std::memcmp(bytes.data(), kSnapshotMagic, 4) != 0) {
+    return Error{"not a provml snapshot", path};
+  }
+  const std::span<const std::uint8_t> body = bytes.first(bytes.size() - 4);
+  const std::span<const std::uint8_t> tail = bytes.last(4);
+  const std::uint32_t stored_crc =
+      static_cast<std::uint32_t>(tail[0]) | (static_cast<std::uint32_t>(tail[1]) << 8) |
+      (static_cast<std::uint32_t>(tail[2]) << 16) |
+      (static_cast<std::uint32_t>(tail[3]) << 24);
+  if (compress::crc32(body) != stored_crc) {
+    return Error{"snapshot CRC mismatch", path};
+  }
+  DecodedSnapshot snapshot;
+  std::size_t offset = 4;
+  Expected<std::uint64_t> lsn = compress::varint_read(body, offset);
+  if (!lsn.ok()) return Error{"malformed snapshot header", path};
+  snapshot.lsn = lsn.value();
+  Expected<std::uint64_t> count = compress::varint_read(body, offset);
+  if (!count.ok()) return Error{"malformed snapshot header", path};
+  const auto read_string = [&](std::string& out) -> bool {
+    Expected<std::uint64_t> len = compress::varint_read(body, offset);
+    if (!len.ok() || len.value() > body.size() - offset) return false;
+    out.assign(reinterpret_cast<const char*>(body.data() + offset),
+               static_cast<std::size_t>(len.value()));
+    offset += static_cast<std::size_t>(len.value());
+    return true;
+  };
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    std::string name;
+    std::string doc_body;
+    if (!read_string(name) || !read_string(doc_body)) {
+      return Error{"malformed snapshot entry", path};
+    }
+    snapshot.documents[std::move(name)] = std::move(doc_body);
+  }
+  if (offset != body.size()) return Error{"snapshot has trailing bytes", path};
+  return snapshot;
+}
+
+void apply_record(std::map<std::string, std::string>& documents, const Record& record) {
+  if (record.type == Record::Type::kPutDocument) {
+    documents[record.name] = record.body;
+  } else {
+    documents.erase(record.name);
+  }
+}
+
+/// Segment + snapshot listing of a store directory, LSN-sorted.
+struct DirListing {
+  std::vector<std::pair<Lsn, std::string>> segments;   ///< ascending first-LSN
+  std::vector<std::pair<Lsn, std::string>> snapshots;  ///< descending LSN
+};
+
+DirListing list_store(const std::string& dir) {
+  DirListing listing;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (const auto lsn = parse_lsn_name(name, kSegmentPrefix, kSegmentSuffix)) {
+      listing.segments.emplace_back(*lsn, entry.path().string());
+    } else if (const auto snap = parse_lsn_name(name, kSnapshotPrefix, kSnapshotSuffix)) {
+      listing.snapshots.emplace_back(*snap, entry.path().string());
+    }
+  }
+  std::sort(listing.segments.begin(), listing.segments.end());
+  std::sort(listing.snapshots.begin(), listing.snapshots.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return listing;
+}
+
+}  // namespace
+
+Expected<FsyncPolicy> parse_fsync_policy(const std::string& text) {
+  if (text == "every_write") return FsyncPolicy::kEveryWrite;
+  if (text == "interval") return FsyncPolicy::kInterval;
+  if (text == "none") return FsyncPolicy::kNone;
+  return Error{"unknown fsync policy (want every_write|interval|none)", text};
+}
+
+const char* to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kEveryWrite: return "every_write";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kNone: return "none";
+  }
+  return "?";
+}
+
+bool store_exists(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return false;
+  const DirListing listing = list_store(dir);
+  return !listing.segments.empty() || !listing.snapshots.empty();
+}
+
+Status write_snapshot(const std::string& dir,
+                      const std::map<std::string, std::string>& documents, Lsn lsn) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Error{"cannot create store directory: " + ec.message(), dir};
+  Status written = io::write_file_atomic(snapshot_path(dir, lsn),
+                                         encode_snapshot(documents, lsn));
+  if (!written.ok()) return written;
+  fsync_dir(dir);
+  return Status::ok_status();
+}
+
+Expected<RecoveredState> recover(const std::string& dir) {
+  RecoveredState state;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return state;  // empty store
+
+  const DirListing listing = list_store(dir);
+
+  // Leftover "*.tmp" files are crashed atomic writes; they were never
+  // published, so they are garbage by contract.
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".tmp") fs::remove(entry.path(), ec);
+  }
+
+  // Newest snapshot that reads back valid wins; invalid ones are deleted
+  // (the atomic-write discipline means they can only be damaged externally).
+  for (const auto& [lsn, path] : listing.snapshots) {
+    Expected<std::vector<std::uint8_t>> bytes = io::read_file(path);
+    if (bytes.ok()) {
+      Expected<DecodedSnapshot> snapshot = decode_snapshot(bytes.value(), path);
+      if (snapshot.ok() && snapshot.value().lsn == lsn) {
+        state.documents = std::move(snapshot.value().documents);
+        state.snapshot_lsn = lsn;
+        break;
+      }
+    }
+    fs::remove(path, ec);
+  }
+  state.last_lsn = state.snapshot_lsn;
+
+  // Replay segments in LSN order. The chain must be dense: a gap means a
+  // segment went missing, so everything past it is not a valid prefix.
+  bool stop = false;
+  Lsn expected_first = listing.segments.empty() ? 0 : listing.segments.front().first;
+  for (std::size_t i = 0; i < listing.segments.size(); ++i) {
+    const auto& [first_lsn, path] = listing.segments[i];
+    if (stop || first_lsn != expected_first) {
+      ++state.dropped_segments;
+      fs::remove(path, ec);
+      stop = true;
+      continue;
+    }
+    Expected<std::vector<std::uint8_t>> bytes = io::read_file(path);
+    if (!bytes.ok()) {
+      ++state.dropped_segments;
+      fs::remove(path, ec);
+      stop = true;
+      continue;
+    }
+    SegmentInfo info;
+    info.path = path;
+    info.first_lsn = first_lsn;
+    std::size_t offset = 0;
+    Lsn lsn = first_lsn;
+    for (;;) {
+      DecodeResult frame = decode_frame(bytes.value(), offset);
+      if (frame.status == DecodeStatus::kEnd) break;
+      if (frame.status != DecodeStatus::kOk) {
+        // Torn or corrupt: the log ends at the last valid frame. Truncate
+        // the file in place so future appends and re-recovery agree.
+        state.truncated_bytes += bytes.value().size() - offset;
+        if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+          return errno_error("cannot truncate torn segment", path);
+        }
+        stop = true;
+        break;
+      }
+      if (lsn > state.snapshot_lsn) {
+        apply_record(state.documents, frame.record);
+        ++state.replayed_records;
+        state.last_lsn = lsn;
+      }
+      ++info.records;
+      ++lsn;
+      offset = frame.next_offset;
+    }
+    info.bytes = offset;
+    if (info.records == 0 && stop) {
+      // Nothing valid in this segment: remove it rather than keeping an
+      // empty file whose name may collide with the next append epoch.
+      fs::remove(path, ec);
+      ++state.dropped_segments;
+    } else {
+      state.segments.push_back(std::move(info));
+      expected_first = first_lsn + state.segments.back().records;
+    }
+  }
+  // A snapshot can be newer than every surviving record (segments deleted
+  // by compaction); the tail position is whichever is further along.
+  state.last_lsn = std::max(state.last_lsn, state.snapshot_lsn);
+  return state;
+}
+
+Status replace_store(const std::string& dir,
+                     const std::map<std::string, std::string>& documents) {
+  Expected<RecoveredState> existing = recover(dir);
+  if (!existing.ok()) return existing.error();
+  const Lsn lsn = existing.value().last_lsn + 1;
+  Status written = write_snapshot(dir, documents, lsn);
+  if (!written.ok()) return written;
+  // Everything older is now covered by the snapshot.
+  std::error_code ec;
+  const DirListing listing = list_store(dir);
+  for (const auto& [seg_lsn, path] : listing.segments) fs::remove(path, ec);
+  for (const auto& [snap_lsn, path] : listing.snapshots) {
+    if (snap_lsn < lsn) fs::remove(path, ec);
+  }
+  return Status::ok_status();
+}
+
+// ---------------------------------------------------------- DurableStore
+
+DurableStore::DurableStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {}
+
+Expected<std::unique_ptr<DurableStore>> DurableStore::open(const std::string& dir,
+                                                           Options options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Error{"cannot create store directory: " + ec.message(), dir};
+
+  Expected<RecoveredState> recovered = recover(dir);
+  if (!recovered.ok()) return recovered.error();
+
+  std::unique_ptr<DurableStore> store(new DurableStore(dir, options));
+  store->recovered_ = std::move(recovered.value());
+  store->last_lsn_ = store->recovered_.last_lsn;
+  store->snapshot_lsn_ = store->recovered_.snapshot_lsn;
+  store->records_since_compaction_ = store->last_lsn_ - store->snapshot_lsn_;
+  for (const SegmentInfo& info : store->recovered_.segments) {
+    store->segments_.push_back(
+        Segment{info.path, info.first_lsn, info.records, info.bytes});
+  }
+  {
+    const std::lock_guard<std::mutex> lock(store->mutex_);
+    Status opened = store->open_active_segment_locked();
+    if (!opened.ok()) return opened.error();
+  }
+  if (options.background_compaction && options.compact_every > 0) {
+    store->compaction_thread_ = std::thread([s = store.get()] { s->compaction_loop(); });
+  }
+  return store;
+}
+
+DurableStore::~DurableStore() {
+  if (compaction_thread_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    compaction_cv_.notify_all();
+    compaction_thread_.join();
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    (void)::fsync(fd_);  // best-effort seal; close() cannot report anyway
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status DurableStore::open_active_segment_locked() {
+  const Lsn first_lsn = last_lsn_ + 1;
+  const std::string path = segment_path(dir_, first_lsn);
+  // A crashed previous run can leave this exact segment empty on disk;
+  // O_APPEND just resumes it. A non-empty file of this name cannot exist:
+  // recovery would have counted its records into last_lsn_.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return errno_error("cannot open wal segment", path);
+  fd_ = fd;
+  if (!segments_.empty() && segments_.back().first_lsn == first_lsn) {
+    segments_.back().bytes = 0;  // recovered empty segment, resumed
+    segments_.back().records = 0;
+  } else {
+    segments_.push_back(Segment{path, first_lsn, 0, 0});
+  }
+  fsync_dir(dir_);
+  return Status::ok_status();
+}
+
+Status DurableStore::fsync_active_locked() {
+  if (fault::triggered("storage.fsync")) {
+    return Error{"fsync failed (injected fault)", segments_.back().path};
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (::fsync(fd_) != 0) return errno_error("fsync failed", segments_.back().path);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ++fsyncs_;
+  fsync_us_total_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  last_fsync_ = std::chrono::steady_clock::now();
+  return Status::ok_status();
+}
+
+Status DurableStore::rotate_if_needed_locked() {
+  if (segments_.back().bytes < options_.segment_bytes) return Status::ok_status();
+  // Seal the full segment before the new one exists: an acknowledged
+  // record must never be less durable after rotation than before.
+  Status sealed = fsync_active_locked();
+  if (!sealed.ok()) return sealed;
+  const int old_fd = fd_;
+  fd_ = -1;
+  ::close(old_fd);
+  Status opened = open_active_segment_locked();
+  if (!opened.ok()) {
+    broken_ = true;  // no writable segment; appends must stop
+    return opened;
+  }
+  return Status::ok_status();
+}
+
+void DurableStore::repair_tail_locked() {
+  // Drop unacknowledged bytes so a failed append can never be replayed.
+  // O_APPEND makes the next write land at the truncated end.
+  if (::ftruncate(fd_, static_cast<off_t>(segments_.back().bytes)) != 0) {
+    broken_ = true;
+  }
+}
+
+Expected<Lsn> DurableStore::append(const Record& record) {
+  bool compact_now = false;
+  bool notify_compactor = false;
+  Lsn lsn = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (broken_) return Error{"wal is broken (previous tail repair failed)", dir_};
+    Status rotated = rotate_if_needed_locked();
+    if (!rotated.ok()) return rotated.error();
+
+    std::vector<std::uint8_t> frame;
+    append_frame(frame, record);
+
+    Segment& active = segments_.back();
+    if (fault::triggered("storage.write")) {
+      // Simulate a crash mid-write: leave a genuinely torn half-frame,
+      // then repair to the last acknowledged byte.
+      const std::size_t half = frame.size() / 2;
+      std::size_t done = 0;
+      while (done < half) {
+        const ssize_t n = ::write(fd_, frame.data() + done, half - done);
+        if (n <= 0) break;
+        done += static_cast<std::size_t>(n);
+      }
+      repair_tail_locked();
+      return Error{"wal: write failed (injected fault)", active.path};
+    }
+    std::size_t done = 0;
+    while (done < frame.size()) {
+      const ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Error e = errno_error("wal: write failed", active.path);
+        repair_tail_locked();
+        return e;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+
+    const bool sync_now =
+        options_.fsync_policy == FsyncPolicy::kEveryWrite ||
+        (options_.fsync_policy == FsyncPolicy::kInterval &&
+         std::chrono::steady_clock::now() - last_fsync_ >= options_.fsync_interval);
+    if (sync_now) {
+      Status synced = fsync_active_locked();
+      if (!synced.ok()) {
+        repair_tail_locked();
+        return Error{"wal: " + synced.error().message, synced.error().where};
+      }
+    }
+
+    lsn = ++last_lsn_;
+    active.bytes += frame.size();
+    ++active.records;
+    appended_bytes_ += frame.size();
+    ++records_since_compaction_;
+    if (options_.compact_every > 0 &&
+        records_since_compaction_ >= options_.compact_every) {
+      if (compaction_thread_.joinable()) {
+        compaction_due_ = true;
+        notify_compactor = true;
+      } else {
+        compact_now = true;
+      }
+    }
+  }
+  if (compact_now) {
+    (void)compact();  // synchronous mode: best-effort, log keeps the data
+  } else if (notify_compactor) {
+    compaction_cv_.notify_all();
+  }
+  return lsn;
+}
+
+Status DurableStore::sync() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Error{"wal is closed", dir_};
+  return fsync_active_locked();
+}
+
+Status DurableStore::compact() {
+  const std::lock_guard<std::mutex> serialize(compact_mutex_);
+  return compact_impl();
+}
+
+Status DurableStore::compact_impl() {
+  // Freeze the replay horizon under the metadata lock; the file reads and
+  // the snapshot write then run without blocking appenders.
+  Lsn target = 0;
+  Lsn base = 0;
+  std::vector<Segment> frozen;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (last_lsn_ == snapshot_lsn_) return Status::ok_status();  // nothing new
+    target = last_lsn_;
+    base = snapshot_lsn_;
+    frozen = segments_;
+  }
+
+  std::map<std::string, std::string> documents;
+  if (base > 0) {
+    const std::string path = snapshot_path(dir_, base);
+    Expected<std::vector<std::uint8_t>> bytes = io::read_file(path);
+    if (!bytes.ok()) return bytes.error();
+    Expected<DecodedSnapshot> snapshot = decode_snapshot(bytes.value(), path);
+    if (!snapshot.ok()) return snapshot.error();
+    documents = std::move(snapshot.value().documents);
+  }
+  for (const Segment& segment : frozen) {
+    if (segment.records == 0) continue;
+    Expected<std::vector<std::uint8_t>> bytes = io::read_file(segment.path);
+    if (!bytes.ok()) return bytes.error();
+    // Segments are append-only: clamp to the frozen byte count so records
+    // acknowledged after the freeze don't leak into this snapshot.
+    const std::span<const std::uint8_t> view(
+        bytes.value().data(),
+        std::min<std::size_t>(bytes.value().size(),
+                              static_cast<std::size_t>(segment.bytes)));
+    std::size_t offset = 0;
+    Lsn lsn = segment.first_lsn;
+    for (std::uint64_t i = 0; i < segment.records; ++i, ++lsn) {
+      DecodeResult frame = decode_frame(view, offset);
+      if (frame.status != DecodeStatus::kOk) {
+        return Error{"wal compaction replay hit an invalid frame", segment.path};
+      }
+      if (lsn > base && lsn <= target) apply_record(documents, frame.record);
+      offset = frame.next_offset;
+    }
+  }
+
+  Status written = write_snapshot(dir_, documents, target);
+  if (!written.ok()) return written;
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_lsn_ = target;
+  records_since_compaction_ = last_lsn_ - target;
+  ++compactions_;
+  last_compaction_ = std::chrono::steady_clock::now();
+  compacted_once_ = true;
+  std::error_code ec;
+  // Older snapshots are strictly dominated; sealed segments whose every
+  // record is <= target are covered. The active segment is never deleted.
+  const DirListing listing = list_store(dir_);
+  for (const auto& [snap_lsn, path] : listing.snapshots) {
+    if (snap_lsn < target) fs::remove(path, ec);
+  }
+  for (std::size_t i = 0; i + 1 < segments_.size();) {
+    const Segment& segment = segments_[i];
+    if (segment.first_lsn + segment.records <= target + 1) {
+      fs::remove(segment.path, ec);
+      segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return Status::ok_status();
+}
+
+void DurableStore::compaction_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      compaction_cv_.wait(lock, [this] { return stop_ || compaction_due_; });
+      if (stop_) return;
+      compaction_due_ = false;
+    }
+    const std::lock_guard<std::mutex> serialize(compact_mutex_);
+    (void)compact_impl();  // failure keeps the log authoritative; retried
+                           // the next time the record budget fills
+  }
+}
+
+Stats DurableStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.last_lsn = last_lsn_;
+  stats.snapshot_lsn = snapshot_lsn_;
+  stats.segment_count = segments_.size();
+  stats.records_since_compaction = records_since_compaction_;
+  stats.compactions = compactions_;
+  if (compacted_once_) {
+    stats.seconds_since_compaction =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      last_compaction_)
+            .count();
+  }
+  stats.fsyncs = fsyncs_;
+  stats.fsync_us_total = fsync_us_total_;
+  stats.appended_bytes = appended_bytes_;
+  return stats;
+}
+
+}  // namespace provml::wal

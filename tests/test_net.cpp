@@ -329,6 +329,30 @@ TEST(HttpServer, MalformedRequestsGetHttpErrorStatuses) {
   server.stop();
 }
 
+TEST(HttpServer, MethodNotAllowedCarriesAllowHeader) {
+  YProvHttpApp app;
+  ServerConfig config;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+
+  // A wrong method on a routed resource: 405 plus the methods that would
+  // have worked, as a real Allow: header on the wire (RFC 9110 §15.5.6).
+  const std::string on_document = raw_exchange(
+      server.port(),
+      "POST /api/v0/documents/x HTTP/1.1\r\nContent-Length: 1\r\n"
+      "Connection: close\r\n\r\nx");
+  EXPECT_NE(on_document.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(on_document.find("Allow: GET, PUT, DELETE"), std::string::npos);
+
+  const std::string on_health = raw_exchange(
+      server.port(),
+      "POST /api/v0/health HTTP/1.1\r\nContent-Length: 1\r\n"
+      "Connection: close\r\n\r\nx");
+  EXPECT_NE(on_health.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(on_health.find("Allow: GET"), std::string::npos);
+  server.stop();
+}
+
 TEST(HttpServer, ReadTimeoutAnswers408OnPartialRequest) {
   YProvHttpApp app;
   ServerConfig config;
