@@ -121,6 +121,8 @@ Expected<EdgeId> PropertyGraph::add_edge(NodeId from, NodeId to, std::string typ
   if (nodes_.count(to) == 0) return Error{"unknown target node", std::to_string(to)};
   const EdgeId id = next_edge_++;
   const TypeId tid = intern_type(type);
+  if (type_counts_.size() <= tid) type_counts_.resize(tid + 1, 0);
+  ++type_counts_[tid];
   edges_.emplace(id, Edge{id, from, to, std::move(type), std::move(properties)});
   Adjacency& out = out_[from];
   out.all.push_back(id);
@@ -133,6 +135,7 @@ Expected<EdgeId> PropertyGraph::add_edge(NodeId from, NodeId to, std::string typ
 
 void PropertyGraph::unlink_edge(const Edge& e) {
   const std::optional<TypeId> tid = type_id(e.type);
+  if (tid && *tid < type_counts_.size() && type_counts_[*tid] > 0) --type_counts_[*tid];
   auto drop = [&](std::unordered_map<NodeId, Adjacency>& table, NodeId node) {
     const auto it = table.find(node);
     if (it == table.end()) return;
@@ -226,6 +229,11 @@ std::optional<NodeId> PropertyGraph::find_one(const std::string& label, const st
 std::size_t PropertyGraph::count_with_label(const std::string& label) const {
   const std::optional<LabelId> lid = label_id(label);
   return lid ? label_index_[*lid].size() : 0;
+}
+
+std::size_t PropertyGraph::count_with_edge_type(const std::string& type) const {
+  const std::optional<TypeId> tid = type_id(type);
+  return tid && *tid < type_counts_.size() ? type_counts_[*tid] : 0;
 }
 
 std::size_t PropertyGraph::count_with_property(const std::string& label, const std::string& key,

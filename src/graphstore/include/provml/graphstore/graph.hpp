@@ -85,6 +85,11 @@ class PropertyGraph {
                                                 const std::string& key,
                                                 const json::Value& value) const;
 
+  /// Number of live edges carrying `type` (0 when never seen). O(1);
+  /// maintained incrementally so the query planner can estimate per-type
+  /// fan-out (edges of type / nodes) without touching the edge table.
+  [[nodiscard]] std::size_t count_with_edge_type(const std::string& type) const;
+
   /// Incident-edge count in the given direction. O(1).
   [[nodiscard]] std::size_t degree(NodeId id, Direction dir) const;
 
@@ -151,6 +156,7 @@ class PropertyGraph {
   std::unordered_map<std::string, LabelId> label_ids_;
   std::unordered_map<std::string, TypeId> type_ids_;
   std::vector<std::set<NodeId>> label_index_;  ///< postings by LabelId
+  std::vector<std::size_t> type_counts_;       ///< live-edge counts by TypeId
   std::unordered_map<PropKey, std::set<NodeId>, PropKeyHash> prop_index_;
   NodeId next_node_ = 1;
   EdgeId next_edge_ = 1;

@@ -2,9 +2,91 @@
 
 #include <algorithm>
 #include <cctype>
+#include <deque>
 #include <set>
 
 namespace provml::graphstore {
+
+std::string ReturnItem::display() const {
+  switch (agg) {
+    case Agg::kNone: return var;
+    case Agg::kCount: return "count(" + var + ")";
+    case Agg::kMin: return "min(" + var + "." + key + ")";
+    case Agg::kMax: return "max(" + var + "." + key + ")";
+    case Agg::kAvg: return "avg(" + var + "." + key + ")";
+  }
+  return var;
+}
+
+bool Query::has_aggregate() const {
+  return std::any_of(returns.begin(), returns.end(), [](const ReturnItem& item) {
+    return item.agg != ReturnItem::Agg::kNone;
+  });
+}
+
+bool Query::has_variable_length() const {
+  return std::any_of(edges.begin(), edges.end(),
+                     [](const EdgePattern& e) { return e.variable; });
+}
+
+int compare_values(const json::Value& a, const json::Value& b) {
+  auto rank = [](const json::Value& v) {
+    // Numbers share one rank so 1 and 1.0 compare numerically.
+    switch (v.type()) {
+      case json::Value::Type::kNull: return 0;
+      case json::Value::Type::kBool: return 1;
+      case json::Value::Type::kInt:
+      case json::Value::Type::kDouble: return 2;
+      case json::Value::Type::kString: return 3;
+      case json::Value::Type::kArray: return 4;
+      case json::Value::Type::kObject: return 5;
+    }
+    return 6;
+  };
+  const int ra = rank(a);
+  const int rb = rank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a.type()) {
+    case json::Value::Type::kNull: return 0;
+    case json::Value::Type::kBool:
+      return static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+    case json::Value::Type::kInt:
+    case json::Value::Type::kDouble: {
+      const double x = a.as_double();
+      const double y = b.as_double();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case json::Value::Type::kString: {
+      const int c = a.as_string().compare(b.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case json::Value::Type::kArray: {
+      const json::Array& xs = a.as_array();
+      const json::Array& ys = b.as_array();
+      const std::size_t n = std::min(xs.size(), ys.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const int c = compare_values(xs[i], ys[i]);
+        if (c != 0) return c;
+      }
+      return xs.size() < ys.size() ? -1 : (xs.size() > ys.size() ? 1 : 0);
+    }
+    case json::Value::Type::kObject: {
+      const json::Object& xo = a.as_object();
+      const json::Object& yo = b.as_object();
+      auto xi = xo.begin();
+      auto yi = yo.begin();
+      for (; xi != xo.end() && yi != yo.end(); ++xi, ++yi) {
+        const int ck = xi->first.compare(yi->first);
+        if (ck != 0) return ck < 0 ? -1 : 1;
+        const int cv = compare_values(xi->second, yi->second);
+        if (cv != 0) return cv;
+      }
+      return xo.size() < yo.size() ? -1 : (xo.size() > yo.size() ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
 namespace {
 
 // ----------------------------------------------------------------- parser
@@ -40,33 +122,73 @@ class Parser {
     }
     if (!consume_keyword("RETURN")) return fail("expected RETURN");
     while (true) {
-      skip_ws();
-      const std::string var = parse_identifier();
-      if (var.empty()) return fail("expected variable name after RETURN");
-      query.returns.push_back(var);
+      Expected<ReturnItem> item = parse_return_item();
+      if (!item.ok()) return item.error();
+      query.returns.push_back(item.take());
       skip_ws();
       if (!consume(',')) break;
     }
+    if (consume_keyword("ORDER")) {
+      if (!consume_keyword("BY")) return fail("expected BY after ORDER");
+      while (true) {
+        Expected<SortKey> key = parse_sort_key();
+        if (!key.ok()) return key.error();
+        query.order_by.push_back(key.take());
+        skip_ws();
+        if (!consume(',')) break;
+      }
+    }
+    if (consume_keyword("SKIP")) {
+      Expected<std::size_t> n = parse_count("SKIP");
+      if (!n.ok()) return n.error();
+      query.skip = n.value();
+    }
+    if (consume_keyword("LIMIT")) {
+      Expected<std::size_t> n = parse_count("LIMIT");
+      if (!n.ok()) return n.error();
+      query.limit = n.value();
+    }
     skip_ws();
-    if (!eof()) return fail("trailing characters after RETURN list");
+    if (!eof()) return fail("trailing characters after query");
+    return check_semantics(std::move(query));
+  }
 
-    // Semantic checks: returned and filtered vars must be bound.
+ private:
+  Expected<Query> check_semantics(Query query) {
     auto bound = [&](const std::string& var) {
-      return std::any_of(query.nodes.begin(), query.nodes.end(),
+      return !var.empty() &&
+             std::any_of(query.nodes.begin(), query.nodes.end(),
                          [&](const NodePattern& n) { return n.var == var; });
     };
-    for (const std::string& var : query.returns) {
-      if (!bound(var)) return fail("RETURN references unbound variable '" + var + "'");
+    for (const ReturnItem& item : query.returns) {
+      if (!bound(item.var)) {
+        return fail("RETURN references unbound variable '" + item.var + "'");
+      }
     }
     for (const Condition& cond : query.conditions) {
       if (!bound(cond.var)) {
         return fail("WHERE references unbound variable '" + cond.var + "'");
       }
     }
+    // ORDER BY must reference RETURN output: an aggregate key must repeat a
+    // returned aggregate verbatim; a plain key's variable must be returned
+    // un-aggregated (rows are deduplicated on the returned bindings, so
+    // ordering by anything else would be ambiguous).
+    for (const SortKey& key : query.order_by) {
+      const bool matches = std::any_of(
+          query.returns.begin(), query.returns.end(), [&](const ReturnItem& item) {
+            return key.ref.agg == ReturnItem::Agg::kNone
+                       ? item.agg == ReturnItem::Agg::kNone && item.var == key.ref.var
+                       : item == key.ref;
+          });
+      if (!matches) {
+        return fail("ORDER BY references '" + key.ref.display() +
+                    "' which is not in the RETURN list");
+      }
+    }
     return query;
   }
 
- private:
   Expected<Query> fail(const std::string& message) const {
     return Error{message, "offset " + std::to_string(pos_)};
   }
@@ -87,10 +209,18 @@ class Parser {
     return true;
   }
 
+  /// Keywords only match on a word boundary: "ANDroid" is an identifier,
+  /// not AND + "roid".
   bool consume_keyword(const char* keyword) {
     skip_ws();
     const std::size_t len = std::string(keyword).size();
     if (text_.compare(pos_, len, keyword) != 0) return false;
+    if (pos_ + len < text_.size()) {
+      const char next = text_[pos_ + len];
+      if (std::isalnum(static_cast<unsigned char>(next)) != 0 || next == '_') {
+        return false;
+      }
+    }
     pos_ += len;
     return true;
   }
@@ -145,6 +275,19 @@ class Parser {
     if (token.empty() || token == "-") return fail_err("expected literal");
     if (is_double) return json::Value(std::stod(token));
     return json::Value(static_cast<std::int64_t>(std::stoll(token)));
+  }
+
+  /// Nonnegative integer for SKIP/LIMIT.
+  Expected<std::size_t> parse_count(const char* keyword) {
+    skip_ws();
+    std::string token;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      token += text_[pos_++];
+    }
+    if (token.empty()) {
+      return Error{fail_err(std::string("expected nonnegative integer after ") + keyword)};
+    }
+    return static_cast<std::size_t>(std::stoull(token));
   }
 
   Expected<NodePattern> parse_node() {
@@ -208,6 +351,56 @@ class Parser {
     return cond;
   }
 
+  /// RETURN item: `var`, `count(var)`, or `min|max|avg(var.key)`. An
+  /// aggregate name followed by anything but '(' is a plain variable.
+  Expected<ReturnItem> parse_return_item() {
+    skip_ws();
+    ReturnItem item;
+    const std::string word = parse_identifier();
+    if (word.empty()) return fail_err("expected variable or aggregate in RETURN");
+    skip_ws();
+    if (!eof() && peek() == '(' &&
+        (word == "count" || word == "min" || word == "max" || word == "avg")) {
+      ++pos_;
+      item.agg = word == "count" ? ReturnItem::Agg::kCount
+                 : word == "min" ? ReturnItem::Agg::kMin
+                 : word == "max" ? ReturnItem::Agg::kMax
+                                 : ReturnItem::Agg::kAvg;
+      skip_ws();
+      item.var = parse_identifier();
+      if (item.var.empty()) return fail_err("expected variable inside " + word + "()");
+      if (item.agg != ReturnItem::Agg::kCount) {
+        if (!consume('.')) return fail_err(word + "() takes var.property");
+        item.key = parse_name();
+        if (item.key.empty()) return fail_err("expected property key in " + word + "()");
+      }
+      skip_ws();
+      if (!consume(')')) return fail_err("expected ')' closing " + word + "()");
+      return item;
+    }
+    item.var = word;
+    return item;
+  }
+
+  /// ORDER BY key: a RETURN item form, optionally `var.key`, with ASC/DESC.
+  Expected<SortKey> parse_sort_key() {
+    Expected<ReturnItem> ref = parse_return_item();
+    if (!ref.ok()) return ref.error();
+    SortKey key;
+    key.ref = ref.take();
+    if (key.ref.agg == ReturnItem::Agg::kNone && consume('.')) {
+      key.property = parse_name();
+      if (key.property.empty()) return fail_err("expected property key in ORDER BY");
+    }
+    skip_ws();
+    if (consume_keyword("DESC")) {
+      key.descending = true;
+    } else {
+      (void)consume_keyword("ASC");
+    }
+    return key;
+  }
+
   Expected<EdgePattern> parse_edge() {
     skip_ws();
     EdgePattern edge;
@@ -222,6 +415,38 @@ class Parser {
       skip_ws();
       if (consume(':')) edge.type = parse_identifier();
       skip_ws();
+      if (consume('*')) {
+        edge.variable = true;
+        edge.min_hops = 1;
+        edge.max_hops = kUnboundedHops;
+        skip_ws();
+        std::string digits;
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+          digits += text_[pos_++];
+        }
+        if (!digits.empty()) edge.min_hops = std::stoull(digits);
+        if (!eof() && peek() == '.' && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] == '.') {
+          pos_ += 2;
+          std::string upper;
+          while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+            upper += text_[pos_++];
+          }
+          if (!upper.empty()) edge.max_hops = std::stoull(upper);
+        } else if (!digits.empty()) {
+          edge.max_hops = edge.min_hops;  // *n — exact length
+        }
+        if (edge.min_hops < 1) {
+          return fail_err("variable-length lower bound must be >= 1");
+        }
+        if (edge.max_hops < edge.min_hops) {
+          return fail_err("variable-length upper bound below lower bound");
+        }
+        if (edge.max_hops == kUnboundedHops && edge.min_hops > 1) {
+          return fail_err("open upper bound requires a lower bound of 1");
+        }
+        skip_ws();
+      }
       if (!consume(']')) return fail_err("expected ']'");
     }
     if (!consume('-')) return fail_err("expected '-' closing the edge");
@@ -258,12 +483,59 @@ bool node_matches(const PropertyGraph& graph, NodeId id, const NodePattern& patt
 
 bool condition_holds_impl(const PropertyGraph& graph, NodeId id, const Condition& cond);
 
+/// Effective upper bound of a variable-length edge: an open bound is
+/// capped by the node count — a simple path cannot be longer.
+std::size_t capped_max_hops(const PropertyGraph& graph, const EdgePattern& edge) {
+  return std::min(edge.max_hops, graph.node_count());
+}
+
+/// Oracle-side variable-length targets: an independent implementation.
+/// min <= 1 runs level-synchronous distance relaxation (no queue, no
+/// discovery order); min > 1 recursively enumerates simple paths.
+void var_targets_brute_dfs(const PropertyGraph& graph, const EdgePattern& edge,
+                           NodeId node, std::size_t depth, std::size_t cap,
+                           std::set<NodeId>& on_path, std::set<NodeId>& targets) {
+  if (depth == cap) return;
+  for (const NodeId next : graph.neighbors(node, edge.direction, edge.type)) {
+    if (on_path.count(next) != 0) continue;
+    if (depth + 1 >= edge.min_hops) targets.insert(next);
+    on_path.insert(next);
+    var_targets_brute_dfs(graph, edge, next, depth + 1, cap, on_path, targets);
+    on_path.erase(next);
+  }
+}
+
+std::vector<NodeId> var_targets_brute(const PropertyGraph& graph, NodeId from,
+                                      const EdgePattern& edge) {
+  const std::size_t cap = capped_max_hops(graph, edge);
+  std::set<NodeId> targets;
+  if (edge.min_hops <= 1) {
+    std::set<NodeId> frontier{from};
+    std::set<NodeId> seen{from};
+    for (std::size_t round = 0; round < cap && !frontier.empty(); ++round) {
+      std::set<NodeId> next_frontier;
+      for (const NodeId node : frontier) {
+        for (const NodeId next : graph.neighbors(node, edge.direction, edge.type)) {
+          if (seen.insert(next).second) {
+            next_frontier.insert(next);
+            targets.insert(next);
+          }
+        }
+      }
+      frontier.swap(next_frontier);
+    }
+  } else {
+    std::set<NodeId> on_path{from};
+    var_targets_brute_dfs(graph, edge, from, 0, cap, on_path, targets);
+  }
+  return {targets.begin(), targets.end()};
+}
+
 // ---------------------------------------------------------------- planner
 
 /// Plans where candidate nodes for `pattern` come from: the smallest
 /// posting list over every label and every label×property pair, or a full
-/// scan when the pattern has no label. The explicit minimum replaces the
-/// old arbitrary labels.front()/properties.begin() pick.
+/// scan when the pattern has no label.
 QueryPlan plan_anchor(const PropertyGraph& graph, const NodePattern& pattern) {
   QueryPlan plan;
   if (pattern.labels.empty()) {
@@ -334,8 +606,10 @@ std::vector<std::vector<const Condition*>> conditions_by_position(const Query& q
 }
 
 /// The query with its path flipped end-to-end: node patterns reversed,
-/// edges reversed with their directions mirrored. Matching the reversed
-/// query and flipping each found path yields exactly the original matches.
+/// edges reversed with their directions mirrored (variable-length bounds
+/// carry over — a simple path reverses into a simple path). Matching the
+/// reversed query and flipping each found path yields exactly the original
+/// matches.
 Query reverse_query(const Query& query) {
   Query reversed;
   reversed.nodes.assign(query.nodes.rbegin(), query.nodes.rend());
@@ -351,12 +625,16 @@ Query reverse_query(const Query& query) {
   }
   reversed.conditions = query.conditions;
   reversed.returns = query.returns;
+  reversed.order_by = query.order_by;
+  reversed.skip = query.skip;
+  reversed.limit = query.limit;
   return reversed;
 }
 
 /// Depth-first path expansion with WHERE pushdown: a frontier node must
 /// satisfy both its pattern and every condition bound to its position, so
 /// non-matching paths are pruned during expansion instead of post-filtered.
+/// Variable-length steps expand through var_targets_planned.
 void extend(const PropertyGraph& graph, const Query& query,
             const std::vector<std::vector<const Condition*>>& conds, std::size_t depth,
             std::vector<NodeId>& path, std::set<std::vector<NodeId>>& results) {
@@ -365,7 +643,10 @@ void extend(const PropertyGraph& graph, const Query& query,
     return;
   }
   const EdgePattern& edge = query.edges[depth - 1];
-  for (const NodeId next : graph.neighbors(path.back(), edge.direction, edge.type)) {
+  const std::vector<NodeId> nexts =
+      edge.variable ? var_targets_brute(graph, path.back(), edge)
+                    : graph.neighbors(path.back(), edge.direction, edge.type);
+  for (const NodeId next : nexts) {
     if (!node_matches(graph, next, query.nodes[depth])) continue;
     const bool pruned = std::any_of(
         conds[depth].begin(), conds[depth].end(),
@@ -377,26 +658,312 @@ void extend(const PropertyGraph& graph, const Query& query,
   }
 }
 
+/// The oracle's expansion: same shape, no pushdown, DFS variable-length
+/// enumeration.
+void extend_brute(const PropertyGraph& graph, const Query& query, std::size_t depth,
+                  std::vector<NodeId>& path, std::set<std::vector<NodeId>>& results) {
+  if (depth == query.nodes.size()) {
+    results.insert(path);
+    return;
+  }
+  const EdgePattern& edge = query.edges[depth - 1];
+  const std::vector<NodeId> nexts =
+      edge.variable ? var_targets_brute(graph, path.back(), edge)
+                    : graph.neighbors(path.back(), edge.direction, edge.type);
+  for (const NodeId next : nexts) {
+    if (!node_matches(graph, next, query.nodes[depth])) continue;
+    path.push_back(next);
+    extend_brute(graph, query, depth + 1, path, results);
+    path.pop_back();
+  }
+}
+
+// ----------------------------------------------------- rows & aggregation
+
+/// Variables the result actually consumes: everything mentioned in the
+/// RETURN list (aggregate inputs included). Rows are deduplicated on this
+/// projection, so count(x) counts *distinct* bindings of x per group.
+std::set<std::string> relevant_vars(const Query& query) {
+  std::set<std::string> vars;
+  for (const ReturnItem& item : query.returns) vars.insert(item.var);
+  return vars;
+}
+
 /// Deterministic row assembly shared by the planner and brute-force paths:
 /// paths are in original pattern orientation, rows ordered by path order,
-/// deduplicated on the returned bindings.
+/// deduplicated on the projected bindings.
 std::vector<Row> rows_from_paths(const Query& query,
                                  const std::set<std::vector<NodeId>>& paths) {
+  const std::set<std::string> vars = relevant_vars(query);
   std::vector<Row> rows;
   std::set<Row> seen;
   for (const std::vector<NodeId>& path : paths) {
     Row row;
     for (std::size_t i = 0; i < query.nodes.size(); ++i) {
       const std::string& var = query.nodes[i].var;
-      if (var.empty()) continue;
-      if (std::find(query.returns.begin(), query.returns.end(), var) !=
-          query.returns.end()) {
-        row[var] = path[i];
-      }
+      if (var.empty() || vars.count(var) == 0) continue;
+      row[var] = path[i];
     }
     if (seen.insert(row).second) rows.push_back(std::move(row));
   }
   return rows;
+}
+
+json::Value node_property(const PropertyGraph& graph, NodeId id, const std::string& key) {
+  const Node* n = graph.node(id);
+  const json::Value* v = n != nullptr ? n->properties.find(key) : nullptr;
+  return v != nullptr ? *v : json::Value(nullptr);
+}
+
+/// Streaming accumulator for one aggregate column — the planner's
+/// aggregate pushdown: rows fold in one at a time, nothing per-group is
+/// materialized.
+struct AggAccumulator {
+  std::int64_t count = 0;
+  json::Value extreme;          // min/max; null until the first real value
+  bool has_extreme = false;
+  double sum = 0.0;
+  std::int64_t numeric = 0;
+
+  void fold(const ReturnItem& item, const PropertyGraph& graph, const Row& row) {
+    ++count;
+    if (item.agg == ReturnItem::Agg::kCount) return;
+    const json::Value v = node_property(graph, row.at(item.var), item.key);
+    if (v.is_null()) return;
+    if (item.agg == ReturnItem::Agg::kAvg) {
+      if (v.is_number()) {
+        sum += v.as_double();
+        ++numeric;
+      }
+      return;
+    }
+    const bool better = !has_extreme ||
+                        (item.agg == ReturnItem::Agg::kMin
+                             ? compare_values(v, extreme) < 0
+                             : compare_values(v, extreme) > 0);
+    if (better) {
+      extreme = v;
+      has_extreme = true;
+    }
+  }
+
+  [[nodiscard]] json::Value result(const ReturnItem& item) const {
+    switch (item.agg) {
+      case ReturnItem::Agg::kCount: return json::Value(count);
+      case ReturnItem::Agg::kMin:
+      case ReturnItem::Agg::kMax:
+        return has_extreme ? extreme : json::Value(nullptr);
+      case ReturnItem::Agg::kAvg:
+        return numeric > 0 ? json::Value(sum / static_cast<double>(numeric))
+                           : json::Value(nullptr);
+      case ReturnItem::Agg::kNone: break;
+    }
+    return json::Value(nullptr);
+  }
+};
+
+std::vector<ResultSet::Column> result_columns(const Query& query) {
+  std::vector<ResultSet::Column> columns;
+  columns.reserve(query.returns.size());
+  for (const ReturnItem& item : query.returns) {
+    columns.push_back({item.display(), item.agg == ReturnItem::Agg::kNone});
+  }
+  return columns;
+}
+
+/// Group binding rows by the tuple of un-aggregated RETURN variables and
+/// fold every aggregate column. Group order is ascending group key. With
+/// no grouping variables and no rows, aggregates still produce one row
+/// (count() over nothing is 0).
+std::vector<std::vector<json::Value>> aggregate_rows(const PropertyGraph& graph,
+                                                     const Query& query,
+                                                     const std::vector<Row>& rows) {
+  std::vector<const ReturnItem*> group_items;
+  for (const ReturnItem& item : query.returns) {
+    if (item.agg == ReturnItem::Agg::kNone) group_items.push_back(&item);
+  }
+  std::map<std::vector<NodeId>, std::vector<AggAccumulator>> groups;
+  for (const Row& row : rows) {
+    std::vector<NodeId> key;
+    key.reserve(group_items.size());
+    for (const ReturnItem* item : group_items) key.push_back(row.at(item->var));
+    auto [it, inserted] =
+        groups.try_emplace(std::move(key), query.returns.size(), AggAccumulator{});
+    for (std::size_t c = 0; c < query.returns.size(); ++c) {
+      if (query.returns[c].agg != ReturnItem::Agg::kNone) {
+        it->second[c].fold(query.returns[c], graph, row);
+      }
+    }
+  }
+  if (groups.empty() && group_items.empty()) {
+    groups.try_emplace(std::vector<NodeId>{},
+                       std::vector<AggAccumulator>(query.returns.size()));
+  }
+  std::vector<std::vector<json::Value>> out;
+  out.reserve(groups.size());
+  for (const auto& [key, accs] : groups) {
+    std::vector<json::Value> cells;
+    cells.reserve(query.returns.size());
+    std::size_t group_cursor = 0;
+    for (std::size_t c = 0; c < query.returns.size(); ++c) {
+      if (query.returns[c].agg == ReturnItem::Agg::kNone) {
+        cells.emplace_back(static_cast<std::int64_t>(key[group_cursor++]));
+      } else {
+        cells.push_back(accs[c].result(query.returns[c]));
+      }
+    }
+    out.push_back(std::move(cells));
+  }
+  return out;
+}
+
+std::vector<std::vector<json::Value>> project_rows(const Query& query,
+                                                   const std::vector<Row>& rows) {
+  std::vector<std::vector<json::Value>> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<json::Value> cells;
+    cells.reserve(query.returns.size());
+    for (const ReturnItem& item : query.returns) {
+      cells.emplace_back(static_cast<std::int64_t>(row.at(item.var)));
+    }
+    out.push_back(std::move(cells));
+  }
+  return out;
+}
+
+// ----------------------------------------------------- ORDER BY / LIMIT
+
+/// The sort value of one output row under one key. An aggregate key reads
+/// its column; `var` reads the node-id cell; `var.key` resolves the
+/// property of the bound node. This function *is* the ORDER BY spec — the
+/// planner and the oracle both sort with it.
+json::Value sort_value(const PropertyGraph& graph, const Query& query,
+                       const SortKey& key, const std::vector<json::Value>& row) {
+  for (std::size_t c = 0; c < query.returns.size(); ++c) {
+    const ReturnItem& item = query.returns[c];
+    const bool matches = key.ref.agg == ReturnItem::Agg::kNone
+                             ? item.agg == ReturnItem::Agg::kNone && item.var == key.ref.var
+                             : item == key.ref;
+    if (!matches) continue;
+    if (key.ref.agg != ReturnItem::Agg::kNone || key.property.empty()) return row[c];
+    return node_property(graph, static_cast<NodeId>(row[c].as_int()), key.property);
+  }
+  return json::Value(nullptr);  // unreachable: the parser validated the key
+}
+
+/// Strict deterministic comparator: the ORDER BY keys, then the base-order
+/// index — so ties preserve the engine's deterministic base order and
+/// top-k selection agrees with a full stable sort.
+struct RowOrder {
+  const PropertyGraph& graph;
+  const Query& query;
+  const std::vector<std::vector<json::Value>>& rows;
+
+  bool operator()(std::size_t a, std::size_t b) const {
+    for (const SortKey& key : query.order_by) {
+      const int c = compare_values(sort_value(graph, query, key, rows[a]),
+                                   sort_value(graph, query, key, rows[b]));
+      if (c != 0) return key.descending ? c > 0 : c < 0;
+    }
+    return a < b;
+  }
+};
+
+/// ORDER BY + SKIP/LIMIT over output rows. `top_k` selects with
+/// std::partial_sort when a finite LIMIT asks for a prefix (the planner's
+/// pagination shortcut); the full sort path is what the oracle uses. Both
+/// orders are identical because the comparator is strict-total.
+std::vector<std::vector<json::Value>> order_and_page(
+    const PropertyGraph& graph, const Query& query,
+    std::vector<std::vector<json::Value>> rows, bool top_k) {
+  std::vector<std::size_t> index(rows.size());
+  for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
+  if (!query.order_by.empty()) {
+    const RowOrder order{graph, query, rows};
+    const std::size_t want =
+        query.limit == std::numeric_limits<std::size_t>::max()
+            ? rows.size()
+            : std::min(rows.size(), query.skip + query.limit);
+    if (top_k && want < rows.size()) {
+      std::partial_sort(index.begin(), index.begin() + static_cast<std::ptrdiff_t>(want),
+                        index.end(), order);
+    } else {
+      std::sort(index.begin(), index.end(), order);
+    }
+  }
+  std::vector<std::vector<json::Value>> out;
+  for (std::size_t i = query.skip; i < index.size() && out.size() < query.limit; ++i) {
+    out.push_back(std::move(rows[index[i]]));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ match cores
+
+Expected<std::set<std::vector<NodeId>>> match_planned(const PropertyGraph& graph,
+                                                      const Query& query,
+                                                      const QueryPlan& plan) {
+  // Execute in anchor orientation; conditions keep their original
+  // first-occurrence positions, mirrored when the path is reversed.
+  const Query executed = plan.reversed ? reverse_query(query) : query;
+  std::vector<std::vector<const Condition*>> conds = conditions_by_position(query);
+  if (plan.reversed) std::reverse(conds.begin(), conds.end());
+
+  std::set<std::vector<NodeId>> paths;
+  for (const NodeId start : candidates(graph, executed.nodes.front(), plan)) {
+    const bool pruned = std::any_of(
+        conds.front().begin(), conds.front().end(),
+        [&](const Condition* c) { return !condition_holds_impl(graph, start, *c); });
+    if (pruned) continue;
+    std::vector<NodeId> path{start};
+    extend(graph, executed, conds, 1, path, paths);
+  }
+
+  if (plan.reversed) {
+    std::set<std::vector<NodeId>> forward;
+    for (const std::vector<NodeId>& path : paths) {
+      forward.emplace(path.rbegin(), path.rend());
+    }
+    paths.swap(forward);
+  }
+  return paths;
+}
+
+Expected<std::set<std::vector<NodeId>>> match_brute(const PropertyGraph& graph,
+                                                    const Query& query) {
+  // Full scan, forward orientation, no index, no pushdown.
+  std::set<std::vector<NodeId>> paths;
+  for (const NodeId start : graph.node_ids()) {
+    if (!node_matches(graph, start, query.nodes.front())) continue;
+    std::vector<NodeId> path{start};
+    extend_brute(graph, query, 1, path, paths);
+  }
+  // Post-filter WHERE conditions over complete paths.
+  const std::vector<std::vector<const Condition*>> conds = conditions_by_position(query);
+  for (auto it = paths.begin(); it != paths.end();) {
+    bool keep = true;
+    for (std::size_t i = 0; i < query.nodes.size() && keep; ++i) {
+      for (const Condition* c : conds[i]) {
+        if (!condition_holds_impl(graph, (*it)[i], *c)) {
+          keep = false;
+          break;
+        }
+      }
+    }
+    it = keep ? std::next(it) : paths.erase(it);
+  }
+  return paths;
+}
+
+Expected<std::vector<Row>> binding_rows(const PropertyGraph& graph, const Query& query,
+                                        bool brute) {
+  if (query.nodes.empty()) return Error{"query has no node patterns", "query"};
+  Expected<std::set<std::vector<NodeId>>> paths =
+      brute ? match_brute(graph, query)
+            : match_planned(graph, query, explain_query(graph, query));
+  if (!paths.ok()) return paths.error();
+  return rows_from_paths(query, paths.value());
 }
 
 }  // namespace
@@ -460,68 +1027,149 @@ QueryPlan explain_query(const PropertyGraph& graph, const Query& query) {
   return front;
 }
 
-Expected<std::vector<Row>> run_query(const PropertyGraph& graph, const Query& query) {
-  if (query.nodes.empty()) return Error{"query has no node patterns", "query"};
-  const QueryPlan plan = explain_query(graph, query);
+Expected<ResultSet> execute_query(const PropertyGraph& graph, const Query& query) {
+  Expected<std::vector<Row>> rows = binding_rows(graph, query, /*brute=*/false);
+  if (!rows.ok()) return rows.error();
+  ResultSet result;
+  result.columns = result_columns(query);
+  std::vector<std::vector<json::Value>> cells =
+      query.has_aggregate() ? aggregate_rows(graph, query, rows.value())
+                            : project_rows(query, rows.value());
+  result.rows = order_and_page(graph, query, std::move(cells), /*top_k=*/true);
+  return result;
+}
 
-  // Execute in anchor orientation; conditions keep their original
-  // first-occurrence positions, mirrored when the path is reversed.
-  const Query executed = plan.reversed ? reverse_query(query) : query;
-  std::vector<std::vector<const Condition*>> conds = conditions_by_position(query);
-  if (plan.reversed) std::reverse(conds.begin(), conds.end());
+Expected<ResultSet> execute_query(const PropertyGraph& graph, const std::string& text) {
+  Expected<Query> query = parse_query(text);
+  if (!query.ok()) return query.error();
+  return execute_query(graph, query.value());
+}
 
-  std::set<std::vector<NodeId>> paths;
-  for (const NodeId start : candidates(graph, executed.nodes.front(), plan)) {
-    const bool pruned = std::any_of(
-        conds.front().begin(), conds.front().end(),
-        [&](const Condition* c) { return !condition_holds_impl(graph, start, *c); });
-    if (pruned) continue;
-    std::vector<NodeId> path{start};
-    extend(graph, executed, conds, 1, path, paths);
-  }
-
-  if (plan.reversed) {
-    std::set<std::vector<NodeId>> forward;
-    for (const std::vector<NodeId>& path : paths) {
-      forward.emplace(path.rbegin(), path.rend());
+Expected<ResultSet> execute_query_brute_force(const PropertyGraph& graph,
+                                              const Query& query) {
+  Expected<std::vector<Row>> rows = binding_rows(graph, query, /*brute=*/true);
+  if (!rows.ok()) return rows.error();
+  ResultSet result;
+  result.columns = result_columns(query);
+  // Full materialization: group row vectors first, aggregate second, sort
+  // everything third. The ablation partner of the planner's streaming
+  // accumulators and top-k selection.
+  std::vector<std::vector<json::Value>> cells;
+  if (query.has_aggregate()) {
+    std::vector<const ReturnItem*> group_items;
+    for (const ReturnItem& item : query.returns) {
+      if (item.agg == ReturnItem::Agg::kNone) group_items.push_back(&item);
     }
-    paths.swap(forward);
+    std::map<std::vector<NodeId>, std::vector<Row>> groups;
+    for (const Row& row : rows.value()) {
+      std::vector<NodeId> key;
+      for (const ReturnItem* item : group_items) key.push_back(row.at(item->var));
+      groups[std::move(key)].push_back(row);
+    }
+    if (groups.empty() && group_items.empty()) groups[{}] = {};
+    for (const auto& [key, members] : groups) {
+      std::vector<json::Value> out;
+      std::size_t group_cursor = 0;
+      for (const ReturnItem& item : query.returns) {
+        if (item.agg == ReturnItem::Agg::kNone) {
+          out.emplace_back(static_cast<std::int64_t>(key[group_cursor++]));
+          continue;
+        }
+        AggAccumulator acc;
+        for (const Row& row : members) acc.fold(item, graph, row);
+        out.push_back(acc.result(item));
+      }
+      cells.push_back(std::move(out));
+    }
+  } else {
+    cells = project_rows(query, rows.value());
   }
-  return rows_from_paths(query, paths);
+  result.rows = order_and_page(graph, query, std::move(cells), /*top_k=*/false);
+  return result;
+}
+
+Expected<std::vector<Row>> run_query(const PropertyGraph& graph, const Query& query) {
+  if (query.has_aggregate()) {
+    return Error{"query aggregates; use execute_query for a value table", "query"};
+  }
+  Expected<std::vector<Row>> rows = binding_rows(graph, query, /*brute=*/false);
+  if (!rows.ok()) return rows.error();
+  // Present the same rows execute_query would: ordered and paginated.
+  if (query.order_by.empty() && query.skip == 0 &&
+      query.limit == std::numeric_limits<std::size_t>::max()) {
+    return rows;
+  }
+  std::vector<std::vector<json::Value>> cells = project_rows(query, rows.value());
+  const std::vector<std::vector<json::Value>> paged =
+      order_and_page(graph, query, std::move(cells), /*top_k=*/true);
+  std::vector<Row> out;
+  out.reserve(paged.size());
+  for (const std::vector<json::Value>& row : paged) {
+    Row bindings;
+    for (std::size_t c = 0; c < query.returns.size(); ++c) {
+      bindings[query.returns[c].var] = static_cast<NodeId>(row[c].as_int());
+    }
+    out.push_back(std::move(bindings));
+  }
+  return out;
 }
 
 Expected<std::vector<Row>> run_query_brute_force(const PropertyGraph& graph,
                                                  const Query& query) {
-  if (query.nodes.empty()) return Error{"query has no node patterns", "query"};
-  // Full scan, forward orientation, no index, no pushdown.
-  std::set<std::vector<NodeId>> paths;
-  const std::vector<std::vector<const Condition*>> no_conds(query.nodes.size());
-  for (const NodeId start : graph.node_ids()) {
-    if (!node_matches(graph, start, query.nodes.front())) continue;
-    std::vector<NodeId> path{start};
-    extend(graph, query, no_conds, 1, path, paths);
+  if (query.has_aggregate()) {
+    return Error{"query aggregates; use execute_query_brute_force for a value table",
+                 "query"};
   }
-  // Post-filter WHERE conditions over complete paths.
-  const std::vector<std::vector<const Condition*>> conds = conditions_by_position(query);
-  for (auto it = paths.begin(); it != paths.end();) {
-    bool keep = true;
-    for (std::size_t i = 0; i < query.nodes.size() && keep; ++i) {
-      for (const Condition* c : conds[i]) {
-        if (!condition_holds_impl(graph, (*it)[i], *c)) {
-          keep = false;
-          break;
-        }
-      }
+  Expected<std::vector<Row>> rows = binding_rows(graph, query, /*brute=*/true);
+  if (!rows.ok()) return rows.error();
+  if (query.order_by.empty() && query.skip == 0 &&
+      query.limit == std::numeric_limits<std::size_t>::max()) {
+    return rows;
+  }
+  std::vector<std::vector<json::Value>> cells = project_rows(query, rows.value());
+  const std::vector<std::vector<json::Value>> paged =
+      order_and_page(graph, query, std::move(cells), /*top_k=*/false);
+  std::vector<Row> out;
+  out.reserve(paged.size());
+  for (const std::vector<json::Value>& row : paged) {
+    Row bindings;
+    for (std::size_t c = 0; c < query.returns.size(); ++c) {
+      bindings[query.returns[c].var] = static_cast<NodeId>(row[c].as_int());
     }
-    it = keep ? std::next(it) : paths.erase(it);
+    out.push_back(std::move(bindings));
   }
-  return rows_from_paths(query, paths);
+  return out;
 }
 
 Expected<std::vector<Row>> run_query(const PropertyGraph& graph, const std::string& text) {
   Expected<Query> query = parse_query(text);
   if (!query.ok()) return query.error();
   return run_query(graph, query.value());
+}
+
+std::vector<ReachHop> var_length_reach(const PropertyGraph& graph, NodeId start,
+                                       Direction direction, const std::string& type,
+                                       std::size_t max_hops) {
+  std::vector<ReachHop> result;
+  if (graph.node(start) == nullptr || max_hops == 0) return result;
+  std::set<NodeId> seen{start};
+  std::deque<ReachHop> frontier{{start, 0, 0}};
+  while (!frontier.empty()) {
+    const ReachHop current = frontier.front();
+    frontier.pop_front();
+    if (current.depth == max_hops) continue;
+    for (const EdgeId eid : graph.edges_of(current.node, direction)) {
+      const Edge* e = graph.edge(eid);
+      if (e == nullptr) continue;
+      if (!type.empty() && e->type != type) continue;
+      const NodeId next = e->from == current.node ? e->to : e->from;
+      if (!seen.insert(next).second) continue;
+      const ReachHop hop{next, current.depth + 1, eid};
+      result.push_back(hop);
+      frontier.push_back(hop);
+    }
+  }
+  return result;
 }
 
 }  // namespace provml::graphstore

@@ -39,7 +39,10 @@ TEST(QueryParser, ParsesFullQuery) {
   EXPECT_EQ(q.value().nodes[0].properties.find("prov_id")->as_string(), "ex:run");
   EXPECT_EQ(q.value().edges[0].type, "wasGeneratedBy");
   EXPECT_EQ(q.value().edges[0].direction, Direction::kIn);
-  EXPECT_EQ(q.value().returns, (std::vector<std::string>{"e"}));
+  ASSERT_EQ(q.value().returns.size(), 1u);
+  EXPECT_EQ(q.value().returns[0].agg, ReturnItem::Agg::kNone);
+  EXPECT_EQ(q.value().returns[0].var, "e");
+  EXPECT_FALSE(q.value().edges[0].variable);
 }
 
 TEST(QueryParser, LiteralTypes) {
@@ -269,6 +272,291 @@ TEST(QueryWhere, FilterOnMidPathVariable) {
       R"(MATCH (e:Entity)-[:wasGeneratedBy]->(a:Activity)
          WHERE a.provml:run_name = "other" RETURN e)");
   EXPECT_TRUE(none.value().empty());
+}
+
+// ------------------------------------------------------ extended grammar
+
+TEST(QueryParser, VariableLengthForms) {
+  struct Case {
+    const char* text;
+    std::size_t min;
+    std::size_t max;
+  };
+  const Case cases[] = {
+      {"MATCH (a)-[:r*]->(b) RETURN b", 1, kUnboundedHops},
+      {"MATCH (a)-[:r*2]->(b) RETURN b", 2, 2},
+      {"MATCH (a)-[:r*1..3]->(b) RETURN b", 1, 3},
+      {"MATCH (a)-[:r*..4]->(b) RETURN b", 1, 4},
+      {"MATCH (a)-[:r*1..]->(b) RETURN b", 1, kUnboundedHops},
+      {"MATCH (a)<-[*2..3]-(b) RETURN b", 2, 3},
+  };
+  for (const Case& c : cases) {
+    const auto q = parse_query(c.text);
+    ASSERT_TRUE(q.ok()) << c.text << ": " << q.error().to_string();
+    ASSERT_EQ(q.value().edges.size(), 1u) << c.text;
+    EXPECT_TRUE(q.value().edges[0].variable) << c.text;
+    EXPECT_EQ(q.value().edges[0].min_hops, c.min) << c.text;
+    EXPECT_EQ(q.value().edges[0].max_hops, c.max) << c.text;
+    EXPECT_TRUE(q.value().has_variable_length()) << c.text;
+  }
+}
+
+TEST(QueryParser, RejectsBadVariableLengthBounds) {
+  EXPECT_FALSE(parse_query("MATCH (a)-[:r*0]->(b) RETURN b").ok());     // min < 1
+  EXPECT_FALSE(parse_query("MATCH (a)-[:r*0..2]->(b) RETURN b").ok());
+  EXPECT_FALSE(parse_query("MATCH (a)-[:r*3..2]->(b) RETURN b").ok());  // max < min
+  EXPECT_FALSE(parse_query("MATCH (a)-[:r*2..]->(b) RETURN b").ok());   // open needs min<=1
+}
+
+TEST(QueryParser, AggregateReturnItems) {
+  const auto q = parse_query(
+      "MATCH (a:Run)-[:used]->(d) RETURN a, count(d), min(a.loss), avg(a.loss)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  ASSERT_EQ(q.value().returns.size(), 4u);
+  EXPECT_EQ(q.value().returns[0].agg, ReturnItem::Agg::kNone);
+  EXPECT_EQ(q.value().returns[1].agg, ReturnItem::Agg::kCount);
+  EXPECT_EQ(q.value().returns[1].var, "d");
+  EXPECT_EQ(q.value().returns[2].agg, ReturnItem::Agg::kMin);
+  EXPECT_EQ(q.value().returns[2].key, "loss");
+  EXPECT_EQ(q.value().returns[3].agg, ReturnItem::Agg::kAvg);
+  EXPECT_EQ(q.value().returns[3].display(), "avg(a.loss)");
+  EXPECT_TRUE(q.value().has_aggregate());
+}
+
+TEST(QueryParser, AggregateNamesAreOrdinaryVariables) {
+  // count/min/max/avg only aggregate when followed by '('.
+  const auto q = parse_query("MATCH (count:Run) RETURN count");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  EXPECT_EQ(q.value().returns[0].agg, ReturnItem::Agg::kNone);
+  EXPECT_EQ(q.value().returns[0].var, "count");
+}
+
+TEST(QueryParser, RejectsMalformedAggregates) {
+  EXPECT_FALSE(parse_query("MATCH (a) RETURN min(a)").ok());       // needs var.key
+  EXPECT_FALSE(parse_query("MATCH (a) RETURN count(a.x)").ok());   // count takes var
+  EXPECT_FALSE(parse_query("MATCH (a) RETURN count(ghost)").ok()); // unbound
+  EXPECT_FALSE(parse_query("MATCH (a) RETURN count(a").ok());      // unclosed
+}
+
+TEST(QueryParser, OrderBySkipLimit) {
+  const auto q = parse_query(
+      "MATCH (r:Run) RETURN r ORDER BY r.loss DESC, r ASC SKIP 2 LIMIT 10");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  ASSERT_EQ(q.value().order_by.size(), 2u);
+  EXPECT_EQ(q.value().order_by[0].ref.var, "r");
+  EXPECT_EQ(q.value().order_by[0].property, "loss");
+  EXPECT_TRUE(q.value().order_by[0].descending);
+  EXPECT_EQ(q.value().order_by[1].property, "");
+  EXPECT_FALSE(q.value().order_by[1].descending);
+  EXPECT_EQ(q.value().skip, 2u);
+  EXPECT_EQ(q.value().limit, 10u);
+}
+
+TEST(QueryParser, OrderByAggregateMustBeReturned) {
+  EXPECT_TRUE(
+      parse_query("MATCH (r:Run) RETURN r, count(r) ORDER BY count(r)").ok());
+  EXPECT_FALSE(parse_query("MATCH (r:Run) RETURN r ORDER BY count(r)").ok());
+  EXPECT_FALSE(parse_query("MATCH (r:Run)-->(d) RETURN r ORDER BY d.x").ok());
+  EXPECT_FALSE(parse_query("MATCH (r:Run) RETURN r SKIP -1").ok());
+  EXPECT_FALSE(parse_query("MATCH (r:Run) RETURN r LIMIT x").ok());
+}
+
+// ------------------------------------------------------------------ oracle
+//
+// The brute-force evaluator is the semantic reference for every construct;
+// these tests pin its behavior directly (the planner is asserted equal to
+// it elsewhere).
+
+TEST(QueryOracle, VariableLengthReachability) {
+  const PropertyGraph g = training_graph();
+  // Everything within two hops of the dataset, any direction, any type.
+  const auto q = parse_query(
+      R"(MATCH (d:Entity {prov_id: "ex:dataset"})-[*1..2]-(x) RETURN x)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok()) << rs.error().to_string();
+  // 1 hop: run. 2 hops: ckpt, metrics, alice.
+  EXPECT_EQ(rs.value().rows.size(), 4u);
+}
+
+TEST(QueryOracle, VariableLengthMinimumExcludesShortPaths) {
+  const PropertyGraph g = training_graph();
+  const auto q = parse_query(
+      R"(MATCH (d:Entity {prov_id: "ex:dataset"})-[*2..2]-(x) RETURN x)");
+  ASSERT_TRUE(q.ok());
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().rows.size(), 3u);  // ckpt, metrics, alice — not run
+}
+
+TEST(QueryOracle, VariableLengthRequiresSimplePaths) {
+  // a -> b -> a cycle: *2..2 from a must not revisit a through b.
+  PropertyGraph g;
+  const NodeId a = g.add_node({"N"});
+  const NodeId b = g.add_node({"N"});
+  ASSERT_TRUE(g.add_edge(a, b, "r").ok());
+  ASSERT_TRUE(g.add_edge(b, a, "r").ok());
+  const auto q = parse_query("MATCH (x:N)-[:r*2..2]->(y) RETURN x, y");
+  ASSERT_TRUE(q.ok());
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs.value().rows.empty());
+}
+
+TEST(QueryOracle, CountsDistinctBindings) {
+  const PropertyGraph g = training_graph();
+  const auto q = parse_query(
+      "MATCH (e:Entity)-[:wasGeneratedBy]->(a:Activity) RETURN count(e)");
+  ASSERT_TRUE(q.ok());
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok()) << rs.error().to_string();
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].as_int(), 2);  // ckpt + metrics
+  ASSERT_EQ(rs.value().columns.size(), 1u);
+  EXPECT_EQ(rs.value().columns[0].name, "count(e)");
+  EXPECT_FALSE(rs.value().columns[0].is_node);
+}
+
+TEST(QueryOracle, CountOverEmptyMatchIsZero) {
+  PropertyGraph g;
+  const auto q = parse_query("MATCH (n:Ghost) RETURN count(n)");
+  ASSERT_TRUE(q.ok());
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].as_int(), 0);
+}
+
+TEST(QueryOracle, GroupedAggregates) {
+  PropertyGraph g;
+  const NodeId r1 = g.add_node({"Run"}, json::make_object({{"name", "r1"}}));
+  const NodeId r2 = g.add_node({"Run"}, json::make_object({{"name", "r2"}}));
+  for (int i = 0; i < 3; ++i) {
+    const NodeId m = g.add_node({"Metric"}, json::make_object({{"v", i + 1}}));
+    ASSERT_TRUE(g.add_edge(m, r1, "of").ok());
+    if (i < 2) {
+      const NodeId m2 = g.add_node({"Metric"}, json::make_object({{"v", 10 * (i + 1)}}));
+      ASSERT_TRUE(g.add_edge(m2, r2, "of").ok());
+    }
+  }
+  const auto q = parse_query(
+      "MATCH (m:Metric)-[:of]->(r:Run) RETURN r, count(m), min(m.v), max(m.v), avg(m.v)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok()) << rs.error().to_string();
+  ASSERT_EQ(rs.value().rows.size(), 2u);  // one group per run, ascending NodeId
+  EXPECT_EQ(rs.value().rows[0][0].as_int(), static_cast<std::int64_t>(r1));
+  EXPECT_EQ(rs.value().rows[0][1].as_int(), 3);
+  EXPECT_EQ(rs.value().rows[0][2].as_int(), 1);
+  EXPECT_EQ(rs.value().rows[0][3].as_int(), 3);
+  EXPECT_DOUBLE_EQ(rs.value().rows[0][4].as_double(), 2.0);
+  EXPECT_EQ(rs.value().rows[1][0].as_int(), static_cast<std::int64_t>(r2));
+  EXPECT_EQ(rs.value().rows[1][1].as_int(), 2);
+  EXPECT_DOUBLE_EQ(rs.value().rows[1][4].as_double(), 15.0);
+}
+
+TEST(QueryOracle, MinMaxSkipMissingAndAvgSkipsNonNumeric) {
+  PropertyGraph g;
+  g.add_node({"N"}, json::make_object({{"v", 5}}));
+  g.add_node({"N"}, json::make_object({{"v", "text"}}));
+  g.add_node({"N"});  // no v at all
+  const auto q = parse_query("MATCH (n:N) RETURN min(n.v), max(n.v), avg(n.v)");
+  ASSERT_TRUE(q.ok());
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].as_int(), 5);           // number < string
+  EXPECT_EQ(rs.value().rows[0][1].as_string(), "text");   // string is max
+  EXPECT_DOUBLE_EQ(rs.value().rows[0][2].as_double(), 5.0);
+}
+
+TEST(QueryOracle, AggregateOverNoValuesIsNull) {
+  PropertyGraph g;
+  g.add_node({"N"});
+  const auto q = parse_query("MATCH (n:N) RETURN count(n), min(n.v), avg(n.v)");
+  ASSERT_TRUE(q.ok());
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].as_int(), 1);
+  EXPECT_TRUE(rs.value().rows[0][1].is_null());
+  EXPECT_TRUE(rs.value().rows[0][2].is_null());
+}
+
+TEST(QueryOracle, OrderByPropertyWithPagination) {
+  PropertyGraph g;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(
+        g.add_node({"Run"}, json::make_object({{"loss", 1.0 - 0.1 * i}})));
+  }
+  const auto q = parse_query(
+      "MATCH (r:Run) RETURN r ORDER BY r.loss DESC SKIP 1 LIMIT 2");
+  ASSERT_TRUE(q.ok());
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().rows.size(), 2u);
+  // loss descends with ascending i, so DESC order is insertion order.
+  EXPECT_EQ(rs.value().rows[0][0].as_int(), static_cast<std::int64_t>(ids[1]));
+  EXPECT_EQ(rs.value().rows[1][0].as_int(), static_cast<std::int64_t>(ids[2]));
+}
+
+TEST(QueryOracle, OrderByTiesKeepBaseOrder) {
+  PropertyGraph g;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(g.add_node({"N"}, json::make_object({{"v", 7}})));
+  }
+  const auto q = parse_query("MATCH (n:N) RETURN n ORDER BY n.v");
+  ASSERT_TRUE(q.ok());
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().rows.size(), 4u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(rs.value().rows[i][0].as_int(), static_cast<std::int64_t>(ids[i]));
+  }
+}
+
+TEST(QueryOracle, MissingOrderPropertySortsFirst) {
+  PropertyGraph g;
+  const NodeId with = g.add_node({"N"}, json::make_object({{"v", 1}}));
+  const NodeId without = g.add_node({"N"});
+  const auto q = parse_query("MATCH (n:N) RETURN n ORDER BY n.v");
+  ASSERT_TRUE(q.ok());
+  const auto rs = execute_query_brute_force(g, q.value());
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().rows.size(), 2u);
+  EXPECT_EQ(rs.value().rows[0][0].as_int(), static_cast<std::int64_t>(without));
+  EXPECT_EQ(rs.value().rows[1][0].as_int(), static_cast<std::int64_t>(with));
+}
+
+TEST(QueryOracle, BindingApiRejectsAggregates) {
+  const PropertyGraph g = training_graph();
+  const auto q = parse_query("MATCH (e:Entity) RETURN count(e)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(run_query(g, q.value()).ok());
+  EXPECT_FALSE(run_query_brute_force(g, q.value()).ok());
+}
+
+TEST(QueryOracle, BindingApiHonorsLimit) {
+  const PropertyGraph g = training_graph();
+  const auto rows = run_query(g, "MATCH (n) RETURN n LIMIT 2");
+  ASSERT_TRUE(rows.ok()) << rows.error().to_string();
+  EXPECT_EQ(rows.value().size(), 2u);
+}
+
+TEST(CompareValues, TotalOrderAcrossTypes) {
+  const json::Value null_v{nullptr};
+  const json::Value bool_v{true};
+  const json::Value int_v{std::int64_t{2}};
+  const json::Value dbl_v{2.5};
+  const json::Value str_v{std::string("a")};
+  EXPECT_LT(compare_values(null_v, bool_v), 0);
+  EXPECT_LT(compare_values(bool_v, int_v), 0);
+  EXPECT_LT(compare_values(int_v, dbl_v), 0);  // numeric comparison 2 < 2.5
+  EXPECT_LT(compare_values(dbl_v, str_v), 0);
+  EXPECT_EQ(compare_values(int_v, json::Value{2.0}), 0);  // 2 == 2.0
+  EXPECT_GT(compare_values(str_v, int_v), 0);
 }
 
 }  // namespace
