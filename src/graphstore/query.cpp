@@ -489,6 +489,50 @@ std::size_t capped_max_hops(const PropertyGraph& graph, const EdgePattern& edge)
   return std::min(edge.max_hops, graph.node_count());
 }
 
+/// Planner-side variable-length targets from `from`: nodes reachable by a
+/// simple path whose length falls in [min_hops, max_hops]. min <= 1
+/// degenerates to reachability and runs as a linear BFS; min > 1
+/// enumerates simple paths depth-first (bounded by max_hops, which the
+/// parser forces finite in that case).
+std::vector<NodeId> var_targets_planned(const PropertyGraph& graph, NodeId from,
+                                        const EdgePattern& edge) {
+  const std::size_t cap = capped_max_hops(graph, edge);
+  std::vector<NodeId> out;
+  if (edge.min_hops <= 1) {
+    for (const ReachHop& hop :
+         var_length_reach(graph, from, edge.direction, edge.type, cap)) {
+      out.push_back(hop.node);
+    }
+    return out;
+  }
+  std::set<NodeId> targets;
+  std::set<NodeId> on_path{from};
+  // Explicit DFS over simple paths; stack depth == path length <= cap.
+  struct Frame {
+    NodeId node;
+    std::size_t depth;
+    std::vector<NodeId> next;
+    std::size_t cursor = 0;
+  };
+  std::vector<Frame> frames;
+  frames.push_back({from, 0, graph.neighbors(from, edge.direction, edge.type)});
+  while (!frames.empty()) {
+    Frame& top = frames.back();
+    if (top.depth == cap || top.cursor == top.next.size()) {
+      on_path.erase(top.node);
+      frames.pop_back();
+      continue;
+    }
+    const NodeId next = top.next[top.cursor++];
+    if (on_path.count(next) != 0) continue;
+    const std::size_t depth = top.depth + 1;
+    if (depth >= edge.min_hops) targets.insert(next);
+    on_path.insert(next);
+    frames.push_back({next, depth, graph.neighbors(next, edge.direction, edge.type)});
+  }
+  return {targets.begin(), targets.end()};
+}
+
 /// Oracle-side variable-length targets: an independent implementation.
 /// min <= 1 runs level-synchronous distance relaxation (no queue, no
 /// discovery order); min > 1 recursively enumerates simple paths.
@@ -563,6 +607,54 @@ QueryPlan plan_anchor(const PropertyGraph& graph, const NodePattern& pattern) {
       }
     }
   }
+  return plan;
+}
+
+/// Fraction of the node table a pattern's cheapest posting list selects.
+double pattern_selectivity(const PropertyGraph& graph, const NodePattern& pattern) {
+  if (graph.node_count() == 0) return 0.0;
+  return static_cast<double>(plan_anchor(graph, pattern).estimated_candidates) /
+         static_cast<double>(graph.node_count());
+}
+
+/// Average per-node fan-out of one edge step, from the per-type edge
+/// counters (untyped steps use the whole edge table). Undirected steps see
+/// both endpoints. Variable-length steps sum the per-length fan-out over
+/// the hop range, capped at a small horizon — the estimate only has to
+/// rank orientations, not predict exact cardinality.
+double edge_fanout(const PropertyGraph& graph, const EdgePattern& edge) {
+  if (graph.node_count() == 0) return 0.0;
+  const std::size_t edges =
+      edge.type.empty() ? graph.edge_count() : graph.count_with_edge_type(edge.type);
+  double fanout = static_cast<double>(edges) / static_cast<double>(graph.node_count());
+  if (edge.direction == Direction::kBoth) fanout *= 2.0;
+  if (!edge.variable) return fanout;
+  constexpr std::size_t kCostHorizon = 8;
+  const std::size_t hi = std::min(capped_max_hops(graph, edge), kCostHorizon);
+  double total = 0.0;
+  double step = 1.0;
+  for (std::size_t len = 1; len <= hi; ++len) {
+    step *= fanout;
+    if (len >= edge.min_hops) total += step;
+  }
+  return total;
+}
+
+/// Frontier-size walk along the path in the given orientation: the anchor
+/// posting list, then fan-out × next-pattern selectivity per step. Returns
+/// the plan for that orientation with estimated_rows (final frontier) and
+/// estimated_cost (sum of frontiers — the work of getting there).
+QueryPlan estimate_orientation(const PropertyGraph& graph, const Query& query) {
+  QueryPlan plan = plan_anchor(graph, query.nodes.front());
+  double rows = static_cast<double>(plan.estimated_candidates);
+  double cost = rows;
+  for (std::size_t i = 1; i < query.nodes.size(); ++i) {
+    rows *= edge_fanout(graph, query.edges[i - 1]) *
+            pattern_selectivity(graph, query.nodes[i]);
+    cost += rows;
+  }
+  plan.estimated_rows = rows;
+  plan.estimated_cost = cost;
   return plan;
 }
 
@@ -644,7 +736,7 @@ void extend(const PropertyGraph& graph, const Query& query,
   }
   const EdgePattern& edge = query.edges[depth - 1];
   const std::vector<NodeId> nexts =
-      edge.variable ? var_targets_brute(graph, path.back(), edge)
+      edge.variable ? var_targets_planned(graph, path.back(), edge)
                     : graph.neighbors(path.back(), edge.direction, edge.type);
   for (const NodeId next : nexts) {
     if (!node_matches(graph, next, query.nodes[depth])) continue;
@@ -1017,11 +1109,13 @@ Expected<Query> parse_query(const std::string& text) { return Parser(text).run()
 
 QueryPlan explain_query(const PropertyGraph& graph, const Query& query) {
   if (query.nodes.empty()) return QueryPlan{};
-  QueryPlan front = plan_anchor(graph, query.nodes.front());
+  QueryPlan front = estimate_orientation(graph, query);
   if (query.nodes.size() == 1) return front;
-  QueryPlan back = plan_anchor(graph, query.nodes.back());
-  if (back.estimated_candidates < front.estimated_candidates) {
+  QueryPlan back = estimate_orientation(graph, reverse_query(query));
+  if (back.estimated_cost < front.estimated_cost) {
     back.reversed = true;
+    // The cardinality of the whole path does not depend on which end the
+    // match started from; report the chosen orientation's walk.
     return back;
   }
   return front;

@@ -4,6 +4,8 @@
 #include "provml/graphstore/ingest.hpp"
 #include "provml/graphstore/query.hpp"
 #include "provml/prov/model.hpp"
+#include "provml/testkit/gen.hpp"
+#include "provml/testkit/rng.hpp"
 
 namespace provml::graphstore {
 namespace {
@@ -543,6 +545,170 @@ TEST(QueryOracle, BindingApiHonorsLimit) {
   const auto rows = run_query(g, "MATCH (n) RETURN n LIMIT 2");
   ASSERT_TRUE(rows.ok()) << rows.error().to_string();
   EXPECT_EQ(rows.value().size(), 2u);
+}
+
+// --------------------------------------------------- plan shape / costing
+//
+// Regression pins for the cost-based planner: these lock in *decisions*
+// (anchor, orientation) and the statistics they were derived from, so a
+// cost-model change that flips a plan shows up as a test diff, not as a
+// silent perf cliff.
+
+/// 1 source fanning out to `width` sinks through `width` typed edges,
+/// plus `extra` isolated Sink nodes to skew the posting lists.
+PropertyGraph fan_graph(int width, int extra) {
+  PropertyGraph g;
+  const NodeId src = g.add_node({"Source"});
+  for (int i = 0; i < width; ++i) {
+    const NodeId sink = g.add_node({"Sink"});
+    EXPECT_TRUE(g.add_edge(src, sink, "feeds").ok());
+  }
+  for (int i = 0; i < extra; ++i) g.add_node({"Sink"});
+  return g;
+}
+
+TEST(QueryCost, EstimatesUseEdgeTypeStatistics) {
+  const PropertyGraph g = fan_graph(/*width=*/8, /*extra=*/11);
+  // 20 nodes, 8 "feeds" edges. Forward from Source: 1 anchor candidate,
+  // fanout 8/20, Sink selectivity 19/20 -> ~0.38 rows. Backward from Sink:
+  // 19 anchor candidates. The planner must stay forward and report the
+  // statistics it used.
+  const auto q = parse_query("MATCH (s:Source)-[:feeds]->(k:Sink) RETURN s, k");
+  ASSERT_TRUE(q.ok());
+  const QueryPlan plan = explain_query(g, q.value());
+  EXPECT_FALSE(plan.reversed);
+  EXPECT_EQ(plan.anchor, QueryPlan::Anchor::kLabel);
+  EXPECT_EQ(plan.label, "Source");
+  EXPECT_EQ(plan.estimated_candidates, 1u);
+  const double fanout = 8.0 / 20.0;
+  const double sink_sel = 19.0 / 20.0;
+  EXPECT_NEAR(plan.estimated_rows, fanout * sink_sel, 1e-9);
+  EXPECT_NEAR(plan.estimated_cost, 1.0 + fanout * sink_sel, 1e-9);
+}
+
+TEST(QueryCost, UnknownEdgeTypeMakesTraversalFree) {
+  const PropertyGraph g = fan_graph(/*width=*/8, /*extra=*/11);
+  // No "ghost" edges exist: fan-out 0, so both orientations cost just
+  // their anchor. The smaller anchor (Source, 1) wins -> stays forward
+  // even though the far endpoint posting list is larger.
+  const auto q = parse_query("MATCH (s:Source)-[:ghost]->(k:Sink) RETURN s, k");
+  ASSERT_TRUE(q.ok());
+  const QueryPlan plan = explain_query(g, q.value());
+  EXPECT_FALSE(plan.reversed);
+  EXPECT_NEAR(plan.estimated_rows, 0.0, 1e-12);
+  EXPECT_NEAR(plan.estimated_cost, 1.0, 1e-12);
+}
+
+TEST(QueryCost, ReversesOntoTheCheaperEndpoint) {
+  const PropertyGraph g = fan_graph(/*width=*/8, /*extra=*/0);
+  // 9 nodes, 8 feeds edges, fanout ~0.89. Anchoring on the single Source
+  // (1 candidate) beats anchoring on 8 Sinks, so the written-backwards
+  // query must reverse onto Source.
+  const auto q = parse_query("MATCH (k:Sink)<-[:feeds]-(s:Source) RETURN s, k");
+  ASSERT_TRUE(q.ok());
+  const QueryPlan plan = explain_query(g, q.value());
+  EXPECT_TRUE(plan.reversed);
+  EXPECT_EQ(plan.label, "Source");
+  EXPECT_EQ(plan.estimated_candidates, 1u);
+}
+
+TEST(QueryCost, VariableLengthFanoutCompounds) {
+  const PropertyGraph g = fan_graph(/*width=*/8, /*extra=*/11);
+  const auto fixed = parse_query("MATCH (s:Source)-[:feeds]->(k:Sink) RETURN s, k");
+  const auto var = parse_query("MATCH (s:Source)-[:feeds*1..3]->(k:Sink) RETURN s, k");
+  ASSERT_TRUE(fixed.ok());
+  ASSERT_TRUE(var.ok());
+  const QueryPlan fixed_plan = explain_query(g, fixed.value());
+  const QueryPlan var_plan = explain_query(g, var.value());
+  // Sum over path lengths 1..3 strictly exceeds the single-hop estimate.
+  EXPECT_GT(var_plan.estimated_rows, fixed_plan.estimated_rows);
+  EXPECT_GT(var_plan.estimated_cost, fixed_plan.estimated_cost);
+}
+
+// ------------------------------------------------ differential properties
+//
+// Per-construct planner == oracle checks over seeded random graphs. Each
+// construct gets its own generator so a failure names the feature that
+// broke; the full mixed-grammar sweep lives in the QueryEquivalence suite
+// and the fuzz_query driver.
+
+void expect_equivalent(const PropertyGraph& g, const std::string& text,
+                       std::uint64_t seed, int iter) {
+  const auto query = parse_query(text);
+  ASSERT_TRUE(query.ok()) << "seed " << seed << " iter " << iter << ": " << text
+                          << " — " << query.error().to_string();
+  const auto planned = execute_query(g, query.value());
+  const auto brute = execute_query_brute_force(g, query.value());
+  ASSERT_EQ(planned.ok(), brute.ok())
+      << "seed " << seed << " iter " << iter << ": " << text;
+  if (!planned.ok()) return;
+  EXPECT_TRUE(planned.value() == brute.value())
+      << "seed " << seed << " iter " << iter << ": " << text;
+}
+
+TEST(QueryDifferential, VariableLengthMatchesOracle) {
+  const char* kTemplates[] = {
+      "MATCH (a)-[*1..2]->(b) RETURN a, b",
+      "MATCH (a)-[*2..3]-(b) RETURN b",
+      "MATCH (a:Run)<-[:partOf*1..]-(b) RETURN a, b",
+      "MATCH (a)-[:produced*2]->(b) RETURN a, b",
+      "MATCH (a:Entity)-[*..3]-(b:Run) RETURN a, b",
+  };
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    testkit::Rng rng(seed);
+    for (int iter = 0; iter < 12; ++iter) {
+      const PropertyGraph g = testkit::gen_property_graph(rng);
+      for (const char* text : kTemplates) expect_equivalent(g, text, seed, iter);
+    }
+  }
+}
+
+TEST(QueryDifferential, AggregatesMatchOracle) {
+  const char* kTemplates[] = {
+      "MATCH (a) RETURN count(a)",
+      "MATCH (a)-->(b) RETURN a, count(b)",
+      "MATCH (a:Run)--(b) RETURN a, min(b.score), max(b.score), avg(b.score)",
+      "MATCH (a)-->(b) RETURN count(a), avg(a.rank)",
+      "MATCH (a)-[*1..2]->(b) RETURN a, count(b), max(b.name)",
+  };
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    testkit::Rng rng(seed);
+    for (int iter = 0; iter < 12; ++iter) {
+      const PropertyGraph g = testkit::gen_property_graph(rng);
+      for (const char* text : kTemplates) expect_equivalent(g, text, seed, iter);
+    }
+  }
+}
+
+TEST(QueryDifferential, OrderByAndPaginationMatchOracle) {
+  const char* kTemplates[] = {
+      "MATCH (a) RETURN a ORDER BY a.score DESC",
+      "MATCH (a) RETURN a ORDER BY a.rank, a.name DESC SKIP 2 LIMIT 4",
+      "MATCH (a)-->(b) RETURN a, b ORDER BY b.score LIMIT 3",
+      "MATCH (a) RETURN a LIMIT 0",
+      "MATCH (a)--(b) RETURN a, count(b) ORDER BY count(b) DESC, a LIMIT 5",
+      "MATCH (a) RETURN a SKIP 1000",
+  };
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    testkit::Rng rng(seed);
+    for (int iter = 0; iter < 12; ++iter) {
+      const PropertyGraph g = testkit::gen_property_graph(rng);
+      for (const char* text : kTemplates) expect_equivalent(g, text, seed, iter);
+    }
+  }
+}
+
+TEST(QueryDifferential, GeneratedQueriesMatchOracleAsTables) {
+  // The full generated grammar through the table-level API (the
+  // binding-level sweep lives in test_graph_concurrency).
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    testkit::Rng rng(seed);
+    for (int iter = 0; iter < 40; ++iter) {
+      const PropertyGraph g = testkit::gen_property_graph(rng);
+      const std::string text = testkit::gen_graph_query(rng);
+      expect_equivalent(g, text, seed, iter);
+    }
+  }
 }
 
 TEST(CompareValues, TotalOrderAcrossTypes) {
