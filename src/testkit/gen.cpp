@@ -315,6 +315,22 @@ std::string gen_graph_query(Rng& rng) {
     if (i + 1 < n) {
       std::string type;
       if (rng.chance(0.6)) type = ":" + rng.pick(kGraphEdgeTypes);
+      // ~25% of edges are variable-length, covering every written form
+      // the parser accepts: *, *n, *min..max, *..max, *1.. — with the
+      // open upper bound only from min 1, as the grammar requires.
+      if (rng.chance(0.25)) {
+        switch (rng.below(5)) {
+          case 0: type += "*"; break;
+          case 1: type += "*" + std::to_string(1 + rng.below(3)); break;
+          case 2: {
+            const std::size_t min = 1 + rng.below(2);
+            type += "*" + std::to_string(min) + ".." + std::to_string(min + rng.below(3));
+            break;
+          }
+          case 3: type += "*.." + std::to_string(1 + rng.below(3)); break;
+          default: type += "*1.."; break;
+        }
+      }
       switch (rng.below(3)) {
         case 0: text += "-[" + type + "]->"; break;
         case 1: text += "<-[" + type + "]-"; break;
@@ -330,16 +346,59 @@ std::string gen_graph_query(Rng& rng) {
     text += rng.pick(vars) + "." + key + " " + rng.pick(ops) + " " +
             graph_literal(rng, key);
   }
-  text += " RETURN ";
-  std::string returned;
+  // RETURN: a subset of plain variables, optionally mixed with aggregate
+  // items. Plain-returned vars double as grouping keys when aggregates are
+  // present, so every combination the engine groups by gets generated.
+  std::vector<std::string> plain;
+  std::vector<std::string> aggregates;
   for (const std::string& var : vars) {
-    if (rng.chance(0.6)) {
-      if (!returned.empty()) returned += ", ";
-      returned += var;
+    if (rng.chance(0.6)) plain.push_back(var);
+  }
+  if (rng.chance(0.3)) {
+    const std::size_t count = 1 + rng.below(2);
+    for (std::size_t a = 0; a < count; ++a) {
+      const std::string& var = rng.pick(vars);
+      switch (rng.below(4)) {
+        case 0: aggregates.push_back("count(" + var + ")"); break;
+        case 1: aggregates.push_back("min(" + var + "." + rng.pick(kGraphPropKeys) + ")"); break;
+        case 2: aggregates.push_back("max(" + var + "." + rng.pick(kGraphPropKeys) + ")"); break;
+        default: aggregates.push_back("avg(" + var + "." + rng.pick(kGraphPropKeys) + ")"); break;
+      }
     }
   }
-  if (returned.empty()) returned = vars.front();
-  text += returned;
+  if (plain.empty() && aggregates.empty()) plain.push_back(vars.front());
+  std::string returned;
+  for (const std::string& item : plain) {
+    if (!returned.empty()) returned += ", ";
+    returned += item;
+  }
+  for (const std::string& item : aggregates) {
+    if (!returned.empty()) returned += ", ";
+    returned += item;
+  }
+  text += " RETURN " + returned;
+  // ORDER BY keys must reference RETURN output: a plain returned var
+  // (optionally through a property) or a returned aggregate verbatim.
+  if (rng.chance(0.3)) {
+    std::vector<std::string> keys;
+    for (const std::string& var : plain) {
+      keys.push_back(var);
+      keys.push_back(var + "." + rng.pick(kGraphPropKeys));
+    }
+    for (const std::string& agg : aggregates) keys.push_back(agg);
+    if (!keys.empty()) {
+      std::string order;
+      const std::size_t count = 1 + rng.below(std::min<std::size_t>(keys.size(), 2));
+      for (std::size_t k = 0; k < count; ++k) {
+        if (!order.empty()) order += ", ";
+        order += rng.pick(keys);
+        if (rng.chance(0.4)) order += rng.chance(0.5) ? " DESC" : " ASC";
+      }
+      text += " ORDER BY " + order;
+    }
+  }
+  if (rng.chance(0.2)) text += " SKIP " + std::to_string(rng.below(4));
+  if (rng.chance(0.3)) text += " LIMIT " + std::to_string(rng.below(6));
   return text;
 }
 

@@ -91,9 +91,12 @@ struct GraphGenOptions {
                                                            const GraphGenOptions& opts = {});
 
 /// Random MATCH query text over the gen_property_graph() vocabulary: a
-/// 1–3 node path with mixed edge directions/types, optional inline
-/// property constraints, WHERE conditions, and a RETURN subset. Always
-/// parses (asserted by the equivalence property tests).
+/// 1–3 node path with mixed edge directions/types (~25% variable-length,
+/// every written bound form), optional inline property constraints, WHERE
+/// conditions, and a RETURN list mixing plain variables with
+/// count/min/max/avg aggregates, optionally ordered (ORDER BY over
+/// returned refs, ASC/DESC) and paginated (SKIP/LIMIT). Always parses
+/// (asserted by the equivalence property tests and fuzz_query).
 [[nodiscard]] std::string gen_graph_query(Rng& rng);
 
 // -------------------------------------------------------------------- metrics

@@ -7,6 +7,8 @@
 # Each target carries a 60 s ctest TIMEOUT; the whole smoke set is sized
 # to finish well inside a minute. On failure, the driver output contains a
 # one-line `reproduce: ...` command to replay the exact failing iteration.
+# The set includes fuzz_query, the differential oracle for the query
+# engine (random graph + random query; planner must equal brute force).
 set -eu
 
 BUILD_DIR="${1:-build}"
