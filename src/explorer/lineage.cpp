@@ -1,57 +1,62 @@
 #include "provml/explorer/lineage.hpp"
 
-#include <deque>
-#include <set>
+#include <string>
 #include <unordered_map>
+#include <vector>
+
+#include "provml/graphstore/query.hpp"
 
 namespace provml::explorer {
 namespace {
 
+/// The document's dependency structure as a property graph: one node per
+/// element id appearing in any relation, one typed edge subject → object
+/// per relation (the relation's json_key is the edge type), in
+/// declaration order. Adjacency preserves insertion order, so walking it
+/// reproduces the historical relation-scan BFS hop for hop.
+///
 /// In PROV, every relation's subject depends on its object: used(a, e)
 /// means activity a consumed e; wasGeneratedBy(e, a) means e came from a.
-/// Upstream therefore walks subject → object.
-struct DepEdge {
-  const std::string* to;
-  const char* via;
-};
+/// Upstream therefore walks subject → object — outgoing edges here.
+struct DependencyGraph {
+  graphstore::PropertyGraph graph;
+  std::unordered_map<std::string, graphstore::NodeId> ids;
+  std::unordered_map<graphstore::NodeId, const std::string*> names;
 
-/// Edges bucketed by source id, so the BFS expands a node in O(degree)
-/// instead of rescanning the whole relation list per frontier entry.
-/// Buckets keep relation-declaration order, preserving hop order exactly.
-std::unordered_map<std::string, std::vector<DepEdge>> dependency_index(
-    const prov::Document& doc, LineageDirection direction) {
-  std::unordered_map<std::string, std::vector<DepEdge>> index;
-  for (const prov::Relation& r : doc.relations()) {
-    const char* via = prov::relation_spec(r.kind).json_key;
-    if (direction == LineageDirection::kUpstream) {
-      index[r.subject].push_back({&r.object, via});
-    } else {
-      index[r.object].push_back({&r.subject, via});
+  explicit DependencyGraph(const prov::Document& doc) {
+    auto intern = [&](const std::string& id) {
+      const auto it = ids.find(id);
+      if (it != ids.end()) return it->second;
+      const graphstore::NodeId node = graph.add_node({});
+      ids.emplace(id, node);
+      return node;
+    };
+    for (const prov::Relation& r : doc.relations()) {
+      const graphstore::NodeId subject = intern(r.subject);
+      const graphstore::NodeId object = intern(r.object);
+      (void)graph.add_edge(subject, object, prov::relation_spec(r.kind).json_key);
     }
+    for (const auto& [id, node] : ids) names.emplace(node, &id);
   }
-  return index;
-}
+};
 
 }  // namespace
 
 std::vector<LineageHop> lineage(const prov::Document& doc, const std::string& start_id,
                                 LineageDirection direction, std::size_t max_depth) {
-  const auto index = dependency_index(doc, direction);
+  const DependencyGraph dep(doc);
+  const auto start = dep.ids.find(start_id);
+  if (start == dep.ids.end()) return {};
+  const graphstore::Direction dir = direction == LineageDirection::kUpstream
+                                        ? graphstore::Direction::kOut
+                                        : graphstore::Direction::kIn;
+  const std::size_t hops = max_depth == 0 ? graphstore::kUnboundedHops : max_depth;
   std::vector<LineageHop> result;
-  std::set<std::string> seen{start_id};
-  std::deque<LineageHop> frontier{{start_id, "", 0}};
-  while (!frontier.empty()) {
-    const LineageHop current = frontier.front();
-    frontier.pop_front();
-    if (max_depth != 0 && current.depth == max_depth) continue;
-    const auto bucket = index.find(current.id);
-    if (bucket == index.end()) continue;
-    for (const DepEdge& edge : bucket->second) {
-      if (!seen.insert(*edge.to).second) continue;
-      LineageHop hop{*edge.to, edge.via, current.depth + 1};
-      result.push_back(hop);
-      frontier.push_back(std::move(hop));
-    }
+  for (const graphstore::ReachHop& hop : graphstore::var_length_reach(
+           dep.graph, start->second, dir, /*type=*/"", hops)) {
+    const graphstore::Edge* via = dep.graph.edge(hop.via);
+    result.push_back({*dep.names.at(hop.node), via != nullptr ? via->type : "",
+                      hop.depth});
   }
   return result;
 }

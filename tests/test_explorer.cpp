@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
 #include <filesystem>
+#include <map>
+#include <set>
 
 #include "provml/core/run.hpp"
 #include "provml/explorer/diff.hpp"
@@ -11,7 +14,11 @@
 #include "provml/explorer/subgraph.hpp"
 #include "provml/explorer/timeline.hpp"
 #include "provml/common/strings.hpp"
+#include "provml/graphstore/ingest.hpp"
+#include "provml/graphstore/query.hpp"
 #include "provml/prov/prov_json.hpp"
+#include "provml/testkit/gen.hpp"
+#include "provml/testkit/rng.hpp"
 
 namespace provml::explorer {
 namespace {
@@ -87,6 +94,126 @@ TEST(Lineage, CyclesTerminate) {
   doc.was_derived_from("a", "b");
   doc.was_derived_from("b", "a");
   EXPECT_EQ(upstream(doc, "a").size(), 1u);
+}
+
+// ------------------------------------------ lineage == query-engine *1..n
+//
+// lineage() is now a thin wrapper over the graphstore's variable-length
+// BFS primitive. These tests prove the rewrite changed nothing: the
+// historical relation-scan BFS (kept here as the reference) must produce
+// row-identical hop sequences on seeded generated documents, and the node
+// set must equal what a MATCH ... -[*1..n]-> query returns over the
+// ingested graph (the subsumption the rewrite claims).
+
+/// The pre-rewrite implementation, verbatim: BFS over doc.relations()
+/// with per-subject buckets in declaration order.
+std::vector<LineageHop> reference_lineage(const prov::Document& doc,
+                                          const std::string& start_id,
+                                          LineageDirection direction,
+                                          std::size_t max_depth) {
+  struct DepEdge {
+    const std::string* to;
+    const char* via;
+  };
+  std::map<std::string, std::vector<DepEdge>> index;
+  for (const prov::Relation& r : doc.relations()) {
+    const char* via = prov::relation_spec(r.kind).json_key;
+    if (direction == LineageDirection::kUpstream) {
+      index[r.subject].push_back({&r.object, via});
+    } else {
+      index[r.object].push_back({&r.subject, via});
+    }
+  }
+  std::vector<LineageHop> result;
+  std::set<std::string> seen{start_id};
+  std::deque<LineageHop> frontier{{start_id, "", 0}};
+  while (!frontier.empty()) {
+    const LineageHop current = frontier.front();
+    frontier.pop_front();
+    if (max_depth != 0 && current.depth == max_depth) continue;
+    const auto bucket = index.find(current.id);
+    if (bucket == index.end()) continue;
+    for (const DepEdge& edge : bucket->second) {
+      if (!seen.insert(*edge.to).second) continue;
+      LineageHop hop{*edge.to, edge.via, current.depth + 1};
+      result.push_back(hop);
+      frontier.push_back(std::move(hop));
+    }
+  }
+  return result;
+}
+
+bool hops_equal(const std::vector<LineageHop>& a, const std::vector<LineageHop>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].via != b[i].via || a[i].depth != b[i].depth) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(LineageEquivalence, MatchesReferenceOnSeededSweep) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    testkit::Rng rng(seed);
+    for (int iter = 0; iter < 15; ++iter) {
+      testkit::ProvGenOptions opts;
+      opts.with_bundles = false;
+      const prov::Document doc = testkit::gen_prov_document(rng, opts);
+      for (const prov::Element& element : doc.elements()) {
+        for (const LineageDirection dir :
+             {LineageDirection::kUpstream, LineageDirection::kDownstream}) {
+          for (const std::size_t depth : {std::size_t{0}, std::size_t{1},
+                                          std::size_t{2}, std::size_t{3}}) {
+            const auto now = lineage(doc, element.id, dir, depth);
+            const auto then = reference_lineage(doc, element.id, dir, depth);
+            EXPECT_TRUE(hops_equal(now, then))
+                << "seed " << seed << " iter " << iter << " start " << element.id
+                << " dir " << (dir == LineageDirection::kUpstream ? "up" : "down")
+                << " depth " << depth;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LineageEquivalence, PipelineHopsIdenticalToReference) {
+  const prov::Document doc = pipeline_doc();
+  for (const char* start : {"ex:report", "ex:dataset", "ex:training"}) {
+    for (const LineageDirection dir :
+         {LineageDirection::kUpstream, LineageDirection::kDownstream}) {
+      EXPECT_TRUE(hops_equal(lineage(doc, start, dir, 0),
+                             reference_lineage(doc, start, dir, 0)))
+          << start;
+    }
+  }
+}
+
+TEST(LineageEquivalence, SubsumedByVariableLengthQuery) {
+  const prov::Document doc = pipeline_doc();
+  graphstore::PropertyGraph graph;
+  ASSERT_TRUE(graphstore::ingest_document(graph, doc, "d").ok());
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    const auto hops = upstream(doc, "ex:report", depth);
+    std::set<std::string> lineage_ids;
+    for (const LineageHop& hop : hops) lineage_ids.insert(hop.id);
+
+    // Upstream follows subject → object, which ingest stores as outgoing
+    // edges, so the same walk is a forward variable-length match.
+    const std::string text =
+        "MATCH (s {prov_id: \"ex:report\"})-[*1.." + std::to_string(depth) +
+        "]->(x) RETURN x";
+    const auto rows = graphstore::run_query(graph, text);
+    ASSERT_TRUE(rows.ok()) << rows.error().to_string();
+    std::set<std::string> query_ids;
+    for (const graphstore::Row& row : rows.value()) {
+      const graphstore::Node* n = graph.node(row.at("x"));
+      ASSERT_NE(n, nullptr);
+      query_ids.insert(n->properties.find("prov_id")->as_string());
+    }
+    EXPECT_EQ(lineage_ids, query_ids) << "depth " << depth;
+  }
 }
 
 // -------------------------------------------------------------------- diff
