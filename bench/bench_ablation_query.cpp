@@ -1,0 +1,182 @@
+// Ablation: query-engine depth. Quantifies what each layer of the
+// cost-based executor buys over the brute-force reference evaluator the
+// differential suites compare it against (`ctest -L query`): indexed
+// anchoring + BFS for variable-length paths vs DFS path enumeration over
+// a full scan, incremental aggregation vs full materialization, and
+// top-k partial sort for ORDER BY/LIMIT vs sorting every row. The two
+// sides return identical tables by construction, so every pair below is
+// a pure cost comparison.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "provml/graphstore/graph.hpp"
+#include "provml/graphstore/ingest.hpp"
+#include "provml/graphstore/query.hpp"
+#include "provml/prov/model.hpp"
+
+namespace {
+
+using namespace provml;
+
+/// A training-shaped document with `epochs` epoch activities, each using
+/// the previous checkpoint and generating the next — a deep dependency
+/// chain plus a shared dataset, mirroring the lineage workloads the
+/// explorer serves.
+prov::Document synthetic_run(int epochs) {
+  prov::Document doc;
+  doc.declare_namespace("ex", "urn:bench/");
+  doc.add_agent("ex:user");
+  doc.add_activity("ex:run");
+  doc.add_entity("ex:dataset");
+  doc.was_associated_with("ex:run", "ex:user");
+  doc.used("ex:run", "ex:dataset");
+  std::string previous_ckpt = "ex:dataset";
+  for (int e = 0; e < epochs; ++e) {
+    const std::string epoch_id = "ex:epoch_" + std::to_string(e);
+    const std::string ckpt_id = "ex:ckpt_" + std::to_string(e);
+    doc.add_activity(epoch_id);
+    doc.add_entity(ckpt_id);
+    doc.was_informed_by(epoch_id, "ex:run");
+    doc.used(epoch_id, previous_ckpt);
+    doc.was_generated_by(ckpt_id, epoch_id);
+    previous_ckpt = ckpt_id;
+  }
+  return doc;
+}
+
+graphstore::PropertyGraph ingested(int epochs) {
+  graphstore::PropertyGraph graph;
+  (void)graphstore::ingest_document(graph, synthetic_run(epochs), "bench");
+  return graph;
+}
+
+/// Variable-length lineage from the newest checkpoint: the planner
+/// anchors on the (label, prov_id) posting list and walks a BFS frontier
+/// with a node-simple visited set, while the reference evaluator
+/// enumerates simple paths by DFS from every node in the table.
+void BM_VarLengthPlanned(benchmark::State& state) {
+  const int epochs = static_cast<int>(state.range(0));
+  const graphstore::PropertyGraph graph = ingested(epochs);
+  const auto query = graphstore::parse_query(
+      "MATCH (c:Entity {prov_id: \"ex:ckpt_" + std::to_string(epochs - 1) +
+      "\"})-[*1..]->(x) RETURN x").take();
+  for (auto _ : state) {
+    auto table = graphstore::execute_query(graph, query);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * epochs);
+}
+BENCHMARK(BM_VarLengthPlanned)->Arg(16)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_VarLengthBrute(benchmark::State& state) {
+  const int epochs = static_cast<int>(state.range(0));
+  const graphstore::PropertyGraph graph = ingested(epochs);
+  const auto query = graphstore::parse_query(
+      "MATCH (c:Entity {prov_id: \"ex:ckpt_" + std::to_string(epochs - 1) +
+      "\"})-[*1..]->(x) RETURN x").take();
+  for (auto _ : state) {
+    auto table = graphstore::execute_query_brute_force(graph, query);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * epochs);
+}
+BENCHMARK(BM_VarLengthBrute)->Arg(16)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+/// The raw reachability primitive both the planner and the explorer's
+/// lineage command sit on — the floor for the two benches above.
+void BM_VarLengthReachPrimitive(benchmark::State& state) {
+  const int epochs = static_cast<int>(state.range(0));
+  const graphstore::PropertyGraph graph = ingested(epochs);
+  const auto start = graph.find_one("Entity", "prov_id",
+                                    json::Value("ex:ckpt_" +
+                                                std::to_string(epochs - 1)));
+  for (auto _ : state) {
+    const auto hops = graphstore::var_length_reach(
+        graph, *start, graphstore::Direction::kOut, /*type=*/"",
+        graphstore::kUnboundedHops);
+    benchmark::DoNotOptimize(hops.size());
+  }
+  state.SetItemsProcessed(state.iterations() * epochs);
+}
+BENCHMARK(BM_VarLengthReachPrimitive)->Arg(16)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+/// Grouped count over every (activity, entity) `used` pair: the executor
+/// folds each deduplicated binding row into per-group accumulators as it
+/// goes; the reference evaluator materializes every group's row vector
+/// before folding.
+void BM_GroupedAggregatePlanned(benchmark::State& state) {
+  const graphstore::PropertyGraph graph =
+      ingested(static_cast<int>(state.range(0)));
+  const auto query = graphstore::parse_query(
+      "MATCH (a:Activity)-[:used]->(e:Entity) RETURN e, count(a)").take();
+  for (auto _ : state) {
+    auto table = graphstore::execute_query(graph, query);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupedAggregatePlanned)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_GroupedAggregateBrute(benchmark::State& state) {
+  const graphstore::PropertyGraph graph =
+      ingested(static_cast<int>(state.range(0)));
+  const auto query = graphstore::parse_query(
+      "MATCH (a:Activity)-[:used]->(e:Entity) RETURN e, count(a)").take();
+  for (auto _ : state) {
+    auto table = graphstore::execute_query_brute_force(graph, query);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupedAggregateBrute)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+/// ORDER BY prov_id LIMIT 5 over every entity: with a LIMIT the executor
+/// partial-sorts the top k of the row set; the reference evaluator fully
+/// sorts before paging. Same comparator, same rows — latency is the only
+/// difference.
+void BM_TopKOrderByPlanned(benchmark::State& state) {
+  const graphstore::PropertyGraph graph =
+      ingested(static_cast<int>(state.range(0)));
+  const auto query = graphstore::parse_query(
+      "MATCH (c:Entity) RETURN c ORDER BY c.prov_id DESC LIMIT 5").take();
+  for (auto _ : state) {
+    auto table = graphstore::execute_query(graph, query);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopKOrderByPlanned)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_TopKOrderByBrute(benchmark::State& state) {
+  const graphstore::PropertyGraph graph =
+      ingested(static_cast<int>(state.range(0)));
+  const auto query = graphstore::parse_query(
+      "MATCH (c:Entity) RETURN c ORDER BY c.prov_id DESC LIMIT 5").take();
+  for (auto _ : state) {
+    auto table = graphstore::execute_query_brute_force(graph, query);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopKOrderByBrute)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+/// Cost of planning itself: explain_query walks the pattern twice (both
+/// orientations) over posting-list and edge-type statistics without
+/// touching the graph — it has to stay negligible next to execution.
+void BM_ExplainOnly(benchmark::State& state) {
+  const graphstore::PropertyGraph graph = ingested(1000);
+  const auto query = graphstore::parse_query(
+      "MATCH (c:Entity)-[:wasGeneratedBy]->(a:Activity)-[:used*1..4]->(p:Entity) "
+      "RETURN p, count(c)").take();
+  for (auto _ : state) {
+    const auto plan = graphstore::explain_query(graph, query);
+    benchmark::DoNotOptimize(plan.estimated_cost);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExplainOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -19,6 +19,7 @@
 #include "provml/graphstore/query.hpp"
 #include "provml/graphstore/service.hpp"
 #include "provml/json/parse.hpp"
+#include "provml/json/write.hpp"
 #include "provml/net/client.hpp"
 #include "provml/net/server.hpp"
 #include "provml/net/yprov_http.hpp"
@@ -284,27 +285,64 @@ int cmd_constraints(const ParsedArgs& args, std::ostream& out, std::ostream& err
   return 2;
 }
 
-int cmd_query(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+/// One result cell as text: node columns render as the bound node's
+/// prov_id, aggregate/property columns as their JSON value (bare strings
+/// unquoted, everything else serialized).
+std::string render_cell(const graphstore::PropertyGraph& graph,
+                        const graphstore::ResultSet::Column& column,
+                        const json::Value& cell) {
+  if (column.is_node) {
+    const graphstore::Node* n =
+        graph.node(static_cast<graphstore::NodeId>(cell.as_int()));
+    const json::Value* prov_id =
+        n != nullptr ? n->properties.find("prov_id") : nullptr;
+    return prov_id != nullptr && prov_id->is_string() ? prov_id->as_string() : "?";
+  }
+  return cell.is_string() ? cell.as_string() : json::write(cell);
+}
+
+void print_plan(const graphstore::QueryPlan& plan, std::ostream& out) {
+  out << "anchor=";
+  switch (plan.anchor) {
+    case graphstore::QueryPlan::Anchor::kScanAll: out << "scan_all"; break;
+    case graphstore::QueryPlan::Anchor::kLabel: out << "label:" << plan.label; break;
+    case graphstore::QueryPlan::Anchor::kProperty:
+      out << "property:" << plan.label << "." << plan.property_key;
+      break;
+  }
+  out << " reversed=" << (plan.reversed ? "true" : "false")
+      << " candidates=" << plan.estimated_candidates
+      << " est_rows=" << plan.estimated_rows << " est_cost=" << plan.estimated_cost
+      << "\n";
+}
+
+int cmd_query(const ParsedArgs& args, bool explain, std::ostream& out,
+              std::ostream& err) {
   if (args.positional.size() != 2) {
     return fail(err, "query takes a store dir and a MATCH query");
   }
   auto service = graphstore::YProvService::load(args.positional[0]);
   if (!service.ok()) return fail(err, service.error().to_string());
-  auto rows = graphstore::run_query(service.value().graph(), args.positional[1]);
-  if (!rows.ok()) return fail(err, rows.error().to_string());
-  for (const graphstore::Row& row : rows.value()) {
+  if (explain) {
+    auto query = graphstore::parse_query(args.positional[1]);
+    if (!query.ok()) return fail(err, query.error().to_string());
+    print_plan(graphstore::explain_query(service.value().graph(), query.value()), out);
+    return 0;
+  }
+  auto table = graphstore::execute_query(service.value().graph(), args.positional[1]);
+  if (!table.ok()) return fail(err, table.error().to_string());
+  for (const std::vector<json::Value>& row : table.value().rows) {
     bool first = true;
-    for (const auto& [var, node_id] : row) {
-      const graphstore::Node* n = service.value().graph().node(node_id);
-      const json::Value* prov_id =
-          n != nullptr ? n->properties.find("prov_id") : nullptr;
+    for (std::size_t c = 0; c < table.value().columns.size(); ++c) {
       if (!first) out << "  ";
       first = false;
-      out << var << "=" << (prov_id != nullptr ? prov_id->as_string() : "?");
+      const graphstore::ResultSet::Column& column = table.value().columns[c];
+      out << column.name << "="
+          << render_cell(service.value().graph(), column, row[c]);
     }
     out << "\n";
   }
-  out << rows.value().size() << " row(s)\n";
+  out << table.value().rows.size() << " row(s)\n";
   return 0;
 }
 
@@ -448,27 +486,39 @@ int cmd_ingest_remote(const std::string& url, const ParsedArgs& args, std::ostre
   return 0;
 }
 
-int cmd_query_remote(const std::string& url, const std::string& query, std::ostream& out,
-                     std::ostream& err) {
+int cmd_query_remote(const std::string& url, const std::string& query, bool explain,
+                     std::ostream& out, std::ostream& err) {
   auto parsed = net::parse_url(url);
   if (!parsed.ok()) return fail(err, parsed.error().to_string());
   net::HttpClient client(parsed.value().host, parsed.value().port);
-  auto response = client.post(parsed.value().base_path + "/api/v0/query", query);
+  const char* route = explain ? "/api/v0/explain" : "/api/v0/query";
+  auto response = client.post(parsed.value().base_path + route, query);
   if (!response.ok()) return fail(err, response.error().to_string());
   if (response.value().status != 200) {
     return fail(err, "query failed: " + response.value().body);
   }
   auto body = json::parse(response.value().body);
   if (!body.ok()) return fail(err, body.error().to_string());
+  if (explain) {
+    if (!body.value().is_object()) return fail(err, "malformed explain response");
+    bool first = true;
+    for (const auto& [key, value] : body.value().as_object()) {
+      if (!first) out << " ";
+      first = false;
+      out << key << "=" << (value.is_string() ? value.as_string() : json::write(value));
+    }
+    out << "\n";
+    return 0;
+  }
   const json::Value* rows = body.value().find("rows");
   if (rows == nullptr || !rows->is_array()) return fail(err, "malformed query response");
   for (const json::Value& row : rows->as_array()) {
     if (!row.is_object()) continue;
     bool first = true;
-    for (const auto& [var, id] : row.as_object()) {
+    for (const auto& [var, value] : row.as_object()) {
       if (!first) out << "  ";
       first = false;
-      out << var << "=" << (id.is_string() ? id.as_string() : std::string("?"));
+      out << var << "=" << (value.is_string() ? value.as_string() : json::write(value));
     }
     out << "\n";
   }
@@ -626,8 +676,13 @@ std::string usage() {
          "  ingest --url <svc> <name=file>...   upload documents over HTTP\n"
          "  list <store>                        list stored documents\n"
          "  get <store> <name> [--element <id>] query the store\n"
-         "  query <store> '<MATCH ...>'         pattern query over the graph\n"
-         "  query --url <svc> '<MATCH ...>'     pattern query over HTTP\n"
+         "  query <store> '<MATCH ...>' [--explain]\n"
+         "                                      pattern query over the graph\n"
+         "                                      (aggregates, *1..n paths,\n"
+         "                                      ORDER BY/SKIP/LIMIT);\n"
+         "                                      --explain prints the plan\n"
+         "  query --url <svc> '<MATCH ...>' [--explain]\n"
+         "                                      the same over HTTP\n"
          "  serve [--port N] [--threads K] [--data-dir DIR] [--cache N]\n"
          "        [--fsync every_write|interval|none] [--wal-segment-bytes N]\n"
          "                                      run the yProv HTTP service;\n"
@@ -653,13 +708,27 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
   if (command == "timeline") return cmd_timeline(parsed, out, err);
   if (command == "subgraph") return cmd_subgraph(parsed, out, err);
   if (command == "query") {
-    if (parsed.options.count("url") != 0) {
-      if (parsed.positional.size() != 1) {
+    // --explain is a bare flag (no value), so pull it out before the
+    // generic key/value parse would eat the following positional.
+    std::vector<std::string> rest(args.begin() + 1, args.end());
+    bool explain = false;
+    for (auto it = rest.begin(); it != rest.end();) {
+      if (*it == "--explain") {
+        explain = true;
+        it = rest.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const ParsedArgs qargs = parse_args(rest, 0);
+    if (qargs.options.count("url") != 0) {
+      if (qargs.positional.size() != 1) {
         return fail(err, "query --url takes a MATCH query (no store dir)");
       }
-      return cmd_query_remote(parsed.options.at("url"), parsed.positional[0], out, err);
+      return cmd_query_remote(qargs.options.at("url"), qargs.positional[0], explain,
+                              out, err);
     }
-    return cmd_query(parsed, out, err);
+    return cmd_query(qargs, explain, out, err);
   }
   if (command == "serve") return cmd_serve(parsed, out, err);
   if (command == "fit") return cmd_fit(parsed, out, err);

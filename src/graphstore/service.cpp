@@ -182,24 +182,55 @@ Response YProvService::handle(const Request& request) {
 }
 
 Response YProvService::route(const Request& request) {
-  // POST /api/v0/query — body is a MATCH query; the response lists rows of
-  // bound prov ids.
+  // POST /api/v0/query — body is a MATCH query; the response lists rows
+  // keyed by RETURN column name. Node columns render as the bound node's
+  // prov_id, aggregate columns as their computed value.
   if (request.path == "/api/v0/query") {
     if (request.method != "POST") return method_not_allowed("POST");
-    Expected<std::vector<Row>> rows = run_query(graph_, request.body);
-    if (!rows.ok()) return error_response(400, rows.error().to_string());
+    Expected<ResultSet> table = execute_query(graph_, request.body);
+    if (!table.ok()) return error_response(400, table.error().to_string());
     json::Array rows_json;
-    for (const Row& row : rows.value()) {
+    for (const std::vector<json::Value>& row : table.value().rows) {
       json::Object row_json;
-      for (const auto& [var, node_id] : row) {
-        const Node* n = graph_.node(node_id);
-        const json::Value* prov_id = n != nullptr ? n->properties.find("prov_id") : nullptr;
-        row_json.set(var, prov_id != nullptr ? *prov_id : json::Value(nullptr));
+      for (std::size_t c = 0; c < table.value().columns.size(); ++c) {
+        const ResultSet::Column& column = table.value().columns[c];
+        if (!column.is_node) {
+          row_json.set(column.name, row[c]);
+          continue;
+        }
+        const Node* n = graph_.node(static_cast<NodeId>(row[c].as_int()));
+        const json::Value* prov_id =
+            n != nullptr ? n->properties.find("prov_id") : nullptr;
+        row_json.set(column.name, prov_id != nullptr ? *prov_id : json::Value(nullptr));
       }
       rows_json.push_back(std::move(row_json));
     }
     json::Object body;
     body.set("rows", std::move(rows_json));
+    return Response{200, json::write(json::Value(std::move(body)))};
+  }
+
+  // POST /api/v0/explain — body is a MATCH query; the response is the
+  // cost-based plan (anchor choice, orientation, and the estimates that
+  // drove them) without executing anything.
+  if (request.path == "/api/v0/explain") {
+    if (request.method != "POST") return method_not_allowed("POST");
+    Expected<Query> query = parse_query(request.body);
+    if (!query.ok()) return error_response(400, query.error().to_string());
+    const QueryPlan plan = explain_query(graph_, query.value());
+    json::Object body;
+    switch (plan.anchor) {
+      case QueryPlan::Anchor::kScanAll: body.set("anchor", "scan_all"); break;
+      case QueryPlan::Anchor::kLabel: body.set("anchor", "label"); break;
+      case QueryPlan::Anchor::kProperty: body.set("anchor", "property"); break;
+    }
+    if (!plan.label.empty()) body.set("label", plan.label);
+    if (!plan.property_key.empty()) body.set("property_key", plan.property_key);
+    body.set("reversed", plan.reversed);
+    body.set("estimated_candidates",
+             static_cast<std::int64_t>(plan.estimated_candidates));
+    body.set("estimated_rows", plan.estimated_rows);
+    body.set("estimated_cost", plan.estimated_cost);
     return Response{200, json::write(json::Value(std::move(body)))};
   }
 

@@ -103,13 +103,15 @@ HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
   if (path == "/api/v0/health") {
     response = health_response(request);
   } else {
-    // GETs and MATCH-query POSTs are cacheable: both are pure functions
-    // of (path, body, graph state), and the version in the key pins the
-    // state. The version is read *before* the route executes, so a result
-    // can only ever be stored under a key as old as or older than the
-    // state it reflects — a later reader at the current version never
-    // sees a pre-write body.
-    const bool is_query = request.method == "POST" && path == "/api/v0/query";
+    // GETs and MATCH-query/explain POSTs are cacheable: all are pure
+    // functions of (path, body, graph state), and the version in the key
+    // pins the state. The version is read *before* the route executes, so
+    // a result can only ever be stored under a key as old as or older
+    // than the state it reflects — a later reader at the current version
+    // never sees a pre-write body.
+    const bool is_query =
+        request.method == "POST" &&
+        (path == "/api/v0/query" || path == "/api/v0/explain");
     const bool cacheable =
         (request.method == "GET" || is_query) && options_.cache_capacity > 0;
     CacheKey key;
