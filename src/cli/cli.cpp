@@ -577,6 +577,16 @@ int cmd_serve(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     app_options.cache_capacity = static_cast<std::size_t>(*value);
   }
 
+  // Graph shard count: stripes the service's lock so writers to different
+  // documents stop contending. Rounded up to a power of two.
+  std::size_t shards = 1;
+  const auto shards_opt = args.options.find("shards");
+  if (shards_opt != args.options.end()) {
+    const auto value = strings::to_int64(shards_opt->second);
+    if (!value || *value < 1 || *value > 256) return fail(err, "invalid --shards (1..256)");
+    shards = static_cast<std::size_t>(*value);
+  }
+
   // Durability options. --snapshot used to mean "load at start, save on
   // clean shutdown" — which silently lost every write on a crash. It is
   // now an alias for --data-dir, so both spellings get the WAL: every
@@ -607,7 +617,7 @@ int cmd_serve(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     return fail(err, "--fsync/--wal-segment-bytes require --data-dir");
   }
 
-  net::YProvHttpApp app(app_options);
+  net::YProvHttpApp app(graphstore::YProvService(shards), app_options);
   if (!data_dir.empty()) {
     // Pre-WAL stores only hold index.json; migrate them through load().
     if (!wal::store_exists(data_dir) &&
@@ -635,7 +645,8 @@ int cmd_serve(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Status started = server.start();
   if (!started.ok()) return fail(err, started.error().to_string());
   out << "yprov service listening on http://" << config.host << ":" << server.port()
-      << " (" << config.threads << " worker thread(s), Ctrl-C to stop)\n";
+      << " (" << config.threads << " worker thread(s), "
+      << app.service().shard_count() << " graph shard(s), Ctrl-C to stop)\n";
 
   g_serving.store(&server);
   const auto previous_int = std::signal(SIGINT, serve_signal_handler);
@@ -683,7 +694,7 @@ std::string usage() {
          "                                      --explain prints the plan\n"
          "  query --url <svc> '<MATCH ...>' [--explain]\n"
          "                                      the same over HTTP\n"
-         "  serve [--port N] [--threads K] [--data-dir DIR] [--cache N]\n"
+         "  serve [--port N] [--threads K] [--shards N] [--data-dir DIR] [--cache N]\n"
          "        [--fsync every_write|interval|none] [--wal-segment-bytes N]\n"
          "                                      run the yProv HTTP service;\n"
          "                                      --data-dir persists writes via a\n"

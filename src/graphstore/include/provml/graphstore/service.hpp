@@ -9,29 +9,49 @@
 //   GET    /api/v0/documents/<name>/elements/<id> → one element + edges
 //   GET    /api/v0/documents/<name>/stats         → node/edge counts
 //
-// Concurrency: handle() and the copy-returning direct accessors are
-// thread-safe. Reads (GET routes, POST /api/v0/query, list/count) take a
-// shared lock; PUT/DELETE take an exclusive lock, so queries scale across
-// server workers while writes stay serialized. Every successful mutation
-// bumps a monotonic graph version, which HTTP front-ends use as a response
-// cache key. The pointer/reference accessors (get_document(), graph())
-// bypass the lock and are for single-threaded embedders or setup/teardown.
+// Concurrency — striped locking over the sharded graph. The service owns
+// one `shared_mutex` stripe per graph shard; a document's name hashes to
+// its home shard (PropertyGraph::shard_for_scope), and ingest places the
+// document's whole subgraph there, so:
+//   · a PUT/DELETE locks exactly ONE stripe exclusively — writers to
+//     different shards never contend;
+//   · reads (GET routes, POST /api/v0/query, list/count) lock EVERY
+//     stripe shared, acquired in ascending shard order.
+// Deadlock freedom: writers hold at most one stripe and block acquiring
+// none, and all multi-stripe acquirers (readers, bulk ingest, rebuild)
+// take stripes in the same canonical ascending order, so the waits-for
+// graph cannot contain a cycle. Every successful mutation bumps one
+// monotonic graph version (a single atomic, independent of sharding),
+// which HTTP front-ends use as a response cache key. The
+// pointer/reference accessors (get_document(), graph()) bypass the locks
+// and are for single-threaded embedders or setup/teardown.
+//
+// Bulk ingest (put_documents) holds all stripes exclusively, pre-interns
+// the PROV vocabulary serially, then fans per-shard document batches out
+// across the shared ThreadPool — distinct shards touch disjoint graph
+// tables, so the batches run without further synchronization.
 //
 // Durability: attach_wal(dir) puts a write-ahead log under the service —
 // every successful PUT/DELETE appends a logical record (and fsyncs, per
 // policy) before the call returns, and recovery replays snapshot + log
-// tail, so acknowledged writes survive kill -9. See provml/wal/wal.hpp
-// for the on-disk contract.
+// tail, so acknowledged writes survive kill -9. Concurrent appends from
+// different stripes group-commit into shared fsyncs (see
+// provml/wal/wal.hpp); per-document ordering is preserved because a
+// document's mutations serialize on its stripe.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "provml/graphstore/graph.hpp"
+#include "provml/graphstore/ingest.hpp"
 #include "provml/prov/model.hpp"
 #include "provml/wal/wal.hpp"
 
@@ -50,16 +70,29 @@ struct Response {
                        ///< front-ends can emit a real Allow: header
 };
 
+/// Per-shard observability snapshot for /api/v0/health: how balanced the
+/// data is and how much write traffic each stripe has absorbed.
+struct ShardStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t documents = 0;
+  std::uint64_t writer_acquisitions = 0;  ///< exclusive locks taken on this stripe
+};
+
 class YProvService {
  public:
-  YProvService() = default;
-  // Movable so load() and snapshot swaps work; the mutex is not moved —
-  // moves are setup-time operations on unshared instances.
+  /// `shards` is rounded up to a power of two (see PropertyGraph). One
+  /// shard — the default — degenerates to a single global lock, matching
+  /// the pre-sharding service exactly.
+  explicit YProvService(std::size_t shards = 1);
+  // Movable so load() and snapshot swaps work; moves are setup-time
+  // operations on unshared instances.
   YProvService(YProvService&& other) noexcept;
   YProvService& operator=(YProvService&& other) noexcept;
 
   /// Dispatches a request to the matching route. Thread-safe: read-only
-  /// methods run under a shared lock, PUT/DELETE under an exclusive one.
+  /// methods run under shared stripe locks, PUT/DELETE under the target
+  /// document's exclusive stripe lock.
   [[nodiscard]] Response handle(const Request& request);
 
   // Direct (non-HTTP) API used by the CLI and embedders. put/delete/list/
@@ -70,7 +103,19 @@ class YProvService {
   [[nodiscard]] std::vector<std::string> list_documents() const;
   [[nodiscard]] std::size_t document_count() const;
 
+  /// Bulk PROV ingest, parallelized per shard across the shared
+  /// ThreadPool. Holds every stripe exclusively for the duration; within a
+  /// shard documents apply in input order, so results are deterministic.
+  /// On an ingest error the whole batch is rolled back; on a WAL error the
+  /// already-logged prefix (in input order) stays applied — exactly the
+  /// state recovery would reproduce. Returns aggregate stats on success.
+  [[nodiscard]] Expected<IngestStats> put_documents(
+      const std::vector<std::pair<std::string, prov::Document>>& docs);
+
   [[nodiscard]] const PropertyGraph& graph() const { return graph_; }
+  [[nodiscard]] std::size_t shard_count() const { return stripes_.size(); }
+  /// Consistent per-shard snapshot (all stripes held shared).
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const;
 
   /// Monotonic counter bumped by every successful mutation (PUT/DELETE,
   /// direct or routed). Response caches key on it: any hit keyed at the
@@ -84,8 +129,8 @@ class YProvService {
   /// Attaches a durable WAL store at `dir`: recovers any existing state
   /// into this service (which must hold no documents yet), then logs every
   /// subsequent successful mutation *before* acknowledging it, under the
-  /// same exclusive lock that applies it. After a crash, attach_wal on the
-  /// same dir restores exactly the acknowledged mutation prefix.
+  /// same exclusive stripe lock that applies it. After a crash, attach_wal
+  /// on the same dir restores exactly the acknowledged mutation prefix.
   [[nodiscard]] Status attach_wal(const std::string& dir, wal::Options options = {});
   [[nodiscard]] bool wal_attached() const { return wal_ != nullptr; }
   /// Durability counters for /api/v0/health; zeroed when no WAL attached.
@@ -105,15 +150,34 @@ class YProvService {
   [[nodiscard]] static bool store_exists(const std::string& dir);
 
  private:
-  Response route(const Request& request);  ///< caller holds the lock
+  /// One lock stripe. Guards the same-index graph shard and document map.
+  /// Heap-allocated (mutexes don't move) so the service stays movable.
+  struct Stripe {
+    mutable std::shared_mutex mutex;
+    std::atomic<std::uint64_t> writer_acquisitions{0};
+  };
+
+  [[nodiscard]] std::size_t shard_for(const std::string& name) const {
+    return graph_.shard_for_scope(name);
+  }
+  /// All stripes, shared, ascending — the canonical reader acquisition.
+  [[nodiscard]] std::vector<std::shared_lock<std::shared_mutex>> lock_all_shared() const;
+  /// All stripes, exclusive, ascending (bulk ingest / hydration).
+  [[nodiscard]] std::vector<std::unique_lock<std::shared_mutex>> lock_all_exclusive();
+
+  [[nodiscard]] std::size_t document_count_unlocked() const;
+
+  Response route(const Request& request);  ///< caller holds the needed locks
   Status put_document_impl(const std::string& name, const prov::Document& doc);
   Expected<bool> delete_document_impl(const std::string& name);
+  /// Re-ingests every stored document into a fresh graph, one ThreadPool
+  /// task per shard. Caller holds every stripe exclusively.
   void rebuild_graph();
   void bump_version() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
-  mutable std::shared_mutex mutex_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
   std::atomic<std::uint64_t> version_{0};
-  std::map<std::string, prov::Document> documents_;
+  std::vector<std::map<std::string, prov::Document>> documents_;  ///< per shard
   PropertyGraph graph_;
   std::unique_ptr<wal::DurableStore> wal_;
 };

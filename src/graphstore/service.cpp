@@ -1,13 +1,15 @@
 #include "provml/graphstore/service.hpp"
 
+#include <algorithm>
 #include <filesystem>
+#include <future>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <utility>
 
 #include "provml/common/strings.hpp"
-#include "provml/graphstore/ingest.hpp"
+#include "provml/common/thread_pool.hpp"
 #include "provml/graphstore/query.hpp"
 #include "provml/json/parse.hpp"
 #include "provml/json/write.hpp"
@@ -23,7 +25,7 @@ constexpr std::string_view kDocumentsPrefix = "/api/v0/documents";
 Response error_response(int status, const std::string& message) {
   json::Object body;
   body.set("error", message);
-  return Response{status, json::write(json::Value(std::move(body)))};
+  return Response{status, json::write(json::Value(std::move(body))), ""};
 }
 
 /// 405 for a known route: the permitted methods travel both in the JSON
@@ -49,6 +51,20 @@ Error wal_error(const Error& error) {
              : Error{"wal: " + error.message, error.where};
 }
 
+/// The document a PUT/DELETE targets, when the path is the single-segment
+/// document route — the only routes that mutate. Everything else (unknown
+/// paths, deeper GET-only routes, the collection listing) can only produce
+/// 4xx under a write method, so callers fall back to reader locking.
+std::optional<std::string> write_target(const std::string& path) {
+  if (!strings::starts_with(path, kDocumentsPrefix)) return std::nullopt;
+  std::string rest = path.substr(kDocumentsPrefix.size());
+  if (!rest.empty() && rest.front() == '/') rest.erase(0, 1);
+  if (rest.empty()) return std::nullopt;
+  const std::vector<std::string> parts = strings::split(rest, '/');
+  if (parts.size() != 1) return std::nullopt;
+  return parts[0];
+}
+
 json::Value edge_summary(const PropertyGraph& graph, const Edge& e, bool outgoing) {
   json::Object obj;
   obj.set("type", e.type);
@@ -62,14 +78,24 @@ json::Value edge_summary(const PropertyGraph& graph, const Edge& e, bool outgoin
 
 }  // namespace
 
+YProvService::YProvService(std::size_t shards) : graph_(shards) {
+  stripes_.reserve(graph_.shard_count());
+  for (std::size_t s = 0; s < graph_.shard_count(); ++s) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  documents_.resize(graph_.shard_count());
+}
+
 YProvService::YProvService(YProvService&& other) noexcept
-    : version_(other.version_.load()),
+    : stripes_(std::move(other.stripes_)),
+      version_(other.version_.load()),
       documents_(std::move(other.documents_)),
       graph_(std::move(other.graph_)),
       wal_(std::move(other.wal_)) {}
 
 YProvService& YProvService::operator=(YProvService&& other) noexcept {
   if (this != &other) {
+    stripes_ = std::move(other.stripes_);
     documents_ = std::move(other.documents_);
     graph_ = std::move(other.graph_);
     wal_ = std::move(other.wal_);
@@ -78,8 +104,27 @@ YProvService& YProvService::operator=(YProvService&& other) noexcept {
   return *this;
 }
 
+std::vector<std::shared_lock<std::shared_mutex>> YProvService::lock_all_shared() const {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) locks.emplace_back(stripe->mutex);
+  return locks;
+}
+
+std::vector<std::unique_lock<std::shared_mutex>> YProvService::lock_all_exclusive() {
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) {
+    locks.emplace_back(stripe->mutex);
+    stripe->writer_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return locks;
+}
+
 Status YProvService::put_document(const std::string& name, const prov::Document& doc) {
-  const std::unique_lock lock(mutex_);
+  Stripe& stripe = *stripes_[shard_for(name)];
+  const std::unique_lock lock(stripe.mutex);
+  stripe.writer_acquisitions.fetch_add(1, std::memory_order_relaxed);
   return put_document_impl(name, doc);
 }
 
@@ -88,33 +133,38 @@ Status YProvService::put_document_impl(const std::string& name, const prov::Docu
     return Error{"invalid document name", name};
   }
   // Apply in memory first (ingest can reject the document), log second,
-  // acknowledge last. A WAL failure rolls the memory state back, so the
-  // log holds exactly the acknowledged mutations — never more.
-  const auto it = documents_.find(name);
-  const bool replacing = it != documents_.end();
+  // acknowledge last. A failure rolls the memory state back, so the log
+  // holds exactly the acknowledged mutations — never more. Everything here
+  // touches only the document's home shard.
+  std::map<std::string, prov::Document>& docs = documents_[shard_for(name)];
+  const auto it = docs.find(name);
+  const bool replacing = it != docs.end();
   std::optional<prov::Document> previous;
-  if (replacing) previous = std::move(it->second);
-  documents_[name] = doc;
   if (replacing) {
-    rebuild_graph();  // replace semantics: drop the old nodes first
-  } else {
-    Expected<IngestStats> stats = ingest_document(graph_, doc, name);
-    if (!stats.ok()) {
-      documents_.erase(name);
-      return stats.error();
+    previous = std::move(it->second);
+    remove_document(graph_, name);  // replace semantics: drop the old nodes
+  }
+  docs[name] = doc;
+  auto restore = [&] {
+    remove_document(graph_, name);  // sweep any partially ingested nodes
+    docs.erase(name);
+    if (replacing) {
+      docs[name] = std::move(*previous);
+      // The previous body ingested successfully once; re-ingest restores it.
+      (void)ingest_document(graph_, docs[name], name);
     }
+  };
+  Expected<IngestStats> stats = ingest_document(graph_, doc, name);
+  if (!stats.ok()) {
+    restore();
+    return stats.error();
   }
   if (wal_ != nullptr) {
     Expected<wal::Lsn> lsn = wal_->append(
         {wal::Record::Type::kPutDocument, name,
          prov::to_prov_json_string(doc, /*pretty=*/false)});
     if (!lsn.ok()) {
-      if (replacing) {
-        documents_[name] = std::move(*previous);
-      } else {
-        documents_.erase(name);
-      }
-      rebuild_graph();
+      restore();
       return wal_error(lsn.error());
     }
   }
@@ -123,27 +173,48 @@ Status YProvService::put_document_impl(const std::string& name, const prov::Docu
 }
 
 void YProvService::rebuild_graph() {
-  graph_ = PropertyGraph{};
-  for (const auto& [name, doc] : documents_) {
-    // Stored documents ingested successfully once; a failure here would
-    // indicate internal inconsistency, so drop the offender quietly.
-    (void)ingest_document(graph_, doc, name);
+  PropertyGraph fresh{shard_count()};
+  preintern_prov_vocabulary(fresh);
+  if (shard_count() == 1) {
+    for (const auto& [name, doc] : documents_[0]) {
+      // Stored documents ingested successfully once; a failure here would
+      // indicate internal inconsistency, so drop the offender quietly.
+      (void)ingest_document(fresh, doc, name);
+    }
+  } else {
+    // One task per shard: each touches only its own graph shard (documents
+    // are placed by shard_for_scope), so the tasks need no locking.
+    std::vector<std::future<void>> done;
+    done.reserve(shard_count());
+    for (std::size_t s = 0; s < shard_count(); ++s) {
+      done.push_back(common::ThreadPool::shared().submit([this, &fresh, s] {
+        for (const auto& [name, doc] : documents_[s]) {
+          (void)ingest_document(fresh, doc, name);
+        }
+      }));
+    }
+    for (std::future<void>& f : done) f.get();
   }
+  graph_ = std::move(fresh);
 }
 
 const prov::Document* YProvService::get_document(const std::string& name) const {
-  const auto it = documents_.find(name);
-  return it == documents_.end() ? nullptr : &it->second;
+  const std::map<std::string, prov::Document>& docs = documents_[shard_for(name)];
+  const auto it = docs.find(name);
+  return it == docs.end() ? nullptr : &it->second;
 }
 
 bool YProvService::delete_document(const std::string& name) {
-  const std::unique_lock lock(mutex_);
+  Stripe& stripe = *stripes_[shard_for(name)];
+  const std::unique_lock lock(stripe.mutex);
+  stripe.writer_acquisitions.fetch_add(1, std::memory_order_relaxed);
   const Expected<bool> deleted = delete_document_impl(name);
   return deleted.ok() && deleted.value();
 }
 
 Expected<bool> YProvService::delete_document_impl(const std::string& name) {
-  if (documents_.count(name) == 0) return false;
+  std::map<std::string, prov::Document>& docs = documents_[shard_for(name)];
+  if (docs.count(name) == 0) return false;
   // Deletion of a present document cannot fail in memory, so the record
   // can be logged first — no rollback path needed.
   if (wal_ != nullptr) {
@@ -151,33 +222,190 @@ Expected<bool> YProvService::delete_document_impl(const std::string& name) {
         wal_->append({wal::Record::Type::kDeleteDocument, name, std::string()});
     if (!lsn.ok()) return wal_error(lsn.error());
   }
-  documents_.erase(name);
-  rebuild_graph();
+  docs.erase(name);
+  remove_document(graph_, name);  // shard-local; no global rebuild
   bump_version();
   return true;
 }
 
 std::vector<std::string> YProvService::list_documents() const {
-  const std::shared_lock lock(mutex_);
+  const auto locks = lock_all_shared();
   std::vector<std::string> names;
-  names.reserve(documents_.size());
-  for (const auto& [name, doc] : documents_) names.push_back(name);
+  names.reserve(document_count_unlocked());
+  for (const auto& docs : documents_) {
+    for (const auto& [name, doc] : docs) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
 std::size_t YProvService::document_count() const {
-  const std::shared_lock lock(mutex_);
-  return documents_.size();
+  const auto locks = lock_all_shared();
+  return document_count_unlocked();
+}
+
+std::size_t YProvService::document_count_unlocked() const {
+  std::size_t n = 0;
+  for (const auto& docs : documents_) n += docs.size();
+  return n;
+}
+
+Expected<IngestStats> YProvService::put_documents(
+    const std::vector<std::pair<std::string, prov::Document>>& docs) {
+  const auto locks = lock_all_exclusive();
+  // Serial prologue: validate every name and pre-intern the PROV
+  // vocabulary so the parallel phase takes only shared interner locks.
+  for (const auto& [name, doc] : docs) {
+    if (name.empty() || name.find('/') != std::string::npos) {
+      return Error{"invalid document name", name};
+    }
+  }
+  preintern_prov_vocabulary(graph_);
+
+  // Group by home shard, keeping input order within each shard.
+  std::vector<std::vector<std::size_t>> by_shard(shard_count());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    by_shard[shard_for(docs[i].first)].push_back(i);
+  }
+
+  // Map: one task per non-empty shard applies its documents in order.
+  // Distinct shards touch disjoint graph tables and document maps, so the
+  // tasks need no locking. Each task records what it applied (for
+  // rollback) and stops its shard at the first failure.
+  struct Applied {
+    std::size_t index;
+    std::optional<prov::Document> previous;  ///< set when replacing
+  };
+  struct ShardOutcome {
+    IngestStats stats;
+    std::vector<Applied> applied;
+    std::optional<Error> error;
+  };
+  std::vector<ShardOutcome> outcomes(shard_count());
+  auto apply_shard = [&](std::size_t s) {
+    ShardOutcome& outcome = outcomes[s];
+    for (const std::size_t i : by_shard[s]) {
+      const auto& [name, doc] = docs[i];
+      std::map<std::string, prov::Document>& shard_docs = documents_[s];
+      const auto it = shard_docs.find(name);
+      Applied applied{i, std::nullopt};
+      if (it != shard_docs.end()) {
+        applied.previous = std::move(it->second);
+        remove_document(graph_, name);
+      }
+      shard_docs[name] = doc;
+      Expected<IngestStats> stats = ingest_document(graph_, doc, name);
+      if (!stats.ok()) {
+        remove_document(graph_, name);
+        shard_docs.erase(name);
+        if (applied.previous.has_value()) {
+          shard_docs[name] = std::move(*applied.previous);
+          (void)ingest_document(graph_, shard_docs[name], name);
+        }
+        outcome.error = stats.error();
+        return;
+      }
+      outcome.stats.nodes_added += stats.value().nodes_added;
+      outcome.stats.edges_added += stats.value().edges_added;
+      outcome.stats.elements_merged += stats.value().elements_merged;
+      outcome.applied.push_back(std::move(applied));
+    }
+  };
+  std::vector<std::future<void>> done;
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    if (by_shard[s].empty()) continue;
+    if (shard_count() == 1) {
+      apply_shard(s);
+    } else {
+      done.push_back(common::ThreadPool::shared().submit([&apply_shard, s] { apply_shard(s); }));
+    }
+  }
+  for (std::future<void>& f : done) f.get();
+
+  // Undoes one applied document: removes it and restores what it replaced.
+  auto undo = [&](const Applied& applied) {
+    const std::string& name = docs[applied.index].first;
+    std::map<std::string, prov::Document>& shard_docs = documents_[shard_for(name)];
+    remove_document(graph_, name);
+    shard_docs.erase(name);
+    if (applied.previous.has_value()) {
+      shard_docs[name] = *applied.previous;
+      (void)ingest_document(graph_, shard_docs[name], name);
+    }
+  };
+
+  // Reduce: an ingest error anywhere rolls the whole batch back (nothing
+  // was logged yet), keeping batch semantics all-or-nothing.
+  for (const ShardOutcome& outcome : outcomes) {
+    if (!outcome.error.has_value()) continue;
+    for (const ShardOutcome& o : outcomes) {
+      for (const Applied& applied : o.applied) undo(applied);
+    }
+    return *outcome.error;
+  }
+
+  IngestStats total;
+  for (const ShardOutcome& outcome : outcomes) {
+    total.nodes_added += outcome.stats.nodes_added;
+    total.edges_added += outcome.stats.edges_added;
+    total.elements_merged += outcome.stats.elements_merged;
+  }
+
+  // Log serially in input order so recovery replays the same sequence. A
+  // WAL failure keeps the logged prefix applied (memory == log == what
+  // recovery reproduces) and rolls back the unlogged suffix.
+  if (wal_ != nullptr) {
+    std::vector<const Applied*> in_input_order;
+    for (const ShardOutcome& outcome : outcomes) {
+      for (const Applied& applied : outcome.applied) in_input_order.push_back(&applied);
+    }
+    std::sort(in_input_order.begin(), in_input_order.end(),
+              [](const Applied* a, const Applied* b) { return a->index < b->index; });
+    for (std::size_t k = 0; k < in_input_order.size(); ++k) {
+      const auto& [name, doc] = docs[in_input_order[k]->index];
+      Expected<wal::Lsn> lsn = wal_->append(
+          {wal::Record::Type::kPutDocument, name,
+           prov::to_prov_json_string(doc, /*pretty=*/false)});
+      if (!lsn.ok()) {
+        for (std::size_t j = in_input_order.size(); j-- > k;) {
+          undo(*in_input_order[j]);
+        }
+        if (k > 0) bump_version();  // the logged prefix stays applied
+        return wal_error(lsn.error());
+      }
+    }
+  }
+  if (!docs.empty()) bump_version();
+  return total;
+}
+
+std::vector<ShardStats> YProvService::shard_stats() const {
+  const auto locks = lock_all_shared();
+  std::vector<ShardStats> stats(shard_count());
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    stats[s].nodes = graph_.node_count_in_shard(s);
+    stats[s].edges = graph_.edge_count_in_shard(s);
+    stats[s].documents = documents_[s].size();
+    stats[s].writer_acquisitions =
+        stripes_[s]->writer_acquisitions.load(std::memory_order_relaxed);
+  }
+  return stats;
 }
 
 Response YProvService::handle(const Request& request) {
-  // Writers mutate documents_ and rebuild graph_; everything else only
-  // reads, including unknown methods/routes (they just produce 4xx).
+  // PUT/DELETE on a document route mutate only that document's home shard:
+  // lock its stripe exclusively and nothing else. Everything other than
+  // that — reads, and write methods on routes that can only 4xx — takes
+  // every stripe shared, in ascending (canonical) order.
   if (request.method == "PUT" || request.method == "DELETE") {
-    const std::unique_lock lock(mutex_);
-    return route(request);
+    if (const std::optional<std::string> name = write_target(request.path)) {
+      Stripe& stripe = *stripes_[shard_for(*name)];
+      const std::unique_lock lock(stripe.mutex);
+      stripe.writer_acquisitions.fetch_add(1, std::memory_order_relaxed);
+      return route(request);
+    }
   }
-  const std::shared_lock lock(mutex_);
+  const auto locks = lock_all_shared();
   return route(request);
 }
 
@@ -207,7 +435,7 @@ Response YProvService::route(const Request& request) {
     }
     json::Object body;
     body.set("rows", std::move(rows_json));
-    return Response{200, json::write(json::Value(std::move(body)))};
+    return Response{200, json::write(json::Value(std::move(body))), ""};
   }
 
   // POST /api/v0/explain — body is a MATCH query; the response is the
@@ -231,7 +459,7 @@ Response YProvService::route(const Request& request) {
              static_cast<std::int64_t>(plan.estimated_candidates));
     body.set("estimated_rows", plan.estimated_rows);
     body.set("estimated_cost", plan.estimated_cost);
-    return Response{200, json::write(json::Value(std::move(body)))};
+    return Response{200, json::write(json::Value(std::move(body))), ""};
   }
 
   if (!strings::starts_with(request.path, kDocumentsPrefix)) {
@@ -243,11 +471,16 @@ Response YProvService::route(const Request& request) {
   // GET /api/v0/documents — list.
   if (rest.empty()) {
     if (request.method != "GET") return method_not_allowed("GET");
+    std::vector<std::string> sorted;
+    for (const auto& docs : documents_) {
+      for (const auto& [name, doc] : docs) sorted.push_back(name);
+    }
+    std::sort(sorted.begin(), sorted.end());
     json::Array names;
-    for (const auto& [name, doc] : documents_) names.emplace_back(name);
+    for (std::string& name : sorted) names.emplace_back(std::move(name));
     json::Object body;
     body.set("documents", std::move(names));
-    return Response{200, json::write(json::Value(std::move(body)))};
+    return Response{200, json::write(json::Value(std::move(body))), ""};
   }
 
   const std::vector<std::string> parts = strings::split(rest, '/');
@@ -264,24 +497,26 @@ Response YProvService::route(const Request& request) {
         return error_response(is_wal_error(s.error()) ? 500 : 400,
                               s.error().to_string());
       }
-      return Response{201, "{}"};
+      return Response{201, "{}", ""};
     }
     if (request.method == "GET") {
       const prov::Document* doc = get_document(name);
       if (doc == nullptr) return error_response(404, "document not found");
-      return Response{200, prov::to_prov_json_string(*doc, /*pretty=*/false)};
+      return Response{200, prov::to_prov_json_string(*doc, /*pretty=*/false), ""};
     }
     if (request.method == "DELETE") {
       const Expected<bool> deleted = delete_document_impl(name);
       if (!deleted.ok()) return error_response(500, deleted.error().to_string());
       if (!deleted.value()) return error_response(404, "document not found");
-      return Response{200, "{}"};
+      return Response{200, "{}", ""};
     }
     return method_not_allowed("GET, PUT, DELETE");
   }
 
   if (request.method != "GET") return method_not_allowed("GET");
-  if (documents_.count(name) == 0) return error_response(404, "document not found");
+  if (documents_[shard_for(name)].count(name) == 0) {
+    return error_response(404, "document not found");
+  }
 
   if (parts.size() == 2 && parts[1] == "stats") {
     std::size_t nodes = 0;
@@ -292,7 +527,7 @@ Response YProvService::route(const Request& request) {
     json::Object body;
     body.set("document", name);
     body.set("nodes", nodes);
-    return Response{200, json::write(json::Value(std::move(body)))};
+    return Response{200, json::write(json::Value(std::move(body))), ""};
   }
 
   if (parts.size() >= 3 && parts[1] == "subgraph") {
@@ -311,7 +546,7 @@ Response YProvService::route(const Request& request) {
     json::Object body;
     body.set("center", element_id);
     body.set("nodes", std::move(nodes));
-    return Response{200, json::write(json::Value(std::move(body)))};
+    return Response{200, json::write(json::Value(std::move(body))), ""};
   }
 
   if (parts.size() >= 3 && parts[1] == "elements") {
@@ -337,7 +572,7 @@ Response YProvService::route(const Request& request) {
     }
     body.set("outgoing", std::move(outgoing));
     body.set("incoming", std::move(incoming));
-    return Response{200, json::write(json::Value(std::move(body)))};
+    return Response{200, json::write(json::Value(std::move(body))), ""};
   }
 
   return error_response(404, "unknown route");
@@ -346,9 +581,9 @@ Response YProvService::route(const Request& request) {
 // --------------------------------------------------------------- durability
 
 Status YProvService::attach_wal(const std::string& dir, wal::Options options) {
-  const std::unique_lock lock(mutex_);
+  const auto locks = lock_all_exclusive();
   if (wal_ != nullptr) return Error{"a WAL is already attached", wal_->dir()};
-  if (!documents_.empty()) {
+  if (document_count_unlocked() != 0) {
     return Error{"attach_wal requires an empty service (it hydrates from the store)",
                  dir};
   }
@@ -365,7 +600,7 @@ Status YProvService::attach_wal(const std::string& dir, wal::Options options) {
       return Error{"wal-recovered document is not PROV-JSON: " + doc.error().message,
                    name};
     }
-    documents_[name] = std::move(doc.value());
+    documents_[shard_for(name)][name] = std::move(doc.value());
   }
   rebuild_graph();
   wal_ = std::move(store.value());
@@ -374,26 +609,29 @@ Status YProvService::attach_wal(const std::string& dir, wal::Options options) {
 }
 
 wal::Stats YProvService::wal_stats() const {
-  const std::shared_lock lock(mutex_);
+  const auto locks = lock_all_shared();
   return wal_ != nullptr ? wal_->stats() : wal::Stats{};
 }
 
 Status YProvService::wal_compact() {
   // compact() coordinates with appenders through the store's own locks;
-  // taking the service lock here would only serialize it against reads.
-  const std::shared_lock lock(mutex_);
+  // taking the service locks here would only serialize it against reads.
+  const auto locks = lock_all_shared();
   if (wal_ == nullptr) return Status::ok_status();
   return wal_->compact();
 }
 
 namespace {
 
-/// Serializes the in-memory document map the way the WAL logs it.
+/// Serializes the in-memory per-shard document maps the way the WAL logs
+/// them, merged into one name-ordered map.
 std::map<std::string, std::string> serialize_documents(
-    const std::map<std::string, prov::Document>& documents) {
+    const std::vector<std::map<std::string, prov::Document>>& documents) {
   std::map<std::string, std::string> bodies;
-  for (const auto& [name, doc] : documents) {
-    bodies[name] = prov::to_prov_json_string(doc, /*pretty=*/false);
+  for (const auto& shard_docs : documents) {
+    for (const auto& [name, doc] : shard_docs) {
+      bodies[name] = prov::to_prov_json_string(doc, /*pretty=*/false);
+    }
   }
   return bodies;
 }
@@ -401,7 +639,7 @@ std::map<std::string, std::string> serialize_documents(
 }  // namespace
 
 Status YProvService::save(const std::string& dir) const {
-  const std::shared_lock lock(mutex_);
+  const auto locks = lock_all_shared();
   if (wal_ != nullptr &&
       fs::weakly_canonical(wal_->dir()) == fs::weakly_canonical(dir)) {
     // The WAL already holds every acknowledged mutation; saving into the

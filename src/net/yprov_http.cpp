@@ -69,6 +69,20 @@ HttpResponse YProvHttpApp::health_response(const HttpRequest& request) {
   body.set("mean_latency_ms", mean_ms(c.latency_us_total, c.requests));
   body.set("mean_read_latency_ms", mean_ms(c.read_latency_us, c.reads));
   body.set("mean_write_latency_ms", mean_ms(c.write_latency_us, c.writes));
+  // Sharding: per-stripe balance and write contention, in shard order.
+  body.set("shard_count", service_.shard_count());
+  {
+    json::Array shards;
+    for (const graphstore::ShardStats& s : service_.shard_stats()) {
+      json::Object shard;
+      shard.set("nodes", s.nodes);
+      shard.set("edges", s.edges);
+      shard.set("documents", s.documents);
+      shard.set("writer_acquisitions", s.writer_acquisitions);
+      shards.push_back(json::Value(std::move(shard)));
+    }
+    body.set("shards", json::Value(std::move(shards)));
+  }
   // Durability: present (nested) only when a WAL is attached.
   body.set("wal_enabled", service_.wal_attached());
   if (service_.wal_attached()) {
@@ -81,6 +95,7 @@ HttpResponse YProvHttpApp::health_response(const HttpRequest& request) {
     wal_body.set("compactions", w.compactions);
     wal_body.set("seconds_since_compaction", w.seconds_since_compaction);
     wal_body.set("fsyncs", w.fsyncs);
+    wal_body.set("appends", w.appends);
     wal_body.set("mean_fsync_ms", mean_ms(w.fsync_us_total, w.fsyncs));
     body.set("wal", std::move(wal_body));
   }

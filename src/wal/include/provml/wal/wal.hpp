@@ -16,6 +16,16 @@
 // the recovered document set is always the fold of exactly the
 // acknowledged record prefix.
 //
+// Group commit (kEveryWrite): concurrent appenders coalesce into shared
+// fsyncs. Each append writes its frame under the metadata lock (LSNs stay
+// dense, in log order), then joins a leader/follower protocol: the first
+// waiter becomes the leader, drops the lock, and issues ONE fsync covering
+// every frame written so far; followers block until a covering fsync (or
+// failure) resolves them. Acknowledgment still happens only after the
+// covering fsync — the durability contract is unchanged, only the
+// fsync-per-acknowledgment ratio drops. A failed group fsync fails every
+// pending append and truncates back to the last acknowledged byte.
+//
 // Fsync policy trade-off (what an acknowledged write survives):
 //   kEveryWrite  host power loss — fsync before every acknowledgement
 //   kInterval    process crash always; power loss up to `fsync_interval` old
@@ -73,6 +83,9 @@ struct Stats {
   std::uint64_t fsyncs = 0;
   std::uint64_t fsync_us_total = 0;
   std::uint64_t appended_bytes = 0;
+  /// Acknowledged appends; under kEveryWrite group commit this can exceed
+  /// `fsyncs` — the gap is the batching win.
+  std::uint64_t appends = 0;
 };
 
 /// One segment's replay accounting, reported by recover().
@@ -161,10 +174,21 @@ class DurableStore {
   };
 
   [[nodiscard]] Status open_active_segment_locked();
-  [[nodiscard]] Status rotate_if_needed_locked();
+  [[nodiscard]] Status rotate_if_needed_locked(std::unique_lock<std::mutex>& lock);
   [[nodiscard]] Status fsync_active_locked();
-  /// Drops unacknowledged bytes after a failed append (ftruncate + seek).
-  void repair_tail_locked();
+  /// Waits out any in-flight group fsync, then fsyncs inline (lock held)
+  /// and acknowledges everything pending — used by rotation, sync(), and
+  /// shutdown, where an up-to-date sealed file matters more than overlap.
+  [[nodiscard]] Status sync_pending_locked(std::unique_lock<std::mutex>& lock);
+  /// Credits a successful covering fsync: pending frames become
+  /// acknowledged bytes/records of the active segment.
+  void ack_pending_locked();
+  /// Fails every pending append: rolls their LSNs back, truncates the tail
+  /// to the last acknowledged byte, and wakes the waiters.
+  void fail_pending_locked();
+  /// Truncates the active segment to `keep_bytes` (ftruncate; O_APPEND
+  /// makes the next write land there). Failure marks the store broken.
+  void repair_tail_locked(std::uint64_t keep_bytes);
   [[nodiscard]] Status compact_impl();
   void compaction_loop();
 
@@ -185,6 +209,21 @@ class DurableStore {
   std::uint64_t fsyncs_ = 0;
   std::uint64_t fsync_us_total_ = 0;
   std::uint64_t appended_bytes_ = 0;
+  std::uint64_t appends_ = 0;
+
+  // Group commit (guarded by mutex_). Tickets are monotonic and never
+  // rolled back, unlike LSNs: an append writes its frame, takes ticket
+  // ++write_seq_, and is resolved once synced_seq_ (acknowledged) or
+  // failed_upto_ (failed) reaches its ticket. pending_* counts frames
+  // written to the active segment but not yet covered by an fsync —
+  // Segment::bytes/records hold only *acknowledged* frames.
+  std::uint64_t write_seq_ = 0;
+  std::uint64_t synced_seq_ = 0;
+  std::uint64_t failed_upto_ = 0;
+  bool sync_in_flight_ = false;
+  std::uint64_t pending_bytes_ = 0;
+  std::uint64_t pending_records_ = 0;
+  std::condition_variable sync_cv_;
 
   RecoveredState recovered_;
 

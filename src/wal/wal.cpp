@@ -366,7 +366,9 @@ DurableStore::~DurableStore() {
     compaction_cv_.notify_all();
     compaction_thread_.join();
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Never close the fd under an in-flight group fsync.
+  sync_cv_.wait(lock, [this] { return !sync_in_flight_; });
   if (fd_ >= 0) {
     (void)::fsync(fd_);  // best-effort seal; close() cannot report anyway
     ::close(fd_);
@@ -407,12 +409,18 @@ Status DurableStore::fsync_active_locked() {
   return Status::ok_status();
 }
 
-Status DurableStore::rotate_if_needed_locked() {
-  if (segments_.back().bytes < options_.segment_bytes) return Status::ok_status();
+Status DurableStore::rotate_if_needed_locked(std::unique_lock<std::mutex>& lock) {
+  if (segments_.back().bytes + pending_bytes_ < options_.segment_bytes) {
+    return Status::ok_status();
+  }
   // Seal the full segment before the new one exists: an acknowledged
-  // record must never be less durable after rotation than before.
-  Status sealed = fsync_active_locked();
+  // record must never be less durable after rotation than before. The
+  // sealing fsync also resolves any pending group commit on this segment.
+  Status sealed = sync_pending_locked(lock);
   if (!sealed.ok()) return sealed;
+  if (segments_.back().bytes < options_.segment_bytes) {
+    return Status::ok_status();  // another appender rotated while we waited
+  }
   const int old_fd = fd_;
   fd_ = -1;
   ::close(old_fd);
@@ -424,10 +432,46 @@ Status DurableStore::rotate_if_needed_locked() {
   return Status::ok_status();
 }
 
-void DurableStore::repair_tail_locked() {
+Status DurableStore::sync_pending_locked(std::unique_lock<std::mutex>& lock) {
+  // The inline (lock-held) covering fsync: rotation, sync(), and shutdown
+  // prefer a fully resolved segment over write/fsync overlap.
+  sync_cv_.wait(lock, [this] { return !sync_in_flight_; });
+  Status synced = fsync_active_locked();
+  if (!synced.ok()) {
+    fail_pending_locked();
+    sync_cv_.notify_all();
+    return synced;
+  }
+  synced_seq_ = write_seq_;
+  ack_pending_locked();
+  sync_cv_.notify_all();
+  return Status::ok_status();
+}
+
+void DurableStore::ack_pending_locked() {
+  Segment& active = segments_.back();
+  active.bytes += pending_bytes_;
+  active.records += pending_records_;
+  appended_bytes_ += pending_bytes_;
+  pending_bytes_ = 0;
+  pending_records_ = 0;
+}
+
+void DurableStore::fail_pending_locked() {
+  // A covering fsync failed: nothing written since the last acknowledged
+  // byte is durable, so every pending append fails together. Tickets stay
+  // monotonic; the LSNs roll back with the truncated frames.
+  failed_upto_ = write_seq_;
+  last_lsn_ -= pending_records_;
+  pending_bytes_ = 0;
+  pending_records_ = 0;
+  repair_tail_locked(segments_.back().bytes);
+}
+
+void DurableStore::repair_tail_locked(std::uint64_t keep_bytes) {
   // Drop unacknowledged bytes so a failed append can never be replayed.
   // O_APPEND makes the next write land at the truncated end.
-  if (::ftruncate(fd_, static_cast<off_t>(segments_.back().bytes)) != 0) {
+  if (::ftruncate(fd_, static_cast<off_t>(keep_bytes)) != 0) {
     broken_ = true;
   }
 }
@@ -437,18 +481,20 @@ Expected<Lsn> DurableStore::append(const Record& record) {
   bool notify_compactor = false;
   Lsn lsn = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (broken_) return Error{"wal is broken (previous tail repair failed)", dir_};
-    Status rotated = rotate_if_needed_locked();
+    Status rotated = rotate_if_needed_locked(lock);
     if (!rotated.ok()) return rotated.error();
 
     std::vector<std::uint8_t> frame;
     append_frame(frame, record);
 
-    Segment& active = segments_.back();
+    // Frames land after every complete frame already written — including
+    // pending ones awaiting their covering fsync.
+    const std::uint64_t written_end = segments_.back().bytes + pending_bytes_;
     if (fault::triggered("storage.write")) {
       // Simulate a crash mid-write: leave a genuinely torn half-frame,
-      // then repair to the last acknowledged byte.
+      // then repair back to the last complete frame.
       const std::size_t half = frame.size() / 2;
       std::size_t done = 0;
       while (done < half) {
@@ -456,37 +502,99 @@ Expected<Lsn> DurableStore::append(const Record& record) {
         if (n <= 0) break;
         done += static_cast<std::size_t>(n);
       }
-      repair_tail_locked();
-      return Error{"wal: write failed (injected fault)", active.path};
+      repair_tail_locked(written_end);
+      return Error{"wal: write failed (injected fault)", segments_.back().path};
     }
     std::size_t done = 0;
     while (done < frame.size()) {
       const ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
       if (n < 0) {
         if (errno == EINTR) continue;
-        const Error e = errno_error("wal: write failed", active.path);
-        repair_tail_locked();
+        const Error e = errno_error("wal: write failed", segments_.back().path);
+        repair_tail_locked(written_end);
         return e;
       }
       done += static_cast<std::size_t>(n);
     }
 
-    const bool sync_now =
-        options_.fsync_policy == FsyncPolicy::kEveryWrite ||
-        (options_.fsync_policy == FsyncPolicy::kInterval &&
-         std::chrono::steady_clock::now() - last_fsync_ >= options_.fsync_interval);
-    if (sync_now) {
-      Status synced = fsync_active_locked();
-      if (!synced.ok()) {
-        repair_tail_locked();
-        return Error{"wal: " + synced.error().message, synced.error().where};
+    if (options_.fsync_policy == FsyncPolicy::kEveryWrite) {
+      // Group commit. The frame is written and has the next LSN (writes
+      // are serialized under mutex_, so LSNs are dense and in log order),
+      // but acknowledgment waits for a covering fsync. The first waiter
+      // with no sync in flight leads: it drops the lock, issues one fsync
+      // for everything written so far, and resolves all covered tickets.
+      lsn = ++last_lsn_;
+      pending_bytes_ += frame.size();
+      ++pending_records_;
+      const std::uint64_t ticket = ++write_seq_;
+      while (synced_seq_ < ticket && failed_upto_ < ticket) {
+        if (sync_in_flight_) {
+          sync_cv_.wait(lock);
+          continue;
+        }
+        sync_in_flight_ = true;
+        const std::uint64_t covering_seq = write_seq_;
+        const std::uint64_t covering_bytes = pending_bytes_;
+        const std::uint64_t covering_records = pending_records_;
+        const int fd = fd_;
+        const std::string path = segments_.back().path;
+        const bool faulted = fault::triggered("storage.fsync");
+        lock.unlock();
+        Status synced = Status::ok_status();
+        std::uint64_t elapsed_us = 0;
+        if (faulted) {
+          synced = Error{"fsync failed (injected fault)", path};
+        } else {
+          const auto t0 = std::chrono::steady_clock::now();
+          if (::fsync(fd) != 0) synced = errno_error("fsync failed", path);
+          elapsed_us = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        }
+        lock.lock();
+        sync_in_flight_ = false;
+        if (synced.ok()) {
+          // Credit exactly the covered prefix; frames written while the
+          // fsync ran stay pending for the next leader.
+          synced_seq_ = covering_seq;
+          Segment& active = segments_.back();
+          active.bytes += covering_bytes;
+          active.records += covering_records;
+          appended_bytes_ += covering_bytes;
+          pending_bytes_ -= covering_bytes;
+          pending_records_ -= covering_records;
+          ++fsyncs_;
+          fsync_us_total_ += elapsed_us;
+          last_fsync_ = std::chrono::steady_clock::now();
+        } else {
+          fail_pending_locked();
+        }
+        sync_cv_.notify_all();
       }
+      if (synced_seq_ < ticket) {
+        return Error{"wal: fsync failed (group commit)", segments_.back().path};
+      }
+    } else {
+      // kInterval / kNone acknowledge at write; fsync happens on schedule.
+      const bool sync_now =
+          options_.fsync_policy == FsyncPolicy::kInterval &&
+          std::chrono::steady_clock::now() - last_fsync_ >= options_.fsync_interval;
+      if (sync_now) {
+        Status synced = fsync_active_locked();
+        if (!synced.ok()) {
+          repair_tail_locked(segments_.back().bytes);
+          return Error{"wal: " + synced.error().message, synced.error().where};
+        }
+      }
+      lsn = ++last_lsn_;
+      Segment& active = segments_.back();
+      active.bytes += frame.size();
+      ++active.records;
+      appended_bytes_ += frame.size();
     }
 
-    lsn = ++last_lsn_;
-    active.bytes += frame.size();
-    ++active.records;
-    appended_bytes_ += frame.size();
+    ++appends_;
     ++records_since_compaction_;
     if (options_.compact_every > 0 &&
         records_since_compaction_ >= options_.compact_every) {
@@ -507,9 +615,9 @@ Expected<Lsn> DurableStore::append(const Record& record) {
 }
 
 Status DurableStore::sync() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   if (fd_ < 0) return Error{"wal is closed", dir_};
-  return fsync_active_locked();
+  return sync_pending_locked(lock);
 }
 
 Status DurableStore::compact() {
@@ -525,8 +633,12 @@ Status DurableStore::compact_impl() {
   std::vector<Segment> frozen;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (last_lsn_ == snapshot_lsn_) return Status::ok_status();  // nothing new
-    target = last_lsn_;
+    // Compact only up to the *acknowledged* tail: pending frames (written
+    // but not yet covered by a group fsync) are excluded from the frozen
+    // Segment::bytes, so a snapshot must not claim their LSNs either.
+    const Lsn acked = last_lsn_ - static_cast<Lsn>(pending_records_);
+    if (acked == snapshot_lsn_) return Status::ok_status();  // nothing new
+    target = acked;
     base = snapshot_lsn_;
     frozen = segments_;
   }
@@ -567,7 +679,7 @@ Status DurableStore::compact_impl() {
 
   const std::lock_guard<std::mutex> lock(mutex_);
   snapshot_lsn_ = target;
-  records_since_compaction_ = last_lsn_ - target;
+  records_since_compaction_ = last_lsn_ - pending_records_ - target;
   ++compactions_;
   last_compaction_ = std::chrono::steady_clock::now();
   compacted_once_ = true;
@@ -607,7 +719,8 @@ void DurableStore::compaction_loop() {
 Stats DurableStore::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   Stats stats;
-  stats.last_lsn = last_lsn_;
+  // Report the acknowledged tail; pending (unfsynced) LSNs may yet fail.
+  stats.last_lsn = last_lsn_ - pending_records_;
   stats.snapshot_lsn = snapshot_lsn_;
   stats.segment_count = segments_.size();
   stats.records_since_compaction = records_since_compaction_;
@@ -621,6 +734,7 @@ Stats DurableStore::stats() const {
   stats.fsyncs = fsyncs_;
   stats.fsync_us_total = fsync_us_total_;
   stats.appended_bytes = appended_bytes_;
+  stats.appends = appends_;
   return stats;
 }
 

@@ -9,10 +9,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "provml/common/file_io.hpp"
@@ -599,6 +602,156 @@ TEST_F(WalTest, LegacyIndexJsonStoreStillLoads) {
   auto recovered = recover(dir());
   ASSERT_TRUE(recovered.ok());
   EXPECT_TRUE(recovered.value().documents.count("legacy"));
+}
+
+// ------------------------------------------------------------ group commit
+
+TEST_F(WalTest, GroupCommitConcurrentAppendsAreDenseAndAllRecovered) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  {
+    Options options;
+    options.fsync_policy = FsyncPolicy::kEveryWrite;
+    options.compact_every = 0;
+    auto store = DurableStore::open(dir(), options);
+    ASSERT_TRUE(store.ok()) << store.error().to_string();
+    DurableStore& wal = *store.value();
+
+    std::vector<std::vector<Lsn>> lsns(kThreads);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&wal, &lsns, &failures, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::string name = "t" + std::to_string(t) + "-" + std::to_string(i);
+          auto lsn = wal.append(put(name, "{}"));
+          if (!lsn.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          lsns[static_cast<std::size_t>(t)].push_back(lsn.value());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    // Per-thread LSNs are strictly increasing (append order == log order)…
+    std::vector<Lsn> all;
+    for (const std::vector<Lsn>& per_thread : lsns) {
+      EXPECT_TRUE(std::is_sorted(per_thread.begin(), per_thread.end()));
+      all.insert(all.end(), per_thread.begin(), per_thread.end());
+    }
+    // …and globally the acknowledged LSNs are exactly {1..N}: dense, no
+    // gaps, no duplicates, even though fsyncs were shared.
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+    for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i + 1);
+
+    const Stats stats = wal.stats();
+    EXPECT_EQ(stats.last_lsn, all.size());
+    EXPECT_EQ(stats.appends, all.size());
+    EXPECT_GE(stats.fsyncs, 1u);
+    EXPECT_LE(stats.fsyncs, stats.appends);  // batching never adds fsyncs
+  }
+  auto recovered = recover(dir());
+  ASSERT_TRUE(recovered.ok()) << recovered.error().to_string();
+  EXPECT_EQ(recovered.value().last_lsn, static_cast<Lsn>(kThreads * kPerThread));
+  EXPECT_EQ(recovered.value().documents.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(recovered.value().truncated_bytes, 0u);
+}
+
+TEST_F(WalTest, GroupCommitFsyncFailureNeverAcknowledgesOrReplays) {
+  std::map<std::string, std::string> expected;
+  {
+    Options options;
+    options.fsync_policy = FsyncPolicy::kEveryWrite;
+    options.compact_every = 0;
+    auto store = DurableStore::open(dir(), options);
+    ASSERT_TRUE(store.ok());
+    DurableStore& wal = *store.value();
+    for (int i = 0; i < 3; ++i) {
+      const Record r = put("ok" + std::to_string(i), "{}");
+      ASSERT_TRUE(wal.append(r).ok());
+      fold_apply(expected, r);
+    }
+    {
+      fault::ScopedFault armed("storage.fsync", {.fail_on_nth = 1});
+      auto failed = wal.append(put("doomed", "{}"));
+      ASSERT_FALSE(failed.ok());
+    }
+    // The failed append rolled its LSN back and truncated its frame; the
+    // store keeps accepting writes at the next dense LSN.
+    EXPECT_EQ(wal.stats().last_lsn, 3u);
+    auto next = wal.append(put("after", "{}"));
+    ASSERT_TRUE(next.ok()) << next.error().to_string();
+    EXPECT_EQ(next.value(), 4u);
+    fold_apply(expected, put("after", "{}"));
+  }
+  auto recovered = recover(dir());
+  ASSERT_TRUE(recovered.ok()) << recovered.error().to_string();
+  EXPECT_EQ(recovered.value().documents, expected);
+  EXPECT_EQ(recovered.value().documents.count("doomed"), 0u);
+  EXPECT_EQ(recovered.value().last_lsn, 4u);
+}
+
+TEST_F(WalTest, GroupCommitStatsCountAppendsInEveryPolicy) {
+  for (const FsyncPolicy policy : {FsyncPolicy::kEveryWrite, FsyncPolicy::kNone}) {
+    const std::string subdir = dir() + (policy == FsyncPolicy::kNone ? "-none" : "-ew");
+    Options options;
+    options.fsync_policy = policy;
+    options.compact_every = 0;
+    auto store = DurableStore::open(subdir, options);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(store.value()->append(put("d" + std::to_string(i), "{}")).ok());
+    }
+    const Stats stats = store.value()->stats();
+    EXPECT_EQ(stats.appends, 10u);
+    EXPECT_EQ(stats.last_lsn, 10u);
+    if (policy == FsyncPolicy::kNone) {
+      EXPECT_EQ(stats.fsyncs, 0u);
+    } else {
+      EXPECT_GE(stats.fsyncs, 1u);
+      EXPECT_LE(stats.fsyncs, stats.appends);
+    }
+    fs::remove_all(subdir);
+  }
+}
+
+TEST_F(WalTest, GroupCommitSurvivesRotationUnderConcurrency) {
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 40;
+  {
+    Options options;
+    options.fsync_policy = FsyncPolicy::kEveryWrite;
+    options.segment_bytes = 256;  // rotate constantly mid-batch
+    options.compact_every = 0;
+    auto store = DurableStore::open(dir(), options);
+    ASSERT_TRUE(store.ok());
+    DurableStore& wal = *store.value();
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&wal, &failures, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::string name = "r" + std::to_string(t) + "-" + std::to_string(i);
+          if (!wal.append(put(name, "{\"entity\":{}}")).ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    ASSERT_EQ(failures.load(), 0);
+    EXPECT_GT(wal.stats().segment_count, 1u);
+  }
+  auto recovered = recover(dir());
+  ASSERT_TRUE(recovered.ok()) << recovered.error().to_string();
+  EXPECT_EQ(recovered.value().last_lsn, static_cast<Lsn>(kThreads * kPerThread));
+  EXPECT_EQ(recovered.value().documents.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
 }
 
 }  // namespace
