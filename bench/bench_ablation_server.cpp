@@ -6,6 +6,12 @@
 // parallelizes around that critical section.
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -70,16 +76,24 @@ BENCHMARK(BM_ServerRequestThroughput)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-/// Closed-loop read throughput: worker-thread sweep × response cache
-/// on/off, 8 keep-alive clients cycling full-document GETs (the
-/// expensive cacheable route: re-serializes 256 element/relation
-/// triples per miss), stats GETs, and MATCH queries (never cached).
-/// With the cache off every GET re-runs the route under the service's
-/// shared lock; with it on, repeat reads at an unchanged graph version
-/// short-circuit before touching the graph at all.
+/// Closed-loop read throughput: worker-thread sweep × response mode.
+/// Mode 0 (uncached): every GET re-runs the route under the service's
+/// shared lock. Mode 1 (cached): repeat reads at an unchanged graph
+/// version are served from the LRU response cache — the body still
+/// crosses the wire. Mode 2 (304): clients revalidate with If-None-Match
+/// at the current version, so the server answers a bodyless 304 before
+/// routing, locking, or cache lookup — the cheapest possible read.
+/// Mode 3 (encoded): clients accept `pmlc`, so the 31 KB document body
+/// ships compressed (cached post-encoding; repeat hits skip the codec).
+/// 8 keep-alive clients cycling full-document GETs (the expensive
+/// cacheable route: re-serializes 256 element/relation triples per
+/// miss), stats GETs, and MATCH queries (never 304/encoded-eligible in
+/// modes 0-1; queries do revalidate in mode 2).
 void BM_ServerReadThroughput(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(1));
   YProvHttpApp::Options options;
-  options.cache_capacity = state.range(1) != 0 ? 256 : 0;
+  options.cache_capacity = mode != 0 ? 256 : 0;
+  options.compress_min_bytes = mode == 3 ? 1024 : 0;
   YProvHttpApp app(options);
   (void)app.service().put_document("exp", seed_document(256));
   ServerConfig config;
@@ -89,23 +103,30 @@ void BM_ServerReadThroughput(benchmark::State& state) {
     state.SkipWithError("server failed to start");
     return;
   }
+  // The version is stable for the whole run; mode 2 revalidates with the
+  // tag every response already carries.
+  const std::string etag = "\"" + std::to_string(app.service().graph_version()) + "\"";
   constexpr int kClients = 8;
   constexpr int kRequestsPerClient = 25;
   for (auto _ : state) {
     std::vector<std::thread> clients;
     clients.reserve(kClients);
     for (int c = 0; c < kClients; ++c) {
-      clients.emplace_back([&server, c] {
-        HttpClient client("127.0.0.1", server.port());
+      clients.emplace_back([&server, &etag, mode, c] {
+        ClientConfig client_config;
+        client_config.accept_encoding = mode == 3;
+        HttpClient client("127.0.0.1", server.port(), client_config);
+        std::vector<Header> conditional;
+        if (mode == 2) conditional.push_back({"If-None-Match", etag});
         for (int i = 0; i < kRequestsPerClient; ++i) {
           switch ((c + i) % 3) {
             case 0: {
-              auto r = client.get("/api/v0/documents/exp");
+              auto r = client.get("/api/v0/documents/exp", conditional);
               benchmark::DoNotOptimize(r.ok());
               break;
             }
             case 1: {
-              auto r = client.get("/api/v0/documents/exp/stats");
+              auto r = client.get("/api/v0/documents/exp/stats", conditional);
               benchmark::DoNotOptimize(r.ok());
               break;
             }
@@ -126,15 +147,81 @@ void BM_ServerReadThroughput(benchmark::State& state) {
   server.stop();
 }
 BENCHMARK(BM_ServerReadThroughput)
+    ->ArgNames({"threads", "mode"})
     ->Args({1, 0})
     ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({1, 3})
     ->Args({2, 0})
     ->Args({2, 1})
+    ->Args({2, 2})
     ->Args({4, 0})
     ->Args({4, 1})
-    ->Args({8, 0})
-    ->Args({8, 1})
+    ->Args({4, 2})
+    ->Args({4, 3})
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Active-path latency as a function of idle keep-alive population: the
+/// epoll loop's core claim. N idle connections are parked on the server
+/// (one fd each, no thread each), then one active client hammers the
+/// stats route. With the event loop, req/s should stay flat as the idle
+/// herd grows 0 → 2048; a thread-per-connection design would have
+/// collapsed at `threads` idle peers.
+void BM_ServerIdleConnectionSweep(benchmark::State& state) {
+  YProvHttpApp app;
+  (void)app.service().put_document("exp", seed_document());
+  ServerConfig config;
+  config.threads = 4;
+  config.listen_backlog = 4096;
+  config.read_timeout_ms = 120000;  // idle herd must outlive the run
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  if (!server.start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  const std::size_t idle_target = static_cast<std::size_t>(state.range(0));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::vector<int> idle_fds;
+  idle_fds.reserve(idle_target);
+  for (std::size_t i = 0; i < idle_target; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      state.SkipWithError("idle connect failed (fd limit?)");
+      if (fd >= 0) ::close(fd);
+      for (const int open_fd : idle_fds) ::close(open_fd);
+      server.stop();
+      return;
+    }
+    idle_fds.push_back(fd);
+  }
+  while (server.stats().open_connections < idle_target) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  HttpClient client("127.0.0.1", server.port());
+  for (auto _ : state) {
+    auto r = client.get("/api/v0/documents/exp/stats");
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["idle_conns"] = static_cast<double>(idle_target);
+
+  for (const int fd : idle_fds) ::close(fd);
+  server.stop();
+}
+BENCHMARK(BM_ServerIdleConnectionSweep)
+    ->ArgName("idle")
+    ->Arg(0)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
 /// Single-connection round-trip latency for the stats-free health route.

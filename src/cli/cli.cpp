@@ -568,6 +568,12 @@ int cmd_serve(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     if (!value || *value < 1 || *value > 256) return fail(err, "invalid --threads");
     config.threads = static_cast<unsigned>(*value);
   }
+  const auto max_conns = args.options.find("max-connections");
+  if (max_conns != args.options.end()) {
+    const auto value = strings::to_int64(max_conns->second);
+    if (!value || *value < 1) return fail(err, "invalid --max-connections (>= 1)");
+    config.max_connections = static_cast<std::size_t>(*value);
+  }
 
   net::YProvHttpApp::Options app_options;
   const auto cache = args.options.find("cache");
@@ -642,11 +648,17 @@ int cmd_serve(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     const std::lock_guard<std::mutex> lock(*log_mutex);
     out << line << "\n";
   });
+  // /api/v0/health reports the event loop's gauges alongside app counters.
+  app.set_server_stats_provider([&server] { return server.stats(); });
   Status started = server.start();
   if (!started.ok()) return fail(err, started.error().to_string());
   out << "yprov service listening on http://" << config.host << ":" << server.port()
-      << " (" << config.threads << " worker thread(s), "
-      << app.service().shard_count() << " graph shard(s), Ctrl-C to stop)\n";
+      << " (epoll event loop, " << config.threads << " worker thread(s), "
+      << app.service().shard_count() << " graph shard(s), ";
+  if (config.max_connections > 0) {
+    out << "max " << config.max_connections << " connection(s), ";
+  }
+  out << "Ctrl-C to stop)\n";
 
   g_serving.store(&server);
   const auto previous_int = std::signal(SIGINT, serve_signal_handler);
@@ -695,7 +707,8 @@ std::string usage() {
          "  query --url <svc> '<MATCH ...>' [--explain]\n"
          "                                      the same over HTTP\n"
          "  serve [--port N] [--threads K] [--shards N] [--data-dir DIR] [--cache N]\n"
-         "        [--fsync every_write|interval|none] [--wal-segment-bytes N]\n"
+         "        [--max-connections N] [--fsync every_write|interval|none]\n"
+         "        [--wal-segment-bytes N]\n"
          "                                      run the yProv HTTP service;\n"
          "                                      --data-dir persists writes via a\n"
          "                                      WAL (--snapshot is an alias)\n"

@@ -14,6 +14,7 @@
 
 #include "provml/common/fault_inject.hpp"
 #include "provml/common/strings.hpp"
+#include "provml/compress/container.hpp"
 
 namespace provml::net {
 namespace {
@@ -54,14 +55,17 @@ std::string_view strip_cr(std::string_view line) {
   return line;
 }
 
-/// Parses the status line + headers of `section` into `response`.
-bool parse_response_head(std::string_view section, HttpResponse& response) {
+/// Parses the status line + headers of `section` into `response`;
+/// `version` receives the protocol token (e.g. "HTTP/1.0").
+bool parse_response_head(std::string_view section, HttpResponse& response,
+                         std::string& version) {
   std::size_t line_end = section.find('\n');
   const std::string_view status_line =
       strip_cr(section.substr(0, line_end == std::string_view::npos ? section.size()
                                                                     : line_end));
   const std::vector<std::string> parts = strings::split(status_line, ' ');
   if (parts.size() < 2 || !strings::starts_with(parts[0], "HTTP/")) return false;
+  version = parts[0];
   const auto status = strings::to_int64(parts[1]);
   if (!status || *status < 100 || *status > 599) return false;
   response.status = static_cast<int>(*status);
@@ -176,6 +180,7 @@ Expected<HttpResponse> HttpClient::exchange(int fd, const std::string& wire) {
   char chunk[8192];
   std::size_t header_end = std::string_view::npos;
   HttpResponse response;
+  std::string version;
   std::size_t body_needed = 0;
   for (;;) {
     pollfd pfd{fd, POLLIN, 0};
@@ -200,7 +205,8 @@ Expected<HttpResponse> HttpClient::exchange(int fd, const std::string& wire) {
         }
         continue;
       }
-      if (!parse_response_head(std::string_view(buffer).substr(0, header_end), response)) {
+      if (!parse_response_head(std::string_view(buffer).substr(0, header_end), response,
+                               version)) {
         return Error{"malformed response head", host_};
       }
       const std::string* content_length = response.header("Content-Length");
@@ -217,8 +223,41 @@ Expected<HttpResponse> HttpClient::exchange(int fd, const std::string& wire) {
     }
     if (header_end != std::string_view::npos && buffer.size() >= header_end + body_needed) {
       response.body = buffer.substr(header_end, body_needed);
+      // The server's connection verdict wins over the client's wish to
+      // reuse: an explicit close, or an HTTP/1.0 peer that did not opt
+      // into keep-alive, both mean this socket must not carry another
+      // request.
       const std::string* connection = response.header("Connection");
-      response.close = connection != nullptr && iequals(*connection, "close");
+      if (connection != nullptr) {
+        response.close = iequals(*connection, "close");
+      } else {
+        response.close = version == "HTTP/1.0";
+      }
+      // Transparent content decoding: a `pmlc` body is a provml_compress
+      // container; hand the caller the decoded payload. Other encodings
+      // are passed through untouched (we never advertise them).
+      const std::string* encoding = response.header("Content-Encoding");
+      if (encoding != nullptr && iequals(*encoding, kContentEncodingPmlc)) {
+        const compress::ByteView packed(
+            reinterpret_cast<const std::uint8_t*>(response.body.data()),
+            response.body.size());
+        // The size guard applies to the *decoded* payload too: the
+        // container header declares it, so check before allocating.
+        const auto info = compress::inspect(packed);
+        if (!info.ok()) {
+          return Error{"malformed pmlc response body", host_};
+        }
+        if (info.value().raw_size > config_.limits.max_body_bytes) {
+          return Error{"response body too large after decoding", host_};
+        }
+        const auto decoded = compress::unpack(packed);
+        if (!decoded.ok()) {
+          return Error{"undecodable pmlc response body: " +
+                           decoded.error().to_string(),
+                       host_};
+        }
+        response.body.assign(decoded.value().begin(), decoded.value().end());
+      }
       return response;
     }
   }
@@ -226,11 +265,16 @@ Expected<HttpResponse> HttpClient::exchange(int fd, const std::string& wire) {
 
 Expected<HttpResponse> HttpClient::request(const std::string& method,
                                            const std::string& target,
-                                           const std::string& body) {
+                                           const std::string& body,
+                                           std::vector<Header> headers) {
   HttpRequest req;
   req.method = method;
   req.target = target;
   req.body = body;
+  req.headers = std::move(headers);
+  if (config_.accept_encoding && req.header("Accept-Encoding") == nullptr) {
+    req.headers.push_back({"Accept-Encoding", kContentEncodingPmlc});
+  }
   const std::string wire =
       serialize(req, host_ + ":" + std::to_string(port_), /*keep_alive=*/true);
 

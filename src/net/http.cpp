@@ -27,6 +27,7 @@ std::string_view reason_phrase(int status) {
     case 200: return "OK";
     case 201: return "Created";
     case 204: return "No Content";
+    case 304: return "Not Modified";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";

@@ -2,11 +2,18 @@
 // TCP: non-blocking connect with timeout, retry-with-backoff when the
 // connection is refused (the server may still be coming up), poll-guarded
 // reads, and connection reuse across requests (keep-alive) with one
-// transparent reconnect when a pooled connection has gone stale.
+// transparent reconnect when a pooled connection has gone stale. The
+// connection is NOT reused when the server said `Connection: close` (or
+// answered HTTP/1.0 without keep-alive) — the server's verdict wins.
+// Content negotiation: every request advertises `Accept-Encoding: pmlc`
+// (the provml_compress container format) unless disabled, and a
+// `Content-Encoding: pmlc` response body is decoded transparently before
+// it is returned to the caller.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "provml/common/expected.hpp"
 #include "provml/net/http.hpp"
@@ -14,11 +21,17 @@
 
 namespace provml::net {
 
+/// The Content-Encoding token both ends of provml_net speak: a
+/// provml_compress self-describing container (magic "PMLC") carrying the
+/// codec name with the payload.
+inline constexpr const char* kContentEncodingPmlc = "pmlc";
+
 struct ClientConfig {
   int connect_timeout_ms = 2000;
   int io_timeout_ms = 5000;     ///< per poll() while sending/receiving
   int retries = 3;              ///< extra connect attempts on refusal
   int retry_backoff_ms = 50;    ///< initial backoff, doubled per attempt
+  bool accept_encoding = true;  ///< advertise + decode `pmlc` bodies
   ParserLimits limits{};        ///< response size guards
 };
 
@@ -41,13 +54,16 @@ class HttpClient {
   HttpClient& operator=(const HttpClient&) = delete;
 
   /// One request/response exchange. Reuses the pooled connection when the
-  /// previous response allowed keep-alive.
+  /// previous response allowed keep-alive. `headers` ride along verbatim
+  /// (e.g. `If-None-Match` for conditional GETs).
   [[nodiscard]] Expected<HttpResponse> request(const std::string& method,
                                                const std::string& target,
-                                               const std::string& body = "");
+                                               const std::string& body = "",
+                                               std::vector<Header> headers = {});
 
-  [[nodiscard]] Expected<HttpResponse> get(const std::string& target) {
-    return request("GET", target);
+  [[nodiscard]] Expected<HttpResponse> get(const std::string& target,
+                                           std::vector<Header> headers = {}) {
+    return request("GET", target, "", std::move(headers));
   }
   [[nodiscard]] Expected<HttpResponse> put(const std::string& target,
                                            const std::string& body) {

@@ -48,6 +48,22 @@ class RequestParser {
   /// The parsed request; valid once complete().
   [[nodiscard]] const HttpRequest& request() const { return request_; }
 
+  /// Moves the completed request out (the event loop hands it to a
+  /// worker without copying the body). The parser stays complete();
+  /// reset() starts the next request as usual.
+  [[nodiscard]] HttpRequest take_request() {
+    HttpRequest out = std::move(request_);
+    request_ = HttpRequest{};
+    return out;
+  }
+
+  /// True when no byte of a new request has arrived yet: the connection
+  /// is between requests (idle keep-alive), so a read timeout may reap
+  /// it silently instead of answering 408.
+  [[nodiscard]] bool idle() const {
+    return state_ == State::kHeaders && buffer_.empty();
+  }
+
   /// Discards the completed request and immediately parses any buffered
   /// pipelined bytes (the next request may already be complete()).
   void reset();
@@ -60,6 +76,7 @@ class RequestParser {
   ParserLimits limits_;
   State state_ = State::kHeaders;
   std::string buffer_;            ///< unconsumed input
+  std::size_t header_scan_ = 0;   ///< bytes already scanned for the blank line
   HttpRequest request_;
   std::size_t body_needed_ = 0;
   int error_status_ = 0;

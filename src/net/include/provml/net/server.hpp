@@ -1,20 +1,31 @@
-// From-scratch POSIX-socket HTTP/1.1 server: a blocking accept loop feeds
-// accepted connections to a fixed pool of worker threads; each worker
-// speaks HTTP/1.1 with keep-alive and Content-Length framing via
-// RequestParser, enforcing a per-connection read timeout. Shutdown is
-// graceful through a self-pipe: request_stop() is async-signal-safe (a
-// single write()), every poll() in the server also watches the pipe, and
-// stop() joins all threads and releases the port.
+// From-scratch POSIX-socket HTTP/1.1 server built around an epoll
+// readiness loop: one event thread owns every connection fd in
+// non-blocking mode and drives a per-connection state machine
+// (reading → dispatched → writing → keep-alive idle), so an idle
+// keep-alive client costs one fd, not one thread. Only *ready,
+// fully-parsed* requests are handed to the fixed worker pool; workers
+// run the handler and serialize the response, then hand the bytes back
+// to the event thread (the sole socket writer) through a completion
+// queue. Overload is shed at accept time: beyond `max_connections` the
+// peer gets 503 + Connection: close, and fd exhaustion (EMFILE/ENFILE)
+// is absorbed by a reserve fd plus a short accept backoff instead of a
+// busy re-poll. Shutdown is graceful through a self-pipe:
+// request_stop() is async-signal-safe (a single write()), the event
+// loop drains in-flight requests, and stop() joins all threads and
+// releases the port.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "provml/common/expected.hpp"
@@ -26,13 +37,17 @@ namespace provml::net {
 struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;        ///< 0 → ephemeral; see HttpServer::port()
-  unsigned threads = 4;          ///< worker pool size (min 1)
+  unsigned threads = 4;          ///< handler worker pool size (min 1)
   int read_timeout_ms = 5000;    ///< per-connection idle read timeout
-  int listen_backlog = 64;
+  int listen_backlog = 256;
+  std::size_t max_connections = 0;  ///< open-connection cap; 0 = unlimited.
+                                    ///< Beyond it, accepts are shed with
+                                    ///< 503 + Connection: close.
   ParserLimits limits{};
 };
 
-/// Monotonic counters, readable while the server runs.
+/// Monotonic counters (plus the open-connection gauge), readable while
+/// the server runs.
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t requests_handled = 0;
@@ -42,6 +57,9 @@ struct ServerStats {
   std::uint64_t parse_errors = 0;     ///< malformed/oversized requests
   std::uint64_t read_timeouts = 0;
   std::uint64_t latency_us_total = 0; ///< handler time, summed
+  std::uint64_t open_connections = 0; ///< gauge: fds currently in the loop
+  std::uint64_t epoll_wakeups = 0;    ///< event-loop epoll_wait returns
+  std::uint64_t connections_shed = 0; ///< 503'd at accept (cap or EMFILE)
 
   [[nodiscard]] double mean_latency_us() const {
     return requests_handled == 0
@@ -55,6 +73,8 @@ class HttpServer {
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
   /// Called once per completed exchange with a pre-formatted line:
   /// `<method> <target> <status> <response-bytes> <micros>us`.
+  /// Invoked from worker threads (and the event thread for malformed
+  /// requests); the callback must be thread-safe.
   using AccessLogger = std::function<void(const std::string& line)>;
 
   HttpServer(ServerConfig config, Handler handler);
@@ -63,11 +83,11 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens, and spawns the acceptor + worker threads.
+  /// Binds, listens, and spawns the event-loop + worker threads.
   [[nodiscard]] Status start();
 
-  /// Graceful shutdown: stops accepting, wakes every blocked poll(),
-  /// lets in-flight exchanges finish, joins all threads, closes the
+  /// Graceful shutdown: stops accepting, lets in-flight exchanges
+  /// finish, joins all threads, closes every connection and the
   /// listening socket. Idempotent; also run by the destructor.
   void stop();
 
@@ -89,13 +109,59 @@ class HttpServer {
   void set_access_logger(AccessLogger logger) { access_logger_ = std::move(logger); }
 
  private:
-  void accept_loop();
+  using Clock = std::chrono::steady_clock;
+
+  /// Per-connection state, owned exclusively by the event thread.
+  /// Workers never touch a Connection: the parsed request moves out
+  /// through the job queue and the response bytes move back through the
+  /// completion queue, each handoff sequenced by its mutex.
+  struct Connection {
+    enum class State {
+      kReading,     ///< fd armed for EPOLLIN, bytes feed the parser
+      kDispatched,  ///< a worker owns the request; fd events masked off
+      kWriting,     ///< draining write_buf; EPOLLOUT armed when blocked
+    };
+    int fd = -1;
+    std::uint64_t id = 0;
+    State state = State::kReading;
+    RequestParser parser;
+    std::string write_buf;
+    std::size_t write_off = 0;
+    bool close_after_write = false;
+    Clock::time_point last_activity{};
+    explicit Connection(ParserLimits limits) : parser(limits) {}
+  };
+
+  /// A fully-parsed request on its way to a worker.
+  struct Job {
+    std::uint64_t conn_id = 0;
+    HttpRequest request;
+  };
+  /// A serialized response on its way back to the event thread.
+  struct Done {
+    std::uint64_t conn_id = 0;
+    std::string wire;
+    bool keep = false;
+  };
+
+  enum class Flush { kDone, kBlocked, kError };
+
+  void event_loop();
   void worker_loop();
-  void serve_connection(int fd);
-  /// poll() on fd + the shutdown pipe; returns +1 when fd is readable,
-  /// 0 on timeout, -1 on shutdown/error.
-  int wait_readable(int fd, int timeout_ms) const;
-  bool send_all(int fd, std::string_view data) const;
+  void handle_accept();
+  void handle_fd_exhaustion();
+  void shed_connection(int fd);
+  void handle_connection_event(std::uint64_t id, std::uint32_t events);
+  void handle_readable(Connection& conn);
+  void dispatch(Connection& conn);
+  void begin_write(Connection& conn, std::string wire, bool close_after);
+  [[nodiscard]] Flush flush_writes(Connection& conn);
+  void finish_write(Connection& conn);
+  void process_completions();
+  void sweep_timeouts(Clock::time_point now);
+  void close_connection(std::uint64_t id);
+  void pause_accepting(Clock::time_point until);
+  bool update_epoll(int fd, std::uint64_t id, std::uint32_t events) const;
   void record_response(int status, std::uint64_t latency_us);
 
   ServerConfig config_;
@@ -103,19 +169,37 @@ class HttpServer {
   AccessLogger access_logger_;
 
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int reserve_fd_ = -1;          ///< held open so EMFILE can still accept+503
   int stop_pipe_[2] = {-1, -1};  ///< [read, write]; write end poked to stop
+  int wake_pipe_[2] = {-1, -1};  ///< workers poke the event loop per Done
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  std::thread acceptor_;
+  std::thread event_thread_;
   std::vector<std::thread> workers_;
-  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+
+  // Dispatch queue: event thread → workers.
+  std::deque<Job> jobs_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  bool workers_quit_ = false;  ///< set under mutex_ after the loop exits
+
+  // Completion queue: workers → event thread.
+  std::deque<Done> done_;
+  std::mutex done_mutex_;
+
   std::mutex lifecycle_mutex_;  ///< serializes start()/stop()
 
-  // Stats counters (atomics: touched by every worker).
+  // --- event-thread-only state (no locks needed) ---
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 16;  ///< ids below 16 tag loop-internal fds
+  std::size_t in_flight_ = 0;        ///< dispatched jobs not yet completed
+  bool accept_paused_ = false;
+  Clock::time_point accept_resume_at_{};
+
+  // Stats counters (atomics: touched by the event thread and workers).
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> requests_handled_{0};
   std::atomic<std::uint64_t> responses_2xx_{0};
@@ -124,6 +208,9 @@ class HttpServer {
   std::atomic<std::uint64_t> parse_errors_{0};
   std::atomic<std::uint64_t> read_timeouts_{0};
   std::atomic<std::uint64_t> latency_us_total_{0};
+  std::atomic<std::uint64_t> open_connections_{0};
+  std::atomic<std::uint64_t> epoll_wakeups_{0};
+  std::atomic<std::uint64_t> connections_shed_{0};
 };
 
 }  // namespace provml::net

@@ -5,12 +5,14 @@
 namespace provml::net {
 namespace {
 
-/// Locates the blank line ending the header section. Accepts CRLF line
-/// endings (the standard) and bare LF (lenient, for hand-typed peers).
-/// Returns the offset one past the terminator, or npos.
-std::size_t find_header_end(std::string_view buf) {
-  const std::size_t crlf = buf.find("\r\n\r\n");
-  const std::size_t lf = buf.find("\n\n");
+/// Locates the blank line ending the header section, scanning only from
+/// `from` (bytes before it were already checked on a previous feed, so
+/// byte-at-a-time socket reads stay O(n) overall instead of O(n²)).
+/// Accepts CRLF line endings (the standard) and bare LF (lenient, for
+/// hand-typed peers). Returns the offset one past the terminator, or npos.
+std::size_t find_header_end(std::string_view buf, std::size_t from) {
+  const std::size_t crlf = buf.find("\r\n\r\n", from);
+  const std::size_t lf = buf.find("\n\n", from);
   if (crlf == std::string_view::npos && lf == std::string_view::npos) {
     return std::string_view::npos;
   }
@@ -100,14 +102,19 @@ bool RequestParser::parse_header_section(std::string_view section) {
 
 void RequestParser::advance() {
   if (state_ == State::kHeaders) {
-    const std::size_t header_end = find_header_end(buffer_);
+    // Resume the terminator scan where the previous feed left off; the
+    // terminator may straddle the boundary, so back up by its length - 1.
+    const std::size_t from = header_scan_ > 3 ? header_scan_ - 3 : 0;
+    const std::size_t header_end = find_header_end(buffer_, from);
     if (header_end == std::string_view::npos) {
+      header_scan_ = buffer_.size();
       if (buffer_.size() > limits_.max_header_bytes) {
         fail(431, "header section exceeds " + std::to_string(limits_.max_header_bytes) +
                       " bytes");
       }
       return;
     }
+    header_scan_ = 0;
     if (header_end > limits_.max_header_bytes) {
       fail(431, "header section exceeds " + std::to_string(limits_.max_header_bytes) +
                     " bytes");
@@ -132,6 +139,7 @@ void RequestParser::reset() {
   error_status_ = 0;
   error_message_.clear();
   state_ = State::kHeaders;
+  header_scan_ = 0;
   advance();  // a pipelined request may already be buffered in full
 }
 

@@ -4,9 +4,11 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -16,6 +18,14 @@
 
 namespace provml::net {
 namespace {
+
+// epoll_event.data.u64 tags for the loop's own fds; connection ids start
+// at 16 so they can never collide.
+constexpr std::uint64_t kListenTag = 1;
+constexpr std::uint64_t kStopTag = 2;
+constexpr std::uint64_t kWakeTag = 3;
+
+constexpr int kAcceptBackoffMs = 100;  ///< pause after unrecoverable EMFILE
 
 void close_fd(int& fd) {
   if (fd >= 0) {
@@ -32,6 +42,13 @@ bool set_nonblocking(int fd) {
 std::string json_error(const std::string& message) {
   // Error strings are server-chosen constants: no escaping needed.
   return "{\"error\":\"" + message + "\"}";
+}
+
+/// Drains a self-pipe so level-triggered epoll stops reporting it.
+void drain_pipe(int fd) {
+  char buf[64];
+  while (::read(fd, buf, sizeof buf) > 0) {
+  }
 }
 
 }  // namespace
@@ -76,18 +93,58 @@ Status HttpServer::start() {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
     port_ = ntohs(bound.sin_port);
   }
-
-  if (::pipe(stop_pipe_) != 0) {
+  if (!set_nonblocking(listen_fd_)) {
     close_fd(listen_fd_);
-    return Error{std::strerror(errno), "pipe"};
+    return Error{std::strerror(errno), "nonblocking listen socket"};
   }
-  // The write end is poked from signal handlers: never let it block.
-  (void)set_nonblocking(stop_pipe_[0]);
-  (void)set_nonblocking(stop_pipe_[1]);
+
+  if (::pipe(stop_pipe_) != 0 || ::pipe(wake_pipe_) != 0) {
+    const std::string message = std::strerror(errno);
+    close_fd(listen_fd_);
+    close_fd(stop_pipe_[0]);
+    close_fd(stop_pipe_[1]);
+    close_fd(wake_pipe_[0]);
+    close_fd(wake_pipe_[1]);
+    return Error{message, "pipe"};
+  }
+  // The stop write end is poked from signal handlers: never let it block.
+  for (const int fd : {stop_pipe_[0], stop_pipe_[1], wake_pipe_[0], wake_pipe_[1]}) {
+    (void)set_nonblocking(fd);
+  }
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    const std::string message = std::strerror(errno);
+    close_fd(listen_fd_);
+    close_fd(stop_pipe_[0]);
+    close_fd(stop_pipe_[1]);
+    close_fd(wake_pipe_[0]);
+    close_fd(wake_pipe_[1]);
+    return Error{message, "epoll_create1"};
+  }
+  if (!update_epoll(listen_fd_, kListenTag, EPOLLIN) ||
+      !update_epoll(stop_pipe_[0], kStopTag, EPOLLIN) ||
+      !update_epoll(wake_pipe_[0], kWakeTag, EPOLLIN)) {
+    const std::string message = std::strerror(errno);
+    close_fd(epoll_fd_);
+    close_fd(listen_fd_);
+    close_fd(stop_pipe_[0]);
+    close_fd(stop_pipe_[1]);
+    close_fd(wake_pipe_[0]);
+    close_fd(wake_pipe_[1]);
+    return Error{message, "epoll_ctl"};
+  }
+
+  // Held in reserve so accept() can still succeed (and answer 503) once
+  // the process hits its fd limit; see handle_fd_exhaustion().
+  reserve_fd_ = ::open("/dev/null", O_RDONLY);
 
   stopping_.store(false);
+  workers_quit_ = false;
+  accept_paused_ = false;
+  in_flight_ = 0;
   running_.store(true);
-  acceptor_ = std::thread([this] { accept_loop(); });
+  event_thread_ = std::thread([this] { event_loop(); });
   workers_.reserve(config_.threads);
   for (unsigned i = 0; i < config_.threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -118,18 +175,25 @@ void HttpServer::stop() {
   const std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
   if (!running_.load()) return;
   request_stop();
-  cv_.notify_all();
-  if (acceptor_.joinable()) acceptor_.join();
+  if (event_thread_.joinable()) event_thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    workers_quit_ = true;
+  }
   cv_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  for (const int fd : pending_) ::close(fd);
-  pending_.clear();
+  jobs_.clear();
+  done_.clear();
+  close_fd(reserve_fd_);
+  close_fd(epoll_fd_);
   close_fd(listen_fd_);
   close_fd(stop_pipe_[0]);
   close_fd(stop_pipe_[1]);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
   running_.store(false);
 }
 
@@ -143,132 +207,379 @@ ServerStats HttpServer::stats() const {
   s.parse_errors = parse_errors_.load();
   s.read_timeouts = read_timeouts_.load();
   s.latency_us_total = latency_us_total_.load();
+  s.open_connections = open_connections_.load();
+  s.epoll_wakeups = epoll_wakeups_.load();
+  s.connections_shed = connections_shed_.load();
   return s;
 }
 
-void HttpServer::accept_loop() {
+bool HttpServer::update_epoll(int fd, std::uint64_t id, std::uint32_t events) const {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0) return true;
+  if (errno != ENOENT) return false;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+// ------------------------------------------------------------- event loop
+
+void HttpServer::event_loop() {
+  // The sweep granularity bounds how late a timeout fires; a quarter of
+  // the configured timeout keeps the error small without scanning every
+  // connection on every wakeup.
+  const int sweep_ms =
+      config_.read_timeout_ms > 0
+          ? std::clamp(config_.read_timeout_ms / 4, 5, 250)
+          : 250;
+  epoll_event events[128];
+  bool stop_seen = false;
+  Clock::time_point next_sweep = Clock::now() + std::chrono::milliseconds(sweep_ms);
+
   for (;;) {
-    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    const int r = ::poll(pfds, 2, -1);
-    if (r < 0) {
+    // Sleep forever only when there is nothing to time out and no
+    // pending accept-backoff or shutdown drain to re-check.
+    const bool need_tick = !conns_.empty() || accept_paused_ || stop_seen;
+    const int timeout_ms = need_tick ? sweep_ms : -1;
+    const int n = ::epoll_wait(epoll_fd_, events, 128, timeout_ms);
+    ++epoll_wakeups_;
+    if (n < 0) {
       if (errno == EINTR) continue;
-      return;
+      break;  // epoll fd gone: shutdown race, bail out
     }
-    if ((pfds[1].revents & POLLIN) != 0 || stopping_.load()) return;
-    if ((pfds[0].revents & POLLIN) == 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kStopTag) {
+        // Leave the byte unread: wait() polls the same read end. Deleting
+        // the registration stops level-triggered refiring here.
+        (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, stop_pipe_[0], nullptr);
+        (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        stop_seen = true;
+      } else if (tag == kWakeTag) {
+        drain_pipe(wake_pipe_[0]);
+      } else if (tag == kListenTag) {
+        if (!stop_seen) handle_accept();
+      } else {
+        handle_connection_event(tag, events[i].events);
+      }
+    }
+    process_completions();
+
+    const Clock::time_point now = Clock::now();
+    if (now >= next_sweep) {
+      sweep_timeouts(now);
+      if (accept_paused_ && now >= accept_resume_at_ && !stop_seen) {
+        accept_paused_ = false;
+        (void)update_epoll(listen_fd_, kListenTag, EPOLLIN);
+      }
+      next_sweep = now + std::chrono::milliseconds(sweep_ms);
+    }
+    if (stop_seen && in_flight_ == 0) break;
+  }
+
+  // Drain: every dispatched job has been answered (in_flight_ == 0), so
+  // remaining connections are idle or mid-read; close them all.
+  for (auto& [id, conn] : conns_) {
+    ::close(conn->fd);
+  }
+  conns_.clear();
+  open_connections_.store(0);
+}
+
+void HttpServer::handle_accept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        handle_fd_exhaustion();
+        return;
+      }
+      return;  // transient (ECONNABORTED etc.): re-polled next wakeup
+    }
     ++connections_accepted_;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      pending_.push_back(conn);
+    if (config_.max_connections > 0 && conns_.size() >= config_.max_connections) {
+      shed_connection(fd);
+      continue;
     }
-    cv_.notify_one();
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(config_.limits);
+    conn->fd = fd;
+    conn->id = id;
+    conn->last_activity = Clock::now();
+    if (!update_epoll(fd, id, EPOLLIN)) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    open_connections_.store(conns_.size());
   }
 }
+
+/// The process is out of fds: accept() fails instantly, so a level-
+/// triggered listen socket would spin the loop hot. Close the reserve fd
+/// to accept exactly one peer and tell it 503 (instead of leaving it in
+/// the backlog), then reopen the reserve. If the fd space is still
+/// exhausted, pause accepting for a short backoff.
+void HttpServer::handle_fd_exhaustion() {
+  bool recovered = false;
+  if (reserve_fd_ >= 0) {
+    close_fd(reserve_fd_);
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd >= 0) shed_connection(fd);
+    reserve_fd_ = ::open("/dev/null", O_RDONLY);
+    recovered = fd >= 0 && reserve_fd_ >= 0;
+  }
+  if (!recovered) {
+    pause_accepting(Clock::now() + std::chrono::milliseconds(kAcceptBackoffMs));
+  }
+}
+
+void HttpServer::pause_accepting(Clock::time_point until) {
+  if (!accept_paused_) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    accept_paused_ = true;
+  }
+  accept_resume_at_ = until;
+}
+
+/// Load shed at accept time: a one-shot 503 with Connection: close. The
+/// fd is still blocking (accept does not inherit O_NONBLOCK) but the
+/// response is far below any socket buffer, so the send cannot stall.
+void HttpServer::shed_connection(int fd) {
+  ++connections_shed_;
+  HttpResponse overloaded;
+  overloaded.status = 503;
+  overloaded.body = json_error("server at connection capacity");
+  overloaded.close = true;
+  const std::string wire = serialize(overloaded, /*keep_alive=*/false);
+  (void)!::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+  ::close(fd);
+}
+
+void HttpServer::handle_connection_event(std::uint64_t id, std::uint32_t events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;  // closed earlier this batch
+  Connection& conn = *it->second;
+
+  if (conn.state == Connection::State::kDispatched) {
+    // Events are masked off while a worker owns the request, but
+    // EPOLLERR/EPOLLHUP are always reported: the peer is fully gone, so
+    // drop the connection now (the pending completion is discarded when
+    // it finds no connection under this id).
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) close_connection(id);
+    return;
+  }
+  if (conn.state == Connection::State::kWriting) {
+    if ((events & EPOLLERR) != 0) {
+      close_connection(id);
+      return;
+    }
+    switch (flush_writes(conn)) {
+      case Flush::kDone:
+        finish_write(conn);
+        return;
+      case Flush::kBlocked:
+        return;
+      case Flush::kError:
+        close_connection(id);
+        return;
+    }
+    return;
+  }
+  // kReading: feed the parser from the socket.
+  handle_readable(conn);
+}
+
+void HttpServer::handle_readable(Connection& conn) {
+  char buf[16384];
+  while (!conn.parser.complete() && !conn.parser.failed()) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n == 0) {
+      close_connection(conn.id);  // peer closed
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      close_connection(conn.id);
+      return;
+    }
+    conn.last_activity = Clock::now();
+    conn.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+
+  if (conn.parser.failed()) {
+    ++parse_errors_;
+    HttpResponse error;
+    error.status = conn.parser.error_status();
+    error.body = json_error(conn.parser.error_message());
+    record_response(error.status, 0);
+    if (access_logger_) {
+      access_logger_("(malformed) " + std::to_string(error.status));
+    }
+    begin_write(conn, serialize(error, /*keep_alive=*/false), /*close_after=*/true);
+    return;
+  }
+  dispatch(conn);
+}
+
+/// Hands the fully-parsed request to the worker pool and masks the fd's
+/// events: nothing more is read from this connection until the response
+/// has been written (strict serial per connection, as HTTP requires).
+void HttpServer::dispatch(Connection& conn) {
+  conn.state = Connection::State::kDispatched;
+  (void)update_epoll(conn.fd, conn.id, 0);
+  ++in_flight_;
+  Job job;
+  job.conn_id = conn.id;
+  job.request = conn.parser.take_request();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void HttpServer::begin_write(Connection& conn, std::string wire, bool close_after) {
+  conn.write_buf = std::move(wire);
+  conn.write_off = 0;
+  conn.close_after_write = close_after;
+  conn.state = Connection::State::kWriting;
+  if (fault::triggered("net.send")) {
+    close_connection(conn.id);
+    return;
+  }
+  switch (flush_writes(conn)) {
+    case Flush::kDone:
+      finish_write(conn);
+      return;
+    case Flush::kBlocked:
+      (void)update_epoll(conn.fd, conn.id, EPOLLOUT);
+      return;
+    case Flush::kError:
+      close_connection(conn.id);
+      return;
+  }
+}
+
+HttpServer::Flush HttpServer::flush_writes(Connection& conn) {
+  while (conn.write_off < conn.write_buf.size()) {
+    const ssize_t n = ::send(conn.fd, conn.write_buf.data() + conn.write_off,
+                             conn.write_buf.size() - conn.write_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Flush::kBlocked;
+      return Flush::kError;
+    }
+    conn.write_off += static_cast<std::size_t>(n);
+    conn.last_activity = Clock::now();
+  }
+  return Flush::kDone;
+}
+
+/// The response is fully on the wire: either close, or return to the
+/// reading state. A pipelined request may already be buffered in the
+/// parser, in which case it dispatches immediately.
+void HttpServer::finish_write(Connection& conn) {
+  if (conn.close_after_write) {
+    close_connection(conn.id);
+    return;
+  }
+  conn.write_buf.clear();
+  conn.write_off = 0;
+  conn.state = Connection::State::kReading;
+  conn.last_activity = Clock::now();
+  conn.parser.reset();
+  if (conn.parser.complete()) {
+    dispatch(conn);
+    return;
+  }
+  if (conn.parser.failed()) {
+    ++parse_errors_;
+    HttpResponse error;
+    error.status = conn.parser.error_status();
+    error.body = json_error(conn.parser.error_message());
+    record_response(error.status, 0);
+    begin_write(conn, serialize(error, /*keep_alive=*/false), /*close_after=*/true);
+    return;
+  }
+  (void)update_epoll(conn.fd, conn.id, EPOLLIN);
+}
+
+void HttpServer::process_completions() {
+  std::deque<Done> batch;
+  {
+    const std::lock_guard<std::mutex> lock(done_mutex_);
+    batch.swap(done_);
+  }
+  for (Done& done : batch) {
+    --in_flight_;
+    const auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) continue;  // connection died while dispatched
+    begin_write(*it->second, std::move(done.wire), !done.keep);
+  }
+}
+
+void HttpServer::sweep_timeouts(Clock::time_point now) {
+  if (config_.read_timeout_ms <= 0) return;
+  const auto timeout = std::chrono::milliseconds(config_.read_timeout_ms);
+  // Collect first: timing out a connection mutates conns_.
+  std::vector<Connection*> stale;
+  for (auto& [id, conn] : conns_) {
+    if (conn->state != Connection::State::kDispatched &&
+        now - conn->last_activity > timeout) {
+      stale.push_back(conn.get());
+    }
+  }
+  for (Connection* conn : stale) {
+    ++read_timeouts_;
+    if (conn->state == Connection::State::kReading && !conn->parser.idle()) {
+      // A half-received request timed out; tell the peer before closing.
+      HttpResponse timeout_response;
+      timeout_response.status = 408;
+      timeout_response.body = json_error("request read timed out");
+      timeout_response.close = true;
+      begin_write(*conn, serialize(timeout_response, /*keep_alive=*/false),
+                  /*close_after=*/true);
+    } else {
+      // Idle keep-alive connections (and stuck writers) are reaped
+      // silently.
+      close_connection(conn->id);
+    }
+  }
+}
+
+void HttpServer::close_connection(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::close(it->second->fd);  // closing also removes the fd from epoll
+  conns_.erase(it);
+  open_connections_.store(conns_.size());
+}
+
+// ---------------------------------------------------------------- workers
 
 void HttpServer::worker_loop() {
   for (;;) {
-    int fd = -1;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_.load() || !pending_.empty(); });
-      if (pending_.empty()) return;  // stopping, queue drained
-      fd = pending_.front();
-      pending_.pop_front();
-    }
-    serve_connection(fd);
-    ::close(fd);
-  }
-}
-
-int HttpServer::wait_readable(int fd, int timeout_ms) const {
-  for (;;) {
-    pollfd pfds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    const int r = ::poll(pfds, 2, timeout_ms);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    if ((pfds[1].revents & POLLIN) != 0) return -1;  // shutdown requested
-    if (r == 0) return 0;                            // timeout
-    return 1;
-  }
-}
-
-bool HttpServer::send_all(int fd, std::string_view data) const {
-  if (fault::triggered("net.send")) return false;
-  while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
-}
-
-void HttpServer::record_response(int status, std::uint64_t latency_us) {
-  ++requests_handled_;
-  latency_us_total_ += latency_us;
-  if (status >= 500) {
-    ++responses_5xx_;
-  } else if (status >= 400) {
-    ++responses_4xx_;
-  } else {
-    ++responses_2xx_;
-  }
-}
-
-void HttpServer::serve_connection(int fd) {
-  RequestParser parser(config_.limits);
-  char buf[8192];
-  bool mid_request = false;
-  for (;;) {
-    while (!parser.complete() && !parser.failed()) {
-      const int readable = wait_readable(fd, config_.read_timeout_ms);
-      if (readable < 0) return;  // shutdown or poll failure
-      if (readable == 0) {
-        ++read_timeouts_;
-        if (mid_request) {
-          // A half-received request timed out; tell the peer before closing.
-          HttpResponse timeout;
-          timeout.status = 408;
-          timeout.body = json_error("request read timed out");
-          timeout.close = true;
-          (void)send_all(fd, serialize(timeout, /*keep_alive=*/false));
-        }
-        return;  // idle keep-alive connections are reaped silently
-      }
-      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-      if (n == 0) return;  // peer closed
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return;
-      }
-      mid_request = true;
-      parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      cv_.wait(lock, [this] { return workers_quit_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // quitting, queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
     }
 
-    if (parser.failed()) {
-      ++parse_errors_;
-      HttpResponse error;
-      error.status = parser.error_status();
-      error.body = json_error(parser.error_message());
-      record_response(error.status, 0);
-      (void)send_all(fd, serialize(error, /*keep_alive=*/false));
-      if (access_logger_) {
-        access_logger_("(malformed) " + std::to_string(error.status));
-      }
-      return;
-    }
-
-    const HttpRequest& request = parser.request();
     const auto t0 = std::chrono::steady_clock::now();
     HttpResponse response;
     try {
-      response = handler_(request);
+      response = handler_(job.request);
     } catch (const std::exception& e) {
       response = HttpResponse{};
       response.status = 500;
@@ -280,21 +591,35 @@ void HttpServer::serve_connection(int fd) {
             std::chrono::steady_clock::now() - t0)
             .count());
     const bool keep =
-        request.keep_alive() && !response.close && !stopping_.load();
-    const std::string wire = serialize(response, keep);
-    // Record before sending so stats are visible to any observer who has
-    // already received the response.
+        job.request.keep_alive() && !response.close && !stopping_.load();
+    std::string wire = serialize(response, keep);
+    // Record before the response can reach the peer so stats are visible
+    // to any observer who has already received it.
     record_response(response.status, latency_us);
-    const bool sent = send_all(fd, wire);
     if (access_logger_) {
-      access_logger_(request.method + " " + request.target + " " +
+      access_logger_(job.request.method + " " + job.request.target + " " +
                      std::to_string(response.status) + " " +
                      std::to_string(wire.size()) + " " +
                      std::to_string(latency_us) + "us");
     }
-    if (!sent || !keep) return;
-    mid_request = false;
-    parser.reset();
+    {
+      const std::lock_guard<std::mutex> lock(done_mutex_);
+      done_.push_back(Done{job.conn_id, std::move(wire), keep});
+    }
+    const char byte = 'w';
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void HttpServer::record_response(int status, std::uint64_t latency_us) {
+  ++requests_handled_;
+  latency_us_total_ += latency_us;
+  if (status >= 500) {
+    ++responses_5xx_;
+  } else if (status >= 400) {
+    ++responses_4xx_;
+  } else {
+    ++responses_2xx_;
   }
 }
 

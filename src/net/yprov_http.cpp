@@ -1,8 +1,68 @@
 #include "provml/net/yprov_http.hpp"
 
+#include "provml/common/strings.hpp"
+#include "provml/compress/container.hpp"
 #include "provml/json/write.hpp"
+#include "provml/net/client.hpp"
 
 namespace provml::net {
+namespace {
+
+/// The quoted entity tag for a graph version: `"42"`.
+std::string etag_for(std::uint64_t version) {
+  std::string tag;
+  tag.reserve(24);
+  tag.push_back('"');
+  tag += std::to_string(version);
+  tag.push_back('"');
+  return tag;
+}
+
+/// True when an If-None-Match header names `version` (or is `*`).
+/// Accepts a comma-separated list and weak tags (`W/"v"`): the weakness
+/// distinction is moot here — our tags are exact byte-level versions.
+bool if_none_match_hits(std::string_view header, std::uint64_t version) {
+  const std::string want = std::to_string(version);
+  std::size_t pos = 0;
+  while (pos <= header.size()) {
+    const std::size_t comma = header.find(',', pos);
+    std::string_view tag = strings::trim(
+        header.substr(pos, comma == std::string_view::npos ? header.size() - pos
+                                                           : comma - pos));
+    if (tag == "*") return true;
+    if (strings::starts_with(tag, "W/")) tag.remove_prefix(2);
+    if (tag.size() >= 2 && tag.front() == '"' && tag.back() == '"') {
+      tag = tag.substr(1, tag.size() - 2);
+    }
+    if (tag == want) return true;
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+/// True when the Accept-Encoding list contains the pmlc token (with or
+/// without a quality value; `q=0` rejections are rare enough to ignore —
+/// a peer that sends them simply gets the identity body).
+bool accepts_pmlc(const std::string* header) {
+  if (header == nullptr) return false;
+  std::size_t pos = 0;
+  const std::string_view list = *header;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    std::string_view item = strings::trim(
+        list.substr(pos, comma == std::string_view::npos ? list.size() - pos
+                                                         : comma - pos));
+    const std::size_t semi = item.find(';');
+    if (semi != std::string_view::npos) item = strings::trim(item.substr(0, semi));
+    if (iequals(item, kContentEncodingPmlc)) return true;
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
 
 YProvHttpApp::Counters YProvHttpApp::counters() const {
   Counters c;
@@ -17,23 +77,25 @@ YProvHttpApp::Counters YProvHttpApp::counters() const {
   c.writes = writes_.load();
   c.read_latency_us = read_latency_us_.load();
   c.write_latency_us = write_latency_us_.load();
+  c.responses_304 = responses_304_.load();
+  c.responses_encoded = responses_encoded_.load();
+  c.bytes_saved_encoding = bytes_saved_encoding_.load();
   return c;
 }
 
-bool YProvHttpApp::cache_lookup(const CacheKey& key, HttpResponse& out) {
+bool YProvHttpApp::cache_lookup(const CacheKey& key, CacheEntry& out) {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = cache_map_.find(key);
   if (it == cache_map_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  out.status = it->second->status;
-  out.body = it->second->body;
+  out = *it->second;
   return true;
 }
 
-void YProvHttpApp::cache_store(CacheKey key, const HttpResponse& response) {
+void YProvHttpApp::cache_store(CacheKey key, const CacheEntry& entry) {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   if (cache_map_.count(key) != 0) return;  // another worker raced us to it
-  lru_.push_front(CacheEntry{key, response.status, response.body});
+  lru_.push_front(entry);
   cache_map_.emplace(std::move(key), lru_.begin());
   while (lru_.size() > options_.cache_capacity) {
     cache_map_.erase(lru_.back().key);
@@ -63,12 +125,25 @@ HttpResponse YProvHttpApp::health_response(const HttpRequest& request) {
   body.set("responses_5xx", c.status_5xx);
   body.set("cache_hits", c.cache_hits);
   body.set("cache_misses", c.cache_misses);
+  // Client-cooperative caching: conditional GETs answered bodylessly and
+  // bytes the content encoding kept off the wire.
+  body.set("responses_304", c.responses_304);
+  body.set("responses_encoded", c.responses_encoded);
+  body.set("bytes_saved_encoding", c.bytes_saved_encoding);
   const auto mean_ms = [](std::uint64_t total_us, std::uint64_t n) {
     return n == 0 ? 0.0 : static_cast<double>(total_us) / (1000.0 * static_cast<double>(n));
   };
   body.set("mean_latency_ms", mean_ms(c.latency_us_total, c.requests));
   body.set("mean_read_latency_ms", mean_ms(c.read_latency_us, c.reads));
   body.set("mean_write_latency_ms", mean_ms(c.write_latency_us, c.writes));
+  // Event loop: connection gauge and loop activity, when a server is
+  // attached (absent under the in-process facade).
+  if (server_stats_) {
+    const ServerStats s = server_stats_();
+    body.set("open_connections", s.open_connections);
+    body.set("epoll_wakeups", s.epoll_wakeups);
+    body.set("connections_shed", s.connections_shed);
+  }
   // Sharding: per-stripe balance and write contention, in shard order.
   body.set("shard_count", service_.shard_count());
   {
@@ -114,6 +189,7 @@ HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
 
   const bool is_write = request.method == "PUT" || request.method == "DELETE";
   bool cache_hit = false;
+  bool not_modified = false;
 
   if (path == "/api/v0/health") {
     response = health_response(request);
@@ -127,20 +203,45 @@ HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
     const bool is_query =
         request.method == "POST" &&
         (path == "/api/v0/query" || path == "/api/v0/explain");
-    const bool cacheable =
-        (request.method == "GET" || is_query) && options_.cache_capacity > 0;
+    const bool read_route = request.method == "GET" || is_query;
+    const std::uint64_t version = read_route ? service_.graph_version() : 0;
+
+    // Conditional GET: the ETag *is* the graph version, so a matching
+    // If-None-Match at the current version proves the representation the
+    // client holds is still byte-exact — answer 304 without routing,
+    // locking, or even a cache probe. A stale tag (version moved on)
+    // falls through to a full response carrying the fresh tag.
+    const std::string* if_none_match =
+        read_route ? request.header("If-None-Match") : nullptr;
+    if (if_none_match != nullptr && if_none_match_hits(*if_none_match, version)) {
+      response.status = 304;
+      response.content_type.clear();  // 304 carries no representation
+      response.headers.push_back({"ETag", etag_for(version)});
+      ++responses_304_;
+      not_modified = true;
+    }
+
+    const bool cacheable = read_route && options_.cache_capacity > 0;
+    // Encoding is offered only for GET bodies (query POST results are
+    // usually small projections) and costs a distinct cache entry.
+    const bool wants_encoding = options_.compress_min_bytes > 0 &&
+                                request.method == "GET" &&
+                                accepts_pmlc(request.header("Accept-Encoding"));
     CacheKey key;
-    if (cacheable) {
-      key = CacheKey{service_.graph_version(), path,
-                     is_query ? request.body : std::string()};
-      cache_hit = cache_lookup(key, response);
+    CacheEntry entry;
+    if (!not_modified && cacheable) {
+      key = CacheKey{version, path, is_query ? request.body : std::string(),
+                     wants_encoding};
+      cache_hit = cache_lookup(key, entry);
       if (cache_hit) {
         ++cache_hits_;
+        response.status = entry.status;
+        response.body = entry.body;
       } else {
         ++cache_misses_;
       }
     }
-    if (!cache_hit) {
+    if (!not_modified && !cache_hit) {
       graphstore::Request inner;
       inner.method = request.method;
       inner.path = std::move(path);
@@ -151,7 +252,36 @@ HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
       if (routed.status == 405 && !routed.allow.empty()) {
         response.headers.push_back({"Allow", routed.allow});
       }
-      if (cacheable && response.status == 200) cache_store(std::move(key), response);
+      entry.status = response.status;
+      entry.raw_size = response.body.size();
+      if (wants_encoding && response.status == 200 &&
+          response.body.size() >= options_.compress_min_bytes) {
+        const auto packed = compress::pack(
+            compress::ByteView(
+                reinterpret_cast<const std::uint8_t*>(response.body.data()),
+                response.body.size()),
+            "lzss");
+        // Only swap in the encoded form when it actually saves bytes;
+        // otherwise the identity body goes out (still a valid answer to
+        // Accept-Encoding: pmlc).
+        if (packed.ok() && packed.value().size() < response.body.size()) {
+          response.body.assign(packed.value().begin(), packed.value().end());
+          entry.content_encoding = kContentEncodingPmlc;
+        }
+      }
+      entry.body = response.body;
+      if (cacheable && response.status == 200) cache_store(std::move(key), entry);
+    }
+    if (!not_modified && response.status == 200 && read_route) {
+      // Every cacheable 200 carries the tag that minted it; the cache key
+      // pins `version`, so a hit's tag is identical by construction.
+      response.headers.push_back({"ETag", etag_for(version)});
+      if (!entry.content_encoding.empty()) {
+        response.headers.push_back({"Content-Encoding", entry.content_encoding});
+        response.headers.push_back({"Vary", "Accept-Encoding"});
+        ++responses_encoded_;
+        bytes_saved_encoding_ += entry.raw_size - response.body.size();
+      }
     }
   }
 

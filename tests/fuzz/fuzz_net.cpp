@@ -8,6 +8,10 @@
 //   3. A mutated wire image never crashes the parser; it lands in a
 //      definite state (complete, error, or waiting for more bytes), and a
 //      truncated image never falsely completes with a corrupted body.
+//   4. Fed one byte at a time (the epoll loop's worst-case recv pattern),
+//      the parser completes at exactly the byte that finishes the frame —
+//      never earlier (no speculation) and never later (no resume-state
+//      loss across feed boundaries).
 #include <string>
 
 #include "provml/net/parser.hpp"
@@ -63,6 +67,23 @@ void iteration(testkit::Rng& rng) {
     parser.reset();
     FUZZ_CHECK(parser.complete(), "second pipelined request did not complete");
     check_matches(parser.request(), second);
+  }
+
+  // Completion boundary: one byte per feed, completion lands on exactly
+  // the last byte of the frame. This is the incremental-resume property
+  // the event loop depends on: a connection is dispatched when and only
+  // when its frame is whole.
+  {
+    net::RequestParser parser;
+    std::size_t completed_at = 0;
+    for (std::size_t i = 0; i < wire.size() && completed_at == 0; ++i) {
+      parser.feed(wire.substr(i, 1));
+      if (parser.complete()) completed_at = i + 1;
+    }
+    FUZZ_CHECK(completed_at == wire.size(),
+               "byte-fed request completed at byte " + std::to_string(completed_at) +
+                   " of " + std::to_string(wire.size()));
+    check_matches(parser.request(), request);
   }
 
   // Adversarial half: corrupt framing must produce a definite verdict.

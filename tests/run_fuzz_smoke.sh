@@ -8,7 +8,10 @@
 # to finish well inside a minute. On failure, the driver output contains a
 # one-line `reproduce: ...` command to replay the exact failing iteration.
 # The set includes fuzz_query, the differential oracle for the query
-# engine (random graph + random query; planner must equal brute force).
+# engine (random graph + random query; planner must equal brute force),
+# and fuzz_net, which replays the epoll loop's worst-case recv pattern
+# (byte-at-a-time split reads) against the incremental request parser and
+# asserts frame completion lands on the exact boundary byte.
 set -eu
 
 BUILD_DIR="${1:-build}"

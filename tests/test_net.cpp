@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -506,6 +507,298 @@ TEST(RequestParserFuzz, MutatedWireImagesLandInADefiniteState) {
       EXPECT_LT(parser.error_status(), 600);
     }
   }
+}
+
+// ------------------------------------------------ incremental parser units
+
+/// Byte-at-a-time delivery is the event loop's worst case: every recv()
+/// may carry a single octet. The parser must resume its header scan from
+/// where it stopped (not rescan from offset 0) and end in exactly the
+/// same state a one-shot feed produces.
+TEST(RequestParser, ResumesAcrossByteSizedFeeds) {
+  std::string wire = "PUT /api/v0/documents/big HTTP/1.1\r\n";
+  for (int i = 0; i < 64; ++i) {
+    wire += "X-Pad-" + std::to_string(i) + ": " + std::string(48, 'p') + "\r\n";
+  }
+  wire += "Content-Length: 6\r\n\r\nabcdef";
+
+  RequestParser one_shot;
+  one_shot.feed(wire);
+  ASSERT_TRUE(one_shot.complete());
+
+  RequestParser trickle;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_FALSE(trickle.failed()) << "failed at byte " << i;
+    EXPECT_EQ(trickle.complete(), false) << "complete before byte " << i;
+    trickle.feed(std::string_view(wire).substr(i, 1));
+  }
+  ASSERT_TRUE(trickle.complete());
+  EXPECT_EQ(trickle.request().target, one_shot.request().target);
+  EXPECT_EQ(trickle.request().body, "abcdef");
+  EXPECT_EQ(trickle.request().headers.size(), one_shot.request().headers.size());
+}
+
+/// The terminator straddling a feed boundary is the classic resumption
+/// bug: the scan must back up far enough to see a split "\r\n\r\n".
+TEST(RequestParser, HeaderTerminatorSplitAcrossFeedsIsFound) {
+  const std::string wire = "GET /x HTTP/1.1\r\nHost: a\r\n\r\n";
+  for (std::size_t split = 1; split < wire.size(); ++split) {
+    RequestParser parser;
+    parser.feed(std::string_view(wire).substr(0, split));
+    parser.feed(std::string_view(wire).substr(split));
+    ASSERT_TRUE(parser.complete()) << "split at " << split;
+    EXPECT_EQ(parser.request().target, "/x");
+  }
+}
+
+TEST(RequestParser, TakeRequestMovesOutAndIdleTracksBufferState) {
+  RequestParser parser;
+  EXPECT_TRUE(parser.idle());  // fresh parser: nothing buffered
+  parser.feed("GET /a HTTP/1.1\r\n");
+  EXPECT_FALSE(parser.idle());  // mid-request: a timeout would be a 408
+  parser.feed("\r\n");
+  ASSERT_TRUE(parser.complete());
+  const HttpRequest taken = parser.take_request();
+  EXPECT_EQ(taken.target, "/a");
+  parser.reset();
+  EXPECT_TRUE(parser.idle());  // drained keep-alive connection
+}
+
+// ---------------------------------------------------- event loop at scale
+
+/// The reason the server is an epoll loop at all: hundreds of idle
+/// keep-alive connections must cost a file descriptor each — not a
+/// thread each — while active clients keep getting answers. With the old
+/// thread-per-connection design, 512 idle peers on 4 worker threads
+/// would starve every active client forever.
+TEST(HttpServer, Holds512IdleKeepAliveConnectionsWhileServingActiveClients) {
+  YProvHttpApp app;
+  ServerConfig config;
+  config.threads = 4;
+  config.listen_backlog = 1024;
+  config.read_timeout_ms = 30000;  // idle peers must outlive the test
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+
+  constexpr std::size_t kIdle = 512;
+  std::vector<int> idle_fds;
+  idle_fds.reserve(kIdle);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  for (std::size_t i = 0; i < kIdle; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0)
+        << "connect " << i << ": " << std::strerror(errno);
+    idle_fds.push_back(fd);
+  }
+
+  // The event thread accepts asynchronously; wait for the gauge to catch
+  // up before asserting anything about it.
+  for (int spin = 0; spin < 500 && server.stats().open_connections < kIdle; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().open_connections, kIdle);
+
+  // Active clients must still get every answer, promptly, from 4 workers.
+  constexpr int kActiveClients = 2;
+  constexpr int kRequestsEach = 25;
+  std::vector<std::thread> clients;
+  std::vector<int> ok_counts(kActiveClients, 0);
+  for (int c = 0; c < kActiveClients; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client("127.0.0.1", server.port());
+      for (int i = 0; i < kRequestsEach; ++i) {
+        auto r = client.get("/api/v0/health");
+        if (r.ok() && r.value().status == 200) ++ok_counts[c];
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kActiveClients; ++c) {
+    EXPECT_EQ(ok_counts[c], kRequestsEach) << "active client " << c;
+  }
+
+  // The idle herd is still connected (nothing was reaped or starved out).
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.open_connections, kIdle);
+  EXPECT_GE(stats.connections_accepted, kIdle + kActiveClients);
+  EXPECT_EQ(stats.requests_handled,
+            static_cast<std::uint64_t>(kActiveClients * kRequestsEach));
+  EXPECT_GT(stats.epoll_wakeups, 0u);
+
+  for (const int fd : idle_fds) ::close(fd);
+  server.stop();
+}
+
+TEST(HttpServer, MaxConnectionsShedsExcessWith503AndClose) {
+  YProvHttpApp app;
+  ServerConfig config;
+  config.max_connections = 4;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+
+  // Fill the cap with idle keep-alive connections.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::vector<int> held;
+  for (int i = 0; i < 4; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+    held.push_back(fd);
+  }
+  for (int spin = 0; spin < 500 && server.stats().open_connections < 4; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(server.stats().open_connections, 4u);
+
+  // One over the cap: a real HTTP 503 with Connection: close, then EOF.
+  const std::string reply = raw_exchange(server.port(), "GET /api/v0/health HTTP/1.1\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.1 503"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Connection: close"), std::string::npos);
+  EXPECT_GE(server.stats().connections_shed, 1u);
+
+  // The well-behaved client sees the 503, honors the close, and its next
+  // attempt reconnects fresh (succeeding once capacity frees up).
+  ClientConfig no_retry;
+  no_retry.retries = 0;
+  HttpClient client("127.0.0.1", server.port(), no_retry);
+  auto shed = client.get("/api/v0/health");
+  ASSERT_TRUE(shed.ok()) << shed.error().to_string();
+  EXPECT_EQ(shed.value().status, 503);
+  EXPECT_TRUE(shed.value().close);
+
+  for (const int fd : held) ::close(fd);
+  for (int spin = 0; spin < 500 && server.stats().open_connections > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  auto ok = client.get("/api/v0/health");
+  ASSERT_TRUE(ok.ok()) << ok.error().to_string();
+  EXPECT_EQ(ok.value().status, 200);
+  server.stop();
+}
+
+// ------------------------------------------------- conditional GET (ETag)
+
+TEST(HttpServer, ConditionalGetAnswers304UntilTheGraphChanges) {
+  YProvHttpApp app;
+  ServerConfig config;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+  HttpClient client("127.0.0.1", server.port());
+
+  prov::Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  doc.add_entity("ex:model");
+  doc.add_activity("ex:train");
+  doc.was_generated_by("ex:model", "ex:train");
+  ASSERT_EQ(client.put("/api/v0/documents/a", prov::to_prov_json_string(doc))
+                .value()
+                .status,
+            201);
+
+  // First read: a full 200 carrying the version as its entity tag.
+  auto first = client.get("/api/v0/documents/a/stats");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().status, 200);
+  const std::string* etag = first.value().header("ETag");
+  ASSERT_NE(etag, nullptr);
+  EXPECT_EQ(etag->front(), '"');
+  EXPECT_EQ(etag->back(), '"');
+
+  // Revalidation at the same version: bodyless 304, handler never runs.
+  auto revalidated = client.get("/api/v0/documents/a/stats", {{"If-None-Match", *etag}});
+  ASSERT_TRUE(revalidated.ok());
+  EXPECT_EQ(revalidated.value().status, 304);
+  EXPECT_TRUE(revalidated.value().body.empty());
+  EXPECT_EQ(app.counters().responses_304, 1u);
+
+  // A weak or listed tag still matches (RFC 9110 §8.8.3.2 comparison).
+  auto weak = client.get("/api/v0/documents/a/stats",
+                         {{"If-None-Match", "\"0\", W/" + *etag}});
+  ASSERT_TRUE(weak.ok());
+  EXPECT_EQ(weak.value().status, 304);
+
+  // Any write moves the graph version: the held tag goes stale and the
+  // next conditional GET gets a full 200 with the fresh tag.
+  ASSERT_EQ(client.put("/api/v0/documents/b", prov::to_prov_json_string(doc))
+                .value()
+                .status,
+            201);
+  auto stale = client.get("/api/v0/documents/a/stats", {{"If-None-Match", *etag}});
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale.value().status, 200);
+  const std::string* fresh = stale.value().header("ETag");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(*fresh, *etag);
+  EXPECT_FALSE(stale.value().body.empty());
+  server.stop();
+}
+
+// -------------------------------------------------------- content encoding
+
+TEST(HttpServer, CompressedResponsesRoundTripTransparently) {
+  YProvHttpApp::Options options;
+  options.compress_min_bytes = 256;  // well under a real document body
+  YProvHttpApp app(options);
+  ServerConfig config;
+  HttpServer server(config, [&app](const HttpRequest& r) { return app.handle(r); });
+  ASSERT_TRUE(server.start().ok());
+
+  // A document big enough (and repetitive enough) to clear the threshold
+  // and actually shrink under the codec.
+  prov::Document doc;
+  doc.declare_namespace("ex", "http://example.org/");
+  for (int i = 0; i < 64; ++i) {
+    const std::string id = "ex:entity_" + std::to_string(i);
+    doc.add_entity(id);
+    doc.add_activity("ex:activity_" + std::to_string(i));
+    doc.was_generated_by(id, "ex:activity_" + std::to_string(i));
+  }
+  const std::string body = prov::to_prov_json_string(doc);
+  ASSERT_GT(body.size(), options.compress_min_bytes);
+
+  // Plain client first: the identity representation is the reference.
+  ClientConfig plain_config;
+  plain_config.accept_encoding = false;
+  HttpClient plain("127.0.0.1", server.port(), plain_config);
+  ASSERT_EQ(plain.put("/api/v0/documents/big", body).value().status, 201);
+  auto identity = plain.get("/api/v0/documents/big");
+  ASSERT_TRUE(identity.ok());
+  ASSERT_EQ(identity.value().status, 200);
+  EXPECT_EQ(identity.value().header("Content-Encoding"), nullptr);
+
+  // Encoding-capable client: smaller bytes on the wire, identical bytes
+  // after the transparent decode.
+  HttpClient encoding("127.0.0.1", server.port());
+  auto encoded = encoding.get("/api/v0/documents/big");
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_EQ(encoded.value().status, 200);
+  EXPECT_EQ(encoded.value().body, identity.value().body);
+
+  const auto counters = app.counters();
+  EXPECT_GE(counters.responses_encoded, 1u);
+  EXPECT_GT(counters.bytes_saved_encoding, 0u);
+
+  // On the wire it really is the pmlc container, declared as such.
+  const std::string raw = raw_exchange(
+      server.port(),
+      "GET /api/v0/documents/big HTTP/1.1\r\nAccept-Encoding: pmlc\r\n"
+      "Connection: close\r\n\r\n");
+  EXPECT_NE(raw.find("Content-Encoding: pmlc"), std::string::npos);
+  EXPECT_NE(raw.find("Vary: Accept-Encoding"), std::string::npos);
+  EXPECT_NE(raw.find("PMLC"), std::string::npos);  // container magic
+
+  // A repeat hit is served from the response cache, still encoded.
+  auto again = encoding.get("/api/v0/documents/big");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().body, identity.value().body);
+  EXPECT_GE(app.counters().cache_hits, 1u);
+  server.stop();
 }
 
 // --------------------------------------------------------- fault injection
