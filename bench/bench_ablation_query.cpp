@@ -161,6 +161,77 @@ void BM_TopKOrderByBrute(benchmark::State& state) {
 }
 BENCHMARK(BM_TopKOrderByBrute)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
 
+/// First-page latency: what the streaming cursor buys an interactive
+/// client that only wants the top of the result. The cursor walks the
+/// DFS just far enough to fill one page (O(page)); the reference
+/// evaluator materializes every binding row before applying LIMIT
+/// (O(result)). Identical rows either way — the gap is pure wasted work.
+void BM_FirstPageCursor(benchmark::State& state) {
+  const graphstore::PropertyGraph graph =
+      ingested(static_cast<int>(state.range(0)));
+  const auto query =
+      graphstore::parse_query("MATCH (e:Entity) RETURN e LIMIT 50").take();
+  for (auto _ : state) {
+    auto cursor = graphstore::QueryCursor::open(graph, query);
+    auto page = cursor.value().next(50);
+    benchmark::DoNotOptimize(page.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_FirstPageCursor)->Arg(10000)->Arg(50000)->Unit(benchmark::kMicrosecond);
+
+void BM_FirstPageMaterialized(benchmark::State& state) {
+  const graphstore::PropertyGraph graph =
+      ingested(static_cast<int>(state.range(0)));
+  const auto query =
+      graphstore::parse_query("MATCH (e:Entity) RETURN e LIMIT 50").take();
+  for (auto _ : state) {
+    auto table = graphstore::execute_query_brute_force(graph, query);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_FirstPageMaterialized)->Arg(10000)->Arg(50000)->Unit(benchmark::kMicrosecond);
+
+/// Full drain, 50 rows at a time: one cursor resumed page after page
+/// (each row's walk work is paid once — O(n) total) vs the LIMIT/SKIP
+/// re-execution idiom cursors replace, which restarts the walk and
+/// re-skips the prefix for every page — O(n · pages) total.
+void BM_DrainCursorPages(benchmark::State& state) {
+  const graphstore::PropertyGraph graph =
+      ingested(static_cast<int>(state.range(0)));
+  const auto query = graphstore::parse_query("MATCH (e:Entity) RETURN e").take();
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    auto cursor = graphstore::QueryCursor::open(graph, query);
+    rows = 0;
+    while (!cursor.value().done()) rows += cursor.value().next(50).size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_DrainCursorPages)->Arg(2000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_DrainSkipLimitReexec(benchmark::State& state) {
+  const graphstore::PropertyGraph graph =
+      ingested(static_cast<int>(state.range(0)));
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    rows = 0;
+    for (std::size_t page = 0;; ++page) {
+      const auto query = graphstore::parse_query(
+          "MATCH (e:Entity) RETURN e SKIP " + std::to_string(page * 50) +
+          " LIMIT 50").take();
+      const auto table = graphstore::execute_query(graph, query);
+      rows += table.value().rows.size();
+      if (table.value().rows.size() < 50) break;
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_DrainSkipLimitReexec)->Arg(2000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
 /// Cost of planning itself: explain_query walks the pattern twice (both
 /// orientations) over posting-list and edge-type statistics without
 /// touching the graph — it has to stay negligible next to execution.

@@ -316,8 +316,8 @@ void print_plan(const graphstore::QueryPlan& plan, std::ostream& out) {
       << "\n";
 }
 
-int cmd_query(const ParsedArgs& args, bool explain, std::ostream& out,
-              std::ostream& err) {
+int cmd_query(const ParsedArgs& args, bool explain, std::size_t page_size,
+              std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     return fail(err, "query takes a store dir and a MATCH query");
   }
@@ -327,6 +327,31 @@ int cmd_query(const ParsedArgs& args, bool explain, std::ostream& out,
     auto query = graphstore::parse_query(args.positional[1]);
     if (!query.ok()) return fail(err, query.error().to_string());
     print_plan(graphstore::explain_query(service.value().graph(), query.value()), out);
+    return 0;
+  }
+  if (page_size > 0) {
+    // Streamed: rows print as each page is pulled, so the first results
+    // appear after O(page) work even on huge matches.
+    auto cursor =
+        graphstore::QueryCursor::open(service.value().graph(), args.positional[1]);
+    if (!cursor.ok()) return fail(err, cursor.error().to_string());
+    const std::vector<graphstore::ResultSet::Column>& columns =
+        cursor.value().columns();
+    std::size_t total = 0;
+    while (!cursor.value().done()) {
+      for (const std::vector<json::Value>& row : cursor.value().next(page_size)) {
+        bool first = true;
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+          if (!first) out << "  ";
+          first = false;
+          out << columns[c].name << "="
+              << render_cell(service.value().graph(), columns[c], row[c]);
+        }
+        out << "\n";
+        ++total;
+      }
+    }
+    out << total << " row(s)\n";
     return 0;
   }
   auto table = graphstore::execute_query(service.value().graph(), args.positional[1]);
@@ -486,11 +511,44 @@ int cmd_ingest_remote(const std::string& url, const ParsedArgs& args, std::ostre
   return 0;
 }
 
+/// Prints one wire-format row object (cells keyed by column name) as
+/// `name=value` pairs on a line.
+void print_remote_row(const json::Value& row, std::ostream& out) {
+  if (!row.is_object()) return;
+  bool first = true;
+  for (const auto& [var, value] : row.as_object()) {
+    if (!first) out << "  ";
+    first = false;
+    out << var << "=" << (value.is_string() ? value.as_string() : json::write(value));
+  }
+  out << "\n";
+}
+
 int cmd_query_remote(const std::string& url, const std::string& query, bool explain,
-                     std::ostream& out, std::ostream& err) {
+                     std::size_t page_size, std::ostream& out, std::ostream& err) {
   auto parsed = net::parse_url(url);
   if (!parsed.ok()) return fail(err, parsed.error().to_string());
   net::HttpClient client(parsed.value().host, parsed.value().port);
+  if (page_size > 0 && !explain) {
+    // Cursor protocol: fetch and print page by page. A 410 here means a
+    // write invalidated the cursor mid-iteration; rerun the query.
+    net::QueryPager pager(client, parsed.value().base_path, query, page_size);
+    std::size_t total = 0;
+    while (!pager.done()) {
+      auto page = pager.next_page();
+      if (!page.ok()) return fail(err, page.error().to_string());
+      const json::Value* rows = page.value().find("rows");
+      if (rows == nullptr || !rows->is_array()) {
+        return fail(err, "malformed query page");
+      }
+      for (const json::Value& row : rows->as_array()) {
+        print_remote_row(row, out);
+        ++total;
+      }
+    }
+    out << total << " row(s)\n";
+    return 0;
+  }
   const char* route = explain ? "/api/v0/explain" : "/api/v0/query";
   auto response = client.post(parsed.value().base_path + route, query);
   if (!response.ok()) return fail(err, response.error().to_string());
@@ -513,14 +571,7 @@ int cmd_query_remote(const std::string& url, const std::string& query, bool expl
   const json::Value* rows = body.value().find("rows");
   if (rows == nullptr || !rows->is_array()) return fail(err, "malformed query response");
   for (const json::Value& row : rows->as_array()) {
-    if (!row.is_object()) continue;
-    bool first = true;
-    for (const auto& [var, value] : row.as_object()) {
-      if (!first) out << "  ";
-      first = false;
-      out << var << "=" << (value.is_string() ? value.as_string() : json::write(value));
-    }
-    out << "\n";
+    print_remote_row(row, out);
   }
   out << rows->as_array().size() << " row(s)\n";
   return 0;
@@ -699,13 +750,16 @@ std::string usage() {
          "  ingest --url <svc> <name=file>...   upload documents over HTTP\n"
          "  list <store>                        list stored documents\n"
          "  get <store> <name> [--element <id>] query the store\n"
-         "  query <store> '<MATCH ...>' [--explain]\n"
+         "  query <store> '<MATCH ...>' [--explain] [--page-size N]\n"
          "                                      pattern query over the graph\n"
          "                                      (aggregates, *1..n paths,\n"
          "                                      ORDER BY/SKIP/LIMIT);\n"
-         "                                      --explain prints the plan\n"
-         "  query --url <svc> '<MATCH ...>' [--explain]\n"
-         "                                      the same over HTTP\n"
+         "                                      --explain prints the plan;\n"
+         "                                      --page-size streams rows N at\n"
+         "                                      a time through a cursor\n"
+         "  query --url <svc> '<MATCH ...>' [--explain] [--page-size N]\n"
+         "                                      the same over HTTP (pages\n"
+         "                                      via the cursor protocol)\n"
          "  serve [--port N] [--threads K] [--shards N] [--data-dir DIR] [--cache N]\n"
          "        [--max-connections N] [--fsync every_write|interval|none]\n"
          "        [--wal-segment-bytes N]\n"
@@ -745,14 +799,21 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
       }
     }
     const ParsedArgs qargs = parse_args(rest, 0);
+    std::size_t page_size = 0;  // 0 = one-shot (no paging)
+    const auto page_opt = qargs.options.find("page-size");
+    if (page_opt != qargs.options.end()) {
+      const auto value = strings::to_int64(page_opt->second);
+      if (!value || *value < 1) return fail(err, "invalid --page-size (>= 1)");
+      page_size = static_cast<std::size_t>(*value);
+    }
     if (qargs.options.count("url") != 0) {
       if (qargs.positional.size() != 1) {
         return fail(err, "query --url takes a MATCH query (no store dir)");
       }
       return cmd_query_remote(qargs.options.at("url"), qargs.positional[0], explain,
-                              out, err);
+                              page_size, out, err);
     }
-    return cmd_query(qargs, explain, out, err);
+    return cmd_query(qargs, explain, page_size, out, err);
   }
   if (command == "serve") return cmd_serve(parsed, out, err);
   if (command == "fit") return cmd_fit(parsed, out, err);

@@ -34,6 +34,7 @@
 #include <cstddef>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -186,6 +187,58 @@ struct QueryPlan {
 /// the property/fuzz suites assert the two return identical tables.
 [[nodiscard]] Expected<ResultSet> execute_query_brute_force(const PropertyGraph& graph,
                                                             const Query& query);
+
+/// Pull-based streaming executor: the cursor form of execute_query().
+/// Pages pulled with next() concatenate to exactly the table
+/// execute_query() returns — same columns, same rows, same order — but
+/// the work is done lazily:
+///
+///   · Without ORDER BY or aggregates, the match runs as an incremental
+///     depth-first walk in *forward* orientation with sorted-unique
+///     children at every step, which emits complete paths in ascending
+///     lexicographic order — the batch engine's canonical order — so
+///     rows stream out one binding at a time and a page costs O(page)
+///     walk work, not O(result). Projection pushdown: only the RETURNed
+///     bindings are ever copied out of a path, and the row-dedup set is
+///     skipped entirely when the projection is injective.
+///   · With ORDER BY, rows materialize through the top-k partial sort
+///     (bounded by SKIP+LIMIT) once, then release incrementally.
+///   · Aggregates fold fully on open and stream their grouped rows out.
+///
+/// A cursor holds a pointer into the graph and no locks: callers that
+/// share the graph must pin it (the service pins cursors to a
+/// graph_version and invalidates on write).
+class QueryCursor {
+ public:
+  QueryCursor(QueryCursor&&) noexcept;
+  QueryCursor& operator=(QueryCursor&&) noexcept;
+  ~QueryCursor();
+
+  [[nodiscard]] static Expected<QueryCursor> open(const PropertyGraph& graph,
+                                                  const Query& query);
+  /// Convenience: parse + open.
+  [[nodiscard]] static Expected<QueryCursor> open(const PropertyGraph& graph,
+                                                  const std::string& text);
+
+  /// The result schema, identical to execute_query()'s ResultSet columns.
+  [[nodiscard]] const std::vector<ResultSet::Column>& columns() const;
+
+  /// Up to max_rows further rows, in canonical result order. An empty
+  /// return means the result is exhausted (done() turns true).
+  [[nodiscard]] std::vector<std::vector<json::Value>> next(std::size_t max_rows);
+
+  /// True once every result row has been handed out.
+  [[nodiscard]] bool done() const;
+
+  /// True when rows are produced lazily per binding (no ORDER BY, no
+  /// aggregates); false when the cursor pages over a materialized table.
+  [[nodiscard]] bool streaming() const;
+
+ private:
+  struct Impl;
+  explicit QueryCursor(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Binding-level execution for aggregate-free queries (errors when the
 /// RETURN list aggregates): rows of returned variable → NodeId, honoring

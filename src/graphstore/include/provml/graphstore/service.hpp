@@ -41,9 +41,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -52,6 +54,7 @@
 
 #include "provml/graphstore/graph.hpp"
 #include "provml/graphstore/ingest.hpp"
+#include "provml/graphstore/query.hpp"
 #include "provml/prov/model.hpp"
 #include "provml/wal/wal.hpp"
 
@@ -64,10 +67,19 @@ struct Request {
 };
 
 struct Response {
-  int status = 200;    ///< HTTP-style code: 200, 201, 400, 404, 405, 500
+  int status = 200;    ///< HTTP-style code: 200, 201, 400, 404, 405, 410, 500
   std::string body;    ///< JSON payload or error message
   std::string allow;   ///< permitted methods; set iff status == 405, so HTTP
                        ///< front-ends can emit a real Allow: header
+  bool no_store = false;  ///< response is cursor-stateful: HTTP front-ends
+                          ///< must not cache it or serve it via ETag
+};
+
+/// Open-cursor observability for /api/v0/health.
+struct CursorStats {
+  std::size_t open = 0;      ///< cursors currently resumable
+  std::uint64_t expired = 0; ///< cumulative TTL reaps + LRU evictions +
+                             ///< version invalidations
 };
 
 /// Per-shard observability snapshot for /api/v0/health: how balanced the
@@ -116,6 +128,12 @@ class YProvService {
   [[nodiscard]] std::size_t shard_count() const { return stripes_.size(); }
   /// Consistent per-shard snapshot (all stripes held shared).
   [[nodiscard]] std::vector<ShardStats> shard_stats() const;
+
+  /// Caps the open-cursor registry: at most `max_open` cursors (LRU
+  /// eviction beyond that) and `ttl` of idle life each. Setup-time only.
+  void set_cursor_limits(std::size_t max_open, std::chrono::milliseconds ttl);
+  /// Reaps expired cursors, then reports the registry state.
+  [[nodiscard]] CursorStats cursor_stats();
 
   /// Monotonic counter bumped by every successful mutation (PUT/DELETE,
   /// direct or routed). Response caches key on it: any hit keyed at the
@@ -167,7 +185,35 @@ class YProvService {
 
   [[nodiscard]] std::size_t document_count_unlocked() const;
 
+  /// One resumable server-side cursor. Pinned to the graph_version it was
+  /// opened at: any write bumps the version, so resuming checks the pin
+  /// and turns stale cursors into 410 Gone instead of reading freed state.
+  /// (A QueryCursor holds raw pointers into graph_ tables; rebuild_graph()
+  /// move-assigns a fresh graph, so a post-write resume would be UB —
+  /// the version pin is correctness, not just freshness.)
+  struct OpenCursor {
+    QueryCursor cursor;
+    std::vector<ResultSet::Column> columns;
+    std::uint64_t version = 0;    ///< graph_version at open
+    std::size_t page_size = 0;
+    std::chrono::steady_clock::time_point expires_at{};
+    std::uint64_t lru_seq = 0;    ///< bumped on every touch; min = LRU victim
+  };
+
   Response route(const Request& request);  ///< caller holds the needed locks
+  /// POST /api/v0/query with a JSON envelope: runs the first page, maybe
+  /// registers a cursor. Caller holds all stripes shared.
+  Response query_paged(const std::string& body);
+  /// POST /api/v0/query/next: resumes a registered cursor or 410s. Caller
+  /// holds all stripes shared (so graph_version is stable for the page).
+  Response query_next(const std::string& body);
+  /// Serializes one page out of `cursor` as {"columns","rows","done"[,"cursor"]}.
+  [[nodiscard]] std::string page_body(QueryCursor& cursor,
+                                      const std::vector<ResultSet::Column>& columns,
+                                      std::size_t page_size,
+                                      const std::string& token) const;
+  /// Drops cursors past their TTL. Caller holds cursor_mutex_.
+  void reap_cursors_locked(std::chrono::steady_clock::time_point now);
   Status put_document_impl(const std::string& name, const prov::Document& doc);
   Expected<bool> delete_document_impl(const std::string& name);
   /// Re-ingests every stored document into a fresh graph, one ThreadPool
@@ -180,6 +226,19 @@ class YProvService {
   std::vector<std::map<std::string, prov::Document>> documents_;  ///< per shard
   PropertyGraph graph_;
   std::unique_ptr<wal::DurableStore> wal_;
+
+  // Open-cursor registry. Guarded by its own mutex (not the stripes): a
+  // resume runs under the shared stripe locks and only needs the registry
+  // long enough to check out / check in the cursor entry. Not moved with
+  // the service — moves are setup-time operations and cursors point into
+  // the old graph storage.
+  mutable std::mutex cursor_mutex_;
+  std::map<std::string, OpenCursor> cursors_;
+  std::size_t cursor_capacity_ = 64;
+  std::chrono::milliseconds cursor_ttl_{60000};
+  std::uint64_t cursor_seq_ = 0;
+  std::uint64_t next_cursor_id_ = 0;
+  std::uint64_t cursors_expired_ = 0;
 };
 
 }  // namespace provml::graphstore

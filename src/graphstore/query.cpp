@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <deque>
+#include <optional>
 #include <set>
 
 namespace provml::graphstore {
@@ -658,23 +659,28 @@ QueryPlan estimate_orientation(const PropertyGraph& graph, const Query& query) {
   return plan;
 }
 
+/// The raw candidate pool for a pattern per `plan`: the chosen posting
+/// list, ascending and duplicate-free (PropertyGraph's accessors
+/// guarantee both), *not* yet re-checked against the whole pattern.
+std::vector<NodeId> anchor_pool(const PropertyGraph& graph, const NodePattern& pattern,
+                                const QueryPlan& plan) {
+  switch (plan.anchor) {
+    case QueryPlan::Anchor::kScanAll:
+      return graph.node_ids();
+    case QueryPlan::Anchor::kLabel:
+      return graph.nodes_with_label(plan.label);
+    case QueryPlan::Anchor::kProperty:
+      return graph.find(plan.label, plan.property_key,
+                        *pattern.properties.find(plan.property_key));
+  }
+  return {};
+}
+
 /// Candidate nodes for the pattern per `plan`, fully re-checked against the
 /// whole pattern (the index narrows, node_matches decides).
 std::vector<NodeId> candidates(const PropertyGraph& graph, const NodePattern& pattern,
                                const QueryPlan& plan) {
-  std::vector<NodeId> pool;
-  switch (plan.anchor) {
-    case QueryPlan::Anchor::kScanAll:
-      pool = graph.node_ids();
-      break;
-    case QueryPlan::Anchor::kLabel:
-      pool = graph.nodes_with_label(plan.label);
-      break;
-    case QueryPlan::Anchor::kProperty:
-      pool = graph.find(plan.label, plan.property_key,
-                        *pattern.properties.find(plan.property_key));
-      break;
-  }
+  std::vector<NodeId> pool = anchor_pool(graph, pattern, plan);
   pool.erase(std::remove_if(pool.begin(), pool.end(),
                             [&](NodeId id) { return !node_matches(graph, id, pattern); }),
              pool.end());
@@ -1107,6 +1113,225 @@ bool condition_holds_impl(const PropertyGraph& graph, NodeId id, const Condition
 
 Expected<Query> parse_query(const std::string& text) { return Parser(text).run(); }
 
+// ------------------------------------------------------------ QueryCursor
+
+/// Cursor state. Two shapes share the class:
+///
+///   · lazy — an explicit-stack depth-first walk over the pattern in
+///     forward orientation. frames[d] holds the sorted-unique candidate
+///     list for pattern position d given path[0..d-1]; children are
+///     sorted at generation, so complete fixed-length paths pop out in
+///     ascending lexicographic order — exactly the order the batch
+///     engine's std::set<std::vector<NodeId>> imposes — and rows can
+///     stream without ever materializing the result.
+///
+///   · materialized — ORDER BY / aggregate queries run through
+///     execute_query() once on open, and next() slices the table.
+struct QueryCursor::Impl {
+  const PropertyGraph* graph = nullptr;
+  Query query;
+  std::vector<ResultSet::Column> columns;
+  bool lazy = false;
+  bool exhausted = false;
+
+  // --- lazy-walk state
+  struct Frame {
+    std::vector<NodeId> nexts;
+    std::size_t cursor = 0;
+  };
+  std::vector<std::vector<const Condition*>> conds;
+  std::vector<Frame> frames;
+  std::vector<NodeId> path;
+  /// Projection pushdown: per RETURN item, the pattern position whose
+  /// binding becomes the cell (the *last* occurrence of the item's var,
+  /// matching rows_from_paths' overwrite semantics).
+  std::vector<std::size_t> return_positions;
+  /// Dedup key positions: one per relevant var, in ascending var-name
+  /// order (the std::map<var, NodeId> Row order).
+  std::vector<std::size_t> dedup_positions;
+  /// False when the dedup key covers every pattern position — then paths
+  /// and rows are in bijection and the seen-set is skipped entirely.
+  bool needs_dedup = false;
+  std::set<std::vector<NodeId>> seen;
+  std::size_t skip_remaining = 0;
+  std::size_t limit_remaining = std::numeric_limits<std::size_t>::max();
+  /// One-row lookahead: next_lazy() walks one row past the page so
+  /// done() is exact when a page drains the result — no trailing empty
+  /// page (and no extra HTTP round-trip) just to learn the walk is over.
+  std::optional<std::vector<json::Value>> pending;
+
+  // --- materialized state
+  std::vector<std::vector<json::Value>> table;
+  std::size_t offset = 0;
+
+  /// Sorted-unique expansion candidates for pattern position `pos` from
+  /// `from`. Pattern/WHERE admissibility is checked at pick time, not
+  /// here, so generation stays a sort of the raw neighbor list.
+  [[nodiscard]] std::vector<NodeId> children(std::size_t pos, NodeId from) const {
+    const EdgePattern& edge = query.edges[pos - 1];
+    std::vector<NodeId> nexts =
+        edge.variable ? var_targets_planned(*graph, from, edge)
+                      : graph->neighbors(from, edge.direction, edge.type);
+    std::sort(nexts.begin(), nexts.end());
+    nexts.erase(std::unique(nexts.begin(), nexts.end()), nexts.end());
+    return nexts;
+  }
+
+  /// Whether `node` can occupy pattern position `pos`: the pattern's
+  /// labels/properties plus every WHERE condition bound to the position
+  /// (the same pushdown extend() applies during the batch walk).
+  [[nodiscard]] bool admissible(std::size_t pos, NodeId node) const {
+    if (!node_matches(*graph, node, query.nodes[pos])) return false;
+    return std::none_of(conds[pos].begin(), conds[pos].end(), [&](const Condition* c) {
+      return !condition_holds_impl(*graph, node, *c);
+    });
+  }
+
+  [[nodiscard]] std::vector<std::vector<json::Value>> next_lazy(std::size_t max_rows) {
+    std::vector<std::vector<json::Value>> out;
+    if (pending.has_value()) {
+      out.push_back(std::move(*pending));
+      pending.reset();
+    }
+    // Walk one row past the page (<= instead of <) so a page that exactly
+    // drains the result still learns there is nothing left. The overflow
+    // row is stashed in `pending` for the next call. Unbounded drains
+    // (max_rows == SIZE_MAX) cannot overflow the +1 because the loop exits
+    // on frame/limit exhaustion long before out.size() wraps.
+    while (out.size() <= max_rows && !frames.empty() && limit_remaining > 0) {
+      const std::size_t depth = frames.size() - 1;
+      Frame& top = frames.back();
+      if (top.cursor == top.nexts.size()) {
+        frames.pop_back();
+        continue;
+      }
+      const NodeId node = top.nexts[top.cursor++];
+      if (!admissible(depth, node)) continue;
+      path.resize(depth);
+      path.push_back(node);
+      if (depth + 1 < query.nodes.size()) {
+        frames.push_back(Frame{children(depth + 1, node), 0});
+        continue;
+      }
+      // Complete path: dedup on the projected bindings, then page.
+      if (needs_dedup) {
+        std::vector<NodeId> key;
+        key.reserve(dedup_positions.size());
+        for (const std::size_t p : dedup_positions) key.push_back(path[p]);
+        if (!seen.insert(std::move(key)).second) continue;
+      }
+      if (skip_remaining > 0) {
+        --skip_remaining;
+        continue;
+      }
+      std::vector<json::Value> cells;
+      cells.reserve(return_positions.size());
+      for (const std::size_t p : return_positions) {
+        cells.emplace_back(static_cast<std::int64_t>(path[p]));
+      }
+      out.push_back(std::move(cells));
+      --limit_remaining;
+    }
+    if (out.size() > max_rows) {
+      pending = std::move(out.back());
+      out.pop_back();
+    }
+    if ((frames.empty() || limit_remaining == 0) && !pending.has_value()) {
+      exhausted = true;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::vector<json::Value>> next_table(std::size_t max_rows) {
+    std::vector<std::vector<json::Value>> out;
+    while (offset < table.size() && out.size() < max_rows) {
+      out.push_back(std::move(table[offset++]));
+    }
+    if (offset == table.size()) exhausted = true;
+    return out;
+  }
+};
+
+QueryCursor::QueryCursor(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+QueryCursor::QueryCursor(QueryCursor&&) noexcept = default;
+QueryCursor& QueryCursor::operator=(QueryCursor&&) noexcept = default;
+QueryCursor::~QueryCursor() = default;
+
+const std::vector<ResultSet::Column>& QueryCursor::columns() const {
+  return impl_->columns;
+}
+
+bool QueryCursor::done() const { return impl_->exhausted; }
+
+bool QueryCursor::streaming() const { return impl_->lazy; }
+
+std::vector<std::vector<json::Value>> QueryCursor::next(std::size_t max_rows) {
+  if (impl_->exhausted || max_rows == 0) return {};
+  return impl_->lazy ? impl_->next_lazy(max_rows) : impl_->next_table(max_rows);
+}
+
+Expected<QueryCursor> QueryCursor::open(const PropertyGraph& graph, const Query& query) {
+  if (query.nodes.empty()) return Error{"query has no node patterns", "query"};
+  auto impl = std::make_unique<Impl>();
+  impl->graph = &graph;
+  impl->query = query;
+  impl->columns = result_columns(query);
+  impl->lazy = !query.has_aggregate() && query.order_by.empty();
+  if (!impl->lazy) {
+    Expected<ResultSet> table = execute_query(graph, query);
+    if (!table.ok()) return table.error();
+    impl->table = std::move(table.value().rows);
+    impl->exhausted = impl->table.empty();
+    return QueryCursor(std::move(impl));
+  }
+
+  const Query& q = impl->query;
+  impl->conds = conditions_by_position(q);
+  impl->skip_remaining = q.skip;
+  impl->limit_remaining = q.limit;
+
+  // Projection pushdown bookkeeping: map RETURN items and the dedup key
+  // to pattern positions once, so emitting a row is a handful of array
+  // reads instead of a Row map.
+  std::map<std::string, std::size_t> last_position;
+  for (std::size_t i = 0; i < q.nodes.size(); ++i) {
+    if (!q.nodes[i].var.empty()) last_position[q.nodes[i].var] = i;
+  }
+  for (const ReturnItem& item : q.returns) {
+    impl->return_positions.push_back(last_position.at(item.var));
+  }
+  const std::set<std::string> vars = relevant_vars(q);
+  for (const std::string& var : vars) {  // std::set iterates ascending
+    impl->dedup_positions.push_back(last_position.at(var));
+  }
+  // The seen-set is only needed when distinct paths can collapse to one
+  // row, i.e. when some position is not the last occurrence of a
+  // projected variable.
+  impl->needs_dedup = false;
+  for (std::size_t i = 0; i < q.nodes.size(); ++i) {
+    const std::string& var = q.nodes[i].var;
+    if (var.empty() || vars.count(var) == 0 || last_position.at(var) != i) {
+      impl->needs_dedup = true;
+      break;
+    }
+  }
+
+  // Forward-orientation anchor. The cursor never reverses: only the
+  // forward walk emits paths in the canonical ascending order, so
+  // streamed pages concatenate byte-identically to the batch result.
+  impl->frames.push_back(
+      Impl::Frame{anchor_pool(graph, q.nodes.front(), plan_anchor(graph, q.nodes.front())), 0});
+  if (q.limit == 0) impl->exhausted = true;
+  return QueryCursor(std::move(impl));
+}
+
+Expected<QueryCursor> QueryCursor::open(const PropertyGraph& graph,
+                                        const std::string& text) {
+  Expected<Query> query = parse_query(text);
+  if (!query.ok()) return query.error();
+  return open(graph, query.value());
+}
+
 QueryPlan explain_query(const PropertyGraph& graph, const Query& query) {
   if (query.nodes.empty()) return QueryPlan{};
   QueryPlan front = estimate_orientation(graph, query);
@@ -1122,6 +1347,22 @@ QueryPlan explain_query(const PropertyGraph& graph, const Query& query) {
 }
 
 Expected<ResultSet> execute_query(const PropertyGraph& graph, const Query& query) {
+  // Streamable queries (no aggregate, no ORDER BY) drain the lazy cursor
+  // instead of materializing every match: with a finite LIMIT that makes
+  // the whole call O(SKIP+LIMIT) walk work — the walk stops as soon as
+  // the page is full. An unbounded query visits everything either way,
+  // so it only streams when the planner would have run forward anyway
+  // (the cursor cannot reverse without losing canonical output order).
+  if (!query.nodes.empty() && !query.has_aggregate() && query.order_by.empty() &&
+      (query.limit != std::numeric_limits<std::size_t>::max() ||
+       !explain_query(graph, query).reversed)) {
+    Expected<QueryCursor> cursor = QueryCursor::open(graph, query);
+    if (!cursor.ok()) return cursor.error();
+    ResultSet result;
+    result.columns = result_columns(query);
+    result.rows = cursor.value().next(query.limit);
+    return result;
+  }
   Expected<std::vector<Row>> rows = binding_rows(graph, query, /*brute=*/false);
   if (!rows.ok()) return rows.error();
   ResultSet result;

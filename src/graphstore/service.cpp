@@ -1,8 +1,10 @@
 #include "provml/graphstore/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -65,6 +67,25 @@ std::optional<std::string> write_target(const std::string& path) {
   return parts[0];
 }
 
+/// Renders one result row as the wire object: cells keyed by column name,
+/// node columns resolved to the bound node's prov_id (null when absent).
+json::Value row_object(const PropertyGraph& graph,
+                       const std::vector<ResultSet::Column>& columns,
+                       const std::vector<json::Value>& row) {
+  json::Object row_json;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const ResultSet::Column& column = columns[c];
+    if (!column.is_node) {
+      row_json.set(column.name, row[c]);
+      continue;
+    }
+    const Node* n = graph.node(static_cast<NodeId>(row[c].as_int()));
+    const json::Value* prov_id = n != nullptr ? n->properties.find("prov_id") : nullptr;
+    row_json.set(column.name, prov_id != nullptr ? *prov_id : json::Value(nullptr));
+  }
+  return json::Value(std::move(row_json));
+}
+
 json::Value edge_summary(const PropertyGraph& graph, const Edge& e, bool outgoing) {
   json::Object obj;
   obj.set("type", e.type);
@@ -100,6 +121,12 @@ YProvService& YProvService::operator=(YProvService&& other) noexcept {
     graph_ = std::move(other.graph_);
     wal_ = std::move(other.wal_);
     version_.store(other.version_.load());
+    // Any open cursors walked the graph storage just replaced; the
+    // registry is not transferable either (the source's cursors point
+    // into the source's moved-from graph). Moves are setup-time, so
+    // simply start empty.
+    const std::lock_guard<std::mutex> guard(cursor_mutex_);
+    cursors_.clear();
   }
   return *this;
 }
@@ -415,27 +442,29 @@ Response YProvService::route(const Request& request) {
   // prov_id, aggregate columns as their computed value.
   if (request.path == "/api/v0/query") {
     if (request.method != "POST") return method_not_allowed("POST");
+    // A body that is a JSON object is the cursor envelope
+    // {"query": ..., "page_size": N}; MATCH text can never start with '{',
+    // so the two forms are unambiguous and the raw-text form stays
+    // wire-compatible with pre-cursor clients.
+    if (strings::starts_with(strings::trim(request.body), "{")) {
+      return query_paged(request.body);
+    }
     Expected<ResultSet> table = execute_query(graph_, request.body);
     if (!table.ok()) return error_response(400, table.error().to_string());
     json::Array rows_json;
     for (const std::vector<json::Value>& row : table.value().rows) {
-      json::Object row_json;
-      for (std::size_t c = 0; c < table.value().columns.size(); ++c) {
-        const ResultSet::Column& column = table.value().columns[c];
-        if (!column.is_node) {
-          row_json.set(column.name, row[c]);
-          continue;
-        }
-        const Node* n = graph_.node(static_cast<NodeId>(row[c].as_int()));
-        const json::Value* prov_id =
-            n != nullptr ? n->properties.find("prov_id") : nullptr;
-        row_json.set(column.name, prov_id != nullptr ? *prov_id : json::Value(nullptr));
-      }
-      rows_json.push_back(std::move(row_json));
+      rows_json.push_back(row_object(graph_, table.value().columns, row));
     }
     json::Object body;
     body.set("rows", std::move(rows_json));
     return Response{200, json::write(json::Value(std::move(body))), ""};
+  }
+
+  // POST /api/v0/query/next — resumes a server-side cursor registered by a
+  // paged /api/v0/query. Stateful: never cached, never 304'd.
+  if (request.path == "/api/v0/query/next") {
+    if (request.method != "POST") return method_not_allowed("POST");
+    return query_next(request.body);
   }
 
   // POST /api/v0/explain — body is a MATCH query; the response is the
@@ -576,6 +605,144 @@ Response YProvService::route(const Request& request) {
   }
 
   return error_response(404, "unknown route");
+}
+
+// ---------------------------------------------------------- cursor protocol
+
+void YProvService::set_cursor_limits(std::size_t max_open, std::chrono::milliseconds ttl) {
+  const std::lock_guard<std::mutex> guard(cursor_mutex_);
+  cursor_capacity_ = max_open;
+  cursor_ttl_ = ttl;
+}
+
+CursorStats YProvService::cursor_stats() {
+  const std::lock_guard<std::mutex> guard(cursor_mutex_);
+  reap_cursors_locked(std::chrono::steady_clock::now());
+  return CursorStats{cursors_.size(), cursors_expired_};
+}
+
+void YProvService::reap_cursors_locked(std::chrono::steady_clock::time_point now) {
+  // Drops both timed-out cursors and ones a write already invalidated
+  // (version pin moved on) — neither can ever serve another page, so
+  // `open` always counts exactly the resumable cursors.
+  const std::uint64_t version = graph_version();
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    if (it->second.expires_at <= now || it->second.version != version) {
+      it = cursors_.erase(it);
+      ++cursors_expired_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string YProvService::page_body(QueryCursor& cursor,
+                                    const std::vector<ResultSet::Column>& columns,
+                                    std::size_t page_size,
+                                    const std::string& token) const {
+  json::Array columns_json;
+  for (const ResultSet::Column& column : columns) columns_json.emplace_back(column.name);
+  json::Array rows_json;
+  for (const std::vector<json::Value>& row : cursor.next(page_size)) {
+    rows_json.push_back(row_object(graph_, columns, row));
+  }
+  json::Object body;
+  body.set("columns", std::move(columns_json));
+  body.set("rows", std::move(rows_json));
+  body.set("done", cursor.done());
+  if (!cursor.done()) body.set("cursor", token);
+  return json::write(json::Value(std::move(body)));
+}
+
+Response YProvService::query_paged(const std::string& body) {
+  Expected<json::Value> parsed = json::parse(body);
+  if (!parsed.ok()) return error_response(400, parsed.error().to_string());
+  const json::Value* query_text = parsed.value().find("query");
+  if (query_text == nullptr || !query_text->is_string()) {
+    return error_response(400, "envelope requires a string \"query\" field");
+  }
+  std::size_t page_size = std::numeric_limits<std::size_t>::max();
+  if (const json::Value* n = parsed.value().find("page_size")) {
+    if (!n->is_int() || n->as_int() < 1) {
+      return error_response(400, "\"page_size\" must be a positive integer");
+    }
+    page_size = static_cast<std::size_t>(n->as_int());
+  }
+  Expected<QueryCursor> cursor = QueryCursor::open(graph_, query_text->as_string());
+  if (!cursor.ok()) return error_response(400, cursor.error().to_string());
+
+  std::vector<ResultSet::Column> columns = cursor.value().columns();
+  std::string token;
+  {
+    const std::lock_guard<std::mutex> guard(cursor_mutex_);
+    token = "c" + std::to_string(++next_cursor_id_);
+  }
+  std::string page = page_body(cursor.value(), columns, page_size, token);
+  if (!cursor.value().done()) {
+    // More rows remain: register the cursor under its token. The caller
+    // holds every stripe shared, so the version we pin cannot move before
+    // the response leaves route().
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> guard(cursor_mutex_);
+    reap_cursors_locked(now);
+    while (cursors_.size() >= cursor_capacity_ && !cursors_.empty()) {
+      auto victim = cursors_.begin();
+      for (auto it = cursors_.begin(); it != cursors_.end(); ++it) {
+        if (it->second.lru_seq < victim->second.lru_seq) victim = it;
+      }
+      cursors_.erase(victim);
+      ++cursors_expired_;
+    }
+    cursors_.emplace(token, OpenCursor{std::move(cursor.value()), std::move(columns),
+                                       graph_version(), page_size,
+                                       now + cursor_ttl_, ++cursor_seq_});
+  }
+  return Response{200, std::move(page), "", true};
+}
+
+Response YProvService::query_next(const std::string& body) {
+  Expected<json::Value> parsed = json::parse(body);
+  if (!parsed.ok()) return error_response(400, parsed.error().to_string());
+  const json::Value* token_value = parsed.value().find("cursor");
+  if (token_value == nullptr || !token_value->is_string()) {
+    return error_response(400, "body requires a string \"cursor\" field");
+  }
+  const std::string& token = token_value->as_string();
+
+  // Check the cursor out of the registry. The page itself runs under the
+  // shared stripe locks route() already holds, so the graph (and its
+  // version) are stable while next() walks it — the registry mutex only
+  // guards the map, never spans the walk of another cursor.
+  std::optional<OpenCursor> open;
+  {
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> guard(cursor_mutex_);
+    reap_cursors_locked(now);
+    auto it = cursors_.find(token);
+    if (it == cursors_.end()) {
+      return error_response(410, "unknown or expired cursor");
+    }
+    if (it->second.version != graph_version()) {
+      // A write landed since the cursor was opened: its pages would mix
+      // two graph states (and the cursor's pointers walk rebuilt
+      // storage). Invalidate instead of serving a torn result.
+      cursors_.erase(it);
+      ++cursors_expired_;
+      return error_response(410, "cursor invalidated by a concurrent write");
+    }
+    open.emplace(std::move(it->second));
+    cursors_.erase(it);
+  }
+
+  std::string page = page_body(open->cursor, open->columns, open->page_size, token);
+  if (!open->cursor.done()) {
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> guard(cursor_mutex_);
+    open->expires_at = now + cursor_ttl_;
+    open->lru_seq = ++cursor_seq_;
+    cursors_.emplace(token, std::move(*open));
+  }
+  return Response{200, std::move(page), "", true};
 }
 
 // --------------------------------------------------------------- durability

@@ -15,6 +15,8 @@
 #include "provml/common/fault_inject.hpp"
 #include "provml/common/strings.hpp"
 #include "provml/compress/container.hpp"
+#include "provml/json/parse.hpp"
+#include "provml/json/write.hpp"
 
 namespace provml::net {
 namespace {
@@ -296,6 +298,56 @@ Expected<HttpResponse> HttpClient::request(const std::string& method,
   }
   if (!result.ok() || result.value().close) close_connection();
   return result;
+}
+
+// ------------------------------------------------------------- QueryPager
+
+QueryPager::QueryPager(HttpClient& client, std::string base_path, std::string query,
+                       std::size_t page_size)
+    : client_(client),
+      base_path_(std::move(base_path)),
+      query_(std::move(query)),
+      page_size_(page_size) {}
+
+Expected<json::Value> QueryPager::next_page() {
+  if (done_) return Error{"query pager exhausted", query_};
+
+  std::string body;
+  std::string target;
+  if (!started_) {
+    json::Object envelope;
+    envelope.set("query", query_);
+    envelope.set("page_size", static_cast<std::int64_t>(page_size_));
+    body = json::write(json::Value(std::move(envelope)));
+    target = base_path_ + "/api/v0/query";
+  } else {
+    json::Object envelope;
+    envelope.set("cursor", cursor_);
+    body = json::write(json::Value(std::move(envelope)));
+    target = base_path_ + "/api/v0/query/next";
+  }
+
+  Expected<HttpResponse> response = client_.post(target, body);
+  if (!response.ok()) return response.error();
+  if (response.value().status != 200) {
+    done_ = true;
+    return Error{"query page failed: HTTP " + std::to_string(response.value().status) +
+                     " " + response.value().body,
+                 target};
+  }
+  Expected<json::Value> page = json::parse(response.value().body);
+  if (!page.ok()) return page.error();
+
+  started_ = true;
+  const json::Value* page_done = page.value().find("done");
+  const json::Value* token = page.value().find("cursor");
+  if (page_done != nullptr && page_done->is_bool() && !page_done->as_bool() &&
+      token != nullptr && token->is_string()) {
+    cursor_ = token->as_string();
+  } else {
+    done_ = true;
+  }
+  return page;
 }
 
 }  // namespace provml::net

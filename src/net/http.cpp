@@ -32,6 +32,7 @@ std::string_view reason_phrase(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 410: return "Gone";
     case 411: return "Length Required";
     case 413: return "Content Too Large";
     case 431: return "Request Header Fields Too Large";
@@ -58,7 +59,7 @@ bool HttpRequest::keep_alive() const {
   return connection == nullptr || !iequals(*connection, "close");
 }
 
-std::string serialize(const HttpResponse& response, bool keep_alive) {
+std::string serialize_head(const HttpResponse& response, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
   out += reason_phrase(response.status);
   out += "\r\n";
@@ -71,6 +72,11 @@ std::string serialize(const HttpResponse& response, bool keep_alive) {
     out += h.name + ": " + h.value + "\r\n";
   }
   out += "\r\n";
+  return out;
+}
+
+std::string serialize(const HttpResponse& response, bool keep_alive) {
+  std::string out = serialize_head(response, keep_alive);
   out += response.body;
   return out;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "provml/common/expected.hpp"
+#include "provml/json/value.hpp"
 #include "provml/net/http.hpp"
 #include "provml/net/parser.hpp"
 
@@ -86,6 +87,42 @@ class HttpClient {
   std::uint16_t port_;
   ClientConfig config_;
   int fd_ = -1;  ///< pooled keep-alive connection, -1 when closed
+};
+
+/// Client half of the service's cursor protocol: iterates a query's
+/// result page by page over `POST <base>/api/v0/query` (JSON envelope)
+/// and `POST <base>/api/v0/query/next`, so a caller touches one page of
+/// rows at a time regardless of result size.
+///
+///   QueryPager pager(client, "", "MATCH (n) RETURN n", 100);
+///   while (!pager.done()) {
+///     auto page = pager.next_page();          // {"columns","rows","done",...}
+///     if (!page.ok()) { ... 410 = cursor invalidated by a write ... }
+///   }
+///
+/// The server invalidates cursors on any write (410 Gone) and reaps them
+/// on TTL/LRU pressure; callers restart the query when that happens.
+class QueryPager {
+ public:
+  QueryPager(HttpClient& client, std::string base_path, std::string query,
+             std::size_t page_size);
+
+  /// Fetches the next page. The returned object always carries "columns"
+  /// and "rows"; done() turns true when the server reported the last
+  /// page. Non-2xx responses (including 410 Gone) come back as errors
+  /// naming the status, and end the iteration.
+  [[nodiscard]] Expected<json::Value> next_page();
+
+  [[nodiscard]] bool done() const { return done_; }
+
+ private:
+  HttpClient& client_;
+  std::string base_path_;
+  std::string query_;
+  std::size_t page_size_;
+  std::string cursor_;  ///< empty until the first page arrives
+  bool started_ = false;
+  bool done_ = false;
 };
 
 }  // namespace provml::net

@@ -47,6 +47,11 @@ struct HttpResponse {
   [[nodiscard]] const std::string* header(std::string_view name) const;
 };
 
+/// Serializes just the status line + headers (through the blank line) with
+/// Content-Length and Connection. The server keeps head and body separate
+/// and coalesces them into one writev-style syscall on the wire.
+[[nodiscard]] std::string serialize_head(const HttpResponse& response, bool keep_alive);
+
 /// Serializes a response with Content-Length and Connection headers.
 [[nodiscard]] std::string serialize(const HttpResponse& response, bool keep_alive);
 

@@ -60,6 +60,8 @@ struct ServerStats {
   std::uint64_t open_connections = 0; ///< gauge: fds currently in the loop
   std::uint64_t epoll_wakeups = 0;    ///< event-loop epoll_wait returns
   std::uint64_t connections_shed = 0; ///< 503'd at accept (cap or EMFILE)
+  std::uint64_t writev_batches = 0;   ///< sendmsg calls that coalesced
+                                      ///< header + body into one syscall
 
   [[nodiscard]] double mean_latency_us() const {
     return requests_handled == 0
@@ -125,8 +127,11 @@ class HttpServer {
     std::uint64_t id = 0;
     State state = State::kReading;
     RequestParser parser;
-    std::string write_buf;
-    std::size_t write_off = 0;
+    // Response bytes kept as two buffers (status line + headers, body) so
+    // the flush can gather both into a single writev-style syscall.
+    std::string write_head;
+    std::string write_body;
+    std::size_t write_off = 0;  ///< progress over the concatenation [head|body]
     bool close_after_write = false;
     Clock::time_point last_activity{};
     explicit Connection(ParserLimits limits) : parser(limits) {}
@@ -137,10 +142,12 @@ class HttpServer {
     std::uint64_t conn_id = 0;
     HttpRequest request;
   };
-  /// A serialized response on its way back to the event thread.
+  /// A serialized response on its way back to the event thread, head and
+  /// body separate for the gathered write.
   struct Done {
     std::uint64_t conn_id = 0;
-    std::string wire;
+    std::string head;
+    std::string body;
     bool keep = false;
   };
 
@@ -154,7 +161,8 @@ class HttpServer {
   void handle_connection_event(std::uint64_t id, std::uint32_t events);
   void handle_readable(Connection& conn);
   void dispatch(Connection& conn);
-  void begin_write(Connection& conn, std::string wire, bool close_after);
+  void begin_write(Connection& conn, std::string head, std::string body,
+                   bool close_after);
   [[nodiscard]] Flush flush_writes(Connection& conn);
   void finish_write(Connection& conn);
   void process_completions();
@@ -211,6 +219,7 @@ class HttpServer {
   std::atomic<std::uint64_t> open_connections_{0};
   std::atomic<std::uint64_t> epoll_wakeups_{0};
   std::atomic<std::uint64_t> connections_shed_{0};
+  std::atomic<std::uint64_t> writev_batches_{0};
 };
 
 }  // namespace provml::net

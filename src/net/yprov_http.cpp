@@ -119,6 +119,13 @@ HttpResponse YProvHttpApp::health_response(const HttpRequest& request) {
   body.set("uptime_s", static_cast<std::int64_t>(uptime.count()));
   body.set("documents", service_.document_count());
   body.set("graph_version", service_.graph_version());
+  // Streaming cursors: how many are resumable right now, and how many
+  // have ever been reaped (TTL), evicted (LRU), or invalidated by writes.
+  {
+    const graphstore::CursorStats cursors = service_.cursor_stats();
+    body.set("cursors_open", cursors.open);
+    body.set("cursors_expired", cursors.expired);
+  }
   body.set("requests", c.requests);
   body.set("responses_2xx", c.status_2xx);
   body.set("responses_4xx", c.status_4xx);
@@ -143,6 +150,7 @@ HttpResponse YProvHttpApp::health_response(const HttpRequest& request) {
     body.set("open_connections", s.open_connections);
     body.set("epoll_wakeups", s.epoll_wakeups);
     body.set("connections_shed", s.connections_shed);
+    body.set("writev_batches", s.writev_batches);
   }
   // Sharding: per-stripe balance and write contention, in shard order.
   body.set("shard_count", service_.shard_count());
@@ -190,6 +198,7 @@ HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
   const bool is_write = request.method == "PUT" || request.method == "DELETE";
   bool cache_hit = false;
   bool not_modified = false;
+  bool no_store = false;
 
   if (path == "/api/v0/health") {
     response = health_response(request);
@@ -200,8 +209,15 @@ HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
     // a result can only ever be stored under a key as old as or older
     // than the state it reflects — a later reader at the current version
     // never sees a pre-write body.
+    // A JSON-envelope body on /api/v0/query opens a server-side cursor and
+    // /api/v0/query/next advances one — both are stateful (the response
+    // embeds a resume token and moves the cursor), so neither may be
+    // cached, stored, or answered 304 from the version tag.
+    const bool paged_query =
+        request.method == "POST" && path == "/api/v0/query" &&
+        strings::starts_with(strings::trim(request.body), "{");
     const bool is_query =
-        request.method == "POST" &&
+        !paged_query && request.method == "POST" &&
         (path == "/api/v0/query" || path == "/api/v0/explain");
     const bool read_route = request.method == "GET" || is_query;
     const std::uint64_t version = read_route ? service_.graph_version() : 0;
@@ -247,6 +263,7 @@ HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
       inner.path = std::move(path);
       inner.body = request.body;
       const graphstore::Response routed = service_.handle(inner);
+      no_store = routed.no_store;
       response.status = routed.status;
       response.body = routed.body;
       if (routed.status == 405 && !routed.allow.empty()) {
@@ -270,9 +287,11 @@ HttpResponse YProvHttpApp::handle(const HttpRequest& request) {
         }
       }
       entry.body = response.body;
-      if (cacheable && response.status == 200) cache_store(std::move(key), entry);
+      if (cacheable && response.status == 200 && !no_store) {
+        cache_store(std::move(key), entry);
+      }
     }
-    if (!not_modified && response.status == 200 && read_route) {
+    if (!not_modified && response.status == 200 && read_route && !no_store) {
       // Every cacheable 200 carries the tag that minted it; the cache key
       // pins `version`, so a hit's tag is identical by construction.
       response.headers.push_back({"ETag", etag_for(version)});

@@ -15,6 +15,9 @@
 //      table (same cardinality, same node ids in RETURN order).
 //   4. explain_query's estimates are finite and non-negative, and the
 //      chosen plan never names a label or property absent from the query.
+//   5. A QueryCursor drained at page sizes 1, 2, 7, and 64 concatenates to
+//      exactly the one-shot execute_query table — same columns, rows, and
+//      row order — and reports done() with no trailing empty page.
 //
 // Row equality is exact, not just multiset equality: both evaluators
 // promise the same deterministic ordering (ascending match paths / group
@@ -56,6 +59,31 @@ void check_plan_sanity(const PropertyGraph& graph, const Query& query,
   }
 }
 
+void check_cursor_paging(const PropertyGraph& graph, const Query& query,
+                         const ResultSet& reference, const std::string& text) {
+  for (const std::size_t page_size : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{7}, std::size_t{64}}) {
+    Expected<graphstore::QueryCursor> cursor =
+        graphstore::QueryCursor::open(graph, query);
+    FUZZ_CHECK(cursor.ok(), "cursor open failed for: " + text);
+    ResultSet paged;
+    paged.columns = cursor.value().columns();
+    while (!cursor.value().done()) {
+      auto page = cursor.value().next(page_size);
+      FUZZ_CHECK(page.size() <= page_size, "oversized cursor page for: " + text);
+      FUZZ_CHECK(!page.empty() || cursor.value().done(),
+                 "empty page without done() for: " + text);
+      for (auto& row : page) paged.rows.push_back(std::move(row));
+    }
+    FUZZ_CHECK(cursor.value().next(page_size).empty(),
+               "rows released after done() for: " + text);
+    FUZZ_CHECK(paged.columns == reference.columns,
+               "cursor/one-shot column mismatch for: " + text);
+    FUZZ_CHECK(paged == reference,
+               "cursor pages do not concatenate to the one-shot table for: " + text);
+  }
+}
+
 void iteration(testkit::Rng& rng) {
   const PropertyGraph graph = testkit::gen_property_graph(rng);
   const std::string text = testkit::gen_graph_query(rng);
@@ -77,6 +105,8 @@ void iteration(testkit::Rng& rng) {
              "planner/oracle column mismatch for: " + text);
   FUZZ_CHECK(planned.value() == brute.value(),
              "planner/oracle table mismatch for: " + text);
+
+  check_cursor_paging(graph, query, planned.value(), text);
 
   if (query.has_aggregate()) return;
 
